@@ -1,0 +1,29 @@
+//! Runs quick versions of every figure/table regeneration as part of
+//! `cargo bench`, printing the paper-shaped tables.
+fn main() {
+    println!("# DoPE evaluation regeneration (quick mode)\n");
+    let f2 = dope_bench::fig02::report(true);
+    assert!(dope_bench::fig02::shape_holds(&f2), "figure 2 shape");
+    println!();
+    let f11 = dope_bench::fig11::report(true);
+    for sweep in &f11 {
+        assert!(dope_bench::fig11::shape_holds(sweep), "figure 11 shape: {}", sweep.name);
+    }
+    let f12 = dope_bench::fig12::report(true);
+    assert!(dope_bench::fig12::shape_holds(&f12), "figure 12 shape");
+    println!();
+    let f13 = dope_bench::fig13::report(true);
+    assert!(dope_bench::fig13::shape_holds(&f13), "figure 13 shape");
+    println!();
+    let f14 = dope_bench::fig14::report(true);
+    assert!(dope_bench::fig14::shape_holds(&f14), "figure 14 shape");
+    println!();
+    let f15 = dope_bench::fig15::report(true);
+    assert!(dope_bench::fig15::shape_holds(&f15), "figure 15 shape");
+    println!();
+    dope_bench::tables::report_table3();
+    println!();
+    dope_bench::tables::report_table4();
+    println!();
+    dope_bench::ablations::report(true);
+}

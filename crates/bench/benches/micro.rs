@@ -1,0 +1,109 @@
+//! Criterion microbenchmarks: monitoring overhead, queue operations,
+//! mechanism decision cost, and kernel throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_monitoring(c: &mut Criterion) {
+    use dope_core::{MonitorSnapshot, TaskStats};
+    let mut snap = MonitorSnapshot::at(1.0);
+    for i in 0..6u16 {
+        snap.tasks.insert(
+            dope_core::TaskPath::root_child(0).child(i),
+            TaskStats { invocations: 100, mean_exec_secs: 0.01, throughput: 50.0, load: 2.0, utilization: 0.8 },
+        );
+    }
+    c.bench_function("snapshot_slowest_task", |b| {
+        b.iter(|| std::hint::black_box(snap.slowest_task()))
+    });
+}
+
+fn bench_queue(c: &mut Criterion) {
+    use dope_workload::WorkQueue;
+    let q = WorkQueue::new();
+    c.bench_function("workqueue_enq_deq", |b| {
+        b.iter(|| {
+            q.enqueue(1u64).unwrap();
+            std::hint::black_box(q.try_dequeue())
+        })
+    });
+}
+
+fn bench_mechanism(c: &mut Criterion) {
+    use dope_core::{Mechanism, Resources, StaticMechanism};
+    let model = dope_apps::ferret::sim_model();
+    let shape = model.shape().clone();
+    let config = model.config_even(24);
+    let mut tbf = dope_mechanisms::Tbf::new();
+    let mut snap = dope_core::MonitorSnapshot::at(1.0);
+    for (i, s) in model.stages(0).iter().enumerate() {
+        snap.tasks.insert(
+            dope_core::TaskPath::root_child(0).child(i as u16),
+            dope_core::TaskStats {
+                invocations: 100,
+                mean_exec_secs: s.mean_service_secs,
+                throughput: 10.0,
+                load: 1.0,
+                utilization: 0.9,
+            },
+        );
+    }
+    let res = Resources::threads(24);
+    c.bench_function("tbf_reconfigure", |b| {
+        b.iter(|| std::hint::black_box(tbf.reconfigure(&snap, &config, &shape, &res)))
+    });
+    let mut stat = StaticMechanism::new(config.clone());
+    c.bench_function("static_reconfigure", |b| {
+        b.iter(|| std::hint::black_box(stat.reconfigure(&snap, &config, &shape, &res)))
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    use dope_apps::kernels::{compress, frames, oilify, search};
+    let frame = frames::Frame::synthetic(64, 64, 1);
+    c.bench_function("encode_frame_64x64", |b| {
+        b.iter(|| std::hint::black_box(frames::encode_frame(&frame, 8.0)))
+    });
+    let block = compress::synthetic_block(4096, 1);
+    c.bench_function("compress_block_4k", |b| {
+        b.iter(|| std::hint::black_box(compress::compress_block(&block)))
+    });
+    let img = oilify::Image::synthetic(64, 64, 1);
+    c.bench_function("oilify_64x64_r3", |b| {
+        b.iter(|| std::hint::black_box(oilify::oilify(&img, 3)))
+    });
+    let corpus = search::Corpus::synthetic(1000, 1);
+    let query = search::QueryImage::synthetic(2);
+    c.bench_function("ferret_query_1k_corpus", |b| {
+        b.iter(|| std::hint::black_box(search::search(&corpus, &query, 10)))
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    use dope_core::{Resources, StaticMechanism};
+    use dope_sim::system::{run_system, SystemParams};
+    use dope_workload::ArrivalSchedule;
+    let model = dope_apps::transcode::sim_model();
+    let schedule = ArrivalSchedule::for_load_factor(0.8, model.max_throughput(24, 1), 200, 1);
+    c.bench_function("sim_system_200_requests", |b| {
+        b.iter(|| {
+            let mut mech = StaticMechanism::new(model.config_for_width(24, 8));
+            std::hint::black_box(run_system(
+                &model,
+                &schedule,
+                &mut mech,
+                Resources::threads(24),
+                &SystemParams::default(),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_monitoring,
+    bench_queue,
+    bench_mechanism,
+    bench_kernels,
+    bench_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Runs the mechanism ablation sweeps (beyond the paper's figures).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    dope_bench::ablations::report(quick);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 4 (application metadata).
+fn main() {
+    dope_bench::tables::report_table4();
+}

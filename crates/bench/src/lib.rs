@@ -1,0 +1,70 @@
+//! Benchmark harness regenerating every table and figure of the DoPE
+//! paper's evaluation (§8).
+//!
+//! Each module reproduces one artifact on the simulated 24-context
+//! testbed (see `DESIGN.md` for the substitution rationale) and prints the
+//! same rows/series the paper reports:
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`fig02`] | Figure 2: x264 execution time / throughput / response time vs load, with the oracle |
+//! | [`fig11`] | Figure 11: response time vs load under Static, WQT-H, WQ-Linear for four applications |
+//! | [`fig12`] | Figure 12: ferret response time vs load (static even, oversubscribed, DoPE) |
+//! | [`fig13`] | Figure 13: ferret throughput over time under TBF |
+//! | [`fig14`] | Figure 14: ferret power/throughput over time under TPC |
+//! | [`fig15`] | Figure 15: ferret and dedup throughput across mechanisms |
+//! | [`tables`] | Tables 3 (mechanism LoC) and 4 (application metadata) |
+//! | [`ablations`] | sensitivity sweeps of the mechanisms' knobs (beyond the paper) |
+//!
+//! Run any artifact with `cargo run -p dope-bench --release --bin <id>`;
+//! `cargo bench` runs quick versions of all of them.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig02;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod tables;
+
+/// The paper's load-factor sweep.
+#[must_use]
+pub fn load_factors(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.2, 0.5, 0.8, 1.0]
+    } else {
+        (1..=10).map(|i| f64::from(i) / 10.0).collect()
+    }
+}
+
+/// Number of requests per load point ("N was set to 500", §8.2).
+///
+/// The count is *not* reduced in quick mode: the response-time crossover
+/// of Figure 2(c) is a queueing transient that needs the full run length.
+#[must_use]
+pub fn request_count(_quick: bool) -> usize {
+    500
+}
+
+/// Formats one table row of fixed-width cells.
+#[must_use]
+pub fn row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{c:>12}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Formats a float cell.
+#[must_use]
+pub fn cell(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}

@@ -1,0 +1,131 @@
+//! Tables 3 and 4: mechanism implementation sizes and application
+//! metadata.
+
+/// Source text of each mechanism implementation, embedded at compile time.
+const MECHANISM_SOURCES: &[(&str, &str, u32)] = &[
+    (
+        "WQT-H",
+        include_str!("../../dope-mechanisms/src/wqt_h.rs"),
+        28,
+    ),
+    (
+        "WQ-Linear",
+        include_str!("../../dope-mechanisms/src/wq_linear.rs"),
+        9,
+    ),
+    ("TBF", include_str!("../../dope-mechanisms/src/tbf.rs"), 89),
+    ("FDP", include_str!("../../dope-mechanisms/src/fdp.rs"), 94),
+    ("SEDA", include_str!("../../dope-mechanisms/src/seda.rs"), 30),
+    ("TPC", include_str!("../../dope-mechanisms/src/tpc.rs"), 154),
+];
+
+/// Counts effective implementation lines: everything before the test
+/// module, excluding blanks, comments, and doc comments.
+#[must_use]
+pub fn effective_loc(source: &str) -> usize {
+    source
+        .split("#[cfg(test)]")
+        .next()
+        .unwrap_or(source)
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("///") && !l.starts_with("//!"))
+        .count()
+}
+
+/// One Table 3 row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MechanismLoc {
+    /// Mechanism name.
+    pub name: &'static str,
+    /// Lines of code in this reproduction.
+    pub ours: usize,
+    /// Lines of code the paper reports.
+    pub paper: u32,
+}
+
+/// Computes Table 3.
+#[must_use]
+pub fn table3() -> Vec<MechanismLoc> {
+    MECHANISM_SOURCES
+        .iter()
+        .map(|&(name, source, paper)| MechanismLoc {
+            name,
+            ours: effective_loc(source),
+            paper,
+        })
+        .collect()
+}
+
+/// Prints Table 3.
+pub fn report_table3() -> Vec<MechanismLoc> {
+    let rows = table3();
+    println!("== Table 3: lines of code per mechanism ==");
+    println!(
+        "{}",
+        crate::row(&["mechanism".into(), "this repo".into(), "paper".into()])
+    );
+    for r in &rows {
+        println!(
+            "{}",
+            crate::row(&[r.name.into(), r.ours.to_string(), r.paper.to_string()])
+        );
+    }
+    rows
+}
+
+/// Prints Table 4 (application metadata).
+pub fn report_table4() {
+    println!("== Table 4: applications enhanced using DoPE ==");
+    println!(
+        "{}",
+        crate::row(&[
+            "app".into(),
+            "levels".into(),
+            "DoP_min".into(),
+            "description".into(),
+        ])
+    );
+    for app in dope_apps::all_apps() {
+        println!(
+            "{}  {}",
+            crate::row(&[
+                app.name.into(),
+                app.loop_nest_levels.to_string(),
+                app.inner_dop_min
+                    .map_or("-".to_string(), |d| d.to_string()),
+            ]),
+            app.description
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_paper_mechanism_is_counted() {
+        let rows = table3();
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.ours > 0, "{} has no source lines", r.name);
+        }
+    }
+
+    #[test]
+    fn loc_counter_skips_comments_and_tests() {
+        let src = "/// doc\n// comment\nfn a() {}\n\n#[cfg(test)]\nmod tests { fn b() {} }\n";
+        assert_eq!(effective_loc(src), 1);
+    }
+
+    #[test]
+    fn mechanism_ordering_matches_paper_table() {
+        // The paper's Table 3 order, with relative sizes broadly similar:
+        // WQ-Linear is the smallest, TPC among the largest.
+        let rows = table3();
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap().ours;
+        assert!(by_name("WQ-Linear") < by_name("TBF"));
+        assert!(by_name("WQ-Linear") < by_name("TPC"));
+    }
+}

@@ -1,0 +1,95 @@
+//! The data-compression service (bzip).
+//!
+//! Outer loop over files; inner pipeline over a file's blocks. The
+//! paper's Table 4 reports an inner `DoP_min` of 4: widths 2-3 pay the
+//! pipeline's reader/writer threads without gaining parallel compressors.
+
+use crate::kernels::compress::{compress_block, synthetic_block};
+use crate::service::{ChunkFn, Transaction, TwoLevelService};
+use crate::AppInfo;
+use dope_sim::system::TwoLevelModel;
+use dope_sim::AmdahlProfile;
+use std::sync::Arc;
+
+/// Table 4 metadata.
+#[must_use]
+pub fn info() -> AppInfo {
+    AppInfo {
+        name: "bzip",
+        description: "Data compression of SPEC ref input",
+        loop_nest_levels: 2,
+        inner_dop_min: Some(4),
+    }
+}
+
+/// Calibrated simulator model: two sequential pipeline endpoints make
+/// widths below 4 unprofitable (`DoP_min = 4`).
+#[must_use]
+pub fn sim_model() -> TwoLevelModel {
+    TwoLevelModel::pipeline(
+        "compress",
+        AmdahlProfile::new(20.0, 0.93, 0.4, 0.05).with_seq_stages(2),
+    )
+}
+
+/// Workload parameters of the live service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileParams {
+    /// Blocks per file.
+    pub blocks: usize,
+    /// Bytes per block.
+    pub block_len: usize,
+}
+
+impl Default for FileParams {
+    fn default() -> Self {
+        FileParams {
+            blocks: 8,
+            block_len: 4096,
+        }
+    }
+}
+
+/// Builds one compression request: one chunk per block.
+#[must_use]
+pub fn make_file(id: u64, params: FileParams) -> Transaction {
+    let chunks = (0..params.blocks)
+        .map(|b| {
+            let data = Arc::new(synthetic_block(
+                params.block_len,
+                id.wrapping_mul(17).wrapping_add(b as u64),
+            ));
+            Box::new(move || {
+                std::hint::black_box(compress_block(&data));
+            }) as ChunkFn
+        })
+        .collect();
+    Transaction::new(id, chunks)
+}
+
+/// A fresh live compression service with its DoPE descriptor.
+#[must_use]
+pub fn live_service() -> (TwoLevelService, Vec<dope_core::TaskSpec>) {
+    let service = TwoLevelService::new();
+    let descriptor = service.descriptor("compress", None);
+    (service, descriptor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dop_min_is_four_like_table4() {
+        let m = sim_model();
+        assert_eq!(m.profile().m_min(24), Some(4));
+        assert!(m.profile().exec_time(3) > m.profile().t1());
+        assert!(m.profile().speedup(10) > 2.5);
+    }
+
+    #[test]
+    fn file_has_one_chunk_per_block() {
+        let txn = make_file(2, FileParams::default());
+        assert_eq!(txn.chunks.len(), 8);
+    }
+}

@@ -1,0 +1,218 @@
+//! The image search engine (ferret): the paper's showcase application.
+//!
+//! A single-level six-stage pipeline: load (SEQ), segment, extract,
+//! index, rank (all PAR), out (SEQ). The paper evaluates all three goals
+//! on it (Figures 12–14) and registers a fused task (59 LoC, Table 4)
+//! merging the four parallel stages for TBF.
+
+use crate::kernels::search::{extract, index_probe, rank, segment, Corpus, QueryImage};
+use crate::pipeline_live::{LivePipeline, PipeItem, StageDef};
+use crate::AppInfo;
+use dope_sim::pipeline::{PipelineModel, StageProfile};
+use std::sync::Arc;
+
+/// Table 4 metadata.
+#[must_use]
+pub fn info() -> AppInfo {
+    AppInfo {
+        name: "ferret",
+        description: "Image search engine",
+        loop_nest_levels: 1,
+        inner_dop_min: None,
+    }
+}
+
+/// Calibrated simulator model: the `index` stage dominates, so static
+/// even distributions starve it (Figure 15's Pthreads-Baseline) while
+/// oversubscription and DoPE's balancing feed it.
+#[must_use]
+pub fn sim_model() -> PipelineModel {
+    PipelineModel::new(
+        "ferret",
+        vec![
+            StageProfile::seq("load", 0.0012),
+            StageProfile::par("segment", 0.008),
+            StageProfile::par("extract", 0.012),
+            StageProfile::par("index", 0.060),
+            StageProfile::par("rank", 0.025),
+            StageProfile::seq("out", 0.0012),
+        ],
+    )
+    .with_fused(vec![
+        StageProfile::seq("load", 0.0012),
+        // Fusing the four parallel stages keeps a query's feature data in
+        // one worker's cache: 8% of the stage time is forwarding.
+        StageProfile::par("fused", 0.105 * 0.92),
+        StageProfile::seq("out", 0.0012),
+    ])
+    .with_forward_overhead(0.0005)
+}
+
+/// Payload states as an item moves through the live pipeline.
+mod payload {
+    #[cfg(test)]
+    use super::Corpus;
+    use super::QueryImage;
+
+    pub struct Loaded(pub QueryImage);
+    pub struct Segmented(pub Vec<Vec<u8>>);
+    pub struct Featurized(pub [f32; crate::kernels::search::FEATURE_DIM]);
+    pub struct Probed {
+        pub features: [f32; crate::kernels::search::FEATURE_DIM],
+        pub candidates: Vec<usize>,
+    }
+    pub struct Ranked(pub Vec<(usize, f32)>);
+
+    #[cfg(test)]
+    pub fn corpus_for_tests() -> Corpus {
+        Corpus::synthetic(256, 1)
+    }
+}
+
+/// Builds the live ferret pipeline over `corpus`, returning the harness
+/// and its DoPE descriptor (unfused and fused alternatives).
+#[must_use]
+pub fn live_pipeline(corpus: Arc<Corpus>) -> (LivePipeline, Vec<dope_core::TaskSpec>) {
+    let pipe = LivePipeline::new();
+
+    let load = StageDef::seq("load", |item: PipeItem| {
+        let seed = item.id;
+        PipeItem {
+            payload: Box::new(payload::Loaded(QueryImage::synthetic(seed))),
+            ..item
+        }
+    });
+    let seg = StageDef::par("segment", |item: PipeItem| {
+        let loaded = item
+            .payload
+            .downcast::<payload::Loaded>()
+            .expect("segment receives a loaded query");
+        PipeItem {
+            payload: Box::new(payload::Segmented(segment(&loaded.0))),
+            id: item.id,
+            submitted: item.submitted,
+        }
+    });
+    let ext = StageDef::par("extract", |item: PipeItem| {
+        let tiles = item
+            .payload
+            .downcast::<payload::Segmented>()
+            .expect("extract receives segments");
+        PipeItem {
+            payload: Box::new(payload::Featurized(extract(&tiles.0))),
+            id: item.id,
+            submitted: item.submitted,
+        }
+    });
+    let corpus_idx = Arc::clone(&corpus);
+    let idx = StageDef::par("index", move |item: PipeItem| {
+        let features = item
+            .payload
+            .downcast::<payload::Featurized>()
+            .expect("index receives features");
+        let candidates = index_probe(&corpus_idx, &features.0);
+        PipeItem {
+            payload: Box::new(payload::Probed {
+                features: features.0,
+                candidates,
+            }),
+            id: item.id,
+            submitted: item.submitted,
+        }
+    });
+    let corpus_rank = Arc::clone(&corpus);
+    let rnk = StageDef::par("rank", move |item: PipeItem| {
+        let probed = item
+            .payload
+            .downcast::<payload::Probed>()
+            .expect("rank receives candidates");
+        let top = rank(&corpus_rank, &probed.features, &probed.candidates, 10);
+        PipeItem {
+            payload: Box::new(payload::Ranked(top)),
+            id: item.id,
+            submitted: item.submitted,
+        }
+    });
+    let out = StageDef::seq("out", |item: PipeItem| {
+        if let Some(ranked) = item.payload.downcast_ref::<payload::Ranked>() {
+            std::hint::black_box(ranked.0.len());
+        }
+        item
+    });
+
+    // Fused alternative: one parallel task runs the whole query.
+    let corpus_fused = Arc::clone(&corpus);
+    let fused = StageDef::par("fused", move |item: PipeItem| {
+        let loaded = item
+            .payload
+            .downcast::<payload::Loaded>()
+            .expect("fused receives a loaded query");
+        let tiles = segment(&loaded.0);
+        let features = extract(&tiles);
+        let candidates = index_probe(&corpus_fused, &features);
+        let top = rank(&corpus_fused, &features, &candidates, 10);
+        PipeItem {
+            payload: Box::new(payload::Ranked(top)),
+            id: item.id,
+            submitted: item.submitted,
+        }
+    });
+
+    let load2 = load.clone();
+    let out2 = out.clone();
+    let descriptor = pipe.descriptor(
+        "ferret",
+        vec![
+            vec![load, seg, ext, idx, rnk, out],
+            vec![load2, fused, out2],
+        ],
+    );
+    (pipe, descriptor)
+}
+
+/// Submits `count` queries to a live pipeline.
+pub fn submit_queries(pipe: &LivePipeline, count: u64) {
+    for id in 0..count {
+        let _ = pipe.source.enqueue(PipeItem::new(id, Box::new(())));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_model_has_fused_alternative() {
+        let m = sim_model();
+        assert_eq!(m.alternative_count(), 2);
+        assert_eq!(m.stages(0).len(), 6);
+        assert_eq!(m.stages(1).len(), 3);
+        // The fused stage is slightly cheaper than the sum of the
+        // parallel stages (forwarding removed).
+        let par_sum: f64 = m.stages(0)[1..5]
+            .iter()
+            .map(|s| s.mean_service_secs)
+            .sum();
+        assert!(m.stages(1)[1].mean_service_secs < par_sum);
+        assert!(m.stages(1)[1].mean_service_secs > 0.8 * par_sum);
+    }
+
+    #[test]
+    fn index_stage_dominates() {
+        let m = sim_model();
+        let index = &m.stages(0)[3];
+        assert_eq!(index.name, "index");
+        for s in m.stages(0) {
+            assert!(s.mean_service_secs <= index.mean_service_secs);
+        }
+    }
+
+    #[test]
+    fn live_descriptor_builds() {
+        let corpus = Arc::new(payload::corpus_for_tests());
+        let (_pipe, descriptor) = live_pipeline(corpus);
+        let shape = dope_core::ProgramShape::of_specs(&descriptor);
+        assert_eq!(shape.tasks[0].alternatives[0].len(), 6);
+        assert_eq!(shape.tasks[0].alternatives[1].len(), 3);
+    }
+}

@@ -1,0 +1,94 @@
+//! The image-editing service (gimp oilify plugin).
+//!
+//! Outer loop over edit requests; inner DOALL over image row bands.
+
+use crate::kernels::oilify::{oilify_rows, Image};
+use crate::service::{ChunkFn, Transaction, TwoLevelService};
+use crate::AppInfo;
+use dope_sim::system::TwoLevelModel;
+use dope_sim::AmdahlProfile;
+use std::sync::Arc;
+
+/// Table 4 metadata.
+#[must_use]
+pub fn info() -> AppInfo {
+    AppInfo {
+        name: "gimp",
+        description: "Image editing using oilify plugin",
+        loop_nest_levels: 2,
+        inner_dop_min: Some(2),
+    }
+}
+
+/// Calibrated simulator model.
+#[must_use]
+pub fn sim_model() -> TwoLevelModel {
+    TwoLevelModel::doall("oilify", AmdahlProfile::new(30.0, 0.97, 0.1, 0.08))
+}
+
+/// Workload parameters of the live service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditParams {
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+    /// Filter radius.
+    pub radius: usize,
+    /// Row bands the image splits into.
+    pub bands: u32,
+}
+
+impl Default for EditParams {
+    fn default() -> Self {
+        EditParams {
+            width: 96,
+            height: 96,
+            radius: 3,
+            bands: 8,
+        }
+    }
+}
+
+/// Builds one edit request: one chunk per row band.
+#[must_use]
+pub fn make_edit(id: u64, params: EditParams) -> Transaction {
+    let image = Arc::new(Image::synthetic(params.width, params.height, id));
+    let chunks = (0..params.bands)
+        .map(|band| {
+            let image = Arc::clone(&image);
+            Box::new(move || {
+                let mut out = vec![0u8; image.pixels.len()];
+                oilify_rows(&image, &mut out, params.radius, band, params.bands);
+                std::hint::black_box(out);
+            }) as ChunkFn
+        })
+        .collect();
+    Transaction::new(id, chunks)
+}
+
+/// A fresh live editing service with its DoPE descriptor.
+#[must_use]
+pub fn live_service() -> (TwoLevelService, Vec<dope_core::TaskSpec>) {
+    let service = TwoLevelService::new();
+    let descriptor = service.descriptor("oilify", None);
+    (service, descriptor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_model_parallelizes() {
+        let m = sim_model();
+        assert_eq!(m.profile().m_min(24), Some(2));
+        assert!(m.profile().speedup(8) > 4.0);
+    }
+
+    #[test]
+    fn edit_has_one_chunk_per_band() {
+        let txn = make_edit(0, EditParams::default());
+        assert_eq!(txn.chunks.len(), 8);
+    }
+}

@@ -1,0 +1,242 @@
+//! Content-defined chunking and deduplication (the dedup stand-in).
+//!
+//! PARSEC's dedup fragments a stream with a rolling hash, refines
+//! fragments into chunks, deduplicates by content hash, and compresses
+//! unique chunks. All four stages are here, with FNV-based content hashes
+//! and the [`compress`](crate::kernels::compress) codec for chunk
+//! payloads.
+
+use crate::kernels::compress;
+use std::collections::HashSet;
+
+/// A content-defined chunk of the input stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Offset in the original stream.
+    pub offset: usize,
+    /// Chunk payload.
+    pub data: Vec<u8>,
+}
+
+/// Splits `data` into content-defined chunks with a rolling sum: a
+/// boundary falls where the rolling hash of the last `window` bytes is 0
+/// modulo `mask + 1`, bounded by min/max chunk sizes.
+#[must_use]
+pub fn fragment(data: &[u8], min_len: usize, max_len: usize, mask: u32) -> Vec<Chunk> {
+    assert!(min_len >= 1 && max_len >= min_len, "bad chunk bounds");
+    const WINDOW: usize = 16;
+    // 31^WINDOW for sliding the oldest byte out (Rabin-Karp).
+    let pow: u32 = 31u32.wrapping_pow(WINDOW as u32);
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    let mut rolling: u32 = 0;
+    for (i, &b) in data.iter().enumerate() {
+        rolling = rolling.wrapping_mul(31).wrapping_add(u32::from(b));
+        if i - start >= WINDOW {
+            rolling =
+                rolling.wrapping_sub(u32::from(data[i - WINDOW]).wrapping_mul(pow));
+        }
+        let len = i + 1 - start;
+        if len >= WINDOW {
+            // The hash now depends only on the last WINDOW bytes, so
+            // boundaries realign on shifted content.
+            let at_boundary = rolling & mask == 0;
+            if (len >= min_len && at_boundary) || len >= max_len {
+                chunks.push(Chunk {
+                    offset: start,
+                    data: data[start..=i].to_vec(),
+                });
+                start = i + 1;
+                rolling = 0;
+            }
+        }
+    }
+    if start < data.len() {
+        chunks.push(Chunk {
+            offset: start,
+            data: data[start..].to_vec(),
+        });
+    }
+    chunks
+}
+
+/// FNV-1a content hash of a chunk.
+#[must_use]
+pub fn content_hash(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Outcome of deduplicating one chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Deduped {
+    /// First occurrence: carry the compressed payload.
+    Unique {
+        /// Content hash of the chunk.
+        hash: u64,
+        /// Compressed payload.
+        compressed: Vec<u8>,
+    },
+    /// Chunk already stored: emit a reference.
+    Duplicate {
+        /// Content hash of the stored chunk.
+        hash: u64,
+    },
+}
+
+/// A dedup store: remembers which content hashes were seen.
+#[derive(Debug, Default)]
+pub struct DedupStore {
+    seen: HashSet<u64>,
+}
+
+impl DedupStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        DedupStore::default()
+    }
+
+    /// Deduplicates one chunk, compressing it if unique.
+    pub fn dedup(&mut self, chunk: &Chunk) -> Deduped {
+        let hash = content_hash(&chunk.data);
+        if self.seen.insert(hash) {
+            Deduped::Unique {
+                hash,
+                compressed: compress::compress_block(&chunk.data),
+            }
+        } else {
+            Deduped::Duplicate { hash }
+        }
+    }
+
+    /// Unique chunks stored so far.
+    #[must_use]
+    pub fn unique_count(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+/// A synthetic archive stream with genuine duplication: repeated segments
+/// interleaved with fresh data.
+#[must_use]
+pub fn synthetic_stream(len: usize, duplication: f64, seed: u64) -> Vec<u8> {
+    assert!((0.0..=1.0).contains(&duplication), "duplication in [0,1]");
+    let template = compress::synthetic_block(4096, seed);
+    let mut out = Vec::with_capacity(len);
+    let mut fresh_seed = seed.wrapping_add(1);
+    while out.len() < len {
+        let dup_gate = (out.len() / 512) % 100;
+        if (dup_gate as f64) < duplication * 100.0 {
+            let start = out.len() % 1024;
+            out.extend_from_slice(&template[start..(start + 512).min(template.len())]);
+        } else {
+            out.extend_from_slice(&compress::synthetic_block(512, fresh_seed));
+            fresh_seed = fresh_seed.wrapping_add(1);
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragments_cover_stream_in_order() {
+        let data = synthetic_stream(20_000, 0.3, 1);
+        let chunks = fragment(&data, 128, 2048, 0x3F);
+        let mut reassembled = Vec::new();
+        for c in &chunks {
+            assert_eq!(c.offset, reassembled.len());
+            reassembled.extend_from_slice(&c.data);
+        }
+        assert_eq!(reassembled, data);
+    }
+
+    #[test]
+    fn chunk_sizes_respect_bounds() {
+        let data = synthetic_stream(30_000, 0.2, 2);
+        let chunks = fragment(&data, 128, 2048, 0x3F);
+        for (i, c) in chunks.iter().enumerate() {
+            assert!(c.data.len() <= 2048, "chunk {i} too big");
+            if i + 1 < chunks.len() {
+                assert!(c.data.len() >= 128, "chunk {i} too small");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicated_stream_deduplicates() {
+        let data = synthetic_stream(40_000, 0.6, 3);
+        let chunks = fragment(&data, 128, 1024, 0x1F);
+        let mut store = DedupStore::new();
+        let mut duplicates = 0;
+        for c in &chunks {
+            if matches!(store.dedup(c), Deduped::Duplicate { .. }) {
+                duplicates += 1;
+            }
+        }
+        assert!(duplicates > 0, "synthetic duplication must be found");
+        assert!(store.unique_count() < chunks.len());
+    }
+
+    #[test]
+    fn identical_chunks_hash_equal() {
+        let a = Chunk {
+            offset: 0,
+            data: b"hello world".to_vec(),
+        };
+        let b = Chunk {
+            offset: 99,
+            data: b"hello world".to_vec(),
+        };
+        assert_eq!(content_hash(&a.data), content_hash(&b.data));
+        let mut store = DedupStore::new();
+        assert!(matches!(store.dedup(&a), Deduped::Unique { .. }));
+        assert!(matches!(store.dedup(&b), Deduped::Duplicate { .. }));
+    }
+
+    #[test]
+    fn unique_chunk_payload_roundtrips() {
+        let chunk = Chunk {
+            offset: 0,
+            data: compress::synthetic_block(1000, 7),
+        };
+        let mut store = DedupStore::new();
+        match store.dedup(&chunk) {
+            Deduped::Unique { compressed, .. } => {
+                assert_eq!(compress::decompress_block(&compressed), chunk.data);
+            }
+            Deduped::Duplicate { .. } => panic!("first occurrence must be unique"),
+        }
+    }
+
+    #[test]
+    fn content_defined_boundaries_resist_shift() {
+        // Inserting a prefix changes offsets but most chunk contents
+        // reappear — the property that makes CDC dedup work.
+        let data = synthetic_stream(20_000, 0.0, 11);
+        let chunks_a: HashSet<u64> = fragment(&data, 128, 2048, 0x3F)
+            .iter()
+            .map(|c| content_hash(&c.data))
+            .collect();
+        let mut shifted = b"PREFIX--".to_vec();
+        shifted.extend_from_slice(&data);
+        let chunks_b: HashSet<u64> = fragment(&shifted, 128, 2048, 0x3F)
+            .iter()
+            .map(|c| content_hash(&c.data))
+            .collect();
+        let common = chunks_a.intersection(&chunks_b).count();
+        assert!(
+            common * 2 > chunks_a.len(),
+            "most chunks survive a shift: {common}/{}",
+            chunks_a.len()
+        );
+    }
+}

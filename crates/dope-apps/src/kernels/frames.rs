@@ -1,0 +1,167 @@
+//! Video frame generation and transform coding (the x264 stand-in).
+//!
+//! A frame is an 8-bit luma plane; encoding runs an 8x8 integer DCT over
+//! every block, quantizes, and accumulates the coded size — the
+//! CPU-intensive heart of a transform-based encoder, without the
+//! entropy-coding bookkeeping.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An 8-bit luma frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Width in pixels (multiple of 8).
+    pub width: usize,
+    /// Height in pixels (multiple of 8).
+    pub height: usize,
+    /// Row-major samples, `width * height` of them.
+    pub samples: Vec<u8>,
+}
+
+impl Frame {
+    /// A deterministic synthetic frame: smooth gradients plus seeded
+    /// noise, so DCT energy concentrates in low frequencies like real
+    /// video.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is not a positive multiple of 8.
+    #[must_use]
+    pub fn synthetic(width: usize, height: usize, seed: u64) -> Self {
+        assert!(
+            width > 0 && height > 0 && width % 8 == 0 && height % 8 == 0,
+            "frame dimensions must be positive multiples of 8"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                let gradient = ((x * 255) / width + (y * 128) / height) as u32;
+                let noise: u32 = rng.gen_range(0..24);
+                samples.push(((gradient + noise) % 256) as u8);
+            }
+        }
+        Frame {
+            width,
+            height,
+            samples,
+        }
+    }
+
+    /// Number of 8x8 blocks.
+    #[must_use]
+    pub fn blocks(&self) -> usize {
+        (self.width / 8) * (self.height / 8)
+    }
+}
+
+/// Forward 8x8 DCT-II on one block (naive O(n^4) per block, like a
+/// reference encoder's C fallback).
+fn dct8x8(block: &[f64; 64]) -> [f64; 64] {
+    let mut out = [0.0; 64];
+    for u in 0..8 {
+        for v in 0..8 {
+            let cu = if u == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
+            let cv = if v == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
+            let mut sum = 0.0;
+            for x in 0..8 {
+                for y in 0..8 {
+                    sum += block[x * 8 + y]
+                        * ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos()
+                        * ((2 * y + 1) as f64 * v as f64 * std::f64::consts::PI / 16.0).cos();
+                }
+            }
+            out[u * 8 + v] = 0.25 * cu * cv * sum;
+        }
+    }
+    out
+}
+
+/// Encodes a range of the frame's blocks; returns the coded size in bits.
+///
+/// `worker` and `extent` partition the block space so a DOALL task can
+/// split one frame across workers.
+#[must_use]
+pub fn encode_blocks(frame: &Frame, worker: u32, extent: u32, quantizer: f64) -> u64 {
+    let blocks = frame.blocks();
+    let extent = extent.max(1) as usize;
+    let worker = (worker as usize).min(extent - 1);
+    let per = blocks.div_ceil(extent);
+    let start = worker * per;
+    let end = ((worker + 1) * per).min(blocks);
+    let blocks_per_row = frame.width / 8;
+    let mut bits = 0u64;
+    for b in start..end {
+        let bx = (b % blocks_per_row) * 8;
+        let by = (b / blocks_per_row) * 8;
+        let mut block = [0.0f64; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            let x = bx + i % 8;
+            let y = by + i / 8;
+            *v = f64::from(frame.samples[y * frame.width + x]) - 128.0;
+        }
+        let coeffs = dct8x8(&block);
+        for c in coeffs {
+            let q = (c / quantizer).round() as i64;
+            if q != 0 {
+                bits += 1 + (64 - q.unsigned_abs().leading_zeros()) as u64;
+            }
+        }
+    }
+    bits
+}
+
+/// Encodes a whole frame sequentially.
+#[must_use]
+pub fn encode_frame(frame: &Frame, quantizer: f64) -> u64 {
+    encode_blocks(frame, 0, 1, quantizer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_frames_are_deterministic() {
+        let a = Frame::synthetic(64, 32, 9);
+        let b = Frame::synthetic(64, 32, 9);
+        assert_eq!(a, b);
+        let c = Frame::synthetic(64, 32, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn partitioned_encode_matches_sequential() {
+        let frame = Frame::synthetic(64, 64, 3);
+        let whole = encode_frame(&frame, 8.0);
+        for extent in [2u32, 3, 4, 7] {
+            let split: u64 = (0..extent)
+                .map(|w| encode_blocks(&frame, w, extent, 8.0))
+                .sum();
+            assert_eq!(split, whole, "extent {extent}");
+        }
+    }
+
+    #[test]
+    fn coarser_quantizer_codes_fewer_bits() {
+        let frame = Frame::synthetic(64, 64, 3);
+        assert!(encode_frame(&frame, 32.0) < encode_frame(&frame, 4.0));
+    }
+
+    #[test]
+    fn dct_of_flat_block_is_dc_only() {
+        let block = [10.0; 64];
+        let coeffs = dct8x8(&block);
+        assert!(coeffs[0].abs() > 1.0);
+        for (i, c) in coeffs.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-9, "AC coefficient {i} = {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 8")]
+    fn bad_dimensions_panic() {
+        let _ = Frame::synthetic(60, 32, 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Compute kernels backing the six applications.
+//!
+//! The paper evaluates DoPE on PARSEC/SPEC applications; this reproduction
+//! replaces their proprietary inputs with synthetic generators but keeps
+//! the *computation* real — an actual DCT-based transform, an actual
+//! Monte Carlo pricer, an actual compressor with a verified round-trip,
+//! an actual convolution filter, an actual similarity search, and actual
+//! content-defined chunking — so the live runtime parallelizes genuine
+//! CPU work with genuine data movement.
+
+pub mod chunks;
+pub mod compress;
+pub mod frames;
+pub mod montecarlo;
+pub mod oilify;
+pub mod search;

@@ -1,0 +1,154 @@
+//! Monte Carlo swaption pricing (the swaptions stand-in).
+//!
+//! Prices a European payer swaption by simulating forward-rate paths
+//! under a one-factor lognormal model and discounting the payoff — the
+//! same embarrassingly parallel trials-loop structure as PARSEC's
+//! swaptions.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one swaption pricing request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Swaption {
+    /// Strike rate.
+    pub strike: f64,
+    /// Initial forward rate.
+    pub forward: f64,
+    /// Lognormal volatility.
+    pub volatility: f64,
+    /// Years to expiry.
+    pub expiry: f64,
+    /// Flat discount rate.
+    pub discount_rate: f64,
+}
+
+impl Default for Swaption {
+    fn default() -> Self {
+        Swaption {
+            strike: 0.04,
+            forward: 0.045,
+            volatility: 0.2,
+            expiry: 1.0,
+            discount_rate: 0.03,
+        }
+    }
+}
+
+/// Prices `trials` Monte Carlo paths of the trial range belonging to
+/// `worker` out of `extent` workers, returning `(sum_payoff, count)` so
+/// partial results merge exactly.
+#[must_use]
+pub fn price_partial(
+    swaption: &Swaption,
+    trials: u64,
+    steps: u32,
+    seed: u64,
+    worker: u32,
+    extent: u32,
+) -> (f64, u64) {
+    let extent = u64::from(extent.max(1));
+    let worker = u64::from(worker) % extent;
+    let lo = trials * worker / extent;
+    let hi = trials * (worker + 1) / extent;
+    let dt = swaption.expiry / f64::from(steps.max(1));
+    let drift = -0.5 * swaption.volatility * swaption.volatility * dt;
+    let diffusion = swaption.volatility * dt.sqrt();
+    let mut sum = 0.0;
+    for trial in lo..hi {
+        // Per-trial generator: identical paths regardless of partitioning.
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(trial));
+        let mut rate = swaption.forward;
+        for _ in 0..steps.max(1) {
+            let z = gaussian(&mut rng);
+            rate *= (drift + diffusion * z).exp();
+        }
+        let payoff = (rate - swaption.strike).max(0.0);
+        sum += payoff * (-swaption.discount_rate * swaption.expiry).exp();
+    }
+    (sum, hi - lo)
+}
+
+/// Prices the swaption with all trials sequentially.
+#[must_use]
+pub fn price(swaption: &Swaption, trials: u64, steps: u32, seed: u64) -> f64 {
+    let (sum, n) = price_partial(swaption, trials, steps, seed, 0, 1);
+    sum / n.max(1) as f64
+}
+
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioned_pricing_merges_exactly() {
+        let s = Swaption::default();
+        let (whole_sum, whole_n) = price_partial(&s, 1000, 8, 42, 0, 1);
+        for extent in [2u32, 3, 5] {
+            let (sum, n) = (0..extent)
+                .map(|w| price_partial(&s, 1000, 8, 42, w, extent))
+                .fold((0.0, 0), |(s1, n1), (s2, n2)| (s1 + s2, n1 + n2));
+            assert_eq!(n, whole_n);
+            assert!((sum - whole_sum).abs() < 1e-9, "extent {extent}");
+        }
+    }
+
+    #[test]
+    fn price_is_near_black_value() {
+        // ATM-ish payer swaption; Monte Carlo should land near the
+        // analytic lognormal expectation.
+        let s = Swaption::default();
+        let mc = price(&s, 20_000, 16, 7);
+        // E[(F e^X - K)+] with X ~ N(-v^2 t/2, v^2 t), discounted:
+        let v = s.volatility * s.expiry.sqrt();
+        let d1 = ((s.forward / s.strike).ln() + 0.5 * v * v) / v;
+        let d2 = d1 - v;
+        let analytic =
+            (s.forward * phi(d1) - s.strike * phi(d2)) * (-s.discount_rate * s.expiry).exp();
+        assert!(
+            (mc - analytic).abs() / analytic < 0.1,
+            "mc {mc} analytic {analytic}"
+        );
+    }
+
+    fn phi(x: f64) -> f64 {
+        0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+    }
+
+    // Abramowitz-Stegun 7.1.26 approximation.
+    fn erf(x: f64) -> f64 {
+        let sign = if x < 0.0 { -1.0 } else { 1.0 };
+        let x = x.abs();
+        let t = 1.0 / (1.0 + 0.3275911 * x);
+        let y = 1.0
+            - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+                + 0.254829592)
+                * t
+                * (-x * x).exp();
+        sign * y
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = Swaption::default();
+        assert_eq!(price(&s, 500, 8, 1), price(&s, 500, 8, 1));
+        assert_ne!(price(&s, 500, 8, 1), price(&s, 500, 8, 2));
+    }
+
+    #[test]
+    fn zero_volatility_prices_intrinsic() {
+        let s = Swaption {
+            volatility: 1e-12,
+            ..Swaption::default()
+        };
+        let p = price(&s, 100, 4, 3);
+        let intrinsic = (s.forward - s.strike) * (-s.discount_rate * s.expiry).exp();
+        assert!((p - intrinsic).abs() < 1e-6);
+    }
+}

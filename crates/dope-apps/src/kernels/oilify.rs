@@ -1,0 +1,130 @@
+//! The oilify filter (the gimp stand-in).
+//!
+//! GIMP's oilify plugin replaces each pixel with the most frequent
+//! intensity in its neighbourhood — a histogram-mode filter. Rows are
+//! independent, which is exactly the DOALL parallelism the paper
+//! exploits.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An 8-bit grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major pixels.
+    pub pixels: Vec<u8>,
+}
+
+impl Image {
+    /// A deterministic synthetic photo-like image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero.
+    #[must_use]
+    pub fn synthetic(width: usize, height: usize, seed: u64) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                let base = ((x * 7 + y * 13) % 256) as u32;
+                let noise: u32 = rng.gen_range(0..32);
+                pixels.push(((base + noise) % 256) as u8);
+            }
+        }
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+}
+
+/// Applies oilify to the rows owned by `worker` of `extent`, writing into
+/// `out` (same dimensions as `image`). Rows are partitioned contiguously.
+pub fn oilify_rows(image: &Image, out: &mut [u8], radius: usize, worker: u32, extent: u32) {
+    assert_eq!(out.len(), image.pixels.len(), "output buffer size");
+    let extent = extent.max(1) as usize;
+    let worker = (worker as usize).min(extent - 1);
+    let rows_per = image.height.div_ceil(extent);
+    let start = worker * rows_per;
+    let end = ((worker + 1) * rows_per).min(image.height);
+    for y in start..end {
+        for x in 0..image.width {
+            let mut histogram = [0u16; 32]; // quantized to 32 bins like the plugin
+            let y0 = y.saturating_sub(radius);
+            let y1 = (y + radius).min(image.height - 1);
+            let x0 = x.saturating_sub(radius);
+            let x1 = (x + radius).min(image.width - 1);
+            for ny in y0..=y1 {
+                for nx in x0..=x1 {
+                    let v = image.pixels[ny * image.width + nx];
+                    histogram[(v >> 3) as usize] += 1;
+                }
+            }
+            let mode_bin = histogram
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &c)| c)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            out[y * image.width + x] = ((mode_bin << 3) + 4) as u8;
+        }
+    }
+}
+
+/// Applies oilify to the whole image sequentially.
+#[must_use]
+pub fn oilify(image: &Image, radius: usize) -> Vec<u8> {
+    let mut out = vec![0u8; image.pixels.len()];
+    oilify_rows(image, &mut out, radius, 0, 1);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioned_filter_matches_sequential() {
+        let img = Image::synthetic(48, 36, 2);
+        let whole = oilify(&img, 3);
+        for extent in [2u32, 3, 5] {
+            let mut out = vec![0u8; img.pixels.len()];
+            for w in 0..extent {
+                oilify_rows(&img, &mut out, 3, w, extent);
+            }
+            assert_eq!(out, whole, "extent {extent}");
+        }
+    }
+
+    #[test]
+    fn output_is_quantized_to_bin_centers() {
+        let img = Image::synthetic(16, 16, 0);
+        for v in oilify(&img, 2) {
+            assert_eq!((v as usize - 4) % 8, 0, "value {v}");
+        }
+    }
+
+    #[test]
+    fn uniform_image_is_fixed_point() {
+        let img = Image {
+            width: 8,
+            height: 8,
+            pixels: vec![100; 64],
+        };
+        // 100 lands in bin 12, whose center is 100.
+        assert!(oilify(&img, 2).iter().all(|&v| v == 100));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(Image::synthetic(10, 10, 4), Image::synthetic(10, 10, 4));
+        assert_ne!(Image::synthetic(10, 10, 4), Image::synthetic(10, 10, 5));
+    }
+}

@@ -1,0 +1,203 @@
+//! Content-based similarity search (the ferret stand-in).
+//!
+//! Ferret segments an image, extracts feature vectors, probes an index,
+//! and ranks candidates. This kernel provides those four stages over
+//! synthetic feature data: segmentation into tiles, feature extraction
+//! (moment statistics per tile), an LSH-like candidate probe, and a full
+//! cosine ranking of the candidates.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Dimensionality of feature vectors.
+pub const FEATURE_DIM: usize = 48;
+
+/// A corpus of feature vectors to search in.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    vectors: Vec<[f32; FEATURE_DIM]>,
+}
+
+impl Corpus {
+    /// A deterministic synthetic corpus of `size` vectors.
+    #[must_use]
+    pub fn synthetic(size: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let vectors = (0..size)
+            .map(|_| {
+                let mut v = [0f32; FEATURE_DIM];
+                for x in &mut v {
+                    *x = rng.gen_range(-1.0..1.0);
+                }
+                v
+            })
+            .collect();
+        Corpus { vectors }
+    }
+
+    /// Number of vectors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// `true` when the corpus is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+}
+
+/// A query image: raw pixel tiles to be segmented and featurized.
+#[derive(Debug, Clone)]
+pub struct QueryImage {
+    /// Pixel data, conceptually a small image.
+    pub pixels: Vec<u8>,
+}
+
+impl QueryImage {
+    /// A deterministic synthetic query.
+    #[must_use]
+    pub fn synthetic(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        QueryImage {
+            pixels: (0..4096).map(|_| rng.gen()).collect(),
+        }
+    }
+}
+
+/// Stage 1: segment the query into tiles.
+#[must_use]
+pub fn segment(query: &QueryImage) -> Vec<Vec<u8>> {
+    query.pixels.chunks(256).map(<[u8]>::to_vec).collect()
+}
+
+/// Stage 2: extract one feature vector summarizing the tiles.
+#[must_use]
+pub fn extract(tiles: &[Vec<u8>]) -> [f32; FEATURE_DIM] {
+    let mut features = [0f32; FEATURE_DIM];
+    for (t, tile) in tiles.iter().enumerate() {
+        let mean = tile.iter().map(|&b| f32::from(b)).sum::<f32>() / tile.len().max(1) as f32;
+        let var = tile
+            .iter()
+            .map(|&b| (f32::from(b) - mean).powi(2))
+            .sum::<f32>()
+            / tile.len().max(1) as f32;
+        features[(2 * t) % FEATURE_DIM] += mean / 255.0 - 0.5;
+        features[(2 * t + 1) % FEATURE_DIM] += var.sqrt() / 128.0 - 0.5;
+    }
+    features
+}
+
+/// Stage 3: probe the corpus for candidate indices whose sign signature
+/// matches the query's on a sampled set of dimensions (LSH-flavoured).
+#[must_use]
+pub fn index_probe(corpus: &Corpus, features: &[f32; FEATURE_DIM]) -> Vec<usize> {
+    let probe_dims = [0usize, 7, 13, 21, 34, 42];
+    let signature: Vec<bool> = probe_dims.iter().map(|&d| features[d] >= 0.0).collect();
+    let candidates: Vec<usize> = corpus
+        .vectors
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| {
+            probe_dims
+                .iter()
+                .zip(&signature)
+                .filter(|(&d, &s)| (v[d] >= 0.0) == s)
+                .count()
+                >= probe_dims.len() - 1
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        (0..corpus.len().min(64)).collect()
+    } else {
+        candidates
+    }
+}
+
+/// Stage 4: rank candidates by cosine similarity; returns the top `k`
+/// `(index, similarity)` pairs, best first.
+#[must_use]
+pub fn rank(
+    corpus: &Corpus,
+    features: &[f32; FEATURE_DIM],
+    candidates: &[usize],
+    k: usize,
+) -> Vec<(usize, f32)> {
+    let qnorm = features.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-9);
+    let mut scored: Vec<(usize, f32)> = candidates
+        .iter()
+        .filter_map(|&i| corpus.vectors.get(i).map(|v| (i, v)))
+        .map(|(i, v)| {
+            let dot: f32 = v.iter().zip(features).map(|(a, b)| a * b).sum();
+            let vnorm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-9);
+            (i, dot / (qnorm * vnorm))
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(k);
+    scored
+}
+
+/// The whole query pipeline, sequentially.
+#[must_use]
+pub fn search(corpus: &Corpus, query: &QueryImage, k: usize) -> Vec<(usize, f32)> {
+    let tiles = segment(query);
+    let features = extract(&tiles);
+    let candidates = index_probe(corpus, &features);
+    rank(corpus, &features, &candidates, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_returns_k_sorted_results() {
+        let corpus = Corpus::synthetic(500, 1);
+        let query = QueryImage::synthetic(2);
+        let results = search(&corpus, &query, 10);
+        assert_eq!(results.len(), 10);
+        for pair in results.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "results sorted by similarity");
+        }
+    }
+
+    #[test]
+    fn identical_vector_ranks_first() {
+        let mut corpus = Corpus::synthetic(100, 3);
+        let query = QueryImage::synthetic(4);
+        let features = extract(&segment(&query));
+        corpus.vectors.push(features);
+        let planted = corpus.len() - 1;
+        let results = rank(&corpus, &features, &(0..corpus.len()).collect::<Vec<_>>(), 5);
+        assert_eq!(results[0].0, planted);
+        assert!((results[0].1 - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn probe_narrows_candidates() {
+        let corpus = Corpus::synthetic(2000, 5);
+        let query = QueryImage::synthetic(6);
+        let features = extract(&segment(&query));
+        let candidates = index_probe(&corpus, &features);
+        assert!(!candidates.is_empty());
+        assert!(candidates.len() < corpus.len(), "probe filters the corpus");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let corpus = Corpus::synthetic(300, 7);
+        let query = QueryImage::synthetic(8);
+        assert_eq!(search(&corpus, &query, 5), search(&corpus, &query, 5));
+    }
+
+    #[test]
+    fn segment_covers_all_pixels() {
+        let query = QueryImage::synthetic(9);
+        let tiles = segment(&query);
+        let total: usize = tiles.iter().map(Vec::len).sum();
+        assert_eq!(total, query.pixels.len());
+    }
+}

@@ -1,0 +1,83 @@
+//! The six benchmark applications of the DoPE paper.
+//!
+//! Each application module provides three things:
+//!
+//! 1. a **compute kernel** ([`kernels`]) doing real work (DCT transform
+//!    coding, Monte Carlo pricing, MTF/RLE compression with a verified
+//!    round-trip, an oilify filter, feature-vector search,
+//!    content-defined-chunking dedup);
+//! 2. a **live DoPE task graph** for `dope-runtime`, built with the
+//!    generic [`service`] (two-level transaction nests: x264, swaptions,
+//!    bzip, gimp) and [`pipeline_live`] (stage pipelines: ferret, dedup)
+//!    builders;
+//! 3. a **calibrated simulator model** (`dope-sim`) reproducing the
+//!    paper's measured characteristics (x264's 6.3x speedup on 8
+//!    threads, bzip's inner `DoP_min = 4`, ferret's imbalanced six-stage
+//!    pipeline, dedup's cache-sensitive stages).
+//!
+//! | App | Paper workload | Levels | Inner DoP_min |
+//! |-----|----------------|--------|---------------|
+//! | [`transcode`] | x264 yuv4mpeg transcoding | 2 | 2 |
+//! | [`swaptions`] | Monte Carlo option pricing | 2 | 2 |
+//! | [`bzip`] | SPEC ref input compression | 2 | 4 |
+//! | [`gimp`] | oilify plugin image editing | 2 | 2 |
+//! | [`ferret`] | content-based image search | 1 | — |
+//! | [`dedup`] | PARSEC native dedup | 1 | — |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bzip;
+pub mod dedup;
+pub mod ferret;
+pub mod gimp;
+pub mod kernels;
+pub mod pipeline_live;
+pub mod service;
+pub mod swaptions;
+pub mod transcode;
+
+/// Per-application metadata for the Table 4 reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppInfo {
+    /// Application name.
+    pub name: &'static str,
+    /// One-line description matching the paper's Table 4.
+    pub description: &'static str,
+    /// Loop nesting levels exposed to DoPE.
+    pub loop_nest_levels: u32,
+    /// Minimum inner DoP extent at which a transaction speeds up, if the
+    /// application is a two-level nest.
+    pub inner_dop_min: Option<u32>,
+}
+
+/// Metadata for all six applications, in the paper's Table 4 order.
+#[must_use]
+pub fn all_apps() -> Vec<AppInfo> {
+    vec![
+        transcode::info(),
+        swaptions::info(),
+        bzip::info(),
+        gimp::info(),
+        ferret::info(),
+        dedup::info(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_metadata_matches_paper() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 6);
+        let by_name = |n: &str| apps.iter().find(|a| a.name == n).unwrap().clone();
+        assert_eq!(by_name("x264").loop_nest_levels, 2);
+        assert_eq!(by_name("x264").inner_dop_min, Some(2));
+        assert_eq!(by_name("bzip").inner_dop_min, Some(4));
+        assert_eq!(by_name("ferret").loop_nest_levels, 1);
+        assert_eq!(by_name("ferret").inner_dop_min, None);
+        assert_eq!(by_name("dedup").loop_nest_levels, 1);
+    }
+}

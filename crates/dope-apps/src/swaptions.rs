@@ -1,0 +1,94 @@
+//! The option-pricing service (swaptions).
+//!
+//! Outer loop over pricing requests; inner DOALL over Monte Carlo trials.
+
+use crate::kernels::montecarlo::{price_partial, Swaption};
+use crate::service::{ChunkFn, Transaction, TwoLevelService};
+use crate::AppInfo;
+use dope_sim::system::TwoLevelModel;
+use dope_sim::AmdahlProfile;
+
+/// Table 4 metadata.
+#[must_use]
+pub fn info() -> AppInfo {
+    AppInfo {
+        name: "swaptions",
+        description: "Option pricing via Monte Carlo simulations",
+        loop_nest_levels: 2,
+        inner_dop_min: Some(2),
+    }
+}
+
+/// Calibrated simulator model: trials parallelize almost perfectly.
+#[must_use]
+pub fn sim_model() -> TwoLevelModel {
+    TwoLevelModel::doall("price", AmdahlProfile::new(10.0, 0.99, 0.05, 0.03))
+}
+
+/// Workload parameters of the live service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PricingParams {
+    /// Monte Carlo trials per request.
+    pub trials: u64,
+    /// Time steps per path.
+    pub steps: u32,
+    /// Chunks the trial space splits into.
+    pub chunks: u32,
+}
+
+impl Default for PricingParams {
+    fn default() -> Self {
+        PricingParams {
+            trials: 2000,
+            steps: 16,
+            chunks: 8,
+        }
+    }
+}
+
+/// Builds one pricing request: the trial space split into chunks.
+#[must_use]
+pub fn make_request(id: u64, params: PricingParams) -> Transaction {
+    let swaption = Swaption::default();
+    let chunks = (0..params.chunks)
+        .map(|c| {
+            Box::new(move || {
+                std::hint::black_box(price_partial(
+                    &swaption,
+                    params.trials,
+                    params.steps,
+                    id,
+                    c,
+                    params.chunks,
+                ));
+            }) as ChunkFn
+        })
+        .collect();
+    Transaction::new(id, chunks)
+}
+
+/// A fresh live pricing service with its DoPE descriptor.
+#[must_use]
+pub fn live_service() -> (TwoLevelService, Vec<dope_core::TaskSpec>) {
+    let service = TwoLevelService::new();
+    let descriptor = service.descriptor("price", None);
+    (service, descriptor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_model_scales_well() {
+        let m = sim_model();
+        assert!(m.profile().speedup(8) > 6.0);
+        assert_eq!(m.profile().m_min(24), Some(2));
+    }
+
+    #[test]
+    fn request_splits_trials() {
+        let txn = make_request(1, PricingParams::default());
+        assert_eq!(txn.chunks.len(), 8);
+    }
+}

@@ -1,0 +1,108 @@
+//! The video-transcoding service (x264): the paper's running example.
+//!
+//! Outer loop over submitted videos; inner pipeline over the frames of
+//! one video. The paper measures a maximum intra-video speedup of 6.3x
+//! at 8 threads on the 24-core machine (Figure 2a) and uses `Mmax = 8`.
+
+use crate::kernels::frames::{encode_blocks, Frame};
+use crate::service::{ChunkFn, Transaction, TwoLevelService};
+use crate::AppInfo;
+use dope_sim::system::TwoLevelModel;
+use dope_sim::AmdahlProfile;
+use std::sync::Arc;
+
+/// The paper's `Mmax` for x264: the inner DoP extent above which parallel
+/// efficiency drops below 0.5.
+pub const M_MAX: u32 = 8;
+
+/// Table 4 metadata.
+#[must_use]
+pub fn info() -> AppInfo {
+    AppInfo {
+        name: "x264",
+        description: "Transcoding of yuv4mpeg videos",
+        loop_nest_levels: 2,
+        inner_dop_min: Some(2),
+    }
+}
+
+/// Calibrated simulator model: `T_exec(1) ≈ 50 s` per video, speedup
+/// ≈ 6.3x at width 8.
+#[must_use]
+pub fn sim_model() -> TwoLevelModel {
+    TwoLevelModel::pipeline("transcode", AmdahlProfile::new(50.4, 0.985, 0.2, 0.12))
+}
+
+/// Workload parameters of the live service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VideoParams {
+    /// Frames per video.
+    pub frames: usize,
+    /// Frame width (multiple of 8).
+    pub width: usize,
+    /// Frame height (multiple of 8).
+    pub height: usize,
+}
+
+impl Default for VideoParams {
+    fn default() -> Self {
+        VideoParams {
+            frames: 8,
+            width: 64,
+            height: 64,
+        }
+    }
+}
+
+/// Builds a transcoding request: one chunk per frame.
+#[must_use]
+pub fn make_video(id: u64, params: VideoParams) -> Transaction {
+    let chunks = (0..params.frames)
+        .map(|f| {
+            let frame = Arc::new(Frame::synthetic(
+                params.width,
+                params.height,
+                id.wrapping_mul(31).wrapping_add(f as u64),
+            ));
+            Box::new(move || {
+                std::hint::black_box(encode_blocks(&frame, 0, 1, 8.0));
+            }) as ChunkFn
+        })
+        .collect();
+    Transaction::new(id, chunks)
+}
+
+/// A fresh live transcoding service with its DoPE descriptor.
+#[must_use]
+pub fn live_service() -> (TwoLevelService, Vec<dope_core::TaskSpec>) {
+    let service = TwoLevelService::new();
+    let descriptor = service.descriptor("transcode", Some(M_MAX));
+    (service, descriptor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_model_matches_paper_calibration() {
+        let m = sim_model();
+        let s8 = m.profile().speedup(8);
+        assert!((5.8..=6.8).contains(&s8), "speedup(8) = {s8}");
+        assert!((m.profile().t1() - 50.4).abs() < 1e-9);
+        assert_eq!(m.profile().m_min(24), Some(2));
+    }
+
+    #[test]
+    fn video_transaction_has_one_chunk_per_frame() {
+        let txn = make_video(3, VideoParams::default());
+        assert_eq!(txn.chunks.len(), 8);
+    }
+
+    #[test]
+    fn live_descriptor_has_two_alternatives() {
+        let (_service, descriptor) = live_service();
+        let shape = dope_core::ProgramShape::of_specs(&descriptor);
+        assert_eq!(shape.tasks[0].alternatives.len(), 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the application kernels: the live runtime
+//! parallelizes these, so their partition/merge laws must hold exactly.
+
+use dope_apps::kernels::{chunks, compress, frames, montecarlo, oilify, search};
+use proptest::prelude::*;
+
+proptest! {
+    /// The compressor round-trips arbitrary byte strings, not just the
+    /// synthetic corpus.
+    #[test]
+    fn compress_roundtrips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let coded = compress::compress_block(&data);
+        prop_assert_eq!(compress::decompress_block(&coded), data);
+    }
+
+    /// Frame encoding partitioned over any worker count sums to the
+    /// sequential result (bit-exact work partitioning).
+    #[test]
+    fn frame_encoding_partitions_exactly(
+        seed in any::<u64>(),
+        extent in 1u32..12,
+        quantizer in 2.0f64..32.0,
+    ) {
+        let frame = frames::Frame::synthetic(32, 32, seed);
+        let whole = frames::encode_frame(&frame, quantizer);
+        let split: u64 = (0..extent)
+            .map(|w| frames::encode_blocks(&frame, w, extent, quantizer))
+            .sum();
+        prop_assert_eq!(split, whole);
+    }
+
+    /// The oilify filter partitioned over row bands matches the
+    /// sequential filter for arbitrary dimensions and radii.
+    #[test]
+    fn oilify_partitions_exactly(
+        width in 4usize..40,
+        height in 4usize..40,
+        radius in 0usize..5,
+        extent in 1u32..7,
+        seed in any::<u64>(),
+    ) {
+        let img = oilify::Image::synthetic(width, height, seed);
+        let whole = oilify::oilify(&img, radius);
+        let mut split = vec![0u8; img.pixels.len()];
+        for w in 0..extent {
+            oilify::oilify_rows(&img, &mut split, radius, w, extent);
+        }
+        prop_assert_eq!(split, whole);
+    }
+
+    /// Monte Carlo pricing merges exactly across any partitioning: the
+    /// per-trial seeding makes the estimate independent of the extent.
+    #[test]
+    fn pricing_is_partition_invariant(
+        trials in 1u64..500,
+        extent in 1u32..9,
+        seed in any::<u64>(),
+    ) {
+        let s = montecarlo::Swaption::default();
+        let (whole_sum, whole_n) = montecarlo::price_partial(&s, trials, 4, seed, 0, 1);
+        let (sum, n) = (0..extent)
+            .map(|w| montecarlo::price_partial(&s, trials, 4, seed, w, extent))
+            .fold((0.0, 0u64), |(a, b), (c, d)| (a + c, b + d));
+        prop_assert_eq!(n, whole_n);
+        prop_assert!((sum - whole_sum).abs() < 1e-9 * whole_sum.abs().max(1.0));
+    }
+
+    /// Content-defined chunking reassembles to the input, respects the
+    /// size bounds, and is deterministic.
+    #[test]
+    fn chunking_reassembles(
+        data in prop::collection::vec(any::<u8>(), 0..8192),
+        min_exp in 4u32..7,
+    ) {
+        let min_len = 1usize << min_exp;
+        let max_len = min_len * 8;
+        let out = chunks::fragment(&data, min_len, max_len, 0x3F);
+        let mut reassembled = Vec::new();
+        for (i, c) in out.iter().enumerate() {
+            prop_assert_eq!(c.offset, reassembled.len());
+            prop_assert!(c.data.len() <= max_len);
+            if i + 1 < out.len() {
+                prop_assert!(c.data.len() >= min_len.min(16));
+            }
+            reassembled.extend_from_slice(&c.data);
+        }
+        prop_assert_eq!(reassembled, data.clone());
+        prop_assert_eq!(out, chunks::fragment(&data, min_len, max_len, 0x3F));
+    }
+
+    /// Search ranking returns at most `k` results, sorted by similarity,
+    /// with indices inside the corpus.
+    #[test]
+    fn ranking_is_sorted_and_bounded(
+        corpus_size in 1usize..300,
+        k in 0usize..20,
+        seed in any::<u64>(),
+    ) {
+        let corpus = search::Corpus::synthetic(corpus_size, seed);
+        let query = search::QueryImage::synthetic(seed.wrapping_add(1));
+        let results = search::search(&corpus, &query, k);
+        prop_assert!(results.len() <= k.min(corpus.len()).max(0).min(corpus.len()));
+        for pair in results.windows(2) {
+            prop_assert!(pair[0].1 >= pair[1].1);
+        }
+        for (idx, _) in &results {
+            prop_assert!(*idx < corpus.len());
+        }
+    }
+
+    /// Dedup stores recognize every repeat of a chunk and none of the
+    /// distinct ones (modulo 64-bit hash collisions, absent at this size).
+    #[test]
+    fn dedup_store_counts_duplicates(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..64), 1..40),
+    ) {
+        let mut store = chunks::DedupStore::new();
+        let mut expected_unique = std::collections::HashSet::new();
+        let mut duplicates = 0usize;
+        for p in &payloads {
+            let chunk = chunks::Chunk { offset: 0, data: p.clone() };
+            let fresh = expected_unique.insert(p.clone());
+            match store.dedup(&chunk) {
+                chunks::Deduped::Unique { .. } => prop_assert!(fresh),
+                chunks::Deduped::Duplicate { .. } => {
+                    prop_assert!(!fresh);
+                    duplicates += 1;
+                }
+            }
+        }
+        prop_assert_eq!(store.unique_count(), expected_unique.len());
+        prop_assert_eq!(duplicates, payloads.len() - expected_unique.len());
+    }
+}

@@ -1,0 +1,591 @@
+//! Parallelism configurations: the run-time choice DoPE optimizes.
+//!
+//! A [`Config`] assigns every task in the loop nest a *degree of
+//! parallelism*: an extent (replicas for nested tasks, workers for leaf
+//! tasks) and, for tasks that expose several inner descriptors, the chosen
+//! alternative. The paper writes such configurations as
+//! `<DoP_outer, DoP_inner> = <(3, DOALL), (8, PIPE)>`.
+
+use crate::error::{Error, Result};
+use crate::path::TaskPath;
+use crate::shape::{ParKind, ProgramShape, ShapeNode};
+use crate::spec::TaskKind;
+use serde::{Deserialize, Serialize};
+
+/// The chosen inner descriptor of a nested task, with child configurations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NestConfig {
+    /// Index of the chosen alternative descriptor.
+    pub alternative: usize,
+    /// Configuration of each task in the chosen descriptor.
+    pub tasks: Vec<TaskConfig>,
+}
+
+/// Degree of parallelism assigned to one task.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TaskConfig {
+    /// Task name; must match the shape during validation.
+    pub name: String,
+    /// Replicas (nested tasks) or concurrent workers (leaf tasks).
+    pub extent: u32,
+    /// Inner configuration for nested tasks; `None` for leaves.
+    pub nested: Option<NestConfig>,
+}
+
+impl TaskConfig {
+    /// Configuration of a leaf task with `extent` workers.
+    #[must_use]
+    pub fn leaf(name: impl Into<String>, extent: u32) -> Self {
+        TaskConfig {
+            name: name.into(),
+            extent,
+            nested: None,
+        }
+    }
+
+    /// Configuration of a nested task: `extent` replicas, each running
+    /// alternative `alternative` configured by `tasks`.
+    #[must_use]
+    pub fn nest(name: impl Into<String>, extent: u32, alternative: usize, tasks: Vec<TaskConfig>) -> Self {
+        TaskConfig {
+            name: name.into(),
+            extent,
+            nested: Some(NestConfig { alternative, tasks }),
+        }
+    }
+
+    /// Threads this task (and its nest) occupies: extent for leaves,
+    /// `extent x sum(children)` for nested tasks.
+    #[must_use]
+    pub fn threads(&self) -> u32 {
+        match &self.nested {
+            None => self.extent,
+            Some(nest) => {
+                let inner: u32 = nest.tasks.iter().map(TaskConfig::threads).sum();
+                self.extent.saturating_mul(inner.max(1))
+            }
+        }
+    }
+
+    /// The parallelism kind label used in reports (`SEQ`/`DOALL`/`PIPE`).
+    #[must_use]
+    pub fn par_kind(&self) -> ParKind {
+        match &self.nested {
+            Some(nest) if nest.tasks.len() > 1 => ParKind::Pipe,
+            Some(nest) => nest
+                .tasks
+                .first()
+                .map_or(ParKind::Seq, TaskConfig::par_kind),
+            None if self.extent > 1 => ParKind::DoAll,
+            None => ParKind::Seq,
+        }
+    }
+
+    fn fmt_into(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.nested {
+            None => write!(f, "({}, {})", self.extent, self.par_kind()),
+            Some(nest) => {
+                write!(f, "({}, {} [", self.extent, self.par_kind())?;
+                for (i, t) in nest.tasks.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{}:", t.name)?;
+                    t.fmt_into(f)?;
+                }
+                f.write_str("])")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for TaskConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.fmt_into(f)
+    }
+}
+
+/// A complete parallelism configuration for a program.
+///
+/// # Example
+///
+/// ```
+/// use dope_core::{Config, TaskConfig};
+///
+/// // Paper notation <(24, DOALL), (1, SEQ)>: 24 concurrent transcodes,
+/// // each sequential inside.
+/// let wide = Config::new(vec![TaskConfig::nest(
+///     "transcode",
+///     24,
+///     0,
+///     vec![TaskConfig::leaf("video", 1)],
+/// )]);
+/// assert_eq!(wide.total_threads(), 24);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Config {
+    /// Configuration of each task in the root descriptor.
+    pub tasks: Vec<TaskConfig>,
+}
+
+impl Config {
+    /// Creates a configuration from root task configurations.
+    #[must_use]
+    pub fn new(tasks: Vec<TaskConfig>) -> Self {
+        Config { tasks }
+    }
+
+    /// Total hardware threads the configuration occupies.
+    #[must_use]
+    pub fn total_threads(&self) -> u32 {
+        self.tasks.iter().map(TaskConfig::threads).sum()
+    }
+
+    /// Resolves the task configuration at `path`.
+    #[must_use]
+    pub fn node(&self, path: &TaskPath) -> Option<&TaskConfig> {
+        let mut indices = path.indices();
+        let first = indices.next()?;
+        let mut node = self.tasks.get(first as usize)?;
+        for idx in indices {
+            node = node.nested.as_ref()?.tasks.get(idx as usize)?;
+        }
+        Some(node)
+    }
+
+    /// Mutably resolves the task configuration at `path`.
+    pub fn node_mut(&mut self, path: &TaskPath) -> Option<&mut TaskConfig> {
+        let mut indices = path.indices();
+        let first = indices.next()?;
+        let mut node = self.tasks.get_mut(first as usize)?;
+        for idx in indices {
+            node = node.nested.as_mut()?.tasks.get_mut(idx as usize)?;
+        }
+        Some(node)
+    }
+
+    /// The extent assigned at `path`.
+    #[must_use]
+    pub fn extent_of(&self, path: &TaskPath) -> Option<u32> {
+        self.node(path).map(|n| n.extent)
+    }
+
+    /// Sets the extent at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPath`] if `path` does not address a task and
+    /// [`Error::ZeroExtent`] if `extent` is zero.
+    pub fn set_extent(&mut self, path: &TaskPath, extent: u32) -> Result<()> {
+        if extent == 0 {
+            return Err(Error::ZeroExtent { path: path.clone() });
+        }
+        match self.node_mut(path) {
+            Some(node) => {
+                node.extent = extent;
+                Ok(())
+            }
+            None => Err(Error::UnknownPath { path: path.clone() }),
+        }
+    }
+
+    /// The parallelism kind label at `path`.
+    #[must_use]
+    pub fn kind_of(&self, path: &TaskPath) -> Option<ParKind> {
+        self.node(path).map(TaskConfig::par_kind)
+    }
+
+    /// All `(path, config)` pairs in depth-first order.
+    #[must_use]
+    pub fn paths(&self) -> Vec<(TaskPath, &TaskConfig)> {
+        fn walk<'a>(
+            tasks: &'a [TaskConfig],
+            prefix: &TaskPath,
+            out: &mut Vec<(TaskPath, &'a TaskConfig)>,
+        ) {
+            for (i, t) in tasks.iter().enumerate() {
+                let path = prefix.child(i as u16);
+                out.push((path.clone(), t));
+                if let Some(nest) = &t.nested {
+                    walk(&nest.tasks, &path, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.tasks, &TaskPath::root(), &mut out);
+        out
+    }
+
+    /// Paths of all leaf tasks in depth-first order.
+    #[must_use]
+    pub fn leaf_paths(&self) -> Vec<TaskPath> {
+        self.paths()
+            .into_iter()
+            .filter(|(_, c)| c.nested.is_none())
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// Validates the configuration against a program shape and a thread
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::ShapeMismatch`] — names, arities, or nesting differ;
+    /// * [`Error::ZeroExtent`] — a task has extent zero;
+    /// * [`Error::SequentialExtent`] — a `SEQ` task has extent above one;
+    /// * [`Error::UnknownAlternative`] — a nest picks a missing descriptor;
+    /// * [`Error::BudgetExceeded`] — total threads exceed `budget`.
+    pub fn validate(&self, shape: &ProgramShape, budget: u32) -> Result<()> {
+        validate_level(&self.tasks, &shape.tasks, &TaskPath::root())?;
+        let required = self.total_threads();
+        if required > budget {
+            return Err(Error::BudgetExceeded {
+                required,
+                available: budget,
+            });
+        }
+        Ok(())
+    }
+
+    /// The all-sequential configuration for a shape: every extent one,
+    /// first alternatives.
+    #[must_use]
+    pub fn single_threaded(shape: &ProgramShape) -> Self {
+        fn build(nodes: &[ShapeNode]) -> Vec<TaskConfig> {
+            nodes
+                .iter()
+                .map(|n| {
+                    if n.is_leaf() {
+                        TaskConfig::leaf(n.name.clone(), 1)
+                    } else {
+                        TaskConfig::nest(n.name.clone(), 1, 0, build(&n.alternatives[0]))
+                    }
+                })
+                .collect()
+        }
+        Config::new(build(&shape.tasks))
+    }
+
+    /// The paper's *Pthreads-Baseline* static distribution: one thread per
+    /// sequential task, the remaining budget split evenly across parallel
+    /// tasks ("a static even distribution of available hardware threads
+    /// across all the parallel tasks after assigning a single thread to
+    /// each sequential task", §8.2.2).
+    ///
+    /// Nested tasks keep extent one and distribute their budget inside.
+    #[must_use]
+    pub fn even(shape: &ProgramShape, threads: u32) -> Self {
+        fn build(nodes: &[ShapeNode], budget: u32) -> Vec<TaskConfig> {
+            let seq_count = nodes
+                .iter()
+                .filter(|n| n.is_leaf() && n.kind == TaskKind::Seq)
+                .count() as u32;
+            let par_count = (nodes.len() as u32).saturating_sub(seq_count).max(1);
+            let spare = budget.saturating_sub(seq_count);
+            let per_par = (spare / par_count).max(1);
+            let mut extra = spare.saturating_sub(per_par * par_count);
+            nodes
+                .iter()
+                .map(|n| {
+                    if n.is_leaf() {
+                        let extent = match n.kind {
+                            TaskKind::Seq => 1,
+                            TaskKind::Par => {
+                                let mut e = per_par;
+                                if extra > 0 {
+                                    e += 1;
+                                    extra -= 1;
+                                }
+                                n.max_extent.map_or(e, |m| e.min(m)).max(1)
+                            }
+                        };
+                        TaskConfig::leaf(n.name.clone(), extent)
+                    } else {
+                        let share = if n.kind == TaskKind::Par {
+                            let mut e = per_par;
+                            if extra > 0 {
+                                e += 1;
+                                extra -= 1;
+                            }
+                            e
+                        } else {
+                            1
+                        };
+                        TaskConfig::nest(n.name.clone(), 1, 0, build(&n.alternatives[0], share))
+                    }
+                })
+                .collect()
+        }
+        Config::new(build(&shape.tasks, threads.max(1)))
+    }
+}
+
+fn validate_level(tasks: &[TaskConfig], nodes: &[ShapeNode], prefix: &TaskPath) -> Result<()> {
+    if tasks.len() != nodes.len() {
+        return Err(Error::ShapeMismatch {
+            path: prefix.clone(),
+            detail: format!(
+                "descriptor has {} tasks but configuration has {}",
+                nodes.len(),
+                tasks.len()
+            ),
+        });
+    }
+    for (i, (task, node)) in tasks.iter().zip(nodes).enumerate() {
+        let path = prefix.child(i as u16);
+        if task.name != node.name {
+            return Err(Error::ShapeMismatch {
+                path,
+                detail: format!("expected task `{}`, found `{}`", node.name, task.name),
+            });
+        }
+        if task.extent == 0 {
+            return Err(Error::ZeroExtent { path });
+        }
+        if node.kind == TaskKind::Seq && task.extent > 1 {
+            return Err(Error::SequentialExtent {
+                path,
+                extent: task.extent,
+            });
+        }
+        if let Some(max) = node.max_extent {
+            if task.extent > max {
+                return Err(Error::ShapeMismatch {
+                    path,
+                    detail: format!("extent {} exceeds declared cap {max}", task.extent),
+                });
+            }
+        }
+        match (&task.nested, node.is_leaf()) {
+            (None, true) => {}
+            (Some(nest), false) => {
+                let Some(alt) = node.alternatives.get(nest.alternative) else {
+                    return Err(Error::UnknownAlternative {
+                        path,
+                        requested: nest.alternative,
+                        available: node.alternatives.len(),
+                    });
+                };
+                validate_level(&nest.tasks, alt, &path)?;
+            }
+            (Some(_), true) => {
+                return Err(Error::ShapeMismatch {
+                    path,
+                    detail: "configuration nests a leaf task".to_string(),
+                });
+            }
+            (None, false) => {
+                return Err(Error::ShapeMismatch {
+                    path,
+                    detail: "configuration treats a nested task as a leaf".to_string(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+impl std::fmt::Display for Config {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("<")?;
+        for (i, t) in self.tasks.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}:", t.name)?;
+            t.fmt_into(f)?;
+        }
+        f.write_str(">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transcode_shape() -> ProgramShape {
+        ProgramShape::new(vec![ShapeNode::nest(
+            "transcode",
+            TaskKind::Par,
+            vec![
+                ShapeNode::leaf("read", TaskKind::Seq),
+                ShapeNode::leaf("transform", TaskKind::Par).with_max_extent(16),
+                ShapeNode::leaf("write", TaskKind::Seq),
+            ],
+        )])
+    }
+
+    fn transcode_config(outer: u32, transform: u32) -> Config {
+        Config::new(vec![TaskConfig::nest(
+            "transcode",
+            outer,
+            0,
+            vec![
+                TaskConfig::leaf("read", 1),
+                TaskConfig::leaf("transform", transform),
+                TaskConfig::leaf("write", 1),
+            ],
+        )])
+    }
+
+    #[test]
+    fn thread_accounting_multiplies_replicas() {
+        let config = transcode_config(3, 6);
+        assert_eq!(config.total_threads(), 3 * (1 + 6 + 1));
+    }
+
+    #[test]
+    fn node_resolution_and_extent_edit() {
+        let mut config = transcode_config(2, 4);
+        let path: TaskPath = "0.1".parse().unwrap();
+        assert_eq!(config.extent_of(&path), Some(4));
+        config.set_extent(&path, 8).unwrap();
+        assert_eq!(config.extent_of(&path), Some(8));
+        assert_eq!(config.total_threads(), 2 * 10);
+    }
+
+    #[test]
+    fn set_extent_rejects_zero_and_unknown() {
+        let mut config = transcode_config(1, 1);
+        let path: TaskPath = "0.1".parse().unwrap();
+        assert!(matches!(
+            config.set_extent(&path, 0),
+            Err(Error::ZeroExtent { .. })
+        ));
+        let ghost: TaskPath = "0.9".parse().unwrap();
+        assert!(matches!(
+            config.set_extent(&ghost, 2),
+            Err(Error::UnknownPath { .. })
+        ));
+    }
+
+    #[test]
+    fn par_kind_classification() {
+        let config = transcode_config(3, 6);
+        assert_eq!(config.kind_of(&"0".parse().unwrap()), Some(ParKind::Pipe));
+        assert_eq!(config.kind_of(&"0.0".parse().unwrap()), Some(ParKind::Seq));
+        assert_eq!(
+            config.kind_of(&"0.1".parse().unwrap()),
+            Some(ParKind::DoAll)
+        );
+    }
+
+    #[test]
+    fn validate_accepts_good_config() {
+        let shape = transcode_shape();
+        transcode_config(3, 6).validate(&shape, 24).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_budget_overrun() {
+        let shape = transcode_shape();
+        let err = transcode_config(4, 8).validate(&shape, 24).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::BudgetExceeded {
+                required: 40,
+                available: 24
+            }
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_parallel_sequential_task() {
+        let shape = transcode_shape();
+        let config = Config::new(vec![TaskConfig::nest(
+            "transcode",
+            1,
+            0,
+            vec![
+                TaskConfig::leaf("read", 2),
+                TaskConfig::leaf("transform", 1),
+                TaskConfig::leaf("write", 1),
+            ],
+        )]);
+        assert!(matches!(
+            config.validate(&shape, 24),
+            Err(Error::SequentialExtent { extent: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_name() {
+        let shape = transcode_shape();
+        let mut config = transcode_config(1, 1);
+        config.tasks[0].name = "transmogrify".into();
+        assert!(matches!(
+            config.validate(&shape, 24),
+            Err(Error::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_extent_above_cap() {
+        let shape = transcode_shape();
+        let config = transcode_config(1, 17);
+        assert!(matches!(
+            config.validate(&shape, 64),
+            Err(Error::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_missing_alternative() {
+        let shape = transcode_shape();
+        let mut config = transcode_config(1, 1);
+        config.tasks[0].nested.as_mut().unwrap().alternative = 3;
+        assert!(matches!(
+            config.validate(&shape, 24),
+            Err(Error::UnknownAlternative { requested: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn single_threaded_uses_one_everywhere() {
+        let shape = transcode_shape();
+        let config = Config::single_threaded(&shape);
+        assert_eq!(config.total_threads(), 3);
+        config.validate(&shape, 3).unwrap();
+    }
+
+    #[test]
+    fn even_distribution_respects_seq_tasks() {
+        let shape = ProgramShape::new(vec![
+            ShapeNode::leaf("load", TaskKind::Seq),
+            ShapeNode::leaf("seg", TaskKind::Par),
+            ShapeNode::leaf("extract", TaskKind::Par),
+            ShapeNode::leaf("out", TaskKind::Seq),
+        ]);
+        let config = Config::even(&shape, 24);
+        assert_eq!(config.extent_of(&"0".parse().unwrap()), Some(1));
+        assert_eq!(config.extent_of(&"3".parse().unwrap()), Some(1));
+        let seg = config.extent_of(&"1".parse().unwrap()).unwrap();
+        let extract = config.extent_of(&"2".parse().unwrap()).unwrap();
+        assert_eq!(seg + extract, 22);
+        assert!(seg.abs_diff(extract) <= 1);
+        config.validate(&shape, 24).unwrap();
+    }
+
+    #[test]
+    fn paths_enumerates_depth_first() {
+        let config = transcode_config(1, 1);
+        let paths: Vec<String> = config
+            .paths()
+            .iter()
+            .map(|(p, _)| p.to_string())
+            .collect();
+        assert_eq!(paths, vec!["0", "0.0", "0.1", "0.2"]);
+        let leaves: Vec<String> = config.leaf_paths().iter().map(|p| p.to_string()).collect();
+        assert_eq!(leaves, vec!["0.0", "0.1", "0.2"]);
+    }
+
+    #[test]
+    fn display_mentions_kinds_and_extents() {
+        let config = transcode_config(3, 6);
+        let s = config.to_string();
+        assert!(s.contains("3"), "{s}");
+        assert!(s.contains("PIPE"), "{s}");
+        assert!(s.contains("DOALL"), "{s}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Error types for the DoPE core crate.
+
+use crate::path::TaskPath;
+
+/// A specialized [`Result`](std::result::Result) with [`enum@Error`] as the
+/// error type.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while validating or applying parallelism configurations.
+///
+/// # Example
+///
+/// ```
+/// use dope_core::{Config, Error, ProgramShape, TaskConfig};
+///
+/// let shape = ProgramShape::new(vec![]);
+/// let config = Config::new(vec![TaskConfig::leaf("ghost", 1)]);
+/// match config.validate(&shape, 8) {
+///     Err(Error::ShapeMismatch { .. }) => {}
+///     other => panic!("expected shape mismatch, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The configuration tree does not match the program's shape.
+    ShapeMismatch {
+        /// Path at which the mismatch was detected.
+        path: TaskPath,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A configuration assigns zero extent to a task.
+    ZeroExtent {
+        /// Path of the offending task.
+        path: TaskPath,
+    },
+    /// A configuration requires more threads than the resource budget allows.
+    BudgetExceeded {
+        /// Threads required by the configuration.
+        required: u32,
+        /// Threads available under the administrator's constraint.
+        available: u32,
+    },
+    /// A sequential task was assigned an extent greater than one.
+    SequentialExtent {
+        /// Path of the offending task.
+        path: TaskPath,
+        /// The (invalid) extent that was assigned.
+        extent: u32,
+    },
+    /// An alternative index is out of range for a nest node.
+    UnknownAlternative {
+        /// Path of the offending task.
+        path: TaskPath,
+        /// The requested alternative.
+        requested: usize,
+        /// Number of alternatives the shape declares.
+        available: usize,
+    },
+    /// A path does not address a node in the configured tree.
+    UnknownPath {
+        /// The path that failed to resolve.
+        path: TaskPath,
+    },
+    /// The executive or a harness was misused.
+    Usage(
+        /// Description of the misuse.
+        String,
+    ),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::ShapeMismatch { path, detail } => {
+                write!(f, "configuration does not match shape at {path}: {detail}")
+            }
+            Error::ZeroExtent { path } => {
+                write!(f, "task at {path} was assigned extent zero")
+            }
+            Error::BudgetExceeded {
+                required,
+                available,
+            } => write!(
+                f,
+                "configuration needs {required} threads but only {available} are available"
+            ),
+            Error::SequentialExtent { path, extent } => write!(
+                f,
+                "sequential task at {path} was assigned extent {extent} (must be 1)"
+            ),
+            Error::UnknownAlternative {
+                path,
+                requested,
+                available,
+            } => write!(
+                f,
+                "task at {path} has {available} parallelism descriptors but alternative {requested} was requested"
+            ),
+            Error::UnknownPath { path } => write!(f, "no task at path {path}"),
+            Error::Usage(detail) => write!(f, "usage error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            Error::ShapeMismatch {
+                path: TaskPath::root_child(0),
+                detail: "name".into(),
+            },
+            Error::ZeroExtent {
+                path: TaskPath::root_child(1),
+            },
+            Error::BudgetExceeded {
+                required: 32,
+                available: 24,
+            },
+            Error::SequentialExtent {
+                path: TaskPath::root_child(0),
+                extent: 4,
+            },
+            Error::UnknownAlternative {
+                path: TaskPath::root_child(0),
+                requested: 2,
+                available: 1,
+            },
+            Error::UnknownPath {
+                path: TaskPath::root_child(7),
+            },
+            Error::Usage("spawned twice".into()),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

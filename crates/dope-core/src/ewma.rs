@@ -1,0 +1,134 @@
+//! Exponentially weighted moving average used by the run-time monitor.
+
+use serde::{Deserialize, Serialize};
+
+/// An exponentially weighted moving average.
+///
+/// DoPE's monitor keeps a moving average of each task's per-invocation
+/// execution time and throughput (the paper's TBF mechanism, §7.2, records
+/// "a moving average of the throughput ... of each task").
+///
+/// # Example
+///
+/// ```
+/// use dope_core::Ewma;
+///
+/// let mut avg = Ewma::new(0.5);
+/// avg.update(10.0);
+/// avg.update(20.0);
+/// assert_eq!(avg.value(), Some(15.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates a new average with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// Higher `alpha` weights recent samples more heavily; `alpha = 1`
+    /// tracks only the last sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]` or is not finite.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        Ewma { alpha, value: None }
+    }
+
+    /// Folds a new sample into the average.
+    pub fn update(&mut self, sample: f64) {
+        self.value = Some(match self.value {
+            None => sample,
+            Some(v) => v + self.alpha * (sample - v),
+        });
+    }
+
+    /// Current value, or `None` before the first sample.
+    #[must_use]
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Current value, or `default` before the first sample.
+    #[must_use]
+    pub fn value_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// The smoothing factor.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Forgets all samples.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+impl Default for Ewma {
+    /// An average with `alpha = 0.25`, the monitor's default smoothing.
+    fn default() -> Self {
+        Ewma::new(0.25)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_taken_verbatim() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.value(), None);
+        e.update(42.0);
+        assert_eq!(e.value(), Some(42.0));
+    }
+
+    #[test]
+    fn alpha_one_tracks_last_sample() {
+        let mut e = Ewma::new(1.0);
+        e.update(1.0);
+        e.update(9.0);
+        assert_eq!(e.value(), Some(9.0));
+    }
+
+    #[test]
+    fn converges_to_constant_signal() {
+        let mut e = Ewma::new(0.3);
+        e.update(100.0);
+        for _ in 0..200 {
+            e.update(5.0);
+        }
+        assert!((e.value().unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut e = Ewma::new(0.5);
+        e.update(3.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+        assert_eq!(e.value_or(7.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn zero_alpha_panics() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn oversized_alpha_panics() {
+        let _ = Ewma::new(1.5);
+    }
+}

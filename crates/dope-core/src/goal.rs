@@ -1,0 +1,129 @@
+//! Performance goals the administrator specifies.
+
+use serde::{Deserialize, Serialize};
+
+/// A performance goal: an objective plus resource constraints (paper §4).
+///
+/// The administrator states the goal; DoPE picks a default mechanism for it
+/// (`dope_mechanisms::for_goal`) and drives the application to meet it —
+/// "a human need not select a particular mechanism to use from among many"
+/// (§7).
+///
+/// # Example
+///
+/// ```
+/// use dope_core::Goal;
+///
+/// let goal = Goal::MaxThroughputUnderPower {
+///     threads: 24,
+///     watts: 600.0,
+/// };
+/// assert_eq!(goal.threads(), 24);
+/// assert_eq!(goal.power_budget_watts(), Some(600.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Goal {
+    /// Minimize the average response time of user requests with at most
+    /// `threads` hardware threads (paper §7.1).
+    MinResponseTime {
+        /// Hardware-thread budget.
+        threads: u32,
+    },
+    /// Maximize application throughput with at most `threads` hardware
+    /// threads (paper §7.2).
+    MaxThroughput {
+        /// Hardware-thread budget.
+        threads: u32,
+    },
+    /// Maximize throughput with at most `threads` hardware threads while
+    /// keeping system power at or below `watts` (paper §7.3).
+    MaxThroughputUnderPower {
+        /// Hardware-thread budget.
+        threads: u32,
+        /// Peak system power target, in watts.
+        watts: f64,
+    },
+}
+
+impl Goal {
+    /// The hardware-thread budget of the goal.
+    #[must_use]
+    pub fn threads(&self) -> u32 {
+        match *self {
+            Goal::MinResponseTime { threads }
+            | Goal::MaxThroughput { threads }
+            | Goal::MaxThroughputUnderPower { threads, .. } => threads,
+        }
+    }
+
+    /// The power budget, if the goal constrains power.
+    #[must_use]
+    pub fn power_budget_watts(&self) -> Option<f64> {
+        match *self {
+            Goal::MaxThroughputUnderPower { watts, .. } => Some(watts),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Goal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Goal::MinResponseTime { threads } => {
+                write!(f, "min response time with {threads} threads")
+            }
+            Goal::MaxThroughput { threads } => {
+                write!(f, "max throughput with {threads} threads")
+            }
+            Goal::MaxThroughputUnderPower { threads, watts } => {
+                write!(f, "max throughput with {threads} threads, {watts} W")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_accessor_covers_all_goals() {
+        assert_eq!(Goal::MinResponseTime { threads: 8 }.threads(), 8);
+        assert_eq!(Goal::MaxThroughput { threads: 24 }.threads(), 24);
+        assert_eq!(
+            Goal::MaxThroughputUnderPower {
+                threads: 24,
+                watts: 600.0
+            }
+            .threads(),
+            24
+        );
+    }
+
+    #[test]
+    fn only_power_goal_has_budget() {
+        assert_eq!(
+            Goal::MinResponseTime { threads: 8 }.power_budget_watts(),
+            None
+        );
+        assert_eq!(
+            Goal::MaxThroughputUnderPower {
+                threads: 8,
+                watts: 450.0
+            }
+            .power_budget_watts(),
+            Some(450.0)
+        );
+    }
+
+    #[test]
+    fn display_mentions_constraints() {
+        let s = Goal::MaxThroughputUnderPower {
+            threads: 24,
+            watts: 600.0,
+        }
+        .to_string();
+        assert!(s.contains("24"));
+        assert!(s.contains("600"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Core types of the DoPE API.
+//!
+//! DoPE (the *Degree of Parallelism Executive*, Raman et al., PLDI 2011)
+//! separates the concern of **exposing** parallelism from the concern of
+//! **optimizing** it. This crate defines the vocabulary shared by the three
+//! agents the paper identifies:
+//!
+//! * the **application developer** declares the parallelism structure of a
+//!   program once, as a tree of [`TaskSpec`]s whose behaviour is given by
+//!   [`TaskBody`] implementations (the paper's *functors*);
+//! * the **mechanism developer** implements [`Mechanism`]s that map a
+//!   [`MonitorSnapshot`] of run-time facts to a new parallelism
+//!   [`Config`]uration;
+//! * the **administrator** states a performance [`Goal`] together with
+//!   [`Resources`] constraints (threads, watts).
+//!
+//! The actual executors live elsewhere: `dope-runtime` runs task trees on a
+//! real thread pool, while `dope-sim` replays the same mechanisms inside a
+//! discrete-event model of a larger machine. Both speak the types defined
+//! here, so a mechanism cannot tell which world it is driving.
+//!
+//! # Example
+//!
+//! Declaring the two-level video-transcoding loop nest from the paper's
+//! running example (outer loop over videos, inner three-stage pipeline):
+//!
+//! ```
+//! use dope_core::{Config, ParKind, TaskConfig};
+//!
+//! // <DoP_outer, DoP_inner> = <(3, DOALL), (8, PIPE)>: three concurrent
+//! // transcodes, each an 8-thread pipeline (1 read + 6 transform + 1 write).
+//! let config = Config::new(vec![TaskConfig::nest(
+//!     "transcode",
+//!     3,
+//!     0,
+//!     vec![
+//!         TaskConfig::leaf("read", 1),
+//!         TaskConfig::leaf("transform", 6),
+//!         TaskConfig::leaf("write", 1),
+//!     ],
+//! )]);
+//! assert_eq!(config.total_threads(), 24);
+//! assert_eq!(config.kind_of(&"0".parse().unwrap()), Some(ParKind::Pipe));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod error;
+pub mod ewma;
+pub mod goal;
+pub mod mechanism;
+pub mod metrics;
+pub mod nest;
+pub mod path;
+pub mod shape;
+pub mod spec;
+pub mod status;
+pub mod task;
+
+pub use config::{Config, NestConfig, TaskConfig};
+pub use error::{Error, Result};
+pub use ewma::Ewma;
+pub use goal::Goal;
+pub use mechanism::{Mechanism, Resources, StaticMechanism};
+pub use metrics::{MonitorSnapshot, QueueStats, TaskStats};
+pub use path::TaskPath;
+pub use shape::{ParKind, ProgramShape, ShapeNode};
+pub use spec::{BodyFactory, NestFactory, TaskKind, TaskSpec, Work, WorkerSlot};
+pub use status::{Directive, TaskStatus};
+pub use task::{body_fn, FnBody, TaskBody, TaskCx};
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::{
+        body_fn, Config, Directive, Goal, Mechanism, MonitorSnapshot, ParKind, ProgramShape,
+        Resources, ShapeNode, TaskBody, TaskConfig, TaskCx, TaskKind, TaskPath, TaskSpec,
+        TaskStats, TaskStatus, Work, WorkerSlot,
+    };
+}

@@ -1,0 +1,180 @@
+//! Monitoring data: what mechanisms see.
+//!
+//! The executive continuously monitors application features (task execution
+//! times via `begin`/`end`, per-task load via `LoadCB`) and platform
+//! features (power, hardware contexts). A [`MonitorSnapshot`] is a frozen
+//! view of that state; mechanisms receive one on every reconfiguration
+//! opportunity. The same type is produced by the live monitor in
+//! `dope-runtime` and the simulated monitor in `dope-sim`.
+
+use crate::path::TaskPath;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-task monitoring statistics, aggregated across replicas and workers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct TaskStats {
+    /// Completed invocations of the task's body since launch.
+    pub invocations: u64,
+    /// Moving average of per-invocation execution time, in seconds.
+    pub mean_exec_secs: f64,
+    /// Completed invocations per second over the recent window, summed
+    /// across all workers of the task.
+    pub throughput: f64,
+    /// Most recent `LoadCB` sample (typically input-queue occupancy).
+    pub load: f64,
+    /// Fraction of wall-clock time the task's workers spent inside
+    /// `begin`/`end`, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// Statistics of the application's work queue (the open-workload inlet).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct QueueStats {
+    /// Current number of outstanding requests, `q(t)` in the paper's
+    /// Equation 1.
+    pub occupancy: f64,
+    /// Estimated arrival rate, in requests per second.
+    pub arrival_rate: f64,
+    /// Requests enqueued since launch.
+    pub enqueued: u64,
+    /// Requests fully processed since launch.
+    pub completed: u64,
+}
+
+/// A frozen view of everything the executive monitors.
+///
+/// # Example
+///
+/// ```
+/// use dope_core::{MonitorSnapshot, TaskStats};
+///
+/// let mut snap = MonitorSnapshot::at(1.5);
+/// snap.tasks.insert(
+///     "0.1".parse().unwrap(),
+///     TaskStats {
+///         invocations: 100,
+///         mean_exec_secs: 0.02,
+///         throughput: 48.0,
+///         load: 3.0,
+///         utilization: 0.96,
+///     },
+/// );
+/// let slowest = snap.slowest_task().unwrap();
+/// assert_eq!(slowest.to_string(), "0.1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MonitorSnapshot {
+    /// Seconds since the executive launched the application.
+    pub time_secs: f64,
+    /// Per-task statistics keyed by configured-tree path.
+    pub tasks: BTreeMap<TaskPath, TaskStats>,
+    /// Work-queue statistics.
+    pub queue: QueueStats,
+    /// Latest platform power sample, if a power feature is registered.
+    pub power_watts: Option<f64>,
+    /// Work items dispatched since the last reconfiguration (drives the
+    /// paper's hysteresis counts `N_on`/`N_off`).
+    pub dispatches_since_reconfig: u64,
+}
+
+impl MonitorSnapshot {
+    /// An empty snapshot at `time_secs`.
+    #[must_use]
+    pub fn at(time_secs: f64) -> Self {
+        MonitorSnapshot {
+            time_secs,
+            ..MonitorSnapshot::default()
+        }
+    }
+
+    /// Statistics for the task at `path`, if sampled.
+    #[must_use]
+    pub fn task(&self, path: &TaskPath) -> Option<&TaskStats> {
+        self.tasks.get(path)
+    }
+
+    /// Path of the task with the lowest throughput among tasks that have
+    /// run at least once — the pipeline's current bottleneck.
+    #[must_use]
+    pub fn slowest_task(&self) -> Option<TaskPath> {
+        self.tasks
+            .iter()
+            .filter(|(_, s)| s.invocations > 0)
+            .min_by(|a, b| {
+                a.1.throughput
+                    .partial_cmp(&b.1.throughput)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(p, _)| p.clone())
+    }
+
+    /// Sum of `mean_exec_secs` over a set of sibling tasks, used by the
+    /// proportional mechanism (paper Figure 10, step 1).
+    #[must_use]
+    pub fn total_exec_time(&self, paths: &[TaskPath]) -> f64 {
+        paths
+            .iter()
+            .filter_map(|p| self.tasks.get(p))
+            .map(|s| s.mean_exec_secs)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(mean: f64, thr: f64, inv: u64) -> TaskStats {
+        TaskStats {
+            invocations: inv,
+            mean_exec_secs: mean,
+            throughput: thr,
+            load: 0.0,
+            utilization: 0.5,
+        }
+    }
+
+    #[test]
+    fn slowest_task_ignores_never_run() {
+        let mut snap = MonitorSnapshot::at(0.0);
+        snap.tasks
+            .insert("0".parse().unwrap(), sample(1.0, 10.0, 5));
+        snap.tasks
+            .insert("1".parse().unwrap(), sample(1.0, 2.0, 5));
+        snap.tasks
+            .insert("2".parse().unwrap(), sample(1.0, 0.0, 0));
+        assert_eq!(snap.slowest_task().unwrap().to_string(), "1");
+    }
+
+    #[test]
+    fn slowest_task_none_when_empty() {
+        assert_eq!(MonitorSnapshot::at(0.0).slowest_task(), None);
+    }
+
+    #[test]
+    fn total_exec_time_sums_known_paths() {
+        let mut snap = MonitorSnapshot::at(0.0);
+        snap.tasks
+            .insert("0.0".parse().unwrap(), sample(0.25, 1.0, 1));
+        snap.tasks
+            .insert("0.1".parse().unwrap(), sample(0.75, 1.0, 1));
+        let paths: Vec<TaskPath> = vec![
+            "0.0".parse().unwrap(),
+            "0.1".parse().unwrap(),
+            "0.9".parse().unwrap(),
+        ];
+        assert!((snap.total_exec_time(&paths) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_lookup_by_path() {
+        let mut snap = MonitorSnapshot::at(3.0);
+        snap.power_watts = Some(450.0);
+        snap.tasks
+            .insert("0".parse().unwrap(), sample(0.1, 9.0, 3));
+        let stats = snap.task(&"0".parse().unwrap()).unwrap();
+        assert_eq!(stats.invocations, 3);
+        assert!(snap.task(&"1".parse().unwrap()).is_none());
+    }
+}

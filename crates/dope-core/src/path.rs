@@ -1,0 +1,187 @@
+//! Paths addressing tasks in a configured loop nest.
+
+use serde::{Deserialize, Serialize};
+use std::str::FromStr;
+
+/// Address of a task in the configured parallelism tree.
+///
+/// A path is a sequence of child indices: the first element selects a task
+/// in the root parallelism descriptor, each following element selects a
+/// child within the chosen nested descriptor. Replicas of a task share a
+/// path — monitoring data is aggregated across replicas.
+///
+/// # Example
+///
+/// ```
+/// use dope_core::TaskPath;
+///
+/// let transform: TaskPath = "0.1".parse().unwrap();
+/// assert_eq!(transform.depth(), 2);
+/// assert_eq!(transform.parent(), Some("0".parse().unwrap()));
+/// assert_eq!(transform.to_string(), "0.1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct TaskPath(Vec<u16>);
+
+impl TaskPath {
+    /// The empty path, addressing the root descriptor itself.
+    #[must_use]
+    pub fn root() -> Self {
+        TaskPath(Vec::new())
+    }
+
+    /// Path addressing the `index`-th task of the root descriptor.
+    #[must_use]
+    pub fn root_child(index: u16) -> Self {
+        TaskPath(vec![index])
+    }
+
+    /// Creates a path from raw indices.
+    #[must_use]
+    pub fn from_indices<I: IntoIterator<Item = u16>>(indices: I) -> Self {
+        TaskPath(indices.into_iter().collect())
+    }
+
+    /// Returns this path extended by one child index.
+    #[must_use]
+    pub fn child(&self, index: u16) -> Self {
+        let mut v = self.0.clone();
+        v.push(index);
+        TaskPath(v)
+    }
+
+    /// The parent path, or `None` for the root.
+    #[must_use]
+    pub fn parent(&self) -> Option<Self> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(TaskPath(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// Number of components (nesting depth). The root has depth zero.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` for the root path.
+    #[must_use]
+    pub fn is_root(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The last component, or `None` for the root.
+    #[must_use]
+    pub fn leaf_index(&self) -> Option<u16> {
+        self.0.last().copied()
+    }
+
+    /// Iterates over the component indices.
+    pub fn indices(&self) -> impl Iterator<Item = u16> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Returns `true` if `self` is a (non-strict) prefix of `other`.
+    #[must_use]
+    pub fn is_prefix_of(&self, other: &TaskPath) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+}
+
+impl std::fmt::Display for TaskPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("<root>");
+        }
+        let mut first = true;
+        for i in &self.0 {
+            if !first {
+                f.write_str(".")?;
+            }
+            write!(f, "{i}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing a [`TaskPath`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePathError(String);
+
+impl std::fmt::Display for ParsePathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid task path: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParsePathError {}
+
+impl FromStr for TaskPath {
+    type Err = ParsePathError;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        if s.is_empty() || s == "<root>" {
+            return Ok(TaskPath::root());
+        }
+        let mut v = Vec::new();
+        for part in s.split('.') {
+            let idx: u16 = part.parse().map_err(|_| ParsePathError(s.to_string()))?;
+            v.push(idx);
+        }
+        Ok(TaskPath(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["0", "0.1", "3.2.1", "12.0"] {
+            let p: TaskPath = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn root_parses_from_empty() {
+        let p: TaskPath = "".parse().unwrap();
+        assert!(p.is_root());
+        assert_eq!(p.to_string(), "<root>");
+    }
+
+    #[test]
+    fn parent_and_child_are_inverse() {
+        let p: TaskPath = "1.2.3".parse().unwrap();
+        assert_eq!(p.parent().unwrap().child(3), p);
+    }
+
+    #[test]
+    fn prefix_checks() {
+        let outer: TaskPath = "0".parse().unwrap();
+        let inner: TaskPath = "0.1".parse().unwrap();
+        assert!(outer.is_prefix_of(&inner));
+        assert!(!inner.is_prefix_of(&outer));
+        assert!(TaskPath::root().is_prefix_of(&outer));
+        assert!(outer.is_prefix_of(&outer));
+    }
+
+    #[test]
+    fn invalid_parse_reports_error() {
+        let err = "0.x".parse::<TaskPath>().unwrap_err();
+        assert!(err.to_string().contains("0.x"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a: TaskPath = "0.1".parse().unwrap();
+        let b: TaskPath = "0.2".parse().unwrap();
+        let c: TaskPath = "1".parse().unwrap();
+        assert!(a < b);
+        assert!(b < c);
+    }
+}

@@ -1,0 +1,126 @@
+//! Task status and executive directives.
+//!
+//! These mirror the paper's `TaskStatus = EXECUTING | SUSPENDED | FINISHED`
+//! protocol (Figure 3) and the values returned by `Task::begin`/`Task::end`
+//! (Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// The status a task body reports after each invocation.
+///
+/// The task executor loop keeps re-invoking the body while it returns
+/// [`TaskStatus::Executing`]. A body returns [`TaskStatus::Finished`] when
+/// the loop exit branch of the original loop would be taken, and
+/// [`TaskStatus::Suspended`] when it has steered itself into a globally
+/// consistent state in response to a [`Directive::Suspend`] from the
+/// executive.
+///
+/// # Example
+///
+/// ```
+/// use dope_core::TaskStatus;
+///
+/// let status = TaskStatus::Executing;
+/// assert!(!status.is_terminal());
+/// assert!(TaskStatus::Finished.is_terminal());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskStatus {
+    /// The task has more iterations to run; the executor re-invokes it.
+    Executing,
+    /// The task yielded for reconfiguration; it will be re-instantiated.
+    Suspended,
+    /// The task's loop exit branch was taken; the task is complete.
+    Finished,
+}
+
+impl TaskStatus {
+    /// Returns `true` if the executor loop stops on this status.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, TaskStatus::Executing)
+    }
+}
+
+impl std::fmt::Display for TaskStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TaskStatus::Executing => "EXECUTING",
+            TaskStatus::Suspended => "SUSPENDED",
+            TaskStatus::Finished => "FINISHED",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What the executive asks of a task at `begin`/`end` monitoring points.
+///
+/// In the paper, `Task::begin` and `Task::end` return a [`TaskStatus`];
+/// returning `SUSPENDED` signals the executive's intent to reconfigure. In
+/// this port the signal is a distinct type so that a body cannot confuse the
+/// executive's request with its own status.
+///
+/// # Example
+///
+/// ```
+/// use dope_core::Directive;
+///
+/// assert!(Directive::Suspend.wants_suspend());
+/// assert!(!Directive::Continue.wants_suspend());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Directive {
+    /// Keep executing normally.
+    Continue,
+    /// Steer into a consistent state and return [`TaskStatus::Suspended`].
+    Suspend,
+}
+
+impl Directive {
+    /// Returns `true` if the executive asked the task to suspend.
+    #[must_use]
+    pub fn wants_suspend(self) -> bool {
+        matches!(self, Directive::Suspend)
+    }
+}
+
+impl std::fmt::Display for Directive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Directive::Continue => "CONTINUE",
+            Directive::Suspend => "SUSPEND",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executing_is_not_terminal() {
+        assert!(!TaskStatus::Executing.is_terminal());
+    }
+
+    #[test]
+    fn suspended_and_finished_are_terminal() {
+        assert!(TaskStatus::Suspended.is_terminal());
+        assert!(TaskStatus::Finished.is_terminal());
+    }
+
+    #[test]
+    fn directive_suspend_flag() {
+        assert!(Directive::Suspend.wants_suspend());
+        assert!(!Directive::Continue.wants_suspend());
+    }
+
+    #[test]
+    fn display_matches_paper_spelling() {
+        assert_eq!(TaskStatus::Executing.to_string(), "EXECUTING");
+        assert_eq!(TaskStatus::Suspended.to_string(), "SUSPENDED");
+        assert_eq!(TaskStatus::Finished.to_string(), "FINISHED");
+        assert_eq!(Directive::Continue.to_string(), "CONTINUE");
+        assert_eq!(Directive::Suspend.to_string(), "SUSPEND");
+    }
+}

@@ -1,0 +1,247 @@
+//! Task bodies: the paper's *functors*.
+
+use crate::status::{Directive, TaskStatus};
+
+/// Execution context handed to a task body on every invocation.
+///
+/// This is the Rust rendering of the paper's `Task::begin` / `Task::end`
+/// API (Table 2): a body brackets its CPU-intensive section with
+/// [`begin`](TaskCx::begin) and [`end`](TaskCx::end) so the executive can
+/// record execution times, and both calls return a [`Directive`] through
+/// which the executive conveys its intent to reconfigure.
+///
+/// The context also tells the body where it sits in the current parallelism
+/// configuration: which replica of the task it belongs to, which of the
+/// `extent` concurrent workers it is, and the extent itself — enough for a
+/// DOALL body to partition an iteration space.
+pub trait TaskCx {
+    /// Signals that the CPU-intensive part of an invocation begins.
+    ///
+    /// Starts the per-invocation timer. Returns [`Directive::Suspend`] when
+    /// the executive wants the task to steer into a consistent state.
+    fn begin(&mut self) -> Directive;
+
+    /// Signals that the CPU-intensive part of an invocation ended.
+    ///
+    /// Stops the per-invocation timer and folds the sample into the
+    /// monitor. Returns the current executive directive.
+    fn end(&mut self) -> Directive;
+
+    /// Current executive directive without touching the timers.
+    ///
+    /// Bodies that block on queues should poll this (or use a timed
+    /// dequeue) so reconfiguration is never delayed indefinitely.
+    fn directive(&self) -> Directive;
+
+    /// The replica of this task the body belongs to (outer-loop instance).
+    fn replica(&self) -> u32;
+
+    /// Index of this worker within the task's extent, in `0..extent()`.
+    fn worker(&self) -> u32;
+
+    /// Number of workers concurrently invoking this task's body.
+    fn extent(&self) -> u32;
+}
+
+/// A task's functionality: the paper's functor (Figure 4b).
+///
+/// The executor runs the paper's control-flow abstraction (Figure 4a):
+///
+/// ```text
+/// body.init();
+/// loop {
+///     match body.invoke(cx) {
+///         Executing => continue,
+///         Suspended | Finished => break,
+///     }
+/// }
+/// body.fini();
+/// ```
+///
+/// Each worker thread owns its *own* body instance (produced by a
+/// [`BodyFactory`](crate::BodyFactory)), so `invoke` takes `&mut self`;
+/// state shared between workers travels through the structures the body
+/// captures (queues, atomics).
+///
+/// # Example
+///
+/// ```
+/// use dope_core::{body_fn, TaskBody, TaskStatus};
+///
+/// let mut remaining = 3;
+/// let mut body = body_fn(move |cx| {
+///     cx.begin();
+///     // ... CPU-intensive work ...
+///     cx.end();
+///     remaining -= 1;
+///     if remaining == 0 {
+///         TaskStatus::Finished
+///     } else {
+///         TaskStatus::Executing
+///     }
+/// });
+/// # let mut cx = dope_core::task::NullCx::default();
+/// # assert_eq!(body.invoke(&mut cx), TaskStatus::Executing);
+/// ```
+pub trait TaskBody: Send {
+    /// Runs one iteration of the task's loop.
+    fn invoke(&mut self, cx: &mut dyn TaskCx) -> TaskStatus;
+
+    /// Called once before the task starts executing in an epoch.
+    ///
+    /// Mirrors the paper's `InitCB`: restore a globally consistent state
+    /// before the parallel region is re-entered after reconfiguration.
+    fn init(&mut self) {}
+
+    /// Called once after the task stops executing in an epoch (whether it
+    /// finished or suspended).
+    ///
+    /// Mirrors the paper's `FiniCB`: notify downstream tasks (e.g. close or
+    /// poison a queue) so the whole nest reaches a consistent state.
+    fn fini(&mut self, status: TaskStatus) {
+        let _ = status;
+    }
+}
+
+/// A [`TaskBody`] built from a closure.
+///
+/// Returned by [`body_fn`]; useful for simple stages and tests.
+pub struct FnBody<F> {
+    f: F,
+}
+
+impl<F> std::fmt::Debug for FnBody<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnBody").finish_non_exhaustive()
+    }
+}
+
+impl<F> TaskBody for FnBody<F>
+where
+    F: FnMut(&mut dyn TaskCx) -> TaskStatus + Send,
+{
+    fn invoke(&mut self, cx: &mut dyn TaskCx) -> TaskStatus {
+        (self.f)(cx)
+    }
+}
+
+/// Wraps a closure as a [`TaskBody`].
+///
+/// # Example
+///
+/// ```
+/// use dope_core::{body_fn, TaskStatus};
+///
+/// let _body = body_fn(|cx| {
+///     cx.begin();
+///     cx.end();
+///     TaskStatus::Finished
+/// });
+/// ```
+pub fn body_fn<F>(f: F) -> FnBody<F>
+where
+    F: FnMut(&mut dyn TaskCx) -> TaskStatus + Send,
+{
+    FnBody { f }
+}
+
+/// A context that never suspends and records nothing.
+///
+/// Useful for unit-testing bodies in isolation, outside any executive.
+#[derive(Debug, Default, Clone)]
+pub struct NullCx {
+    /// Replica index reported to the body.
+    pub replica: u32,
+    /// Worker index reported to the body.
+    pub worker: u32,
+    /// Extent reported to the body (defaults to 1 via [`NullCx::default`]).
+    pub extent: u32,
+}
+
+impl NullCx {
+    /// A context describing worker `worker` of `extent` workers.
+    #[must_use]
+    pub fn with_slot(replica: u32, worker: u32, extent: u32) -> Self {
+        NullCx {
+            replica,
+            worker,
+            extent,
+        }
+    }
+}
+
+impl TaskCx for NullCx {
+    fn begin(&mut self) -> Directive {
+        Directive::Continue
+    }
+
+    fn end(&mut self) -> Directive {
+        Directive::Continue
+    }
+
+    fn directive(&self) -> Directive {
+        Directive::Continue
+    }
+
+    fn replica(&self) -> u32 {
+        self.replica
+    }
+
+    fn worker(&self) -> u32 {
+        self.worker
+    }
+
+    fn extent(&self) -> u32 {
+        self.extent.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_body_runs_closure() {
+        let mut count = 0;
+        let mut body = body_fn(move |_cx| {
+            count += 1;
+            if count < 3 {
+                TaskStatus::Executing
+            } else {
+                TaskStatus::Finished
+            }
+        });
+        let mut cx = NullCx::default();
+        assert_eq!(body.invoke(&mut cx), TaskStatus::Executing);
+        assert_eq!(body.invoke(&mut cx), TaskStatus::Executing);
+        assert_eq!(body.invoke(&mut cx), TaskStatus::Finished);
+    }
+
+    #[test]
+    fn null_cx_reports_slot() {
+        let cx = NullCx::with_slot(2, 1, 4);
+        assert_eq!(cx.replica(), 2);
+        assert_eq!(cx.worker(), 1);
+        assert_eq!(cx.extent(), 4);
+        assert_eq!(cx.directive(), Directive::Continue);
+    }
+
+    #[test]
+    fn default_null_cx_extent_is_at_least_one() {
+        let cx = NullCx::default();
+        assert_eq!(cx.extent(), 1);
+    }
+
+    #[test]
+    fn default_callbacks_are_noops() {
+        struct Plain;
+        impl TaskBody for Plain {
+            fn invoke(&mut self, _cx: &mut dyn TaskCx) -> TaskStatus {
+                TaskStatus::Finished
+            }
+        }
+        let mut p = Plain;
+        p.init();
+        p.fini(TaskStatus::Finished);
+    }
+}

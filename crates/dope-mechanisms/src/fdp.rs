@@ -1,0 +1,350 @@
+//! Feedback-Directed Pipelining (Suleman et al., PACT 2010), as a DoPE
+//! mechanism.
+
+use crate::pipeline_util::{self, StageView};
+use dope_core::{Config, Mechanism, MonitorSnapshot, ProgramShape, Resources};
+
+/// Phase of the hill climber.
+#[derive(Debug, Clone, PartialEq)]
+enum Phase {
+    /// Measure a baseline with the current assignment.
+    Measure,
+    /// A move was just applied; let the pipeline refill for one control
+    /// period before judging it.
+    Settle {
+        saved: Vec<u32>,
+        baseline: f64,
+    },
+    /// A move was applied and settled; compare against the baseline.
+    Trial {
+        saved: Vec<u32>,
+        baseline: f64,
+    },
+    /// Converged; probe again after a cooldown.
+    Converged { ticks_left: u32 },
+}
+
+/// *Feedback-Directed Pipelining*: a hill-climbing mechanism that uses
+/// task execution times and measured pipeline throughput to search for a
+/// better thread assignment — add a worker to the bottleneck stage (or
+/// steal one from the most over-provisioned stage), keep the move if
+/// throughput improved, revert otherwise.
+///
+/// Unlike TBF, FDP has "a global view of resource allocation" but no
+/// explicit fusion; the paper implements it as one of DoPE's throughput
+/// mechanisms (§7.2, [29]).
+///
+/// # Example
+///
+/// ```
+/// use dope_mechanisms::Fdp;
+///
+/// let fdp = Fdp::default();
+/// assert_eq!(dope_core::Mechanism::name(&fdp), "FDP");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fdp {
+    improvement_eps: f64,
+    cooldown_ticks: u32,
+    failed_moves: u32,
+    max_failed_moves: u32,
+    phase: Phase,
+}
+
+impl Fdp {
+    /// An FDP climber that accepts moves improving throughput by at least
+    /// `improvement_eps` (fractional) and, after `max_failed_moves`
+    /// consecutive rejected moves, sleeps for `cooldown_ticks` control
+    /// periods before probing again.
+    #[must_use]
+    pub fn new(improvement_eps: f64, max_failed_moves: u32, cooldown_ticks: u32) -> Self {
+        assert!(improvement_eps >= 0.0, "epsilon must be non-negative");
+        Fdp {
+            improvement_eps,
+            cooldown_ticks,
+            failed_moves: 0,
+            max_failed_moves: max_failed_moves.max(1),
+            phase: Phase::Measure,
+        }
+    }
+
+    fn sink_throughput(views: &[StageView]) -> f64 {
+        views.last().map_or(0.0, |v| v.throughput)
+    }
+
+    /// Index of the stage limiting throughput: lowest potential
+    /// (`extent / mean_exec`) among parallel stages.
+    fn bottleneck(views: &[StageView]) -> Option<usize> {
+        views
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.parallel && v.mean_exec > 0.0)
+            .min_by(|a, b| {
+                let pa = f64::from(a.1.extent) / a.1.mean_exec;
+                let pb = f64::from(b.1.extent) / b.1.mean_exec;
+                pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Index of the most over-provisioned parallel stage with workers to
+    /// spare.
+    fn donor(views: &[StageView], exclude: usize) -> Option<usize> {
+        views
+            .iter()
+            .enumerate()
+            .filter(|&(i, v)| i != exclude && v.parallel && v.extent > 1 && v.mean_exec > 0.0)
+            .max_by(|a, b| {
+                let pa = f64::from(a.1.extent) / a.1.mean_exec;
+                let pb = f64::from(b.1.extent) / b.1.mean_exec;
+                pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn propose_move(views: &[StageView], budget: u32) -> Option<Vec<u32>> {
+        let bottleneck = Self::bottleneck(views)?;
+        let mut extents: Vec<u32> = views.iter().map(|v| v.extent).collect();
+        let cap = views[bottleneck].max_extent.unwrap_or(u32::MAX);
+        if extents[bottleneck] >= cap {
+            return None;
+        }
+        let total: u32 = extents.iter().sum();
+        if total < budget {
+            extents[bottleneck] += 1;
+            return Some(extents);
+        }
+        let donor = Self::donor(views, bottleneck)?;
+        extents[donor] -= 1;
+        extents[bottleneck] += 1;
+        Some(extents)
+    }
+}
+
+impl Default for Fdp {
+    /// Accept 2% improvements, sleep for 10 ticks after 3 failed moves.
+    fn default() -> Self {
+        Fdp::new(0.02, 3, 10)
+    }
+}
+
+impl Mechanism for Fdp {
+    fn name(&self) -> &'static str {
+        "FDP"
+    }
+
+    fn initial(&mut self, shape: &ProgramShape, res: &Resources) -> Option<Config> {
+        // Start from the static even split and climb from there.
+        Some(Config::even(shape, res.threads))
+    }
+
+    fn reconfigure(
+        &mut self,
+        snap: &MonitorSnapshot,
+        current: &Config,
+        shape: &ProgramShape,
+        res: &Resources,
+    ) -> Option<Config> {
+        let (alt, views) = pipeline_util::stages(snap, current, shape)?;
+        if views.iter().any(|v| v.parallel && v.mean_exec <= 0.0) {
+            return None; // not all stages observed yet
+        }
+        let throughput = Self::sink_throughput(&views);
+
+        match std::mem::replace(&mut self.phase, Phase::Measure) {
+            Phase::Measure => {
+                let Some(extents) = Self::propose_move(&views, res.threads) else {
+                    self.phase = Phase::Converged {
+                        ticks_left: self.cooldown_ticks,
+                    };
+                    return None;
+                };
+                let saved: Vec<u32> = views.iter().map(|v| v.extent).collect();
+                self.phase = Phase::Settle {
+                    saved,
+                    baseline: throughput,
+                };
+                pipeline_util::config_from_extents(current, alt, shape, &extents)
+            }
+            Phase::Settle { saved, baseline } => {
+                // The window that just ended straddles the reconfiguration;
+                // judge the move on the next full window.
+                self.phase = Phase::Trial { saved, baseline };
+                None
+            }
+            Phase::Trial { saved, baseline } => {
+                if throughput > baseline * (1.0 + self.improvement_eps) {
+                    // Keep the move; continue climbing from here.
+                    self.failed_moves = 0;
+                    self.phase = Phase::Measure;
+                    None
+                } else {
+                    self.failed_moves += 1;
+                    if self.failed_moves >= self.max_failed_moves {
+                        self.failed_moves = 0;
+                        self.phase = Phase::Converged {
+                            ticks_left: self.cooldown_ticks,
+                        };
+                    } else {
+                        self.phase = Phase::Measure;
+                    }
+                    pipeline_util::config_from_extents(current, alt, shape, &saved)
+                }
+            }
+            Phase::Converged { ticks_left } => {
+                if ticks_left > 0 {
+                    self.phase = Phase::Converged {
+                        ticks_left: ticks_left - 1,
+                    };
+                } else {
+                    self.phase = Phase::Measure;
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dope_core::{ShapeNode, TaskConfig, TaskKind, TaskPath, TaskStats};
+
+    fn shape() -> ProgramShape {
+        ProgramShape::new(vec![ShapeNode {
+            name: "pipe".into(),
+            kind: TaskKind::Par,
+            max_extent: Some(1),
+            alternatives: vec![vec![
+                ShapeNode::leaf("in", TaskKind::Seq),
+                ShapeNode::leaf("a", TaskKind::Par),
+                ShapeNode::leaf("b", TaskKind::Par),
+                ShapeNode::leaf("out", TaskKind::Seq),
+            ]],
+        }])
+    }
+
+    fn config(extents: &[u32]) -> Config {
+        Config::new(vec![TaskConfig::nest(
+            "pipe",
+            1,
+            0,
+            extents
+                .iter()
+                .zip(["in", "a", "b", "out"])
+                .map(|(&e, n)| TaskConfig::leaf(n, e))
+                .collect(),
+        )])
+    }
+
+    fn snap(execs: &[f64], sink_throughput: f64) -> MonitorSnapshot {
+        let mut s = MonitorSnapshot::at(1.0);
+        let n = execs.len();
+        for (i, &e) in execs.iter().enumerate() {
+            s.tasks.insert(
+                TaskPath::root_child(0).child(i as u16),
+                TaskStats {
+                    invocations: 50,
+                    mean_exec_secs: e,
+                    throughput: if i == n - 1 { sink_throughput } else { 100.0 },
+                    load: 0.0,
+                    utilization: 0.8,
+                },
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn starts_from_even_split() {
+        let mut fdp = Fdp::default();
+        let init = fdp.initial(&shape(), &Resources::threads(24)).unwrap();
+        assert_eq!(init.total_threads(), 24);
+        init.validate(&shape(), 24).unwrap();
+    }
+
+    #[test]
+    fn first_move_grows_bottleneck() {
+        let shape = shape();
+        let mut fdp = Fdp::default();
+        // Stage b is slower: bottleneck.
+        let new = fdp
+            .reconfigure(
+                &snap(&[0.001, 0.01, 0.03, 0.001], 50.0),
+                &config(&[1, 2, 2, 1]),
+                &shape,
+                &Resources::threads(24),
+            )
+            .unwrap();
+        assert_eq!(new.extent_of(&"0.2".parse().unwrap()), Some(3));
+    }
+
+    #[test]
+    fn keeps_improving_move_and_reverts_bad_one() {
+        let shape = shape();
+        let res = Resources::threads(24);
+        let mut fdp = Fdp::new(0.02, 3, 10);
+        let c0 = config(&[1, 2, 2, 1]);
+        // Move proposed.
+        let c1 = fdp
+            .reconfigure(&snap(&[0.001, 0.01, 0.03, 0.001], 50.0), &c0, &shape, &res)
+            .unwrap();
+        // Settling tick: no proposal.
+        assert!(fdp
+            .reconfigure(&snap(&[0.001, 0.01, 0.03, 0.001], 55.0), &c1, &shape, &res)
+            .is_none());
+        // Throughput improved: keep (no proposal).
+        assert!(fdp
+            .reconfigure(&snap(&[0.001, 0.01, 0.03, 0.001], 60.0), &c1, &shape, &res)
+            .is_none());
+        // Next move proposed, then its settling tick.
+        let c2 = fdp
+            .reconfigure(&snap(&[0.001, 0.01, 0.03, 0.001], 60.0), &c1, &shape, &res)
+            .unwrap();
+        assert!(fdp
+            .reconfigure(&snap(&[0.001, 0.01, 0.03, 0.001], 41.0), &c2, &shape, &res)
+            .is_none());
+        // Throughput dropped: revert to c1's extents.
+        let reverted = fdp
+            .reconfigure(&snap(&[0.001, 0.01, 0.03, 0.001], 40.0), &c2, &shape, &res)
+            .unwrap();
+        assert_eq!(reverted, c1);
+    }
+
+    #[test]
+    fn steals_from_overprovisioned_stage_at_budget() {
+        let shape = shape();
+        let mut fdp = Fdp::default();
+        // Budget fully used: 1 + 11 + 11 + 1 = 24. Stage b slower.
+        let new = fdp
+            .reconfigure(
+                &snap(&[0.001, 0.005, 0.03, 0.001], 50.0),
+                &config(&[1, 11, 11, 1]),
+                &shape,
+                &Resources::threads(24),
+            )
+            .unwrap();
+        assert_eq!(new.extent_of(&"0.1".parse().unwrap()), Some(10));
+        assert_eq!(new.extent_of(&"0.2".parse().unwrap()), Some(12));
+        assert_eq!(new.total_threads(), 24);
+    }
+
+    #[test]
+    fn converges_after_repeated_failures() {
+        let shape = shape();
+        let res = Resources::threads(24);
+        let mut fdp = Fdp::new(0.02, 2, 5);
+        let mut current = config(&[1, 2, 2, 1]);
+        let flat = |c: f64| snap(&[0.001, 0.01, 0.01, 0.001], c);
+        let mut proposals = 0;
+        for _ in 0..30 {
+            if let Some(c) = fdp.reconfigure(&flat(50.0), &current, &shape, &res) {
+                current = c;
+                proposals += 1;
+            }
+        }
+        // The climber must not thrash forever on a flat landscape: far
+        // fewer proposals than calls.
+        assert!(proposals < 15, "proposals = {proposals}");
+    }
+}

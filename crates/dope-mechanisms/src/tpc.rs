@@ -1,0 +1,360 @@
+//! The Throughput Power Controller (paper §7.3).
+
+use crate::pipeline_util::{self, StageView};
+use dope_core::{Config, Mechanism, MonitorSnapshot, ProgramShape, Resources};
+
+/// Controller phase.
+#[derive(Debug, Clone, PartialEq)]
+enum Phase {
+    /// Grow the bottleneck's DoP until the power budget is used.
+    Ramp,
+    /// At the power boundary: explore same-size configurations for the
+    /// best throughput.
+    Explore {
+        saved: Vec<u32>,
+        baseline: f64,
+    },
+}
+
+/// *Throughput Power Controller*: maximizes throughput while keeping
+/// system power at or below an administrator-specified target.
+///
+/// Per the paper: "The controller initializes each task with a DoP extent
+/// equal to 1. It then identifies the task with the least throughput and
+/// increments the DoP extent of the task if throughput improves and the
+/// power budget is not exceeded. If the power budget is exceeded, the
+/// controller tries alternative parallelism configurations with the same
+/// DoP extent as the configuration prior to power overshoot," consulting
+/// recorded history for the best-throughput configuration under budget.
+///
+/// The controller's feedback is rate-limited by the power meter (the
+/// paper's PDU samples 13x/minute), so it holds its state between stale
+/// samples.
+///
+/// # Example
+///
+/// ```
+/// use dope_mechanisms::Tpc;
+///
+/// let tpc = Tpc::default();
+/// assert_eq!(dope_core::Mechanism::name(&tpc), "TPC");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tpc {
+    margin_watts: f64,
+    improvement_eps: f64,
+    phase: Phase,
+    /// Total extent cap learned from power overshoots.
+    extent_cap: Option<u32>,
+    /// Best (throughput, extents) seen under the power budget.
+    best: Option<(f64, Vec<u32>)>,
+    last_power: Option<f64>,
+}
+
+impl Tpc {
+    /// A TPC with safety margin `margin_watts` under the budget and
+    /// improvement threshold `improvement_eps` for exploration moves.
+    #[must_use]
+    pub fn new(margin_watts: f64, improvement_eps: f64) -> Self {
+        assert!(margin_watts >= 0.0, "margin must be non-negative");
+        Tpc {
+            margin_watts,
+            improvement_eps,
+            phase: Phase::Ramp,
+            extent_cap: None,
+            best: None,
+            last_power: None,
+        }
+    }
+
+    fn sink_throughput(views: &[StageView]) -> f64 {
+        views.last().map_or(0.0, |v| v.throughput)
+    }
+
+    fn extents(views: &[StageView]) -> Vec<u32> {
+        views.iter().map(|v| v.extent).collect()
+    }
+}
+
+impl Default for Tpc {
+    /// 5 W margin, 2% improvement threshold.
+    fn default() -> Self {
+        Tpc::new(5.0, 0.02)
+    }
+}
+
+impl Mechanism for Tpc {
+    fn name(&self) -> &'static str {
+        "TPC"
+    }
+
+    fn initial(&mut self, shape: &ProgramShape, _res: &Resources) -> Option<Config> {
+        Some(Config::single_threaded(shape))
+    }
+
+    fn reconfigure(
+        &mut self,
+        snap: &MonitorSnapshot,
+        current: &Config,
+        shape: &ProgramShape,
+        res: &Resources,
+    ) -> Option<Config> {
+        let budget_watts = res.power_budget_watts?;
+        let power = snap.power_watts?;
+        // A stale meter reading carries no new information: hold state.
+        if self.last_power == Some(power) {
+            return None;
+        }
+        self.last_power = Some(power);
+
+        let (alt, views) = pipeline_util::stages(snap, current, shape)?;
+        if views.iter().any(|v| v.parallel && v.mean_exec <= 0.0) {
+            return None;
+        }
+        let throughput = Self::sink_throughput(&views);
+        let total: u32 = views.iter().map(|v| v.extent).sum();
+        let over = power > budget_watts;
+        let headroom = power < budget_watts - self.margin_watts;
+
+        if !over {
+            match &self.best {
+                Some((t, _)) if *t >= throughput => {}
+                _ => self.best = Some((throughput, Self::extents(&views))),
+            }
+        }
+
+        match std::mem::replace(&mut self.phase, Phase::Ramp) {
+            Phase::Ramp => {
+                if over {
+                    // Power overshoot: cap the total extent below the
+                    // current configuration and fall back to the best
+                    // recorded configuration under budget.
+                    self.extent_cap = Some(total.saturating_sub(1).max(views.len() as u32));
+                    let fallback = self
+                        .best
+                        .as_ref()
+                        .map(|(_, e)| e.clone())
+                        .unwrap_or_else(|| vec![1; views.len()]);
+                    self.phase = Phase::Explore {
+                        saved: fallback.clone(),
+                        baseline: 0.0,
+                    };
+                    return pipeline_util::config_from_extents(current, alt, shape, &fallback);
+                }
+                let at_cap = self.extent_cap.is_some_and(|cap| total >= cap);
+                if headroom && !at_cap && total < res.threads {
+                    // Grow the slowest task's DoP.
+                    if let Some(extents) = grow_bottleneck(&views) {
+                        self.phase = Phase::Ramp;
+                        return pipeline_util::config_from_extents(current, alt, shape, &extents);
+                    }
+                }
+                // At the boundary: explore same-size moves.
+                if let Some(extents) = swap_move(&views) {
+                    self.phase = Phase::Explore {
+                        saved: Self::extents(&views),
+                        baseline: throughput,
+                    };
+                    return pipeline_util::config_from_extents(current, alt, shape, &extents);
+                }
+                self.phase = Phase::Ramp;
+                None
+            }
+            Phase::Explore { saved, baseline } => {
+                if over {
+                    self.extent_cap = Some(total.saturating_sub(1).max(views.len() as u32));
+                    self.phase = Phase::Ramp;
+                    return pipeline_util::config_from_extents(current, alt, shape, &saved);
+                }
+                if throughput > baseline * (1.0 + self.improvement_eps) {
+                    self.phase = Phase::Ramp;
+                    None
+                } else {
+                    self.phase = Phase::Ramp;
+                    pipeline_util::config_from_extents(current, alt, shape, &saved)
+                }
+            }
+        }
+    }
+}
+
+/// One more worker for the stage with the least potential throughput.
+fn grow_bottleneck(views: &[StageView]) -> Option<Vec<u32>> {
+    let i = views
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| {
+            v.parallel
+                && v.mean_exec > 0.0
+                && v.max_extent.map_or(true, |m| v.extent < m)
+        })
+        .min_by(|a, b| {
+            let pa = f64::from(a.1.extent) / a.1.mean_exec;
+            let pb = f64::from(b.1.extent) / b.1.mean_exec;
+            pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)?;
+    let mut extents: Vec<u32> = views.iter().map(|v| v.extent).collect();
+    extents[i] += 1;
+    Some(extents)
+}
+
+/// Move one worker from the most over-provisioned stage to the
+/// bottleneck, keeping the total extent constant.
+fn swap_move(views: &[StageView]) -> Option<Vec<u32>> {
+    let bottleneck = views
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.parallel && v.mean_exec > 0.0)
+        .min_by(|a, b| {
+            let pa = f64::from(a.1.extent) / a.1.mean_exec;
+            let pb = f64::from(b.1.extent) / b.1.mean_exec;
+            pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)?;
+    let donor = views
+        .iter()
+        .enumerate()
+        .filter(|&(i, v)| i != bottleneck && v.parallel && v.extent > 1 && v.mean_exec > 0.0)
+        .max_by(|a, b| {
+            let pa = f64::from(a.1.extent) / a.1.mean_exec;
+            let pb = f64::from(b.1.extent) / b.1.mean_exec;
+            pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)?;
+    if views[bottleneck]
+        .max_extent
+        .is_some_and(|m| views[bottleneck].extent >= m)
+    {
+        return None;
+    }
+    let mut extents: Vec<u32> = views.iter().map(|v| v.extent).collect();
+    extents[donor] -= 1;
+    extents[bottleneck] += 1;
+    Some(extents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dope_core::{ShapeNode, TaskConfig, TaskKind, TaskPath, TaskStats};
+
+    fn shape() -> ProgramShape {
+        ProgramShape::new(vec![ShapeNode {
+            name: "ferret".into(),
+            kind: TaskKind::Par,
+            max_extent: Some(1),
+            alternatives: vec![vec![
+                ShapeNode::leaf("load", TaskKind::Seq),
+                ShapeNode::leaf("seg", TaskKind::Par),
+                ShapeNode::leaf("rank", TaskKind::Par),
+                ShapeNode::leaf("out", TaskKind::Seq),
+            ]],
+        }])
+    }
+
+    fn config(extents: &[u32]) -> Config {
+        Config::new(vec![TaskConfig::nest(
+            "ferret",
+            1,
+            0,
+            extents
+                .iter()
+                .zip(["load", "seg", "rank", "out"])
+                .map(|(&e, n)| TaskConfig::leaf(n, e))
+                .collect(),
+        )])
+    }
+
+    fn snap(power: f64, sink: f64, extents_hint: &[u32]) -> MonitorSnapshot {
+        let mut s = MonitorSnapshot::at(1.0);
+        s.power_watts = Some(power);
+        let execs = [0.001, 0.01, 0.02, 0.001];
+        for i in 0..4 {
+            s.tasks.insert(
+                TaskPath::root_child(0).child(i as u16),
+                TaskStats {
+                    invocations: 50,
+                    mean_exec_secs: execs[i],
+                    throughput: if i == 3 { sink } else { 100.0 },
+                    load: 0.0,
+                    utilization: 0.8,
+                },
+            );
+        }
+        let _ = extents_hint;
+        s
+    }
+
+    fn res() -> Resources {
+        Resources::threads(24).with_power_budget(630.0)
+    }
+
+    #[test]
+    fn requires_power_goal_and_sample() {
+        let shape = shape();
+        let mut tpc = Tpc::default();
+        let mut no_power_snap = snap(600.0, 50.0, &[1, 1, 1, 1]);
+        no_power_snap.power_watts = None;
+        assert!(tpc
+            .reconfigure(&no_power_snap, &config(&[1, 1, 1, 1]), &shape, &res())
+            .is_none());
+        let snap2 = snap(600.0, 50.0, &[1, 1, 1, 1]);
+        assert!(tpc
+            .reconfigure(&snap2, &config(&[1, 1, 1, 1]), &shape, &Resources::threads(24))
+            .is_none());
+    }
+
+    #[test]
+    fn ramps_while_under_budget() {
+        let shape = shape();
+        let mut tpc = Tpc::default();
+        let new = tpc
+            .reconfigure(&snap(550.0, 50.0, &[1, 1, 1, 1]), &config(&[1, 1, 1, 1]), &shape, &res())
+            .unwrap();
+        assert!(new.total_threads() > 4);
+        // The slowest stage (rank) got the worker.
+        assert_eq!(new.extent_of(&"0.2".parse().unwrap()), Some(2));
+    }
+
+    #[test]
+    fn backs_off_on_overshoot() {
+        let shape = shape();
+        let mut tpc = Tpc::default();
+        // Record a good configuration under budget first.
+        let c = config(&[1, 4, 8, 1]);
+        let grown = tpc
+            .reconfigure(&snap(600.0, 80.0, &[1, 4, 8, 1]), &c, &shape, &res())
+            .unwrap();
+        // Now power overshoots: fall back and cap.
+        let fallback = tpc
+            .reconfigure(&snap(660.0, 85.0, &[1, 4, 9, 1]), &grown, &shape, &res())
+            .unwrap();
+        assert!(fallback.total_threads() <= grown.total_threads());
+        assert!(tpc.extent_cap.is_some());
+    }
+
+    #[test]
+    fn stale_power_sample_holds_state() {
+        let shape = shape();
+        let mut tpc = Tpc::default();
+        let c = config(&[1, 1, 1, 1]);
+        let s = snap(550.0, 50.0, &[1, 1, 1, 1]);
+        let _ = tpc.reconfigure(&s, &c, &shape, &res());
+        // Same power reading again: the meter has not produced a fresh
+        // sample, so the controller holds.
+        assert!(tpc.reconfigure(&s, &c, &shape, &res()).is_none());
+    }
+
+    #[test]
+    fn respects_thread_budget_during_ramp() {
+        let shape = shape();
+        let mut tpc = Tpc::default();
+        let c = config(&[1, 11, 11, 1]);
+        // Under power budget but out of threads: only swap moves allowed.
+        let proposal = tpc.reconfigure(&snap(550.0, 50.0, &[1, 11, 11, 1]), &c, &shape, &res());
+        if let Some(p) = proposal {
+            assert!(p.total_threads() <= 24);
+        }
+    }
+}

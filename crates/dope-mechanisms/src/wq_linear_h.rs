@@ -1,0 +1,181 @@
+//! WQ-Linear with hysteresis — the variant the paper sketches in §7.1:
+//! "A variant of WQ-Linear could be a mechanism that incorporates the
+//! hysteresis component of WQT-H into WQ-Linear."
+
+use crate::wq_linear::WqLinear;
+use dope_core::nest::{self, TwoLevelNest};
+use dope_core::{Config, Mechanism, MonitorSnapshot, ProgramShape, Resources};
+
+/// WQ-Linear whose width changes are gated by hysteresis: Equation 2's
+/// target must persist for `persistence` consecutive observations before
+/// the configuration actually moves, suppressing reconfiguration churn on
+/// noisy queues while keeping the continuous DoP range.
+///
+/// # Example
+///
+/// ```
+/// use dope_mechanisms::WqLinearH;
+///
+/// let mech = WqLinearH::new(1, 8, 16.0, 3);
+/// assert_eq!(dope_core::Mechanism::name(&mech), "WQ-Linear-H");
+/// ```
+#[derive(Debug, Clone)]
+pub struct WqLinearH {
+    inner: WqLinear,
+    persistence: u64,
+    pending: Option<(u32, u64)>,
+    nest: Option<TwoLevelNest>,
+}
+
+impl WqLinearH {
+    /// A hysteretic WQ-Linear over `[m_min, m_max]` with slope
+    /// `(m_max - m_min) / q_max`, requiring a target width to persist for
+    /// `persistence` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid parameters as [`WqLinear::new`].
+    #[must_use]
+    pub fn new(m_min: u32, m_max: u32, q_max: f64, persistence: u64) -> Self {
+        WqLinearH {
+            inner: WqLinear::new(m_min, m_max, q_max),
+            persistence: persistence.max(1),
+            pending: None,
+            nest: None,
+        }
+    }
+
+    /// The width Equation 2 targets at `occupancy` (before hysteresis).
+    #[must_use]
+    pub fn width_for_occupancy(&self, occupancy: f64) -> u32 {
+        self.inner.width_for_occupancy(occupancy)
+    }
+}
+
+impl Default for WqLinearH {
+    /// WQ-Linear defaults with a persistence of 3 observations.
+    fn default() -> Self {
+        WqLinearH::new(1, 8, 16.0, 3)
+    }
+}
+
+impl Mechanism for WqLinearH {
+    fn name(&self) -> &'static str {
+        "WQ-Linear-H"
+    }
+
+    fn initial(&mut self, shape: &ProgramShape, res: &Resources) -> Option<Config> {
+        self.nest = nest::find_two_level(shape);
+        self.inner.initial(shape, res)
+    }
+
+    fn reconfigure(
+        &mut self,
+        snap: &MonitorSnapshot,
+        current: &Config,
+        shape: &ProgramShape,
+        res: &Resources,
+    ) -> Option<Config> {
+        if self.nest.is_none() {
+            self.nest = nest::find_two_level(shape);
+        }
+        let nest = self.nest.clone()?;
+        let target = self.inner.width_for_occupancy(snap.queue.occupancy);
+        let current_width = nest::width_of(current, &nest);
+        if target == current_width {
+            self.pending = None;
+            return None;
+        }
+        let streak = match self.pending {
+            Some((w, streak)) if w == target => streak + 1,
+            _ => 1,
+        };
+        if streak < self.persistence {
+            self.pending = Some((target, streak));
+            return None;
+        }
+        self.pending = None;
+        Some(nest::config_for_width(shape, &nest, res.threads, target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dope_core::{ShapeNode, TaskKind};
+
+    fn shape() -> ProgramShape {
+        ProgramShape::new(vec![ShapeNode {
+            name: "txn".into(),
+            kind: TaskKind::Par,
+            max_extent: None,
+            alternatives: vec![
+                vec![ShapeNode::leaf("work", TaskKind::Par)],
+                vec![ShapeNode::leaf("whole", TaskKind::Seq)],
+            ],
+        }])
+    }
+
+    fn snap(occ: f64) -> MonitorSnapshot {
+        let mut s = MonitorSnapshot::at(1.0);
+        s.queue.occupancy = occ;
+        s
+    }
+
+    #[test]
+    fn requires_persistent_target_before_moving() {
+        let shape = shape();
+        let res = Resources::threads(24);
+        let mut mech = WqLinearH::new(1, 8, 16.0, 3);
+        let current = mech.initial(&shape, &res).unwrap();
+        // Occupancy 16 targets width 1; needs 3 consecutive observations.
+        assert!(mech.reconfigure(&snap(16.0), &current, &shape, &res).is_none());
+        assert!(mech.reconfigure(&snap(16.0), &current, &shape, &res).is_none());
+        let moved = mech
+            .reconfigure(&snap(16.0), &current, &shape, &res)
+            .expect("third observation fires");
+        let nest = nest::find_two_level(&shape).unwrap();
+        assert_eq!(nest::width_of(&moved, &nest), 1);
+    }
+
+    #[test]
+    fn flapping_occupancy_never_fires() {
+        let shape = shape();
+        let res = Resources::threads(24);
+        let mut mech = WqLinearH::new(1, 8, 16.0, 2);
+        let current = mech.initial(&shape, &res).unwrap();
+        for i in 0..20 {
+            let occ = if i % 2 == 0 { 16.0 } else { 8.0 };
+            assert!(
+                mech.reconfigure(&snap(occ), &current, &shape, &res).is_none(),
+                "flapped at step {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn persistence_one_matches_plain_wq_linear() {
+        let shape = shape();
+        let res = Resources::threads(24);
+        let mut hyst = WqLinearH::new(1, 8, 16.0, 1);
+        let mut plain = WqLinear::new(1, 8, 16.0);
+        let current = hyst.initial(&shape, &res).unwrap();
+        let _ = plain.initial(&shape, &res);
+        let a = hyst.reconfigure(&snap(10.0), &current, &shape, &res);
+        let b = plain.reconfigure(&snap(10.0), &current, &shape, &res);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stable_target_resets_pending() {
+        let shape = shape();
+        let res = Resources::threads(24);
+        let mut mech = WqLinearH::new(1, 8, 16.0, 2);
+        let current = mech.initial(&shape, &res).unwrap();
+        // One observation toward width 1, then back at the current width:
+        // the pending streak must reset.
+        assert!(mech.reconfigure(&snap(16.0), &current, &shape, &res).is_none());
+        assert!(mech.reconfigure(&snap(0.0), &current, &shape, &res).is_none());
+        assert!(mech.reconfigure(&snap(16.0), &current, &shape, &res).is_none());
+    }
+}

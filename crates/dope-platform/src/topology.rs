@@ -1,0 +1,143 @@
+//! Machine topology model.
+
+use serde::{Deserialize, Serialize};
+
+/// A multicore machine: sockets, cores per socket, contexts per core.
+///
+/// The evaluation platform of the paper is available as
+/// [`Topology::xeon_x7460`]; other shapes can be constructed to study how
+/// mechanisms behave as platform characteristics vary (one of the three
+/// sources of execution-environment variability the paper names).
+///
+/// # Example
+///
+/// ```
+/// use dope_platform::Topology;
+///
+/// let laptop = Topology::new(1, 4, 2);
+/// assert_eq!(laptop.contexts(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Topology {
+    sockets: u32,
+    cores_per_socket: u32,
+    contexts_per_core: u32,
+}
+
+impl Topology {
+    /// A topology with the given socket/core/context counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero.
+    #[must_use]
+    pub fn new(sockets: u32, cores_per_socket: u32, contexts_per_core: u32) -> Self {
+        assert!(
+            sockets > 0 && cores_per_socket > 0 && contexts_per_core > 0,
+            "topology counts must be positive"
+        );
+        Topology {
+            sockets,
+            cores_per_socket,
+            contexts_per_core,
+        }
+    }
+
+    /// The paper's evaluation machine: 4 sockets x 6-core Intel Xeon X7460
+    /// at 2.66 GHz, 24 hardware contexts total.
+    #[must_use]
+    pub fn xeon_x7460() -> Self {
+        Topology::new(4, 6, 1)
+    }
+
+    /// Number of sockets.
+    #[must_use]
+    pub fn sockets(&self) -> u32 {
+        self.sockets
+    }
+
+    /// Cores per socket.
+    #[must_use]
+    pub fn cores_per_socket(&self) -> u32 {
+        self.cores_per_socket
+    }
+
+    /// Hardware contexts (SMT threads) per core.
+    #[must_use]
+    pub fn contexts_per_core(&self) -> u32 {
+        self.contexts_per_core
+    }
+
+    /// Total hardware contexts: the thread budget `N` an administrator
+    /// would typically grant.
+    #[must_use]
+    pub fn contexts(&self) -> u32 {
+        self.sockets * self.cores_per_socket * self.contexts_per_core
+    }
+
+    /// The socket a context index belongs to, for locality-aware placement.
+    #[must_use]
+    pub fn socket_of(&self, context: u32) -> u32 {
+        (context / (self.cores_per_socket * self.contexts_per_core)) % self.sockets
+    }
+}
+
+impl Default for Topology {
+    /// Defaults to the paper's evaluation machine.
+    fn default() -> Self {
+        Topology::xeon_x7460()
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{} cores, {} contexts/core ({} hardware contexts)",
+            self.sockets,
+            self.cores_per_socket,
+            self.contexts_per_core,
+            self.contexts()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_has_24_contexts() {
+        let t = Topology::xeon_x7460();
+        assert_eq!(t.contexts(), 24);
+        assert_eq!(t.sockets(), 4);
+        assert_eq!(t.cores_per_socket(), 6);
+    }
+
+    #[test]
+    fn contexts_multiplies_all_levels() {
+        let t = Topology::new(2, 8, 2);
+        assert_eq!(t.contexts(), 32);
+    }
+
+    #[test]
+    fn socket_of_partitions_contexts() {
+        let t = Topology::xeon_x7460();
+        assert_eq!(t.socket_of(0), 0);
+        assert_eq!(t.socket_of(5), 0);
+        assert_eq!(t.socket_of(6), 1);
+        assert_eq!(t.socket_of(23), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology counts must be positive")]
+    fn zero_sockets_panics() {
+        let _ = Topology::new(0, 4, 1);
+    }
+
+    #[test]
+    fn display_mentions_totals() {
+        let s = Topology::xeon_x7460().to_string();
+        assert!(s.contains("24"));
+    }
+}

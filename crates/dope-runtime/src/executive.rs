@@ -1,0 +1,467 @@
+//! The DoPE-Executive: launch, monitor, reconfigure, finish.
+
+use crate::instance::{instantiate, LiveCx};
+use crate::monitor::Monitor;
+use crate::pool::WorkerPool;
+use dope_core::{
+    Config, Error, Goal, Mechanism, ProgramShape, QueueStats, Resources, Result, StaticMechanism,
+    TaskPath, TaskSpec, TaskStatus,
+};
+use dope_platform::FeatureRegistry;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Report returned when a DoPE-managed application finishes.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Number of applied reconfigurations.
+    pub reconfigurations: u64,
+    /// Mechanism proposals rejected by validation.
+    pub rejected_configs: u64,
+    /// Configuration in force at the end.
+    pub final_config: Config,
+    /// `(elapsed_secs, config)` for every applied configuration, the
+    /// initial one included.
+    pub config_history: Vec<(f64, Config)>,
+}
+
+/// Builder for a [`Dope`] executive (the paper's `DoPE::create`).
+pub struct DopeBuilder {
+    goal: Goal,
+    mechanism: Option<Box<dyn Mechanism>>,
+    control_period: Duration,
+    throughput_window: Duration,
+    features: FeatureRegistry,
+    queue_probe: Option<Arc<dyn Fn() -> QueueStats + Send + Sync>>,
+    pool_threads: Option<u32>,
+}
+
+impl std::fmt::Debug for DopeBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DopeBuilder")
+            .field("goal", &self.goal)
+            .field("control_period", &self.control_period)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DopeBuilder {
+    fn new(goal: Goal) -> Self {
+        DopeBuilder {
+            goal,
+            mechanism: None,
+            control_period: Duration::from_millis(100),
+            throughput_window: Duration::from_secs(5),
+            features: FeatureRegistry::new(),
+            queue_probe: None,
+            pool_threads: None,
+        }
+    }
+
+    /// Overrides the mechanism (otherwise the executive runs a static even
+    /// split — link `dope-mechanisms` and pass `for_goal(goal)` for the
+    /// adaptive defaults).
+    #[must_use]
+    pub fn mechanism(mut self, mechanism: Box<dyn Mechanism>) -> Self {
+        self.mechanism = Some(mechanism);
+        self
+    }
+
+    /// How often the executive consults the mechanism.
+    #[must_use]
+    pub fn control_period(mut self, period: Duration) -> Self {
+        self.control_period = period;
+        self
+    }
+
+    /// The sliding window for throughput measurements.
+    #[must_use]
+    pub fn throughput_window(mut self, window: Duration) -> Self {
+        self.throughput_window = window;
+        self
+    }
+
+    /// Installs a platform feature registry (paper Figure 9); register a
+    /// `"SystemPower"` feature to feed power-aware mechanisms.
+    #[must_use]
+    pub fn features(mut self, features: FeatureRegistry) -> Self {
+        self.features = features;
+        self
+    }
+
+    /// Installs the work-queue probe behind `snapshot().queue`.
+    #[must_use]
+    pub fn queue_probe<F>(mut self, probe: F) -> Self
+    where
+        F: Fn() -> QueueStats + Send + Sync + 'static,
+    {
+        self.queue_probe = Some(Arc::new(probe));
+        self
+    }
+
+    /// Overrides the worker-pool size (defaults to the goal's thread
+    /// budget). Values above the budget let baselines oversubscribe.
+    #[must_use]
+    pub fn pool_threads(mut self, threads: u32) -> Self {
+        self.pool_threads = Some(threads);
+        self
+    }
+
+    /// Launches the application described by `descriptor` under the DoPE
+    /// run-time system.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the initial configuration fails validation or
+    /// the descriptor cannot be instantiated.
+    pub fn launch(self, descriptor: Vec<TaskSpec>) -> Result<Dope> {
+        Dope::launch(self, descriptor)
+    }
+}
+
+/// Shared executive state.
+struct Shared {
+    suspend: Arc<AtomicBool>,
+    stop: AtomicBool,
+    monitor: Monitor,
+}
+
+/// The Degree of Parallelism Executive.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct Dope {
+    control: Option<JoinHandle<Result<RunReport>>>,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Dope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dope").finish_non_exhaustive()
+    }
+}
+
+impl Dope {
+    /// Starts building an executive for `goal`.
+    #[must_use]
+    pub fn builder(goal: Goal) -> DopeBuilder {
+        DopeBuilder::new(goal)
+    }
+
+    /// The live monitor (snapshots, feature registry).
+    #[must_use]
+    pub fn monitor(&self) -> Monitor {
+        self.shared.monitor.clone()
+    }
+
+    /// Requests an orderly early stop: tasks are suspended and the run
+    /// report is produced.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.suspend.store(true, Ordering::Release);
+    }
+
+    /// Waits for the application to finish (the paper's `DoPE::destroy`
+    /// waits for registered tasks to end).
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch-time validation errors from reconfigurations.
+    pub fn wait(mut self) -> Result<RunReport> {
+        let handle = self.control.take().expect("wait called once");
+        handle.join().map_err(|_| {
+            Error::Usage("executive control thread panicked".to_string())
+        })?
+    }
+
+    fn launch(builder: DopeBuilder, descriptor: Vec<TaskSpec>) -> Result<Dope> {
+        let goal = builder.goal;
+        let budget = goal.threads().max(1);
+        let shape = ProgramShape::of_specs(&descriptor);
+        let res = Resources {
+            threads: budget,
+            power_budget_watts: goal.power_budget_watts(),
+            peak_power_watts: None,
+        };
+
+        let mut mechanism: Box<dyn Mechanism> = builder.mechanism.unwrap_or_else(|| {
+            Box::new(StaticMechanism::new(Config::even(&shape, budget)).named("Static-Even"))
+        });
+
+        let initial = mechanism
+            .initial(&shape, &res)
+            .unwrap_or_else(|| Config::even(&shape, budget));
+        initial.validate(&shape, builder.pool_threads.unwrap_or(budget).max(budget))?;
+
+        let monitor = Monitor::new(
+            builder.throughput_window,
+            0.25,
+            builder.features.clone(),
+        );
+        if let Some(probe) = &builder.queue_probe {
+            let probe = Arc::clone(probe);
+            monitor.set_queue_probe(move || probe());
+        }
+
+        let shared = Arc::new(Shared {
+            suspend: Arc::new(AtomicBool::new(false)),
+            stop: AtomicBool::new(false),
+            monitor: monitor.clone(),
+        });
+
+        let pool = WorkerPool::new(builder.pool_threads.unwrap_or(budget).max(1));
+        let control_period = builder.control_period;
+        let window = builder.throughput_window;
+        let shared_for_thread = Arc::clone(&shared);
+
+        let control = std::thread::Builder::new()
+            .name("dope-executive".to_string())
+            .spawn(move || {
+                run_control_loop(
+                    &descriptor,
+                    &shape,
+                    initial,
+                    mechanism.as_mut(),
+                    res,
+                    &pool,
+                    &shared_for_thread,
+                    control_period,
+                    window,
+                )
+            })
+            .expect("spawning the executive thread");
+
+        Ok(Dope {
+            control: Some(control),
+            shared,
+        })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_control_loop(
+    descriptor: &[TaskSpec],
+    shape: &ProgramShape,
+    initial: Config,
+    mechanism: &mut dyn Mechanism,
+    res: Resources,
+    pool: &WorkerPool,
+    shared: &Shared,
+    control_period: Duration,
+    window: Duration,
+) -> Result<RunReport> {
+    let start = Instant::now();
+    let mut config = initial;
+    let mut reconfigurations: u64 = 0;
+    let mut rejected: u64 = 0;
+    let mut history = vec![(0.0, config.clone())];
+    let budget = res.threads;
+
+    'epochs: loop {
+        // Launch the epoch.
+        let epoch = instantiate(descriptor, &config)?;
+        shared
+            .monitor
+            .install_epoch(epoch.load_cbs, epoch.extents.clone());
+        shared.suspend.store(false, Ordering::Release);
+        let suspend = Arc::clone(&shared.suspend);
+
+        let (done_tx, done_rx) = mpsc::channel::<(TaskPath, TaskStatus)>();
+        let outstanding = epoch.jobs.len();
+        let statuses: Arc<Mutex<HashMap<TaskPath, TaskStatus>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        for job in epoch.jobs {
+            let monitor = shared.monitor.clone();
+            let suspend = Arc::clone(&suspend);
+            let done = done_tx.clone();
+            pool.submit(move || {
+                let mut cx = LiveCx::new(&monitor, suspend, &job.path, job.slot, window);
+                let mut body = job.body;
+                body.init();
+                // The paper's TaskExecutor (Figure 4a): re-invoke while the
+                // body reports EXECUTING. The suspend directive reaches the
+                // body through begin/end; the *body* decides when it has
+                // steered into a globally consistent state (drained its
+                // queues) and yields — the executor must not cut it short.
+                let status = loop {
+                    let status = body.invoke(&mut cx);
+                    if status.is_terminal() {
+                        break status;
+                    }
+                };
+                body.fini(status);
+                let _ = done.send((job.path, status));
+            });
+        }
+        drop(done_tx);
+
+        // Monitor until the epoch ends or a reconfiguration triggers.
+        let mut remaining = outstanding;
+        let mut reconfig_target: Option<Config> = None;
+        while remaining > 0 {
+            match done_rx.recv_timeout(control_period) {
+                Ok((path, status)) => {
+                    statuses.lock().insert(path, status);
+                    remaining -= 1;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if shared.stop.load(Ordering::Acquire) {
+                        shared.suspend.store(true, Ordering::Release);
+                        continue;
+                    }
+                    if reconfig_target.is_some() {
+                        continue; // already draining
+                    }
+                    let snap = shared.monitor.snapshot();
+                    if let Some(proposal) =
+                        mechanism.reconfigure(&snap, &config, shape, &res)
+                    {
+                        if proposal == config {
+                            continue;
+                        }
+                        match proposal.validate(shape, budget) {
+                            Ok(()) => {
+                                reconfig_target = Some(proposal);
+                                shared.suspend.store(true, Ordering::Release);
+                            }
+                            Err(_) => rejected += 1,
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        // Epoch fully drained.
+        if shared.stop.load(Ordering::Acquire) {
+            break 'epochs;
+        }
+        if let Some(new_config) = reconfig_target {
+            config = new_config;
+            reconfigurations += 1;
+            history.push((start.elapsed().as_secs_f64(), config.clone()));
+            shared.monitor.mark_reconfig();
+            mechanism.applied(&config);
+            continue 'epochs;
+        }
+        // No reconfiguration pending: did the program finish?
+        let all_finished = statuses
+            .lock()
+            .values()
+            .all(|s| *s == TaskStatus::Finished);
+        if all_finished {
+            break 'epochs;
+        }
+        // Mixed suspension without a target (stop raced): relaunch as-is.
+    }
+
+    Ok(RunReport {
+        elapsed: start.elapsed(),
+        reconfigurations,
+        rejected_configs: rejected,
+        final_config: config,
+        config_history: history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dope_core::{body_fn, TaskBody, TaskKind, TaskSpec, WorkerSlot};
+    use dope_workload::WorkQueue;
+    use std::sync::atomic::AtomicU64;
+
+    /// A leaf task draining a shared queue of `n` items.
+    fn drain_spec(name: &str, queue: WorkQueue<u64>, hits: Arc<AtomicU64>) -> TaskSpec {
+        TaskSpec::leaf(name, TaskKind::Par, move |_slot: WorkerSlot| {
+            let queue = queue.clone();
+            let hits = Arc::clone(&hits);
+            Box::new(body_fn(move |cx| {
+                cx.begin();
+                let item = queue.dequeue_timeout(Duration::from_millis(2));
+                cx.end();
+                match item {
+                    dope_workload::DequeueOutcome::Item(_) => {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        TaskStatus::Executing
+                    }
+                    dope_workload::DequeueOutcome::Drained => TaskStatus::Finished,
+                    dope_workload::DequeueOutcome::TimedOut => {
+                        if cx.directive().wants_suspend() {
+                            TaskStatus::Suspended
+                        } else {
+                            TaskStatus::Executing
+                        }
+                    }
+                }
+            })) as Box<dyn TaskBody>
+        })
+    }
+
+    #[test]
+    fn runs_to_completion_and_counts_work() {
+        let queue = WorkQueue::new();
+        for i in 0..500u64 {
+            queue.enqueue(i).unwrap();
+        }
+        queue.close();
+        let hits = Arc::new(AtomicU64::new(0));
+        let spec = drain_spec("drain", queue, Arc::clone(&hits));
+        let dope = Dope::builder(Goal::MaxThroughput { threads: 4 })
+            .launch(vec![spec])
+            .unwrap();
+        let report = dope.wait().unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
+        assert_eq!(report.reconfigurations, 0);
+    }
+
+    #[test]
+    fn stop_interrupts_long_run() {
+        let queue: WorkQueue<u64> = WorkQueue::new();
+        // Never closed: tasks would run forever.
+        let hits = Arc::new(AtomicU64::new(0));
+        let spec = drain_spec("drain", queue, Arc::clone(&hits));
+        let dope = Dope::builder(Goal::MaxThroughput { threads: 2 })
+            .control_period(Duration::from_millis(5))
+            .launch(vec![spec])
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        dope.stop();
+        let report = dope.wait().unwrap();
+        assert!(report.elapsed >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn static_mechanism_reconfigures_once_then_settles() {
+        let queue = WorkQueue::new();
+        for i in 0..2000u64 {
+            queue.enqueue(i).unwrap();
+        }
+        queue.close();
+        let hits = Arc::new(AtomicU64::new(0));
+        let spec = drain_spec("drain", queue, Arc::clone(&hits));
+        // The mechanism pins extent 3, while the initial even split uses 4.
+        let target = Config::new(vec![dope_core::TaskConfig::leaf("drain", 3)]);
+        let mut mech = StaticMechanism::new(target.clone());
+        // Force a different initial config.
+        let shape = ProgramShape::new(vec![dope_core::ShapeNode::leaf(
+            "drain",
+            TaskKind::Par,
+        )]);
+        let _ = &mut mech;
+        let _ = shape;
+        let dope = Dope::builder(Goal::MaxThroughput { threads: 4 })
+            .mechanism(Box::new(mech))
+            .control_period(Duration::from_millis(5))
+            .launch(vec![spec])
+            .unwrap();
+        let report = dope.wait().unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 2000);
+        assert_eq!(report.final_config, target);
+    }
+}

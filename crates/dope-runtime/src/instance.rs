@@ -1,0 +1,361 @@
+//! Instantiation of a task nest under a concrete configuration, and the
+//! live task context workers run with.
+
+use crate::monitor::{Monitor, PathStats};
+use dope_core::{
+    Config, Directive, Error, Result, TaskBody, TaskConfig, TaskCx, TaskPath, TaskSpec, Work,
+    WorkerSlot,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One worker's assignment for an epoch: a body plus its coordinates.
+pub(crate) struct WorkerJob {
+    pub path: TaskPath,
+    pub slot: WorkerSlot,
+    pub body: Box<dyn TaskBody>,
+}
+
+impl std::fmt::Debug for WorkerJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerJob")
+            .field("path", &self.path)
+            .field("slot", &self.slot)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Everything instantiated for one epoch.
+#[derive(Default)]
+pub(crate) struct Epoch {
+    pub jobs: Vec<WorkerJob>,
+    pub load_cbs: Vec<(TaskPath, Arc<dyn Fn() -> f64 + Send + Sync>)>,
+    pub extents: HashMap<TaskPath, u32>,
+}
+
+impl std::fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Epoch")
+            .field("jobs", &self.jobs.len())
+            .field("load_cbs", &self.load_cbs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builds the worker jobs for `specs` under `config`.
+///
+/// Each replica of a nested task instantiates a *fresh* inner descriptor
+/// (fresh queues, fresh accumulators); the descriptor's names and kinds
+/// must match the shape derived from replica zero.
+pub(crate) fn instantiate(specs: &[TaskSpec], config: &Config) -> Result<Epoch> {
+    let mut epoch = Epoch::default();
+    instantiate_level(specs, &config.tasks, &TaskPath::root(), &mut epoch)?;
+    Ok(epoch)
+}
+
+fn instantiate_level(
+    specs: &[TaskSpec],
+    configs: &[TaskConfig],
+    prefix: &TaskPath,
+    epoch: &mut Epoch,
+) -> Result<()> {
+    if specs.len() != configs.len() {
+        return Err(Error::ShapeMismatch {
+            path: prefix.clone(),
+            detail: format!(
+                "descriptor has {} tasks but configuration has {}",
+                specs.len(),
+                configs.len()
+            ),
+        });
+    }
+    for (i, (spec, cfg)) in specs.iter().zip(configs).enumerate() {
+        let path = prefix.child(i as u16);
+        if spec.name() != cfg.name {
+            return Err(Error::ShapeMismatch {
+                path,
+                detail: format!("expected `{}`, found `{}`", spec.name(), cfg.name),
+            });
+        }
+        *epoch.extents.entry(path.clone()).or_insert(0) += cfg.extent;
+        if let Some(cb) = spec.load_cb() {
+            epoch.load_cbs.push((path.clone(), Arc::clone(cb)));
+        }
+        match (spec.work(), &cfg.nested) {
+            (Work::Leaf(factory), None) => {
+                for worker in 0..cfg.extent {
+                    let slot = WorkerSlot {
+                        replica: 0,
+                        worker,
+                        extent: cfg.extent,
+                    };
+                    epoch.jobs.push(WorkerJob {
+                        path: path.clone(),
+                        slot,
+                        body: factory.make_body(slot),
+                    });
+                }
+            }
+            (Work::Nest(alts), Some(nest)) => {
+                let factory = alts.get(nest.alternative).ok_or_else(|| {
+                    Error::UnknownAlternative {
+                        path: path.clone(),
+                        requested: nest.alternative,
+                        available: alts.len(),
+                    }
+                })?;
+                for replica in 0..cfg.extent {
+                    let inner = factory.make_nest(replica);
+                    instantiate_replica(&inner, &nest.tasks, &path, replica, epoch)?;
+                }
+            }
+            (Work::Leaf(_), Some(_)) => {
+                return Err(Error::ShapeMismatch {
+                    path,
+                    detail: "configuration nests a leaf task".to_string(),
+                })
+            }
+            (Work::Nest(_), None) => {
+                return Err(Error::ShapeMismatch {
+                    path,
+                    detail: "configuration treats a nested task as a leaf".to_string(),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Like [`instantiate_level`] but tags jobs with the replica index.
+fn instantiate_replica(
+    specs: &[TaskSpec],
+    configs: &[TaskConfig],
+    prefix: &TaskPath,
+    replica: u32,
+    epoch: &mut Epoch,
+) -> Result<()> {
+    if specs.len() != configs.len() {
+        return Err(Error::ShapeMismatch {
+            path: prefix.clone(),
+            detail: "replica descriptor arity differs from shape".to_string(),
+        });
+    }
+    for (i, (spec, cfg)) in specs.iter().zip(configs).enumerate() {
+        let path = prefix.child(i as u16);
+        if spec.name() != cfg.name {
+            return Err(Error::ShapeMismatch {
+                path,
+                detail: format!(
+                    "replica {replica}: expected `{}`, found `{}`",
+                    cfg.name,
+                    spec.name()
+                ),
+            });
+        }
+        *epoch.extents.entry(path.clone()).or_insert(0) += cfg.extent;
+        if let Some(cb) = spec.load_cb() {
+            epoch.load_cbs.push((path.clone(), Arc::clone(cb)));
+        }
+        match (spec.work(), &cfg.nested) {
+            (Work::Leaf(factory), None) => {
+                for worker in 0..cfg.extent {
+                    let slot = WorkerSlot {
+                        replica,
+                        worker,
+                        extent: cfg.extent,
+                    };
+                    epoch.jobs.push(WorkerJob {
+                        path: path.clone(),
+                        slot,
+                        body: factory.make_body(slot),
+                    });
+                }
+            }
+            (Work::Nest(alts), Some(nest)) => {
+                let factory = alts.get(nest.alternative).ok_or_else(|| {
+                    Error::UnknownAlternative {
+                        path: path.clone(),
+                        requested: nest.alternative,
+                        available: alts.len(),
+                    }
+                })?;
+                for inner_replica in 0..cfg.extent {
+                    let inner = factory.make_nest(inner_replica);
+                    instantiate_replica(&inner, &nest.tasks, &path, inner_replica, epoch)?;
+                }
+            }
+            _ => {
+                return Err(Error::ShapeMismatch {
+                    path,
+                    detail: "replica structure differs from configuration".to_string(),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The live [`TaskCx`]: timers into the monitor plus the epoch's suspend
+/// flag.
+pub(crate) struct LiveCx {
+    suspend: Arc<AtomicBool>,
+    stats: Arc<PathStats>,
+    window: Duration,
+    slot: WorkerSlot,
+    began: Option<Instant>,
+}
+
+impl LiveCx {
+    pub fn new(monitor: &Monitor, suspend: Arc<AtomicBool>, path: &TaskPath, slot: WorkerSlot, window: Duration) -> Self {
+        LiveCx {
+            suspend,
+            stats: monitor.stats_for(path),
+            window,
+            slot,
+            began: None,
+        }
+    }
+
+    fn current_directive(&self) -> Directive {
+        if self.suspend.load(Ordering::Acquire) {
+            Directive::Suspend
+        } else {
+            Directive::Continue
+        }
+    }
+}
+
+impl TaskCx for LiveCx {
+    fn begin(&mut self) -> Directive {
+        self.began = Some(Instant::now());
+        self.current_directive()
+    }
+
+    fn end(&mut self) -> Directive {
+        if let Some(t0) = self.began.take() {
+            let now = Instant::now();
+            self.stats.record(now - t0, now, self.window);
+        }
+        self.current_directive()
+    }
+
+    fn directive(&self) -> Directive {
+        self.current_directive()
+    }
+
+    fn replica(&self) -> u32 {
+        self.slot.replica
+    }
+
+    fn worker(&self) -> u32 {
+        self.slot.worker
+    }
+
+    fn extent(&self) -> u32 {
+        self.slot.extent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dope_core::{body_fn, Config, TaskKind, TaskStatus};
+    use dope_platform::FeatureRegistry;
+
+    fn leaf(name: &str, kind: TaskKind) -> TaskSpec {
+        TaskSpec::leaf(name, kind, |_slot: WorkerSlot| {
+            Box::new(body_fn(|_| TaskStatus::Finished)) as Box<dyn TaskBody>
+        })
+    }
+
+    #[test]
+    fn leaf_instantiation_creates_extent_jobs() {
+        let specs = vec![leaf("a", TaskKind::Par), leaf("b", TaskKind::Seq)];
+        let config = Config::new(vec![
+            TaskConfig::leaf("a", 3),
+            TaskConfig::leaf("b", 1),
+        ]);
+        let epoch = instantiate(&specs, &config).unwrap();
+        assert_eq!(epoch.jobs.len(), 4);
+        let a_workers: Vec<u32> = epoch
+            .jobs
+            .iter()
+            .filter(|j| j.path.to_string() == "0")
+            .map(|j| j.slot.worker)
+            .collect();
+        assert_eq!(a_workers, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nest_instantiation_creates_fresh_replicas() {
+        use std::sync::atomic::AtomicU32;
+        let made = Arc::new(AtomicU32::new(0));
+        let made2 = Arc::clone(&made);
+        let spec = TaskSpec::nest("outer", TaskKind::Par, move |_replica: u32| {
+            made2.fetch_add(1, Ordering::SeqCst);
+            vec![leaf("inner", TaskKind::Par)]
+        });
+        let config = Config::new(vec![TaskConfig::nest(
+            "outer",
+            3,
+            0,
+            vec![TaskConfig::leaf("inner", 2)],
+        )]);
+        let epoch = instantiate(&[spec], &config).unwrap();
+        assert_eq!(made.load(Ordering::SeqCst), 3, "one nest per replica");
+        assert_eq!(epoch.jobs.len(), 6, "3 replicas x 2 workers");
+        assert_eq!(epoch.extents.get(&"0.0".parse().unwrap()), Some(&6));
+        assert_eq!(epoch.extents.get(&"0".parse().unwrap()), Some(&3));
+    }
+
+    #[test]
+    fn name_mismatch_is_rejected() {
+        let specs = vec![leaf("a", TaskKind::Par)];
+        let config = Config::new(vec![TaskConfig::leaf("z", 1)]);
+        assert!(matches!(
+            instantiate(&specs, &config),
+            Err(Error::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_alternative_is_rejected() {
+        let spec = TaskSpec::nest("o", TaskKind::Par, |_r: u32| vec![leaf("i", TaskKind::Seq)]);
+        let config = Config::new(vec![TaskConfig::nest(
+            "o",
+            1,
+            5,
+            vec![TaskConfig::leaf("i", 1)],
+        )]);
+        assert!(matches!(
+            instantiate(&[spec], &config),
+            Err(Error::UnknownAlternative { requested: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn live_cx_records_and_suspends() {
+        let monitor = Monitor::new(Duration::from_secs(5), 0.25, FeatureRegistry::new());
+        let suspend = Arc::new(AtomicBool::new(false));
+        let path: TaskPath = "0".parse().unwrap();
+        let slot = WorkerSlot {
+            replica: 0,
+            worker: 0,
+            extent: 1,
+        };
+        let mut cx = LiveCx::new(&monitor, Arc::clone(&suspend), &path, slot, Duration::from_secs(5));
+        assert_eq!(cx.begin(), Directive::Continue);
+        assert_eq!(cx.end(), Directive::Continue);
+        suspend.store(true, Ordering::Release);
+        assert_eq!(cx.directive(), Directive::Suspend);
+        assert_eq!(cx.begin(), Directive::Suspend);
+        let snap = {
+            use std::collections::HashMap;
+            monitor.install_epoch(Vec::new(), HashMap::from([(path.clone(), 1)]));
+            monitor.snapshot()
+        };
+        assert_eq!(snap.task(&path).unwrap().invocations, 1);
+    }
+}

@@ -1,0 +1,297 @@
+//! The live application/platform monitor.
+//!
+//! The paper's runtime "monitors both the application (A) and platform
+//! (B)": per-task execution times through `Task::begin`/`Task::end`
+//! (per-thread timers), per-task load through `LoadCB`, and platform
+//! features through registered callbacks (Figure 9). The
+//! [`Monitor`] aggregates those measurements per task path and freezes
+//! them into [`MonitorSnapshot`]s for mechanisms. Its overhead is a
+//! handful of atomic operations per task invocation (the paper reports
+//! less than 1%).
+
+use dope_core::{Ewma, MonitorSnapshot, QueueStats, TaskPath, TaskStats};
+use dope_platform::FeatureRegistry;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-path measurement cell shared by every worker of a task.
+#[derive(Debug)]
+pub(crate) struct PathStats {
+    pub invocations: AtomicU64,
+    pub busy_nanos: AtomicU64,
+    inner: Mutex<PathStatsInner>,
+}
+
+#[derive(Debug)]
+struct PathStatsInner {
+    exec_ewma: Ewma,
+    completions: VecDeque<Instant>,
+}
+
+impl PathStats {
+    fn new(alpha: f64) -> Self {
+        PathStats {
+            invocations: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            inner: Mutex::new(PathStatsInner {
+                exec_ewma: Ewma::new(alpha),
+                completions: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Records one completed `begin`..`end` interval.
+    pub fn record(&self, exec: Duration, now: Instant, window: Duration) {
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        self.busy_nanos
+            .fetch_add(exec.as_nanos() as u64, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        inner.exec_ewma.update(exec.as_secs_f64());
+        inner.completions.push_back(now);
+        let horizon = now.checked_sub(window).unwrap_or(now);
+        while inner.completions.front().is_some_and(|&t| t < horizon) {
+            inner.completions.pop_front();
+        }
+    }
+
+    fn sample(&self, now: Instant, window: Duration) -> (f64, f64) {
+        let inner = self.inner.lock();
+        let horizon = now.checked_sub(window).unwrap_or(now);
+        let recent = inner
+            .completions
+            .iter()
+            .filter(|&&t| t >= horizon)
+            .count();
+        let throughput = recent as f64 / window.as_secs_f64().max(1e-9);
+        (inner.exec_ewma.value_or(0.0), throughput)
+    }
+}
+
+/// Aggregated live measurements for the whole task nest.
+///
+/// Cloning shares the underlying state; the executive hands clones to the
+/// task contexts it creates.
+#[derive(Clone)]
+pub struct Monitor {
+    shared: Arc<MonitorShared>,
+}
+
+struct MonitorShared {
+    start: Instant,
+    window: Duration,
+    ewma_alpha: f64,
+    paths: Mutex<HashMap<TaskPath, Arc<PathStats>>>,
+    load_cbs: Mutex<Vec<(TaskPath, Arc<dyn Fn() -> f64 + Send + Sync>)>>,
+    extents: Mutex<HashMap<TaskPath, u32>>,
+    queue_probe: Mutex<Option<Arc<dyn Fn() -> QueueStats + Send + Sync>>>,
+    features: FeatureRegistry,
+    completed_at_reconfig: AtomicU64,
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("paths", &self.shared.paths.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Monitor {
+    /// A monitor with a throughput window of `window` and execution-time
+    /// smoothing `ewma_alpha`.
+    #[must_use]
+    pub fn new(window: Duration, ewma_alpha: f64, features: FeatureRegistry) -> Self {
+        Monitor {
+            shared: Arc::new(MonitorShared {
+                start: Instant::now(),
+                window,
+                ewma_alpha,
+                paths: Mutex::new(HashMap::new()),
+                load_cbs: Mutex::new(Vec::new()),
+                extents: Mutex::new(HashMap::new()),
+                queue_probe: Mutex::new(None),
+                features,
+                completed_at_reconfig: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The measurement cell for `path`, created on first use.
+    pub(crate) fn stats_for(&self, path: &TaskPath) -> Arc<PathStats> {
+        let mut paths = self.shared.paths.lock();
+        Arc::clone(
+            paths
+                .entry(path.clone())
+                .or_insert_with(|| Arc::new(PathStats::new(self.shared.ewma_alpha))),
+        )
+    }
+
+    /// Registers the load callbacks and extents of a freshly instantiated
+    /// epoch, replacing the previous epoch's.
+    pub(crate) fn install_epoch(
+        &self,
+        load_cbs: Vec<(TaskPath, Arc<dyn Fn() -> f64 + Send + Sync>)>,
+        extents: HashMap<TaskPath, u32>,
+    ) {
+        *self.shared.load_cbs.lock() = load_cbs;
+        *self.shared.extents.lock() = extents;
+    }
+
+    /// Installs the work-queue probe feeding `snapshot().queue`.
+    pub fn set_queue_probe<F>(&self, probe: F)
+    where
+        F: Fn() -> QueueStats + Send + Sync + 'static,
+    {
+        *self.shared.queue_probe.lock() = Some(Arc::new(probe));
+    }
+
+    /// The platform feature registry (paper Figure 9).
+    #[must_use]
+    pub fn features(&self) -> &FeatureRegistry {
+        &self.shared.features
+    }
+
+    /// Marks a reconfiguration: resets the dispatches-since-reconfig
+    /// counter.
+    pub(crate) fn mark_reconfig(&self) {
+        let completed = self
+            .shared
+            .queue_probe
+            .lock()
+            .as_ref()
+            .map_or(0, |p| p().completed);
+        self.shared
+            .completed_at_reconfig
+            .store(completed, Ordering::Relaxed);
+    }
+
+    /// Seconds since the monitor was created.
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.shared.start.elapsed().as_secs_f64()
+    }
+
+    /// Freezes the current measurements into a snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        let now = Instant::now();
+        let shared = &self.shared;
+        let mut snap = MonitorSnapshot::at(self.elapsed_secs());
+
+        // Per-task loads, aggregated (summed) across replicas.
+        let mut loads: HashMap<TaskPath, f64> = HashMap::new();
+        for (path, cb) in shared.load_cbs.lock().iter() {
+            *loads.entry(path.clone()).or_insert(0.0) += cb();
+        }
+
+        let extents = shared.extents.lock().clone();
+        let elapsed = self.elapsed_secs().max(1e-9);
+        for (path, stats) in shared.paths.lock().iter() {
+            let (mean_exec, throughput) = stats.sample(now, shared.window);
+            let extent = extents.get(path).copied().unwrap_or(1).max(1);
+            let busy_secs = stats.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+            snap.tasks.insert(
+                path.clone(),
+                TaskStats {
+                    invocations: stats.invocations.load(Ordering::Relaxed),
+                    mean_exec_secs: mean_exec,
+                    throughput,
+                    load: loads.get(path).copied().unwrap_or(0.0),
+                    utilization: (busy_secs / (elapsed * f64::from(extent))).min(1.0),
+                },
+            );
+        }
+
+        if let Some(probe) = shared.queue_probe.lock().as_ref() {
+            snap.queue = probe();
+        }
+        snap.dispatches_since_reconfig = snap
+            .queue
+            .completed
+            .saturating_sub(shared.completed_at_reconfig.load(Ordering::Relaxed));
+        snap.power_watts = shared.features.value("SystemPower");
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> Monitor {
+        Monitor::new(Duration::from_secs(10), 0.25, FeatureRegistry::new())
+    }
+
+    #[test]
+    fn records_invocations_and_exec_time() {
+        let m = monitor();
+        let path: TaskPath = "0.1".parse().unwrap();
+        let stats = m.stats_for(&path);
+        let now = Instant::now();
+        stats.record(Duration::from_millis(10), now, Duration::from_secs(10));
+        stats.record(Duration::from_millis(30), now, Duration::from_secs(10));
+        m.install_epoch(Vec::new(), HashMap::from([(path.clone(), 2)]));
+        let snap = m.snapshot();
+        let ts = snap.task(&path).unwrap();
+        assert_eq!(ts.invocations, 2);
+        assert!(ts.mean_exec_secs > 0.009 && ts.mean_exec_secs < 0.031);
+        assert!(ts.throughput > 0.0);
+    }
+
+    #[test]
+    fn load_callbacks_sum_across_replicas() {
+        let m = monitor();
+        let path: TaskPath = "0".parse().unwrap();
+        let _ = m.stats_for(&path);
+        m.install_epoch(
+            vec![
+                (path.clone(), Arc::new(|| 2.0)),
+                (path.clone(), Arc::new(|| 3.0)),
+            ],
+            HashMap::from([(path.clone(), 2)]),
+        );
+        let snap = m.snapshot();
+        assert_eq!(snap.task(&path).unwrap().load, 5.0);
+    }
+
+    #[test]
+    fn queue_probe_feeds_snapshot() {
+        let m = monitor();
+        m.set_queue_probe(|| QueueStats {
+            occupancy: 7.0,
+            arrival_rate: 2.0,
+            enqueued: 10,
+            completed: 3,
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.queue.occupancy, 7.0);
+        assert_eq!(snap.dispatches_since_reconfig, 3);
+        m.mark_reconfig();
+        assert_eq!(m.snapshot().dispatches_since_reconfig, 0);
+    }
+
+    #[test]
+    fn power_feature_appears_in_snapshot() {
+        let features = FeatureRegistry::new();
+        features.register("SystemPower", || 612.5);
+        let m = Monitor::new(Duration::from_secs(5), 0.25, features);
+        assert_eq!(m.snapshot().power_watts, Some(612.5));
+    }
+
+    #[test]
+    fn same_path_shares_cell() {
+        let m = monitor();
+        let p: TaskPath = "1".parse().unwrap();
+        let a = m.stats_for(&p);
+        let b = m.stats_for(&p);
+        a.record(
+            Duration::from_millis(1),
+            Instant::now(),
+            Duration::from_secs(1),
+        );
+        assert_eq!(b.invocations.load(Ordering::Relaxed), 1);
+    }
+}

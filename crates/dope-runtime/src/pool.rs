@@ -1,0 +1,172 @@
+//! A fixed-size worker pool.
+//!
+//! DoPE "maintains a Thread Pool with as many threads as constrained by
+//! the performance goals" (paper §5). Workers pull long-running jobs (task
+//! executor loops) from a shared queue; between epochs they sit idle on
+//! the channel.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A pool of OS threads executing submitted jobs.
+///
+/// # Example
+///
+/// ```
+/// use dope_runtime::WorkerPool;
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = WorkerPool::new(4);
+/// let hits = Arc::new(AtomicU32::new(0));
+/// for _ in 0..8 {
+///     let hits = Arc::clone(&hits);
+///     pool.submit(move || {
+///         hits.fetch_add(1, Ordering::SeqCst);
+///     });
+/// }
+/// pool.shutdown();
+/// assert_eq!(hits.load(Ordering::SeqCst), 8);
+/// ```
+#[derive(Debug)]
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// A pool with `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn new(threads: u32) -> Self {
+        assert!(threads >= 1, "pool needs at least one thread");
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let handles = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("dope-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submits a job. Jobs beyond the thread count queue until a worker
+    /// frees up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool has been shut down.
+    pub fn submit<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.tx
+            .as_ref()
+            .expect("pool is live")
+            .send(Box::new(job))
+            .expect("workers alive");
+    }
+
+    /// Shuts the pool down, waiting for queued jobs to finish.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.tx.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_all_jobs() {
+        let pool = WorkerPool::new(3);
+        let hits = Arc::new(AtomicU32::new(0));
+        for _ in 0..20 {
+            let hits = Arc::clone(&hits);
+            pool.submit(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(hits.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn excess_jobs_queue_until_workers_free() {
+        let pool = WorkerPool::new(1);
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for i in 0..5 {
+            let order = Arc::clone(&order);
+            pool.submit(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                order.lock().push(i);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(&*order.lock(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn threads_reports_size() {
+        let pool = WorkerPool::new(7);
+        assert_eq!(pool.threads(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool needs at least one thread")]
+    fn zero_threads_panics() {
+        let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let hits = Arc::new(AtomicU32::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..4 {
+                let hits = Arc::clone(&hits);
+                pool.submit(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+}

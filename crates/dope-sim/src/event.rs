@@ -1,0 +1,85 @@
+//! Ordered time values for event heaps.
+
+/// A finite `f64` with a total order, usable as a heap key.
+///
+/// # Example
+///
+/// ```
+/// use dope_sim::OrdF64;
+///
+/// let mut times = vec![OrdF64::new(2.0), OrdF64::new(0.5)];
+/// times.sort();
+/// assert_eq!(times[0].get(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(f64);
+
+impl OrdF64 {
+    /// Wraps a finite value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN or infinite.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite(), "event time must be finite, got {value}");
+        OrdF64(value)
+    }
+
+    /// The wrapped value.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("OrdF64 values are finite")
+    }
+}
+
+impl From<OrdF64> for f64 {
+    fn from(v: OrdF64) -> f64 {
+        v.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn orders_like_f64() {
+        assert!(OrdF64::new(1.0) < OrdF64::new(2.0));
+        assert_eq!(OrdF64::new(3.0), OrdF64::new(3.0));
+    }
+
+    #[test]
+    fn min_heap_pops_earliest() {
+        let mut heap = BinaryHeap::new();
+        for t in [3.0, 1.0, 2.0] {
+            heap.push(Reverse(OrdF64::new(t)));
+        }
+        assert_eq!(heap.pop().unwrap().0.get(), 1.0);
+        assert_eq!(heap.pop().unwrap().0.get(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "event time must be finite")]
+    fn nan_panics() {
+        let _ = OrdF64::new(f64::NAN);
+    }
+}

@@ -1,0 +1,192 @@
+//! Open-workload arrival processes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A Poisson arrival process: exponentially distributed inter-arrival
+/// times with a given rate, produced from a fixed seed.
+///
+/// Iterating yields successive absolute arrival times in seconds.
+///
+/// # Example
+///
+/// ```
+/// use dope_workload::PoissonProcess;
+///
+/// let arrivals: Vec<f64> = PoissonProcess::new(10.0, 1).take(3).collect();
+/// assert!(arrivals.windows(2).all(|w| w[0] < w[1]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    rate: f64,
+    now: f64,
+    rng: SmallRng,
+}
+
+impl PoissonProcess {
+    /// A process with `rate` arrivals per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive and finite.
+    #[must_use]
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive, got {rate}"
+        );
+        PoissonProcess {
+            rate,
+            now: 0.0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The arrival rate in requests per second.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Iterator for PoissonProcess {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        self.now += -u.ln() / self.rate;
+        Some(self.now)
+    }
+}
+
+/// A finite, precomputed schedule of arrival times.
+///
+/// The evaluation harness determines the maximum sustainable throughput of
+/// each application (with `N = 500` tasks, §8.2), then sweeps the load
+/// factor; [`ArrivalSchedule::for_load_factor`] encodes that recipe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalSchedule {
+    times: Vec<f64>,
+    rate: f64,
+}
+
+impl ArrivalSchedule {
+    /// `count` Poisson arrivals at `rate` requests/second.
+    #[must_use]
+    pub fn poisson(rate: f64, count: usize, seed: u64) -> Self {
+        ArrivalSchedule {
+            times: PoissonProcess::new(rate, seed).take(count).collect(),
+            rate,
+        }
+    }
+
+    /// Arrivals at `load_factor x max_throughput`, the paper's load axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load_factor` or `max_throughput` is not positive.
+    #[must_use]
+    pub fn for_load_factor(
+        load_factor: f64,
+        max_throughput: f64,
+        count: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(load_factor > 0.0, "load factor must be positive");
+        assert!(max_throughput > 0.0, "max throughput must be positive");
+        ArrivalSchedule::poisson(load_factor * max_throughput, count, seed)
+    }
+
+    /// A deterministic schedule with constant inter-arrival gaps (useful
+    /// in tests).
+    #[must_use]
+    pub fn uniform(gap_secs: f64, count: usize) -> Self {
+        assert!(gap_secs > 0.0, "gap must be positive");
+        ArrivalSchedule {
+            times: (1..=count).map(|i| i as f64 * gap_secs).collect(),
+            rate: 1.0 / gap_secs,
+        }
+    }
+
+    /// The arrival times, ascending, in seconds.
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of arrivals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if the schedule has no arrivals.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The nominal arrival rate.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Iterates over arrival times.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.times.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_times_are_strictly_increasing() {
+        let times: Vec<f64> = PoissonProcess::new(5.0, 3).take(1000).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let rate = 8.0;
+        let times: Vec<f64> = PoissonProcess::new(rate, 11).take(20_000).collect();
+        let mean_gap = times.last().unwrap() / times.len() as f64;
+        assert!(
+            (mean_gap - 1.0 / rate).abs() < 0.01,
+            "mean gap {mean_gap} vs expected {}",
+            1.0 / rate
+        );
+    }
+
+    #[test]
+    fn schedule_is_reproducible_per_seed() {
+        let a = ArrivalSchedule::poisson(2.0, 100, 7);
+        let b = ArrivalSchedule::poisson(2.0, 100, 7);
+        assert_eq!(a, b);
+        let c = ArrivalSchedule::poisson(2.0, 100, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn load_factor_scales_rate() {
+        let s = ArrivalSchedule::for_load_factor(0.5, 10.0, 10, 1);
+        assert!((s.rate() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_schedule_has_constant_gaps() {
+        let s = ArrivalSchedule::uniform(0.5, 4);
+        assert_eq!(s.times(), &[0.5, 1.0, 1.5, 2.0]);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = PoissonProcess::new(0.0, 0);
+    }
+}

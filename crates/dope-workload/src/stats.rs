@@ -1,0 +1,348 @@
+//! Measurement types behind the evaluation figures.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates per-request response times (paper Equation 1's
+/// `T_response`): the interval from submission to completion.
+///
+/// # Example
+///
+/// ```
+/// use dope_workload::ResponseStats;
+///
+/// let mut stats = ResponseStats::new();
+/// for t in [1.0, 2.0, 3.0, 10.0] {
+///     stats.record(t);
+/// }
+/// assert_eq!(stats.count(), 4);
+/// assert_eq!(stats.mean(), Some(4.0));
+/// assert_eq!(stats.percentile(0.5), Some(2.0));
+/// assert_eq!(stats.max(), Some(10.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResponseStats {
+    samples: Vec<f64>,
+}
+
+impl ResponseStats {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        ResponseStats::default()
+    }
+
+    /// Records one response time in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn record(&mut self, secs: f64) {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "response time must be non-negative, got {secs}"
+        );
+        self.samples.push(secs);
+    }
+
+    /// Number of recorded responses.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean response time, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// The `q`-th percentile (`q` in `[0, 1]`) by nearest-rank, or `None`
+    /// if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// Maximum response time, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().fold(None, |acc, v| {
+            Some(acc.map_or(v, |m: f64| m.max(v)))
+        })
+    }
+
+    /// All samples, in recording order.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &ResponseStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+/// Measures throughput as completions over elapsed time, with windowed
+/// rates for time-series plots (paper Figures 13 and 14).
+///
+/// # Example
+///
+/// ```
+/// use dope_workload::ThroughputMeter;
+///
+/// let mut meter = ThroughputMeter::new();
+/// meter.record(1.0);
+/// meter.record(2.0);
+/// meter.record(3.0);
+/// assert_eq!(meter.completed(), 3);
+/// assert!((meter.overall(4.0) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    completions: Vec<f64>,
+}
+
+impl ThroughputMeter {
+    /// An empty meter.
+    #[must_use]
+    pub fn new() -> Self {
+        ThroughputMeter::default()
+    }
+
+    /// Records a completion at time `at_secs`.
+    pub fn record(&mut self, at_secs: f64) {
+        self.completions.push(at_secs);
+    }
+
+    /// Total completions.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completions.len() as u64
+    }
+
+    /// Overall throughput over `horizon_secs` (completions / horizon).
+    #[must_use]
+    pub fn overall(&self, horizon_secs: f64) -> f64 {
+        if horizon_secs <= 0.0 {
+            return 0.0;
+        }
+        self.completions.len() as f64 / horizon_secs
+    }
+
+    /// Throughput within `[from_secs, to_secs)`.
+    #[must_use]
+    pub fn windowed(&self, from_secs: f64, to_secs: f64) -> f64 {
+        if to_secs <= from_secs {
+            return 0.0;
+        }
+        let n = self
+            .completions
+            .iter()
+            .filter(|&&t| t >= from_secs && t < to_secs)
+            .count();
+        n as f64 / (to_secs - from_secs)
+    }
+
+    /// Throughput series over fixed windows of `window_secs` up to
+    /// `horizon_secs`, as `(window_end, rate)` pairs.
+    #[must_use]
+    pub fn series(&self, window_secs: f64, horizon_secs: f64) -> TimeSeries {
+        let mut out = TimeSeries::new("throughput");
+        if window_secs <= 0.0 {
+            return out;
+        }
+        let mut start = 0.0;
+        while start < horizon_secs {
+            let end = (start + window_secs).min(horizon_secs);
+            out.push(end, self.windowed(start, end));
+            start += window_secs;
+        }
+        out
+    }
+
+    /// Completion timestamps, ascending if recorded in order.
+    #[must_use]
+    pub fn completions(&self) -> &[f64] {
+        &self.completions
+    }
+}
+
+/// A named sequence of `(time, value)` points: one plotted line.
+///
+/// # Example
+///
+/// ```
+/// use dope_workload::TimeSeries;
+///
+/// let mut series = TimeSeries::new("power");
+/// series.push(0.0, 525.0);
+/// series.push(5.0, 630.0);
+/// assert_eq!(series.len(), 2);
+/// assert_eq!(series.last_value(), Some(630.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series with a display name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, time_secs: f64, value: f64) {
+        self.points.push((time_secs, value));
+    }
+
+    /// The series name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The points, in insertion order.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if no points were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Value of the last point, if any.
+    #[must_use]
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Mean of values from `from_secs` onward (e.g. the stable region of
+    /// Figure 13/14).
+    #[must_use]
+    pub fn mean_after(&self, from_secs: f64) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= from_secs)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_percentiles_nearest_rank() {
+        let mut s = ResponseStats::new();
+        for t in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.record(t);
+        }
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(0.5), Some(3.0));
+        assert_eq!(s.percentile(1.0), Some(5.0));
+        assert_eq!(s.max(), Some(5.0));
+    }
+
+    #[test]
+    fn response_empty_is_none() {
+        let s = ResponseStats::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.percentile(0.5), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "response time must be non-negative")]
+    fn negative_response_panics() {
+        ResponseStats::new().record(-1.0);
+    }
+
+    #[test]
+    fn response_merge_combines() {
+        let mut a = ResponseStats::new();
+        a.record(1.0);
+        let mut b = ResponseStats::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn windowed_throughput_counts_half_open() {
+        let mut m = ThroughputMeter::new();
+        for t in [0.5, 1.0, 1.5, 2.0] {
+            m.record(t);
+        }
+        assert!((m.windowed(0.0, 1.0) - 1.0).abs() < 1e-12); // only 0.5
+        assert!((m.windowed(1.0, 2.0) - 2.0).abs() < 1e-12); // 1.0 and 1.5
+    }
+
+    #[test]
+    fn throughput_series_covers_horizon() {
+        let mut m = ThroughputMeter::new();
+        for i in 0..10 {
+            m.record(f64::from(i) * 0.3);
+        }
+        let series = m.series(1.0, 3.0);
+        assert_eq!(series.len(), 3);
+        let total: f64 = series.points().iter().map(|&(_, v)| v).sum();
+        assert!((total - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_horizon_throughput_is_zero() {
+        let mut m = ThroughputMeter::new();
+        m.record(1.0);
+        assert_eq!(m.overall(0.0), 0.0);
+        assert_eq!(m.windowed(2.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn time_series_mean_after() {
+        let mut s = TimeSeries::new("t");
+        s.push(0.0, 10.0);
+        s.push(10.0, 2.0);
+        s.push(20.0, 4.0);
+        assert_eq!(s.mean_after(10.0), Some(3.0));
+        assert_eq!(s.mean_after(100.0), None);
+    }
+}

@@ -1,0 +1,48 @@
+//! The ferret image search engine under a throughput goal.
+//!
+//! A six-stage pipeline (load, segment, extract, index, rank, out) over a
+//! feature-vector corpus. The administrator asks for maximum throughput;
+//! DoPE drives TBF, which balances the stage extents by their measured
+//! execution times — and, if the pipeline is heavily unbalanced, switches
+//! to the developer-registered fused task.
+//!
+//! Run with: `cargo run --release --example image_search`
+
+use dope_apps::ferret;
+use dope_apps::kernels::search::Corpus;
+use dope_core::Goal;
+use dope_mechanisms::Tbf;
+use dope_runtime::Dope;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let corpus = Arc::new(Corpus::synthetic(6000, 7));
+    let (pipe, descriptor) = ferret::live_pipeline(Arc::clone(&corpus));
+
+    const QUERIES: u64 = 2000;
+    ferret::submit_queries(&pipe, QUERIES);
+    pipe.source.close();
+
+    let goal = Goal::MaxThroughput { threads: 6 };
+    println!("goal: {goal} over a corpus of {} vectors", corpus.len());
+
+    let dope = Dope::builder(goal)
+        .mechanism(Box::new(Tbf::new()))
+        .control_period(Duration::from_millis(50))
+        .queue_probe(pipe.queue_probe())
+        .launch(descriptor)
+        .expect("launch");
+    let report = dope.wait().expect("batch completes");
+
+    let elapsed = report.elapsed.as_secs_f64();
+    println!(
+        "answered {} queries in {:.2}s ({:.0} queries/s)",
+        pipe.stats.completed(),
+        elapsed,
+        pipe.stats.completed() as f64 / elapsed
+    );
+    println!("reconfigurations: {}", report.reconfigurations);
+    println!("final configuration: {}", report.final_config);
+    assert_eq!(pipe.stats.completed(), QUERIES);
+}

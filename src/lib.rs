@@ -1,0 +1,23 @@
+//! DoPE reproduction — umbrella crate.
+//!
+//! This crate re-exports the whole DoPE stack so examples and integration
+//! tests can use one dependency. The real code lives in the workspace
+//! crates:
+//!
+//! * [`dope_core`] — the DoPE API: tasks, descriptors, configurations,
+//!   goals, the mechanism interface;
+//! * [`dope_runtime`] — the live executive and worker pool;
+//! * [`dope_mechanisms`] — WQT-H, WQ-Linear, TBF/TB, FDP, SEDA, TPC,
+//!   Proportional, Oracle;
+//! * [`dope_platform`] — topology, power model, feature registry;
+//! * [`dope_workload`] — arrival processes, work queues, statistics;
+//! * [`dope_sim`] — the discrete-event evaluation testbed;
+//! * [`dope_apps`] — the six benchmark applications.
+
+pub use dope_apps as apps;
+pub use dope_core as core;
+pub use dope_mechanisms as mechanisms;
+pub use dope_platform as platform;
+pub use dope_runtime as runtime;
+pub use dope_sim as sim;
+pub use dope_workload as workload;

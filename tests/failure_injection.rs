@@ -1,0 +1,233 @@
+//! Failure injection: the executive must stay correct when tasks are slow
+//! to suspend, mechanisms misbehave, or the power meter goes quiet.
+
+use dope_core::{
+    body_fn, Config, Goal, Mechanism, MonitorSnapshot, ProgramShape, Resources, TaskBody, TaskCx,
+    TaskConfig, TaskKind, TaskSpec, TaskStatus, WorkerSlot,
+};
+use dope_runtime::Dope;
+use dope_workload::{DequeueOutcome, WorkQueue};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A mechanism that always proposes a configuration violating the budget.
+#[derive(Debug)]
+struct Hostile;
+
+impl Mechanism for Hostile {
+    fn name(&self) -> &'static str {
+        "Hostile"
+    }
+
+    fn reconfigure(
+        &mut self,
+        _snap: &MonitorSnapshot,
+        _current: &Config,
+        _shape: &ProgramShape,
+        _res: &Resources,
+    ) -> Option<Config> {
+        // 1000 workers on a tiny budget: must be rejected, not applied.
+        Some(Config::new(vec![TaskConfig::leaf("drain", 1000)]))
+    }
+}
+
+fn drain_spec(queue: WorkQueue<u64>, hits: Arc<AtomicU64>) -> TaskSpec {
+    TaskSpec::leaf("drain", TaskKind::Par, move |_slot: WorkerSlot| {
+        let queue = queue.clone();
+        let hits = Arc::clone(&hits);
+        Box::new(body_fn(move |cx: &mut dyn TaskCx| {
+            cx.begin();
+            let outcome = queue.dequeue_timeout(Duration::from_millis(2));
+            let status = match outcome {
+                DequeueOutcome::Item(_) => {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    TaskStatus::Executing
+                }
+                DequeueOutcome::Drained => TaskStatus::Finished,
+                DequeueOutcome::TimedOut => {
+                    if cx.directive().wants_suspend() {
+                        TaskStatus::Suspended
+                    } else {
+                        TaskStatus::Executing
+                    }
+                }
+            };
+            cx.end();
+            status
+        })) as Box<dyn TaskBody>
+    })
+}
+
+#[test]
+fn invalid_proposals_are_rejected_and_counted() {
+    let queue = WorkQueue::new();
+    for i in 0..300u64 {
+        queue.enqueue(i).unwrap();
+    }
+    queue.close();
+    let hits = Arc::new(AtomicU64::new(0));
+    let dope = Dope::builder(Goal::MaxThroughput { threads: 2 })
+        .mechanism(Box::new(Hostile))
+        .control_period(Duration::from_millis(5))
+        .launch(vec![drain_spec(queue, Arc::clone(&hits))])
+        .expect("launch");
+    let report = dope.wait().expect("completes despite hostile mechanism");
+    assert_eq!(hits.load(Ordering::Relaxed), 300);
+    assert_eq!(report.reconfigurations, 0, "invalid configs never applied");
+}
+
+/// A body that keeps working for a while after being asked to suspend —
+/// the executive must wait for it, not lose its work.
+#[test]
+fn slow_suspenders_drain_before_relaunch() {
+    struct Flipper {
+        target: Config,
+        flipped: bool,
+    }
+    impl std::fmt::Debug for Flipper {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Flipper")
+        }
+    }
+    impl Mechanism for Flipper {
+        fn name(&self) -> &'static str {
+            "Flipper"
+        }
+        fn reconfigure(
+            &mut self,
+            _snap: &MonitorSnapshot,
+            current: &Config,
+            _shape: &ProgramShape,
+            _res: &Resources,
+        ) -> Option<Config> {
+            if self.flipped || *current == self.target {
+                return None;
+            }
+            self.flipped = true;
+            Some(self.target.clone())
+        }
+    }
+
+    let queue = WorkQueue::new();
+    for i in 0..400u64 {
+        queue.enqueue(i).unwrap();
+    }
+    queue.close();
+    let hits = Arc::new(AtomicU64::new(0));
+    let spec = {
+        let queue = queue.clone();
+        let hits = Arc::clone(&hits);
+        TaskSpec::leaf("drain", TaskKind::Par, move |_slot: WorkerSlot| {
+            let queue = queue.clone();
+            let hits = Arc::clone(&hits);
+            let mut ignored_suspends = 0u32;
+            Box::new(body_fn(move |cx: &mut dyn TaskCx| {
+                let directive = cx.begin();
+                let outcome = queue.dequeue_timeout(Duration::from_millis(2));
+                let status = match outcome {
+                    DequeueOutcome::Item(_) => {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_micros(300));
+                        // Slow to yield: honour only the fourth suspend.
+                        if directive.wants_suspend() {
+                            ignored_suspends += 1;
+                            if ignored_suspends >= 4 {
+                                cx.end();
+                                return TaskStatus::Suspended;
+                            }
+                        }
+                        TaskStatus::Executing
+                    }
+                    DequeueOutcome::Drained => TaskStatus::Finished,
+                    DequeueOutcome::TimedOut => {
+                        if directive.wants_suspend() {
+                            TaskStatus::Suspended
+                        } else {
+                            TaskStatus::Executing
+                        }
+                    }
+                };
+                cx.end();
+                status
+            })) as Box<dyn TaskBody>
+        })
+    };
+
+    let dope = Dope::builder(Goal::MaxThroughput { threads: 2 })
+        .mechanism(Box::new(Flipper {
+            target: Config::new(vec![TaskConfig::leaf("drain", 1)]),
+            flipped: false,
+        }))
+        .control_period(Duration::from_millis(5))
+        .launch(vec![spec])
+        .expect("launch");
+    let report = dope.wait().expect("completes");
+    assert_eq!(
+        hits.load(Ordering::Relaxed),
+        400,
+        "slow suspension must not lose work"
+    );
+    assert_eq!(report.reconfigurations, 1);
+    assert_eq!(report.final_config.total_threads(), 1);
+}
+
+#[test]
+fn tpc_survives_a_dead_power_meter() {
+    use dope_mechanisms::Tpc;
+    use dope_sim::pipeline::{run_pipeline, PipelineParams, Source};
+
+    // No power attachment at all: every snapshot has `power_watts: None`.
+    let model = dope_apps::ferret::sim_model();
+    let mut tpc = Tpc::default();
+    let out = run_pipeline(
+        &model,
+        &Source::Saturated,
+        &mut tpc,
+        Resources::threads(24).with_power_budget(630.0),
+        &PipelineParams {
+            horizon_secs: 20.0,
+            ..PipelineParams::default()
+        },
+    );
+    // The controller holds its initial configuration but the pipeline
+    // still makes progress.
+    assert!(out.completed > 0);
+    assert_eq!(out.config_history.len(), 0);
+}
+
+#[test]
+fn stale_power_samples_pause_the_controller() {
+    use dope_mechanisms::Tpc;
+    use dope_platform::PowerModel;
+    use dope_sim::pipeline::{run_pipeline, PipelineParams, PowerSim, Source};
+
+    // A meter so slow it produces one fresh sample per minute: TPC may
+    // only act on fresh samples, so reconfigurations are bounded by the
+    // sample count, not the tick count.
+    let model = dope_apps::ferret::sim_model();
+    let mut tpc = Tpc::default();
+    let horizon = 120.0;
+    let out = run_pipeline(
+        &model,
+        &Source::Saturated,
+        &mut tpc,
+        Resources::threads(24).with_power_budget(630.0),
+        &PipelineParams {
+            horizon_secs: horizon,
+            control_period_secs: 1.0,
+            power: Some(PowerSim {
+                model: PowerModel::default(),
+                sample_interval_secs: 60.0,
+                seed: 5,
+            }),
+            ..PipelineParams::default()
+        },
+    );
+    let fresh_samples = (horizon / 60.0) as usize + 1;
+    assert!(
+        out.config_history.len() <= fresh_samples,
+        "{} reconfigurations from {fresh_samples} fresh samples",
+        out.config_history.len()
+    );
+}

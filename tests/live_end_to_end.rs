@@ -1,0 +1,161 @@
+//! End-to-end tests of the live DoPE runtime driving the paper's
+//! applications with the paper's mechanisms.
+
+use dope_apps::kernels::search::Corpus;
+use dope_apps::{dedup, ferret, swaptions, transcode};
+use dope_core::Goal;
+use dope_mechanisms::{for_goal, Tbf, WqLinear, WqtH};
+use dope_runtime::Dope;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn transcoding_service_adapts_and_conserves_work() {
+    let (service, descriptor) = transcode::live_service();
+    let dope = Dope::builder(Goal::MinResponseTime { threads: 4 })
+        .mechanism(Box::new(WqLinear::new(1, 4, 8.0)))
+        .control_period(Duration::from_millis(10))
+        .queue_probe(service.queue_probe())
+        .launch(descriptor)
+        .expect("launch");
+
+    let params = transcode::VideoParams {
+        frames: 4,
+        width: 32,
+        height: 32,
+    };
+    // Light phase, then a burst that must push WQ-Linear to narrow widths.
+    for id in 0..8u64 {
+        service.queue.enqueue(transcode::make_video(id, params)).unwrap();
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    for id in 8..48u64 {
+        service.queue.enqueue(transcode::make_video(id, params)).unwrap();
+    }
+    service.queue.close();
+    let report = dope.wait().expect("drains");
+
+    assert_eq!(service.stats.completed(), 48, "every video transcoded");
+    assert_eq!(service.stats.response().count(), 48);
+    assert!(
+        report.reconfigurations >= 1,
+        "the burst must trigger at least one reconfiguration"
+    );
+}
+
+#[test]
+fn ferret_conserves_queries_across_reconfigurations() {
+    let corpus = Arc::new(Corpus::synthetic(1500, 3));
+    let (pipe, descriptor) = ferret::live_pipeline(corpus);
+    ferret::submit_queries(&pipe, 600);
+    pipe.source.close();
+
+    let dope = Dope::builder(Goal::MaxThroughput { threads: 6 })
+        .mechanism(Box::new(Tbf::new()))
+        .control_period(Duration::from_millis(20))
+        .queue_probe(pipe.queue_probe())
+        .launch(descriptor)
+        .expect("launch");
+    let report = dope.wait().expect("batch completes");
+
+    assert_eq!(
+        pipe.stats.completed(),
+        600,
+        "no query may be lost across suspend/relaunch cycles"
+    );
+    // TBF balances or fuses; either way it must have acted at least once
+    // (the initial even split is not balanced for ferret).
+    assert!(report.reconfigurations >= 1);
+}
+
+#[test]
+fn dedup_pipeline_deduplicates_under_dope() {
+    let (pipe, descriptor, store) = dedup::live_pipeline();
+    dedup::submit_streams(&pipe, 12, 30_000, 0.5);
+    pipe.source.close();
+
+    let dope = Dope::builder(Goal::MaxThroughput { threads: 5 })
+        .mechanism(Box::new(Tbf::without_fusion()))
+        .control_period(Duration::from_millis(25))
+        .queue_probe(pipe.queue_probe())
+        .launch(descriptor)
+        .expect("launch");
+    let _report = dope.wait().expect("batch completes");
+
+    assert_eq!(pipe.stats.completed(), 12);
+    let unique = store.lock().len();
+    assert!(unique > 0, "chunks were stored");
+}
+
+#[test]
+fn default_mechanism_for_goal_runs_a_service() {
+    let (service, descriptor) = swaptions::live_service();
+    let goal = Goal::MinResponseTime { threads: 3 };
+    let dope = Dope::builder(goal)
+        .mechanism(for_goal(goal))
+        .control_period(Duration::from_millis(10))
+        .queue_probe(service.queue_probe())
+        .launch(descriptor)
+        .expect("launch");
+    let params = swaptions::PricingParams {
+        trials: 400,
+        steps: 8,
+        chunks: 4,
+    };
+    for id in 0..20u64 {
+        service.queue.enqueue(swaptions::make_request(id, params)).unwrap();
+    }
+    service.queue.close();
+    dope.wait().expect("drains");
+    assert_eq!(service.stats.completed(), 20);
+}
+
+#[test]
+fn wqt_h_live_switches_modes() {
+    let (service, descriptor) = transcode::live_service();
+    let dope = Dope::builder(Goal::MinResponseTime { threads: 4 })
+        .mechanism(Box::new(WqtH::new(3.0, 4, 2, 2)))
+        .control_period(Duration::from_millis(8))
+        .queue_probe(service.queue_probe())
+        .launch(descriptor)
+        .expect("launch");
+    let params = transcode::VideoParams {
+        frames: 2,
+        width: 32,
+        height: 32,
+    };
+    // WQT-H starts SEQ; a long light phase must flip it to PAR.
+    for id in 0..30u64 {
+        service.queue.enqueue(transcode::make_video(id, params)).unwrap();
+        std::thread::sleep(Duration::from_millis(12));
+    }
+    service.queue.close();
+    let report = dope.wait().expect("drains");
+    assert_eq!(service.stats.completed(), 30);
+    assert!(
+        report.reconfigurations >= 1,
+        "light load must flip WQT-H into the PAR state"
+    );
+}
+
+#[test]
+fn early_stop_is_orderly() {
+    let (service, descriptor) = transcode::live_service();
+    let dope = Dope::builder(Goal::MinResponseTime { threads: 2 })
+        .control_period(Duration::from_millis(10))
+        .queue_probe(service.queue_probe())
+        .launch(descriptor)
+        .expect("launch");
+    let params = transcode::VideoParams {
+        frames: 2,
+        width: 32,
+        height: 32,
+    };
+    for id in 0..4u64 {
+        service.queue.enqueue(transcode::make_video(id, params)).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(60));
+    dope.stop();
+    let report = dope.wait().expect("stops cleanly");
+    assert!(report.elapsed >= Duration::from_millis(50));
+}

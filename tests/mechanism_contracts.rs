@@ -1,0 +1,191 @@
+//! Contract tests: every mechanism must propose configurations that
+//! validate against the shape and thread budget, whatever the monitoring
+//! data looks like.
+
+use dope_core::{
+    Config, Mechanism, MonitorSnapshot, ProgramShape, Resources, ShapeNode, TaskConfig, TaskKind,
+    TaskPath, TaskStats,
+};
+use dope_mechanisms::{Fdp, Oracle, Proportional, Seda, Tbf, Tpc, WqLinear, WqtH};
+use proptest::prelude::*;
+
+fn pipeline_shape() -> ProgramShape {
+    ProgramShape::new(vec![ShapeNode {
+        name: "pipe".into(),
+        kind: TaskKind::Par,
+        max_extent: Some(1),
+        alternatives: vec![
+            vec![
+                ShapeNode::leaf("in", TaskKind::Seq),
+                ShapeNode::leaf("a", TaskKind::Par),
+                ShapeNode::leaf("b", TaskKind::Par),
+                ShapeNode::leaf("out", TaskKind::Seq),
+            ],
+            vec![
+                ShapeNode::leaf("in", TaskKind::Seq),
+                ShapeNode::leaf("fused", TaskKind::Par),
+                ShapeNode::leaf("out", TaskKind::Seq),
+            ],
+        ],
+    }])
+}
+
+fn two_level_shape() -> ProgramShape {
+    ProgramShape::new(vec![ShapeNode {
+        name: "txn".into(),
+        kind: TaskKind::Par,
+        max_extent: None,
+        alternatives: vec![
+            vec![
+                ShapeNode::leaf("read", TaskKind::Seq),
+                ShapeNode::leaf("work", TaskKind::Par),
+            ],
+            vec![ShapeNode::leaf("whole", TaskKind::Seq)],
+        ],
+    }])
+}
+
+fn pipeline_config(extents: &[u32]) -> Config {
+    Config::new(vec![TaskConfig::nest(
+        "pipe",
+        1,
+        0,
+        extents
+            .iter()
+            .zip(["in", "a", "b", "out"])
+            .map(|(&e, n)| TaskConfig::leaf(n, e))
+            .collect(),
+    )])
+}
+
+fn snapshot(
+    execs: &[f64],
+    loads: &[f64],
+    queue_occupancy: f64,
+    power: Option<f64>,
+    dispatches: u64,
+) -> MonitorSnapshot {
+    let mut snap = MonitorSnapshot::at(1.0);
+    for (i, (&e, &l)) in execs.iter().zip(loads).enumerate() {
+        snap.tasks.insert(
+            TaskPath::root_child(0).child(i as u16),
+            TaskStats {
+                invocations: 100,
+                mean_exec_secs: e,
+                throughput: if e > 0.0 { 1.0 / e } else { 0.0 },
+                load: l,
+                utilization: 0.7,
+            },
+        );
+    }
+    snap.queue.occupancy = queue_occupancy;
+    snap.power_watts = power;
+    snap.dispatches_since_reconfig = dispatches;
+    snap
+}
+
+/// Drives one mechanism for several steps and checks every proposal.
+fn check_contract(
+    mech: &mut dyn Mechanism,
+    shape: &ProgramShape,
+    initial: Config,
+    threads: u32,
+    snaps: &[MonitorSnapshot],
+) -> Result<(), TestCaseError> {
+    let res = Resources::threads(threads).with_power_budget(630.0);
+    let mut current = mech
+        .initial(shape, &res)
+        .filter(|c| c.validate(shape, threads).is_ok())
+        .unwrap_or(initial);
+    for snap in snaps {
+        if let Some(proposal) = mech.reconfigure(snap, &current, shape, &res) {
+            prop_assert!(
+                proposal.validate(shape, threads).is_ok(),
+                "{} proposed invalid config {proposal}",
+                mech.name()
+            );
+            current = proposal;
+            mech.applied(&current);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pipeline_mechanisms_never_break_the_budget(
+        execs in prop::collection::vec(1e-4f64..0.1, 4),
+        loads in prop::collection::vec(0.0f64..64.0, 4),
+        threads in 4u32..33,
+        power in prop::option::of(400.0f64..800.0),
+        steps in 1usize..12,
+    ) {
+        let shape = pipeline_shape();
+        let initial = pipeline_config(&[1, 1, 1, 1]);
+        let snaps: Vec<MonitorSnapshot> = (0..steps)
+            .map(|i| snapshot(&execs, &loads, loads[0], power, i as u64))
+            .collect();
+
+        let mut mechanisms: Vec<Box<dyn Mechanism>> = vec![
+            Box::new(Proportional::new()),
+            Box::new(Tbf::new()),
+            Box::new(Tbf::without_fusion()),
+            Box::new(Fdp::default()),
+            Box::new(Tpc::default()),
+        ];
+        for mech in &mut mechanisms {
+            check_contract(mech.as_mut(), &shape, initial.clone(), threads, &snaps)?;
+        }
+    }
+
+    /// SEDA is exempt from the budget (it is uncoordinated by design) but
+    /// must still match the shape and keep extents positive.
+    #[test]
+    fn seda_stays_shape_valid(
+        loads in prop::collection::vec(0.0f64..64.0, 4),
+        steps in 1usize..12,
+    ) {
+        let shape = pipeline_shape();
+        let res = Resources::threads(24);
+        let mut current = pipeline_config(&[1, 2, 2, 1]);
+        let mut seda = Seda::default();
+        for i in 0..steps {
+            let snap = snapshot(&[0.01, 0.01, 0.01, 0.01], &loads, 0.0, None, i as u64);
+            if let Some(p) = seda.reconfigure(&snap, &current, &shape, &res) {
+                prop_assert!(p.validate(&shape, u32::MAX).is_ok());
+                current = p;
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_mechanisms_never_break_the_budget(
+        occupancies in prop::collection::vec(0.0f64..64.0, 1..16),
+        threads in 2u32..33,
+        m_max in 2u32..12,
+    ) {
+        let shape = two_level_shape();
+        let initial = dope_core::nest::config_for_width(
+            &shape,
+            &dope_core::nest::find_two_level(&shape).expect("two-level"),
+            threads,
+            1,
+        );
+        let snaps: Vec<MonitorSnapshot> = occupancies
+            .iter()
+            .enumerate()
+            .map(|(i, &occ)| snapshot(&[0.01], &[occ], occ, None, i as u64 + 1))
+            .collect();
+
+        let mut mechanisms: Vec<Box<dyn Mechanism>> = vec![
+            Box::new(WqtH::new(4.0, m_max, 2, 2)),
+            Box::new(WqLinear::new(1, m_max, 8.0)),
+            Box::new(Oracle::from_table(vec![(2.0, m_max), (8.0, 2)], 1)),
+        ];
+        for mech in &mut mechanisms {
+            check_contract(mech.as_mut(), &shape, initial.clone(), threads, &snaps)?;
+        }
+    }
+}
