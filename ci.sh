@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Offline-friendly CI for the DoPE reproduction workspace.
+#
+# The build environment has no crates.io access; all third-party
+# dependencies are in-tree shims (see shims/README.md), so everything
+# below runs with the network hard-disabled.
+#
+# Usage: ./ci.sh [--quick]
+#   --quick   skip the release build (format, lint, debug tests only)
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+if [[ "$QUICK" -eq 0 ]]; then
+  step "cargo build --release"
+  cargo build --release --offline
+fi
+
+step "cargo test -q"
+cargo test -q --offline
+
+step "ci.sh: all checks passed"

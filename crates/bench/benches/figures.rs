@@ -7,7 +7,11 @@ fn main() {
     println!();
     let f11 = dope_bench::fig11::report(true);
     for sweep in &f11 {
-        assert!(dope_bench::fig11::shape_holds(sweep), "figure 11 shape: {}", sweep.name);
+        assert!(
+            dope_bench::fig11::shape_holds(sweep),
+            "figure 11 shape: {}",
+            sweep.name
+        );
     }
     let f12 = dope_bench::fig12::report(true);
     assert!(dope_bench::fig12::shape_holds(&f12), "figure 12 shape");

@@ -9,7 +9,13 @@ fn bench_monitoring(c: &mut Criterion) {
     for i in 0..6u16 {
         snap.tasks.insert(
             dope_core::TaskPath::root_child(0).child(i),
-            TaskStats { invocations: 100, mean_exec_secs: 0.01, throughput: 50.0, load: 2.0, utilization: 0.8 },
+            TaskStats {
+                invocations: 100,
+                mean_exec_secs: 0.01,
+                throughput: 50.0,
+                load: 2.0,
+                utilization: 0.8,
+            },
         );
     }
     c.bench_function("snapshot_slowest_task", |b| {

@@ -75,8 +75,7 @@ pub fn wq_linear_qmax(requests: usize) -> Vec<QmaxPoint> {
         .into_iter()
         .map(|q_max| {
             let respond = |load: f64| {
-                let schedule =
-                    ArrivalSchedule::for_load_factor(load, max_thr, requests, 31);
+                let schedule = ArrivalSchedule::for_load_factor(load, max_thr, requests, 31);
                 let mut mech = WqLinear::new(1, 8, q_max);
                 run_system(&model, &schedule, &mut mech, res, &SystemParams::default())
                     .mean_response()
@@ -179,10 +178,7 @@ pub fn tpc_meter_rate(horizon: f64) -> Vec<MeterPoint> {
             MeterPoint {
                 interval_secs: interval,
                 throughput: out.stable_throughput(horizon * 0.5),
-                stable_power: out
-                    .power_series
-                    .mean_after(horizon * 0.5)
-                    .unwrap_or(0.0),
+                stable_power: out.power_series.mean_after(horizon * 0.5).unwrap_or(0.0),
                 ramp_secs,
             }
         })
@@ -198,7 +194,7 @@ pub fn wq_linear_hysteresis(requests: usize) -> ((f64, u64), (f64, u64)) {
     let model = dope_apps::transcode::sim_model();
     let max_thr = model.max_throughput(24, 1);
     let res = Resources::threads(24);
-    let mut run_with = |mech: &mut dyn Mechanism| {
+    let run_with = |mech: &mut dyn Mechanism| {
         let schedule = ArrivalSchedule::poisson(0.9 * max_thr, requests, 5);
         let out = run_system(&model, &schedule, mech, res, &SystemParams::default());
         (out.mean_response(), out.config_changes)
@@ -216,7 +212,12 @@ pub fn report(quick: bool) {
     println!("== Ablation: WQT-H hysteresis lengths (x264, load 0.7) ==");
     println!(
         "{}",
-        crate::row(&["N_on".into(), "N_off".into(), "resp (s)".into(), "reconfigs".into()])
+        crate::row(&[
+            "N_on".into(),
+            "N_off".into(),
+            "resp (s)".into(),
+            "reconfigs".into()
+        ])
     );
     for p in wqt_h_hysteresis(0.7, requests) {
         println!(

@@ -36,8 +36,7 @@ pub fn run(loads: &[f64], requests: usize) -> Vec<LoadPoint> {
     loads
         .iter()
         .map(|&load| {
-            let schedule =
-                ArrivalSchedule::for_load_factor(load, max_thr, requests, 42);
+            let schedule = ArrivalSchedule::for_load_factor(load, max_thr, requests, 42);
             let run_width = |width: u32| {
                 let mut mech = StaticMechanism::new(model.config_for_width(24, width));
                 run_system(&model, &schedule, &mut mech, res, &params)
@@ -74,11 +73,7 @@ pub fn report(quick: bool) -> Vec<LoadPoint> {
     println!("== Figure 2(a): x264 per-video execution time (s) vs load ==");
     println!(
         "{}",
-        crate::row(&[
-            "load".into(),
-            "<24,(1,SEQ)>".into(),
-            "<3,(8,PIPE)>".into()
-        ])
+        crate::row(&["load".into(), "<24,(1,SEQ)>".into(), "<3,(8,PIPE)>".into()])
     );
     for p in &points {
         println!(
@@ -94,11 +89,7 @@ pub fn report(quick: bool) -> Vec<LoadPoint> {
     println!("\n== Figure 2(b): x264 throughput (videos/s) vs load ==");
     println!(
         "{}",
-        crate::row(&[
-            "load".into(),
-            "<24,(1,SEQ)>".into(),
-            "<3,(8,PIPE)>".into()
-        ])
+        crate::row(&["load".into(), "<24,(1,SEQ)>".into(), "<3,(8,PIPE)>".into()])
     );
     for p in &points {
         println!(

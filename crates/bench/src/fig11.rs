@@ -90,23 +90,18 @@ pub fn run(loads: &[f64], requests: usize) -> Vec<AppSweep> {
             let rows = loads
                 .iter()
                 .map(|&load| {
-                    let schedule =
-                        ArrivalSchedule::for_load_factor(load, max_thr, requests, 7);
+                    let schedule = ArrivalSchedule::for_load_factor(load, max_thr, requests, 7);
                     let run_mech = |mech: &mut dyn Mechanism| {
                         run_system(&model, &schedule, mech, res, &params).mean_response()
                     };
-                    let static_seq = run_mech(&mut StaticMechanism::new(
-                        model.config_for_width(24, 1),
-                    ));
+                    let static_seq =
+                        run_mech(&mut StaticMechanism::new(model.config_for_width(24, 1)));
                     let static_par = run_mech(&mut StaticMechanism::new(
                         model.config_for_width(24, tuning.m_max),
                     ));
                     let wqt_h = run_mech(&mut WqtH::new(tuning.threshold, tuning.m_max, 4, 4));
-                    let wq_linear = run_mech(&mut WqLinear::new(
-                        tuning.m_min,
-                        tuning.m_max,
-                        tuning.q_max,
-                    ));
+                    let wq_linear =
+                        run_mech(&mut WqLinear::new(tuning.m_min, tuning.m_max, tuning.q_max));
                     (load, static_seq, static_par, wqt_h, wq_linear)
                 })
                 .collect();

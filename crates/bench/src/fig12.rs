@@ -55,8 +55,7 @@ pub fn run(loads: &[f64], requests: usize, quick: bool) -> Vec<Row> {
     loads
         .iter()
         .map(|&load| {
-            let schedule =
-                ArrivalSchedule::for_load_factor(load, max_thr, requests, 23);
+            let schedule = ArrivalSchedule::for_load_factor(load, max_thr, requests, 23);
             let open = Source::Open(schedule);
             let respond = |mech: &mut dyn Mechanism, oversub: bool| {
                 let mut p = params(quick);
@@ -64,10 +63,7 @@ pub fn run(loads: &[f64], requests: usize, quick: bool) -> Vec<Row> {
                 let out = run_pipeline(&model, &open, mech, res, &p);
                 out.response.mean().unwrap_or(p.horizon_secs)
             };
-            let even = respond(
-                &mut StaticMechanism::new(model.config_even(24)),
-                false,
-            );
+            let even = respond(&mut StaticMechanism::new(model.config_even(24)), false);
             let oversubscribed = respond(
                 &mut StaticMechanism::new(model.config_oversubscribed(24)),
                 true,

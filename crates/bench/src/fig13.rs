@@ -32,11 +32,8 @@ pub fn report(quick: bool) -> PipelineOutcome {
     println!("== Figure 13: ferret throughput (queries/s) over time, DoPE-TBF ==");
     println!("{}", crate::row(&["t (s)".into(), "throughput".into()]));
     for &(t, v) in out.throughput_series.points() {
-        if (t.round() - t).abs() < 1e-9 && (t as u64) % 5 == 0 {
-            println!(
-                "{}",
-                crate::row(&[format!("{t:.0}"), crate::cell(v)])
-            );
+        if (t.round() - t).abs() < 1e-9 && (t as u64).is_multiple_of(5) {
+            println!("{}", crate::row(&[format!("{t:.0}"), crate::cell(v)]));
         }
     }
     println!(

@@ -41,9 +41,7 @@ pub fn run(quick: bool) -> PipelineOutcome {
 pub fn report(quick: bool) -> PipelineOutcome {
     let out = run(quick);
     let target = power_target();
-    println!(
-        "== Figure 14: ferret power & throughput under TPC (target {target:.0} W) =="
-    );
+    println!("== Figure 14: ferret power & throughput under TPC (target {target:.0} W) ==");
     println!(
         "{}",
         crate::row(&["t (s)".into(), "power (W)".into(), "thr (q/s)".into()])
@@ -56,7 +54,7 @@ pub fn report(quick: bool) -> PipelineOutcome {
         .collect();
     for &(t, p) in out.power_series.points() {
         let ti = t as u64;
-        if ti % 10 == 0 {
+        if ti.is_multiple_of(10) {
             println!(
                 "{}",
                 crate::row(&[

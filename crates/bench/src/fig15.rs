@@ -50,57 +50,53 @@ pub fn run_app(
     oversub_penalty: f64,
     quick: bool,
 ) -> AppResults {
-    let mut rows = Vec::new();
-    rows.push((
-        "Pthreads-Baseline",
-        stable_throughput(
-            model,
-            &mut StaticMechanism::new(model.config_even(24)),
-            false,
-            oversub_penalty,
-            quick,
+    let rows = vec![
+        (
+            "Pthreads-Baseline",
+            stable_throughput(
+                model,
+                &mut StaticMechanism::new(model.config_even(24)),
+                false,
+                oversub_penalty,
+                quick,
+            ),
         ),
-    ));
-    rows.push((
-        "Pthreads-OS",
-        stable_throughput(
-            model,
-            &mut StaticMechanism::new(model.config_oversubscribed(24)),
-            true,
-            oversub_penalty,
-            quick,
+        (
+            "Pthreads-OS",
+            stable_throughput(
+                model,
+                &mut StaticMechanism::new(model.config_oversubscribed(24)),
+                true,
+                oversub_penalty,
+                quick,
+            ),
         ),
-    ));
-    rows.push((
-        "DoPE-SEDA",
-        // SEDA resizes per-stage pools without global coordination, so it
-        // may oversubscribe; it faces the same penalty as the OS baseline.
-        stable_throughput(
-            model,
-            &mut Seda::default(),
-            true,
-            oversub_penalty,
-            quick,
+        (
+            "DoPE-SEDA",
+            // SEDA resizes per-stage pools without global coordination, so
+            // it may oversubscribe; it faces the same penalty as the OS
+            // baseline.
+            stable_throughput(model, &mut Seda::default(), true, oversub_penalty, quick),
         ),
-    ));
-    rows.push((
-        "DoPE-FDP",
-        stable_throughput(model, &mut Fdp::default(), false, oversub_penalty, quick),
-    ));
-    rows.push((
-        "DoPE-TB",
-        stable_throughput(
-            model,
-            &mut Tbf::without_fusion(),
-            false,
-            oversub_penalty,
-            quick,
+        (
+            "DoPE-FDP",
+            stable_throughput(model, &mut Fdp::default(), false, oversub_penalty, quick),
         ),
-    ));
-    rows.push((
-        "DoPE-TBF",
-        stable_throughput(model, &mut Tbf::new(), false, oversub_penalty, quick),
-    ));
+        (
+            "DoPE-TB",
+            stable_throughput(
+                model,
+                &mut Tbf::without_fusion(),
+                false,
+                oversub_penalty,
+                quick,
+            ),
+        ),
+        (
+            "DoPE-TBF",
+            stable_throughput(model, &mut Tbf::new(), false, oversub_penalty, quick),
+        ),
+    ];
     AppResults { name, rows }
 }
 
@@ -144,8 +140,8 @@ pub fn report(quick: bool) -> Vec<AppResults> {
         }
         println!("{}", crate::row(&cells));
     }
-    let geomean = (normalized(&results[0], "DoPE-TBF") * normalized(&results[1], "DoPE-TBF"))
-        .sqrt();
+    let geomean =
+        (normalized(&results[0], "DoPE-TBF") * normalized(&results[1], "DoPE-TBF")).sqrt();
     println!("\nDoPE-TBF geomean improvement: {geomean:.2}x (paper: 2.36x)");
     results
 }
@@ -156,8 +152,8 @@ pub fn shape_holds(results: &[AppResults]) -> bool {
     let ferret = &results[0];
     let dedup = &results[1];
     // ferret: OS well above baseline; dedup: OS at or below baseline.
-    let os_split = normalized(ferret, "Pthreads-OS") > 1.5
-        && normalized(dedup, "Pthreads-OS") < 1.05;
+    let os_split =
+        normalized(ferret, "Pthreads-OS") > 1.5 && normalized(dedup, "Pthreads-OS") < 1.05;
     // TBF is the best mechanism for both applications.
     let tbf_best = results.iter().all(|app| {
         let tbf = normalized(app, "DoPE-TBF");
@@ -185,9 +181,8 @@ mod tests {
     #[test]
     fn tbf_geomean_improvement_is_substantial() {
         let results = run(true);
-        let geomean = (normalized(&results[0], "DoPE-TBF")
-            * normalized(&results[1], "DoPE-TBF"))
-        .sqrt();
+        let geomean =
+            (normalized(&results[0], "DoPE-TBF") * normalized(&results[1], "DoPE-TBF")).sqrt();
         assert!(geomean > 1.5, "geomean {geomean}");
     }
 }

@@ -15,7 +15,11 @@ const MECHANISM_SOURCES: &[(&str, &str, u32)] = &[
     ),
     ("TBF", include_str!("../../dope-mechanisms/src/tbf.rs"), 89),
     ("FDP", include_str!("../../dope-mechanisms/src/fdp.rs"), 94),
-    ("SEDA", include_str!("../../dope-mechanisms/src/seda.rs"), 30),
+    (
+        "SEDA",
+        include_str!("../../dope-mechanisms/src/seda.rs"),
+        30,
+    ),
     ("TPC", include_str!("../../dope-mechanisms/src/tpc.rs"), 154),
 ];
 
@@ -29,7 +33,9 @@ pub fn effective_loc(source: &str) -> usize {
         .unwrap_or(source)
         .lines()
         .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("///") && !l.starts_with("//!"))
+        .filter(|l| {
+            !l.is_empty() && !l.starts_with("//") && !l.starts_with("///") && !l.starts_with("//!")
+        })
         .count()
 }
 
@@ -92,8 +98,7 @@ pub fn report_table4() {
             crate::row(&[
                 app.name.into(),
                 app.loop_nest_levels.to_string(),
-                app.inner_dop_min
-                    .map_or("-".to_string(), |d| d.to_string()),
+                app.inner_dop_min.map_or("-".to_string(), |d| d.to_string()),
             ]),
             app.description
         );

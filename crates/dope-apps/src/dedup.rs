@@ -119,7 +119,10 @@ pub fn live_pipeline() -> (
                     })
             })
             .collect();
-        let hashed = fine.into_iter().map(|c| (content_hash(&c.data), c)).collect();
+        let hashed = fine
+            .into_iter()
+            .map(|c| (content_hash(&c.data), c))
+            .collect();
         PipeItem {
             payload: Box::new(payload::Hashed(hashed)),
             id: item.id,
@@ -276,6 +279,6 @@ mod tests {
             b.fini(TaskStatus::Finished);
         }
         assert_eq!(pipe.stats.completed(), 2);
-        assert!(store.lock().len() > 0, "chunks were stored");
+        assert!(!store.lock().is_empty(), "chunks were stored");
     }
 }

@@ -189,10 +189,7 @@ mod tests {
         assert_eq!(m.stages(1).len(), 3);
         // The fused stage is slightly cheaper than the sum of the
         // parallel stages (forwarding removed).
-        let par_sum: f64 = m.stages(0)[1..5]
-            .iter()
-            .map(|s| s.mean_service_secs)
-            .sum();
+        let par_sum: f64 = m.stages(0)[1..5].iter().map(|s| s.mean_service_secs).sum();
         assert!(m.stages(1)[1].mean_service_secs < par_sum);
         assert!(m.stages(1)[1].mean_service_secs > 0.8 * par_sum);
     }

@@ -33,8 +33,7 @@ pub fn fragment(data: &[u8], min_len: usize, max_len: usize, mask: u32) -> Vec<C
     for (i, &b) in data.iter().enumerate() {
         rolling = rolling.wrapping_mul(31).wrapping_add(u32::from(b));
         if i - start >= WINDOW {
-            rolling =
-                rolling.wrapping_sub(u32::from(data[i - WINDOW]).wrapping_mul(pow));
+            rolling = rolling.wrapping_sub(u32::from(data[i - WINDOW]).wrapping_mul(pow));
         }
         let len = i + 1 - start;
         if len >= WINDOW {

@@ -26,7 +26,7 @@ pub fn synthetic_block(len: usize, seed: u64) -> Vec<u8> {
         if rng.gen_ratio(1, 8) {
             let run = rng.gen_range(4..32usize);
             let byte = rng.gen_range(b'a'..=b'z');
-            out.extend(std::iter::repeat(byte).take(run));
+            out.extend(std::iter::repeat_n(byte, run));
         }
     }
     out.truncate(len);
@@ -41,7 +41,10 @@ pub fn compress_block(data: &[u8]) -> Vec<u8> {
     let mut alphabet: Vec<u8> = (0..=255).collect();
     let mut mtf = Vec::with_capacity(data.len());
     for &b in data {
-        let pos = alphabet.iter().position(|&a| a == b).expect("byte in alphabet");
+        let pos = alphabet
+            .iter()
+            .position(|&a| a == b)
+            .expect("byte in alphabet");
         mtf.push(pos as u8);
         alphabet.remove(pos);
         alphabet.insert(0, b);
@@ -83,7 +86,7 @@ pub fn decompress_block(coded: &[u8]) -> Vec<u8> {
     while i < coded.len() {
         if coded[i] == 0x00 {
             let run = ((coded[i + 1] as usize) << 8) | coded[i + 2] as usize;
-            mtf.extend(std::iter::repeat(0u8).take(run));
+            mtf.extend(std::iter::repeat_n(0u8, run));
             i += 3;
         } else {
             mtf.push(coded[i]);

@@ -30,7 +30,7 @@ impl Frame {
     #[must_use]
     pub fn synthetic(width: usize, height: usize, seed: u64) -> Self {
         assert!(
-            width > 0 && height > 0 && width % 8 == 0 && height % 8 == 0,
+            width > 0 && height > 0 && width.is_multiple_of(8) && height.is_multiple_of(8),
             "frame dimensions must be positive multiples of 8"
         );
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -62,8 +62,16 @@ fn dct8x8(block: &[f64; 64]) -> [f64; 64] {
     let mut out = [0.0; 64];
     for u in 0..8 {
         for v in 0..8 {
-            let cu = if u == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
-            let cv = if v == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
+            let cu = if u == 0 {
+                std::f64::consts::FRAC_1_SQRT_2
+            } else {
+                1.0
+            };
+            let cv = if v == 0 {
+                std::f64::consts::FRAC_1_SQRT_2
+            } else {
+                1.0
+            };
             let mut sum = 0.0;
             for x in 0..8 {
                 for y in 0..8 {

@@ -171,7 +171,12 @@ mod tests {
         let features = extract(&segment(&query));
         corpus.vectors.push(features);
         let planted = corpus.len() - 1;
-        let results = rank(&corpus, &features, &(0..corpus.len()).collect::<Vec<_>>(), 5);
+        let results = rank(
+            &corpus,
+            &features,
+            &(0..corpus.len()).collect::<Vec<_>>(),
+            5,
+        );
         assert_eq!(results[0].0, planted);
         assert!((results[0].1 - 1.0).abs() < 1e-5);
     }

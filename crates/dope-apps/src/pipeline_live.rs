@@ -29,7 +29,9 @@ pub struct PipeItem {
 
 impl std::fmt::Debug for PipeItem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PipeItem").field("id", &self.id).finish_non_exhaustive()
+        f.debug_struct("PipeItem")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
     }
 }
 
@@ -143,7 +145,6 @@ impl LivePipeline {
     }
 
     /// A probe for `DopeBuilder::queue_probe`.
-    #[must_use]
     pub fn queue_probe(&self) -> impl Fn() -> QueueStats + Send + Sync + 'static {
         let queue = self.source.clone();
         let stats = Arc::clone(&self.stats);
@@ -167,9 +168,8 @@ fn build_stage_specs(
     stats: Arc<ServiceStats>,
 ) -> Vec<TaskSpec> {
     let n = stages.len();
-    let queues: Vec<WorkQueue<PipeItem>> = (0..n.saturating_sub(1))
-        .map(|_| WorkQueue::new())
-        .collect();
+    let queues: Vec<WorkQueue<PipeItem>> =
+        (0..n.saturating_sub(1)).map(|_| WorkQueue::new()).collect();
     stages
         .iter()
         .enumerate()
@@ -309,12 +309,8 @@ mod tests {
         ];
         let specs = build_stage_specs(&stages, pipe.source.clone(), Arc::clone(&pipe.stats));
         // Run bodies manually: enqueue two items, drain.
-        pipe.source
-            .enqueue(PipeItem::new(0, Box::new(())))
-            .unwrap();
-        pipe.source
-            .enqueue(PipeItem::new(1, Box::new(())))
-            .unwrap();
+        pipe.source.enqueue(PipeItem::new(0, Box::new(()))).unwrap();
+        pipe.source.enqueue(PipeItem::new(1, Box::new(()))).unwrap();
         pipe.source.close();
         let mut bodies: Vec<Box<dyn TaskBody>> = specs
             .iter()

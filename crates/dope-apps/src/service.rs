@@ -14,7 +14,9 @@
 //! * **sequential alternative** — the paper's `(1, SEQ)`: one task runs
 //!   whole transactions inline.
 
-use dope_core::{body_fn, QueueStats, TaskBody, TaskCx, TaskKind, TaskSpec, TaskStatus, WorkerSlot};
+use dope_core::{
+    body_fn, QueueStats, TaskBody, TaskCx, TaskKind, TaskSpec, TaskStatus, WorkerSlot,
+};
 use dope_workload::{DequeueOutcome, ResponseStats, ThroughputMeter, WorkQueue};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -80,9 +82,7 @@ impl ServiceStats {
     /// Records the completion of a transaction submitted at `submitted`.
     pub fn record_completion(&self, submitted: Instant) {
         let now = Instant::now();
-        self.response
-            .lock()
-            .record((now - submitted).as_secs_f64());
+        self.response.lock().record((now - submitted).as_secs_f64());
         self.throughput
             .lock()
             .record((now - self.start).as_secs_f64());
@@ -165,7 +165,6 @@ impl TwoLevelService {
 
     /// A probe for `DopeBuilder::queue_probe` reporting this service's
     /// work queue.
-    #[must_use]
     pub fn queue_probe(&self) -> impl Fn() -> QueueStats + Send + Sync + 'static {
         let queue = self.queue.clone();
         let stats = Arc::clone(&self.stats);

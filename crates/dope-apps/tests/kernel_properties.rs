@@ -99,7 +99,7 @@ proptest! {
         let corpus = search::Corpus::synthetic(corpus_size, seed);
         let query = search::QueryImage::synthetic(seed.wrapping_add(1));
         let results = search::search(&corpus, &query, k);
-        prop_assert!(results.len() <= k.min(corpus.len()).max(0).min(corpus.len()));
+        prop_assert!(results.len() <= k.min(corpus.len()).min(corpus.len()));
         for pair in results.windows(2) {
             prop_assert!(pair[0].1 >= pair[1].1);
         }

@@ -46,7 +46,12 @@ impl TaskConfig {
     /// Configuration of a nested task: `extent` replicas, each running
     /// alternative `alternative` configured by `tasks`.
     #[must_use]
-    pub fn nest(name: impl Into<String>, extent: u32, alternative: usize, tasks: Vec<TaskConfig>) -> Self {
+    pub fn nest(
+        name: impl Into<String>,
+        extent: u32,
+        alternative: usize,
+        tasks: Vec<TaskConfig>,
+    ) -> Self {
         TaskConfig {
             name: name.into(),
             extent,
@@ -570,11 +575,7 @@ mod tests {
     #[test]
     fn paths_enumerates_depth_first() {
         let config = transcode_config(1, 1);
-        let paths: Vec<String> = config
-            .paths()
-            .iter()
-            .map(|(p, _)| p.to_string())
-            .collect();
+        let paths: Vec<String> = config.paths().iter().map(|(p, _)| p.to_string()).collect();
         assert_eq!(paths, vec!["0", "0.0", "0.1", "0.2"]);
         let leaves: Vec<String> = config.leaf_paths().iter().map(|p| p.to_string()).collect();
         assert_eq!(leaves, vec!["0.0", "0.1", "0.2"]);

@@ -1,0 +1,312 @@
+//! Structured diagnostics shared by validation and static analysis.
+//!
+//! Every problem the workspace can report about a [`Config`](crate::Config)
+//! against a [`ProgramShape`](crate::ProgramShape) carries a **stable
+//! code** from the `DV0xx` catalogue below. The codes are part of the
+//! public contract: tools (CI gates, the `dope-verify` CLI, editors) may
+//! match on them, so once published a code's meaning never changes.
+//!
+//! | Code  | Meaning                                                     |
+//! |-------|-------------------------------------------------------------|
+//! | DV001 | thread budget exceeded                                      |
+//! | DV002 | thread budget heavily under-subscribed (warning)            |
+//! | DV003 | sequential task with extent > 1                             |
+//! | DV004 | alternative index out of range                              |
+//! | DV005 | task name mismatch between config and shape                 |
+//! | DV006 | extent above the shape's declared `max_extent`              |
+//! | DV007 | zero extent                                                 |
+//! | DV008 | empty or degenerate nest                                    |
+//! | DV009 | unreachable alternative (warning)                           |
+//! | DV010 | pipeline stage starvation                                   |
+//! | DV011 | arity mismatch between config and shape                     |
+//! | DV012 | structural mismatch (leaf vs nest)                          |
+//! | DV013 | path does not resolve                                       |
+//! | DV014 | API misuse                                                  |
+//! | DV015 | duplicate task name among siblings (warning)                |
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::path::TaskPath;
+
+/// Stable diagnostic codes (`DV0xx`) for configuration problems.
+///
+/// # Example
+///
+/// ```
+/// use dope_core::diag::DiagCode;
+///
+/// let code: DiagCode = "DV001".parse().unwrap();
+/// assert_eq!(code, DiagCode::BudgetExceeded);
+/// assert_eq!(code.to_string(), "DV001");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum DiagCode {
+    /// DV001: the configuration needs more threads than the budget allows.
+    BudgetExceeded,
+    /// DV002: the configuration uses a small fraction of the budget.
+    UnderSubscription,
+    /// DV003: a sequential task was assigned extent greater than one.
+    SequentialExtent,
+    /// DV004: a nest selects an alternative the shape does not declare.
+    AltOutOfRange,
+    /// DV005: a task name in the config differs from the shape's name.
+    NameMismatch,
+    /// DV006: an extent exceeds the shape's declared `max_extent`.
+    MaxExtentExceeded,
+    /// DV007: a task was assigned extent zero.
+    ZeroExtent,
+    /// DV008: a nest alternative contains no tasks, or a shape node
+    /// declares no alternatives at all.
+    EmptyNest,
+    /// DV009: a shape alternative can never be selected.
+    UnreachableAlternative,
+    /// DV010: a pipeline stage has far less capacity than its siblings.
+    PipeStarvation,
+    /// DV011: a config level has a different number of tasks than the
+    /// shape's selected alternative.
+    ArityMismatch,
+    /// DV012: a config node is a leaf where the shape declares a nest,
+    /// or vice versa.
+    StructureMismatch,
+    /// DV013: a path does not address a node in the tree.
+    UnknownPath,
+    /// DV014: the executive or a harness was misused.
+    Usage,
+    /// DV015: two sibling tasks share a name, making paths ambiguous to
+    /// humans (addressing is positional, so this is only a warning).
+    DuplicateTaskName,
+}
+
+impl DiagCode {
+    /// All catalogued codes, in numeric order.
+    pub const ALL: [DiagCode; 15] = [
+        DiagCode::BudgetExceeded,
+        DiagCode::UnderSubscription,
+        DiagCode::SequentialExtent,
+        DiagCode::AltOutOfRange,
+        DiagCode::NameMismatch,
+        DiagCode::MaxExtentExceeded,
+        DiagCode::ZeroExtent,
+        DiagCode::EmptyNest,
+        DiagCode::UnreachableAlternative,
+        DiagCode::PipeStarvation,
+        DiagCode::ArityMismatch,
+        DiagCode::StructureMismatch,
+        DiagCode::UnknownPath,
+        DiagCode::Usage,
+        DiagCode::DuplicateTaskName,
+    ];
+
+    /// The stable textual form, e.g. `"DV001"`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::BudgetExceeded => "DV001",
+            DiagCode::UnderSubscription => "DV002",
+            DiagCode::SequentialExtent => "DV003",
+            DiagCode::AltOutOfRange => "DV004",
+            DiagCode::NameMismatch => "DV005",
+            DiagCode::MaxExtentExceeded => "DV006",
+            DiagCode::ZeroExtent => "DV007",
+            DiagCode::EmptyNest => "DV008",
+            DiagCode::UnreachableAlternative => "DV009",
+            DiagCode::PipeStarvation => "DV010",
+            DiagCode::ArityMismatch => "DV011",
+            DiagCode::StructureMismatch => "DV012",
+            DiagCode::UnknownPath => "DV013",
+            DiagCode::Usage => "DV014",
+            DiagCode::DuplicateTaskName => "DV015",
+        }
+    }
+
+    /// The severity this code is reported at by default.
+    ///
+    /// Warnings describe configurations that are legal but probably not
+    /// what the developer intended; errors describe configurations the
+    /// runtime would reject.
+    #[must_use]
+    pub fn default_severity(self) -> Severity {
+        match self {
+            DiagCode::UnderSubscription
+            | DiagCode::UnreachableAlternative
+            | DiagCode::PipeStarvation
+            | DiagCode::DuplicateTaskName => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when parsing an unknown diagnostic code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDiagCodeError(String);
+
+impl fmt::Display for ParseDiagCodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown diagnostic code: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseDiagCodeError {}
+
+impl FromStr for DiagCode {
+    type Err = ParseDiagCodeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DiagCode::ALL
+            .into_iter()
+            .find(|code| code.as_str() == s)
+            .ok_or_else(|| ParseDiagCodeError(s.to_string()))
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Legal but suspicious; the runtime would accept the configuration.
+    Warning,
+    /// The runtime would reject the configuration.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One structured finding about a configuration.
+///
+/// Unlike [`Error`](crate::Error), which models the runtime's
+/// first-error-wins validation, diagnostics are collected exhaustively:
+/// an analysis pass reports *every* problem it can find, each tagged
+/// with a stable [`DiagCode`], the offending [`TaskPath`], a severity,
+/// and a suggested fix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable catalogue code.
+    pub code: DiagCode,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Path of the offending node (the root path for whole-tree findings).
+    pub path: TaskPath,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Suggested fix, if the analysis can propose one.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at `code`'s default severity.
+    #[must_use]
+    pub fn new(code: DiagCode, path: TaskPath, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            path,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Attaches a suggested fix.
+    #[must_use]
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// `true` if this diagnostic is an error (not a warning).
+    #[must_use]
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] at {}: {}",
+            self.severity, self.code, self.path, self.message
+        )?;
+        if let Some(suggestion) = &self.suggestion {
+            write!(f, " (suggestion: {suggestion})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_through_display() {
+        for code in DiagCode::ALL {
+            let text = code.to_string();
+            assert!(text.starts_with("DV"), "{text}");
+            assert_eq!(text.len(), 5, "{text}");
+            let parsed: DiagCode = text.parse().unwrap();
+            assert_eq!(parsed, code);
+        }
+    }
+
+    #[test]
+    fn codes_are_unique_and_ordered() {
+        let texts: Vec<&str> = DiagCode::ALL.iter().map(|c| c.as_str()).collect();
+        let mut sorted = texts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted, texts,
+            "codes must be unique and numerically ordered"
+        );
+    }
+
+    #[test]
+    fn unknown_code_fails_to_parse() {
+        assert!("DV099".parse::<DiagCode>().is_err());
+        assert!("".parse::<DiagCode>().is_err());
+        assert!("dv001".parse::<DiagCode>().is_err());
+    }
+
+    #[test]
+    fn severity_defaults() {
+        assert_eq!(DiagCode::BudgetExceeded.default_severity(), Severity::Error);
+        assert_eq!(
+            DiagCode::UnderSubscription.default_severity(),
+            Severity::Warning
+        );
+        assert_eq!(
+            DiagCode::PipeStarvation.default_severity(),
+            Severity::Warning
+        );
+    }
+
+    #[test]
+    fn diagnostic_display_contains_parts() {
+        let d = Diagnostic::new(
+            DiagCode::ZeroExtent,
+            TaskPath::root_child(2),
+            "task `write` has extent zero",
+        )
+        .with_suggestion("set extent to at least 1");
+        let text = d.to_string();
+        assert!(text.contains("DV007"), "{text}");
+        assert!(text.contains("error"), "{text}");
+        assert!(text.contains('2'), "{text}");
+        assert!(text.contains("suggestion"), "{text}");
+        assert!(d.is_error());
+    }
+}

@@ -1,5 +1,6 @@
 //! Error types for the DoPE core crate.
 
+use crate::diag::DiagCode;
 use crate::path::TaskPath;
 
 /// A specialized [`Result`](std::result::Result) with [`enum@Error`] as the
@@ -68,6 +69,41 @@ pub enum Error {
         /// Description of the misuse.
         String,
     ),
+}
+
+impl Error {
+    /// The stable diagnostic code for this error.
+    ///
+    /// Codes come from the `DV0xx` catalogue in [`crate::diag`], which
+    /// the static analyzer in `dope-verify` shares; a config rejected by
+    /// [`Config::validate`](crate::Config::validate) with some error maps
+    /// to an analyzer diagnostic carrying the same code.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dope_core::diag::DiagCode;
+    /// use dope_core::Error;
+    ///
+    /// let err = Error::BudgetExceeded { required: 32, available: 24 };
+    /// assert_eq!(err.code(), DiagCode::BudgetExceeded);
+    /// assert_eq!(err.code().to_string(), "DV001");
+    /// ```
+    #[must_use]
+    pub fn code(&self) -> DiagCode {
+        match self {
+            // Shape mismatches are reported at finer granularity by the
+            // analyzer (DV005/DV011/DV012); the coarse validator funnels
+            // them all through name-level mismatch.
+            Error::ShapeMismatch { .. } => DiagCode::NameMismatch,
+            Error::ZeroExtent { .. } => DiagCode::ZeroExtent,
+            Error::BudgetExceeded { .. } => DiagCode::BudgetExceeded,
+            Error::SequentialExtent { .. } => DiagCode::SequentialExtent,
+            Error::UnknownAlternative { .. } => DiagCode::AltOutOfRange,
+            Error::UnknownPath { .. } => DiagCode::UnknownPath,
+            Error::Usage(_) => DiagCode::Usage,
+        }
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -149,5 +185,62 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn codes_are_stable_and_round_trip() {
+        use crate::diag::DiagCode;
+
+        let cases = [
+            (
+                Error::ShapeMismatch {
+                    path: TaskPath::root_child(0),
+                    detail: "name".into(),
+                },
+                "DV005",
+            ),
+            (
+                Error::ZeroExtent {
+                    path: TaskPath::root_child(1),
+                },
+                "DV007",
+            ),
+            (
+                Error::BudgetExceeded {
+                    required: 32,
+                    available: 24,
+                },
+                "DV001",
+            ),
+            (
+                Error::SequentialExtent {
+                    path: TaskPath::root_child(0),
+                    extent: 4,
+                },
+                "DV003",
+            ),
+            (
+                Error::UnknownAlternative {
+                    path: TaskPath::root_child(0),
+                    requested: 2,
+                    available: 1,
+                },
+                "DV004",
+            ),
+            (
+                Error::UnknownPath {
+                    path: TaskPath::root_child(7),
+                },
+                "DV013",
+            ),
+            (Error::Usage("spawned twice".into()), "DV014"),
+        ];
+        for (err, expected) in cases {
+            let code = err.code();
+            assert_eq!(code.to_string(), expected, "{err}");
+            // Display output parses back to the same code.
+            let parsed: DiagCode = code.to_string().parse().unwrap();
+            assert_eq!(parsed, code);
+        }
     }
 }

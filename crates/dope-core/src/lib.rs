@@ -47,6 +47,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod diag;
 pub mod error;
 pub mod ewma;
 pub mod goal;
@@ -60,6 +61,7 @@ pub mod status;
 pub mod task;
 
 pub use config::{Config, NestConfig, TaskConfig};
+pub use diag::{DiagCode, Diagnostic, Severity};
 pub use error::{Error, Result};
 pub use ewma::Ewma;
 pub use goal::Goal;

@@ -140,10 +140,8 @@ mod tests {
         let mut snap = MonitorSnapshot::at(0.0);
         snap.tasks
             .insert("0".parse().unwrap(), sample(1.0, 10.0, 5));
-        snap.tasks
-            .insert("1".parse().unwrap(), sample(1.0, 2.0, 5));
-        snap.tasks
-            .insert("2".parse().unwrap(), sample(1.0, 0.0, 0));
+        snap.tasks.insert("1".parse().unwrap(), sample(1.0, 2.0, 5));
+        snap.tasks.insert("2".parse().unwrap(), sample(1.0, 0.0, 0));
         assert_eq!(snap.slowest_task().unwrap().to_string(), "1");
     }
 
@@ -171,8 +169,7 @@ mod tests {
     fn snapshot_lookup_by_path() {
         let mut snap = MonitorSnapshot::at(3.0);
         snap.power_watts = Some(450.0);
-        snap.tasks
-            .insert("0".parse().unwrap(), sample(0.1, 9.0, 3));
+        snap.tasks.insert("0".parse().unwrap(), sample(0.1, 9.0, 3));
         let stats = snap.task(&"0".parse().unwrap()).unwrap();
         assert_eq!(stats.invocations, 3);
         assert!(snap.task(&"1".parse().unwrap()).is_none());

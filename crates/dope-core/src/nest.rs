@@ -109,14 +109,10 @@ pub fn config_for_inner_extent(
     d: u32,
 ) -> Config {
     let d = d.max(1);
-    if d <= 1 && nest.sequential_alt.is_some() {
-        return build_with_alt(
-            shape,
-            nest,
-            threads,
-            d,
-            nest.sequential_alt.expect("checked above"),
-        );
+    if d <= 1 {
+        if let Some(alt) = nest.sequential_alt {
+            return build_with_alt(shape, nest, threads, d, alt);
+        }
     }
     build_parallel_config(shape, nest, threads, d)
 }
@@ -143,11 +139,7 @@ fn build_with_alt(
         .node(&nest.outer)
         .expect("nest path resolves in its own shape");
     let alt = &node.alternatives[alt_idx];
-    let width: u32 = alt
-        .iter()
-        .map(|n| leaf_width(n, d))
-        .sum::<u32>()
-        .max(1);
+    let width: u32 = alt.iter().map(|n| leaf_width(n, d)).sum::<u32>().max(1);
     let outer_extent = (threads / width).max(1);
     let tasks = shape
         .tasks
@@ -257,7 +249,12 @@ pub fn width_of(config: &Config, nest: &TwoLevelNest) -> u32 {
     if Some(inner.alternative) == nest.sequential_alt {
         return 1;
     }
-    inner.tasks.iter().map(TaskConfig::threads).sum::<u32>().max(1)
+    inner
+        .tasks
+        .iter()
+        .map(TaskConfig::threads)
+        .sum::<u32>()
+        .max(1)
 }
 
 /// Reads the inner extent `d` back out of a configuration.

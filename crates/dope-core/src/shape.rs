@@ -240,12 +240,10 @@ mod tests {
     #[test]
     fn shape_of_specs_matches_structure() {
         let spec = TaskSpec::nest("outer", TaskKind::Par, |_replica: u32| {
-            vec![
-                TaskSpec::leaf("stage", TaskKind::Par, |_s: WorkerSlot| {
-                    Box::new(body_fn(|_| TaskStatus::Finished)) as Box<dyn TaskBody>
-                })
-                .with_max_extent(4),
-            ]
+            vec![TaskSpec::leaf("stage", TaskKind::Par, |_s: WorkerSlot| {
+                Box::new(body_fn(|_| TaskStatus::Finished)) as Box<dyn TaskBody>
+            })
+            .with_max_extent(4)]
         });
         let shape = ProgramShape::of_specs(&[spec]);
         assert_eq!(shape.tasks.len(), 1);

@@ -11,15 +11,9 @@ enum Phase {
     Measure,
     /// A move was just applied; let the pipeline refill for one control
     /// period before judging it.
-    Settle {
-        saved: Vec<u32>,
-        baseline: f64,
-    },
+    Settle { saved: Vec<u32>, baseline: f64 },
     /// A move was applied and settled; compare against the baseline.
-    Trial {
-        saved: Vec<u32>,
-        baseline: f64,
-    },
+    Trial { saved: Vec<u32>, baseline: f64 },
     /// Converged; probe again after a cooldown.
     Converged { ticks_left: u32 },
 }

@@ -75,10 +75,7 @@ mod tests {
             for_goal(Goal::MinResponseTime { threads: 24 }).name(),
             "WQ-Linear"
         );
-        assert_eq!(
-            for_goal(Goal::MaxThroughput { threads: 24 }).name(),
-            "TBF"
-        );
+        assert_eq!(for_goal(Goal::MaxThroughput { threads: 24 }).name(), "TBF");
         assert_eq!(
             for_goal(Goal::MaxThroughputUnderPower {
                 threads: 24,

@@ -159,7 +159,12 @@ mod tests {
         let mut mech = Proportional::new();
         let snap = snapshot(&[0.001, 0.01, 0.01, 0.001]);
         let current = mech
-            .reconfigure(&snap, &config(&[1, 1, 1, 1]), &shape, &Resources::threads(24))
+            .reconfigure(
+                &snap,
+                &config(&[1, 1, 1, 1]),
+                &shape,
+                &Resources::threads(24),
+            )
             .unwrap();
         assert!(
             mech.reconfigure(&snap, &current, &shape, &Resources::threads(24))

@@ -79,7 +79,10 @@ impl Mechanism for Seda {
             if !view.parallel {
                 continue;
             }
-            let cap = view.max_extent.unwrap_or(self.per_stage_cap).min(self.per_stage_cap);
+            let cap = view
+                .max_extent
+                .unwrap_or(self.per_stage_cap)
+                .min(self.per_stage_cap);
             // Local decision: look only at this stage's own queue.
             if view.load > self.high_watermark && extents[i] < cap {
                 extents[i] += 1;

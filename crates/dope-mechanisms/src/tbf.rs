@@ -136,17 +136,16 @@ impl Mechanism for Tbf {
                         &vec![1; fused_nodes.len()],
                     )?;
                     let (_, fused_views) = pipeline_util::stages(snap, &template, shape)?;
-                    let fused_extents = pipeline_util::proportional_extents(
-                        &fused_views,
-                        res.threads,
-                        |v| if v.parallel { 1.0 } else { 1e-9 },
-                    );
-                    let proposal = pipeline_util::config_from_extents(
-                        current,
-                        fused,
-                        shape,
-                        &fused_extents,
-                    )?;
+                    let fused_extents =
+                        pipeline_util::proportional_extents(&fused_views, res.threads, |v| {
+                            if v.parallel {
+                                1.0
+                            } else {
+                                1e-9
+                            }
+                        });
+                    let proposal =
+                        pipeline_util::config_from_extents(current, fused, shape, &fused_extents)?;
                     return (proposal != *current).then_some(proposal);
                 }
             }
@@ -283,8 +282,8 @@ mod tests {
     fn imbalance_metric_bounds() {
         let shape = shape_with_fused();
         let snap = snapshot(&[0.01, 0.01, 0.01, 0.01]);
-        let (_, views) = pipeline_util::stages(&snap, &unfused_config(&[1, 1, 1, 1]), &shape)
-            .unwrap();
+        let (_, views) =
+            pipeline_util::stages(&snap, &unfused_config(&[1, 1, 1, 1]), &shape).unwrap();
         let balanced = Tbf::imbalance(&views, &[1, 1, 1, 1]);
         assert!(balanced.abs() < 1e-9);
         let skewed = Tbf::imbalance(&views, &[1, 10, 1, 1]);

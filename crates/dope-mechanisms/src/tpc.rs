@@ -10,10 +10,7 @@ enum Phase {
     Ramp,
     /// At the power boundary: explore same-size configurations for the
     /// best throughput.
-    Explore {
-        saved: Vec<u32>,
-        baseline: f64,
-    },
+    Explore { saved: Vec<u32>, baseline: f64 },
 }
 
 /// *Throughput Power Controller*: maximizes throughput while keeping
@@ -184,9 +181,7 @@ fn grow_bottleneck(views: &[StageView]) -> Option<Vec<u32>> {
         .iter()
         .enumerate()
         .filter(|(_, v)| {
-            v.parallel
-                && v.mean_exec > 0.0
-                && v.max_extent.map_or(true, |m| v.extent < m)
+            v.parallel && v.mean_exec > 0.0 && v.max_extent.is_none_or(|m| v.extent < m)
         })
         .min_by(|a, b| {
             let pa = f64::from(a.1.extent) / a.1.mean_exec;
@@ -270,12 +265,12 @@ mod tests {
         let mut s = MonitorSnapshot::at(1.0);
         s.power_watts = Some(power);
         let execs = [0.001, 0.01, 0.02, 0.001];
-        for i in 0..4 {
+        for (i, &exec) in execs.iter().enumerate() {
             s.tasks.insert(
                 TaskPath::root_child(0).child(i as u16),
                 TaskStats {
                     invocations: 50,
-                    mean_exec_secs: execs[i],
+                    mean_exec_secs: exec,
                     throughput: if i == 3 { sink } else { 100.0 },
                     load: 0.0,
                     utilization: 0.8,
@@ -301,7 +296,12 @@ mod tests {
             .is_none());
         let snap2 = snap(600.0, 50.0, &[1, 1, 1, 1]);
         assert!(tpc
-            .reconfigure(&snap2, &config(&[1, 1, 1, 1]), &shape, &Resources::threads(24))
+            .reconfigure(
+                &snap2,
+                &config(&[1, 1, 1, 1]),
+                &shape,
+                &Resources::threads(24)
+            )
             .is_none());
     }
 
@@ -310,7 +310,12 @@ mod tests {
         let shape = shape();
         let mut tpc = Tpc::default();
         let new = tpc
-            .reconfigure(&snap(550.0, 50.0, &[1, 1, 1, 1]), &config(&[1, 1, 1, 1]), &shape, &res())
+            .reconfigure(
+                &snap(550.0, 50.0, &[1, 1, 1, 1]),
+                &config(&[1, 1, 1, 1]),
+                &shape,
+                &res(),
+            )
             .unwrap();
         assert!(new.total_threads() > 4);
         // The slowest stage (rank) got the worker.

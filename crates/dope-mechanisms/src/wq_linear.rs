@@ -84,12 +84,7 @@ impl Mechanism for WqLinear {
     fn initial(&mut self, shape: &ProgramShape, res: &Resources) -> Option<Config> {
         self.nest = nest::find_two_level(shape);
         let nest = self.nest.as_ref()?;
-        Some(nest::config_for_width(
-            shape,
-            nest,
-            res.threads,
-            self.m_max,
-        ))
+        Some(nest::config_for_width(shape, nest, res.threads, self.m_max))
     }
 
     fn reconfigure(

@@ -129,8 +129,12 @@ mod tests {
         let mut mech = WqLinearH::new(1, 8, 16.0, 3);
         let current = mech.initial(&shape, &res).unwrap();
         // Occupancy 16 targets width 1; needs 3 consecutive observations.
-        assert!(mech.reconfigure(&snap(16.0), &current, &shape, &res).is_none());
-        assert!(mech.reconfigure(&snap(16.0), &current, &shape, &res).is_none());
+        assert!(mech
+            .reconfigure(&snap(16.0), &current, &shape, &res)
+            .is_none());
+        assert!(mech
+            .reconfigure(&snap(16.0), &current, &shape, &res)
+            .is_none());
         let moved = mech
             .reconfigure(&snap(16.0), &current, &shape, &res)
             .expect("third observation fires");
@@ -147,7 +151,8 @@ mod tests {
         for i in 0..20 {
             let occ = if i % 2 == 0 { 16.0 } else { 8.0 };
             assert!(
-                mech.reconfigure(&snap(occ), &current, &shape, &res).is_none(),
+                mech.reconfigure(&snap(occ), &current, &shape, &res)
+                    .is_none(),
                 "flapped at step {i}"
             );
         }
@@ -174,8 +179,14 @@ mod tests {
         let current = mech.initial(&shape, &res).unwrap();
         // One observation toward width 1, then back at the current width:
         // the pending streak must reset.
-        assert!(mech.reconfigure(&snap(16.0), &current, &shape, &res).is_none());
-        assert!(mech.reconfigure(&snap(0.0), &current, &shape, &res).is_none());
-        assert!(mech.reconfigure(&snap(16.0), &current, &shape, &res).is_none());
+        assert!(mech
+            .reconfigure(&snap(16.0), &current, &shape, &res)
+            .is_none());
+        assert!(mech
+            .reconfigure(&snap(0.0), &current, &shape, &res)
+            .is_none());
+        assert!(mech
+            .reconfigure(&snap(16.0), &current, &shape, &res)
+            .is_none());
     }
 }

@@ -174,9 +174,9 @@ impl Dope {
     /// Propagates launch-time validation errors from reconfigurations.
     pub fn wait(mut self) -> Result<RunReport> {
         let handle = self.control.take().expect("wait called once");
-        handle.join().map_err(|_| {
-            Error::Usage("executive control thread panicked".to_string())
-        })?
+        handle
+            .join()
+            .map_err(|_| Error::Usage("executive control thread panicked".to_string()))?
     }
 
     fn launch(builder: DopeBuilder, descriptor: Vec<TaskSpec>) -> Result<Dope> {
@@ -196,13 +196,11 @@ impl Dope {
         let initial = mechanism
             .initial(&shape, &res)
             .unwrap_or_else(|| Config::even(&shape, budget));
-        initial.validate(&shape, builder.pool_threads.unwrap_or(budget).max(budget))?;
+        let launch_budget = builder.pool_threads.unwrap_or(budget).max(budget);
+        initial.validate(&shape, launch_budget)?;
+        debug_verify_gate("launch", &shape, &initial, launch_budget);
 
-        let monitor = Monitor::new(
-            builder.throughput_window,
-            0.25,
-            builder.features.clone(),
-        );
+        let monitor = Monitor::new(builder.throughput_window, 0.25, builder.features.clone());
         if let Some(probe) = &builder.queue_probe {
             let probe = Arc::clone(probe);
             monitor.set_queue_probe(move || probe());
@@ -240,6 +238,34 @@ impl Dope {
             control: Some(control),
             shared,
         })
+    }
+}
+
+/// Debug-build verification gate.
+///
+/// Every configuration the executive accepts — the initial one at
+/// launch and each mechanism proposal that survives
+/// [`Config::validate`] at a reconfiguration decision — is additionally
+/// run through the `dope-verify` static analyzer in debug builds. The
+/// analyzer is strictly stronger than the validator (it also rejects
+/// degenerate trees such as empty nests), so a panic here means a
+/// mechanism or shape produced something the first-error-wins validator
+/// is blind to. Release builds compile this to nothing.
+fn debug_verify_gate(stage: &str, shape: &ProgramShape, config: &Config, threads: u32) {
+    #[cfg(debug_assertions)]
+    {
+        let report = dope_verify::analyze(shape, config, &Resources::threads(threads));
+        if report.has_errors() {
+            let errors: Vec<String> = report.errors().map(ToString::to_string).collect();
+            panic!(
+                "verification gate ({stage}): config {config} has error diagnostics:\n  {}",
+                errors.join("\n  ")
+            );
+        }
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (stage, shape, config, threads);
     }
 }
 
@@ -318,14 +344,13 @@ fn run_control_loop(
                         continue; // already draining
                     }
                     let snap = shared.monitor.snapshot();
-                    if let Some(proposal) =
-                        mechanism.reconfigure(&snap, &config, shape, &res)
-                    {
+                    if let Some(proposal) = mechanism.reconfigure(&snap, &config, shape, &res) {
                         if proposal == config {
                             continue;
                         }
                         match proposal.validate(shape, budget) {
                             Ok(()) => {
+                                debug_verify_gate("reconfigure", shape, &proposal, budget);
                                 reconfig_target = Some(proposal);
                                 shared.suspend.store(true, Ordering::Release);
                             }
@@ -350,10 +375,7 @@ fn run_control_loop(
             continue 'epochs;
         }
         // No reconfiguration pending: did the program finish?
-        let all_finished = statuses
-            .lock()
-            .values()
-            .all(|s| *s == TaskStatus::Finished);
+        let all_finished = statuses.lock().values().all(|s| *s == TaskStatus::Finished);
         if all_finished {
             break 'epochs;
         }
@@ -403,6 +425,41 @@ mod tests {
         })
     }
 
+    /// The launch gate catches degenerate programs `Config::validate`
+    /// tolerates: a nest whose only alternative is empty passes the
+    /// first-error-wins validator (zero tasks match zero tasks) but is
+    /// rejected by the static analyzer (DV008) in debug builds.
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "gate compiles out in release builds")]
+    #[should_panic(expected = "verification gate (launch)")]
+    fn launch_gate_rejects_empty_nest() {
+        let spec = TaskSpec::nest("hollow", TaskKind::Par, |_replica: u32| Vec::new());
+        let _ = Dope::builder(Goal::MaxThroughput { threads: 4 }).launch(vec![spec]);
+    }
+
+    /// The reconfiguration gate re-analyzes accepted proposals. A
+    /// well-formed static mechanism must sail through it (the run below
+    /// applies one reconfiguration, so the gate executes).
+    #[test]
+    fn reconfigure_gate_accepts_valid_proposals() {
+        let queue = WorkQueue::new();
+        for i in 0..2000u64 {
+            queue.enqueue(i).unwrap();
+        }
+        queue.close();
+        let hits = Arc::new(AtomicU64::new(0));
+        let spec = drain_spec("drain", queue, Arc::clone(&hits));
+        let pinned = Config::new(vec![dope_core::TaskConfig::leaf("drain", 2)]);
+        let dope = Dope::builder(Goal::MaxThroughput { threads: 4 })
+            .mechanism(Box::new(StaticMechanism::new(pinned.clone())))
+            .control_period(Duration::from_millis(5))
+            .launch(vec![spec])
+            .unwrap();
+        let report = dope.wait().unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 2000);
+        assert_eq!(report.final_config, pinned);
+    }
+
     #[test]
     fn runs_to_completion_and_counts_work() {
         let queue = WorkQueue::new();
@@ -449,10 +506,7 @@ mod tests {
         let target = Config::new(vec![dope_core::TaskConfig::leaf("drain", 3)]);
         let mut mech = StaticMechanism::new(target.clone());
         // Force a different initial config.
-        let shape = ProgramShape::new(vec![dope_core::ShapeNode::leaf(
-            "drain",
-            TaskKind::Par,
-        )]);
+        let shape = ProgramShape::new(vec![dope_core::ShapeNode::leaf("drain", TaskKind::Par)]);
         let _ = &mut mech;
         let _ = shape;
         let dope = Dope::builder(Goal::MaxThroughput { threads: 4 })

@@ -99,13 +99,13 @@ fn instantiate_level(
                 }
             }
             (Work::Nest(alts), Some(nest)) => {
-                let factory = alts.get(nest.alternative).ok_or_else(|| {
-                    Error::UnknownAlternative {
-                        path: path.clone(),
-                        requested: nest.alternative,
-                        available: alts.len(),
-                    }
-                })?;
+                let factory =
+                    alts.get(nest.alternative)
+                        .ok_or_else(|| Error::UnknownAlternative {
+                            path: path.clone(),
+                            requested: nest.alternative,
+                            available: alts.len(),
+                        })?;
                 for replica in 0..cfg.extent {
                     let inner = factory.make_nest(replica);
                     instantiate_replica(&inner, &nest.tasks, &path, replica, epoch)?;
@@ -174,13 +174,13 @@ fn instantiate_replica(
                 }
             }
             (Work::Nest(alts), Some(nest)) => {
-                let factory = alts.get(nest.alternative).ok_or_else(|| {
-                    Error::UnknownAlternative {
-                        path: path.clone(),
-                        requested: nest.alternative,
-                        available: alts.len(),
-                    }
-                })?;
+                let factory =
+                    alts.get(nest.alternative)
+                        .ok_or_else(|| Error::UnknownAlternative {
+                            path: path.clone(),
+                            requested: nest.alternative,
+                            available: alts.len(),
+                        })?;
                 for inner_replica in 0..cfg.extent {
                     let inner = factory.make_nest(inner_replica);
                     instantiate_replica(&inner, &nest.tasks, &path, inner_replica, epoch)?;
@@ -208,7 +208,13 @@ pub(crate) struct LiveCx {
 }
 
 impl LiveCx {
-    pub fn new(monitor: &Monitor, suspend: Arc<AtomicBool>, path: &TaskPath, slot: WorkerSlot, window: Duration) -> Self {
+    pub fn new(
+        monitor: &Monitor,
+        suspend: Arc<AtomicBool>,
+        path: &TaskPath,
+        slot: WorkerSlot,
+        window: Duration,
+    ) -> Self {
         LiveCx {
             suspend,
             stats: monitor.stats_for(path),
@@ -273,10 +279,7 @@ mod tests {
     #[test]
     fn leaf_instantiation_creates_extent_jobs() {
         let specs = vec![leaf("a", TaskKind::Par), leaf("b", TaskKind::Seq)];
-        let config = Config::new(vec![
-            TaskConfig::leaf("a", 3),
-            TaskConfig::leaf("b", 1),
-        ]);
+        let config = Config::new(vec![TaskConfig::leaf("a", 3), TaskConfig::leaf("b", 1)]);
         let epoch = instantiate(&specs, &config).unwrap();
         assert_eq!(epoch.jobs.len(), 4);
         let a_workers: Vec<u32> = epoch
@@ -345,7 +348,13 @@ mod tests {
             worker: 0,
             extent: 1,
         };
-        let mut cx = LiveCx::new(&monitor, Arc::clone(&suspend), &path, slot, Duration::from_secs(5));
+        let mut cx = LiveCx::new(
+            &monitor,
+            Arc::clone(&suspend),
+            &path,
+            slot,
+            Duration::from_secs(5),
+        );
         assert_eq!(cx.begin(), Directive::Continue);
         assert_eq!(cx.end(), Directive::Continue);
         suspend.store(true, Ordering::Release);

@@ -60,11 +60,7 @@ impl PathStats {
     fn sample(&self, now: Instant, window: Duration) -> (f64, f64) {
         let inner = self.inner.lock();
         let horizon = now.checked_sub(window).unwrap_or(now);
-        let recent = inner
-            .completions
-            .iter()
-            .filter(|&&t| t >= horizon)
-            .count();
+        let recent = inner.completions.iter().filter(|&&t| t >= horizon).count();
         let throughput = recent as f64 / window.as_secs_f64().max(1e-9);
         (inner.exec_ewma.value_or(0.0), throughput)
     }
@@ -79,12 +75,15 @@ pub struct Monitor {
     shared: Arc<MonitorShared>,
 }
 
+/// A registered per-task load probe (queue occupancy, pending work, ...).
+type LoadCallback = Arc<dyn Fn() -> f64 + Send + Sync>;
+
 struct MonitorShared {
     start: Instant,
     window: Duration,
     ewma_alpha: f64,
     paths: Mutex<HashMap<TaskPath, Arc<PathStats>>>,
-    load_cbs: Mutex<Vec<(TaskPath, Arc<dyn Fn() -> f64 + Send + Sync>)>>,
+    load_cbs: Mutex<Vec<(TaskPath, LoadCallback)>>,
     extents: Mutex<HashMap<TaskPath, u32>>,
     queue_probe: Mutex<Option<Arc<dyn Fn() -> QueueStats + Send + Sync>>>,
     features: FeatureRegistry,

@@ -494,7 +494,8 @@ impl<'a> Sim<'a> {
             // caller mutates busy right before/after calling this, so we
             // approximate with the current level — adequate at the event
             // densities simulated here.
-            self.power_integral += power.model.expected_power(busy) * (self.now - self.last_power_time);
+            self.power_integral +=
+                power.model.expected_power(busy) * (self.now - self.last_power_time);
             self.last_power_time = self.now;
         }
     }
@@ -584,11 +585,9 @@ impl<'a> Sim<'a> {
             .collect();
         // Remap queued items proportionally into the new structure.
         for (s, queue) in old_queues.into_iter().enumerate() {
-            let target = if old_len == 0 {
-                0
-            } else {
-                (s * new_stages.len() / old_len).min(new_stages.len() - 1)
-            };
+            let target = (s * new_stages.len())
+                .checked_div(old_len)
+                .map_or(0, |t| t.min(new_stages.len() - 1));
             for item in queue {
                 new_stages[target].queue.push_back(item);
             }
@@ -733,11 +732,7 @@ pub fn run_pipeline(
                 } else {
                     // Stale completion from a replaced structure: route the
                     // item into the current structure.
-                    let old_len = sim
-                        .model
-                        .stages(sim.alt)
-                        .len()
-                        .max(stage + 1);
+                    let old_len = sim.model.stages(sim.alt).len().max(stage + 1);
                     sim.deliver(stage, old_len, item);
                 }
             }
@@ -746,13 +741,12 @@ pub fn run_pipeline(
                 if let Some(power) = snap.power_watts {
                     sim.power_series.push(sim.now, power);
                 }
-                let window_rate = (sim.completed - sim.sink_at_tick) as f64
-                    / params.control_period_secs;
+                let window_rate =
+                    (sim.completed - sim.sink_at_tick) as f64 / params.control_period_secs;
                 sim.throughput_series.push(sim.now, window_rate);
                 sim.sink_at_tick = sim.completed;
 
-                let mut proposal =
-                    mechanism.reconfigure(&snap, &sim.config, shape, &res);
+                let mut proposal = mechanism.reconfigure(&snap, &sim.config, shape, &res);
                 if let Some(config) = proposal.take() {
                     if config.validate(shape, budget).is_ok() {
                         if config != sim.config {

@@ -247,7 +247,10 @@ pub fn run_system(
     params: &SystemParams,
 ) -> SystemOutcome {
     let budget = res.threads.min(params.contexts).max(1);
-    let res = Resources { threads: budget, ..res };
+    let res = Resources {
+        threads: budget,
+        ..res
+    };
     let shape = model.shape();
 
     let mut config = mechanism

@@ -1,0 +1,97 @@
+//! `dope-verify`: lint a JSON-serialized shape + configuration pair.
+//!
+//! ```text
+//! usage: dope-verify [--deny-warnings] <input.json | ->
+//! ```
+//!
+//! Reads the document (or stdin when the argument is `-`), runs the
+//! static analyzer, and prints a diagnostic table. Exit status:
+//!
+//! * `0` — no errors (warnings allowed unless `--deny-warnings`);
+//! * `1` — the configuration has error-severity findings;
+//! * `2` — usage, I/O, or parse failure.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use dope_core::Resources;
+use dope_verify::json;
+
+const USAGE: &str = "usage: dope-verify [--deny-warnings] <input.json | ->";
+
+fn main() -> ExitCode {
+    let mut deny_warnings = false;
+    let mut input_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with("--") => {
+                eprintln!("dope-verify: unknown flag `{arg}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ if input_path.is_none() => input_path = Some(arg),
+            _ => {
+                eprintln!("dope-verify: too many arguments\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = input_path else {
+        eprintln!("dope-verify: missing input file\n{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let text = if path == "-" {
+        let mut buffer = String::new();
+        match std::io::stdin().read_to_string(&mut buffer) {
+            Ok(_) => buffer,
+            Err(err) => {
+                eprintln!("dope-verify: failed to read stdin: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("dope-verify: failed to read {path}: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let input = match json::input_from_json(&text) {
+        Ok(input) => input,
+        Err(err) => {
+            eprintln!("dope-verify: {path}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = dope_verify::analyze(
+        &input.shape,
+        &input.config,
+        &Resources::threads(input.threads),
+    );
+    print!("{}", report.render_table());
+    let errors = report.errors().count();
+    let warnings = report.warnings().count();
+    println!(
+        "{} error{}, {} warning{} ({} threads budgeted, {} configured)",
+        errors,
+        if errors == 1 { "" } else { "s" },
+        warnings,
+        if warnings == 1 { "" } else { "s" },
+        input.threads,
+        input.config.total_threads(),
+    );
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,265 @@
+//! Mechanism conformance: drive a mechanism over synthetic monitoring
+//! data and statically analyze every configuration it proposes.
+//!
+//! A mechanism is *conformant* when, for every snapshot in a grid of
+//! synthetic [`MonitorSnapshot`]s, each proposal it returns produces no
+//! error-severity diagnostics under [`analyze`](crate::analyze)
+//! (codes on the mechanism's documented exemption list excluded — SEDA
+//! is uncoordinated by design and exempt from the budget check
+//! [`DiagCode::BudgetExceeded`]; the executive clamps its proposals at
+//! the reconfiguration gate instead).
+//!
+//! The harness lives in the library (not the test tree) so the runtime
+//! crate and downstream applications can reuse it for their own
+//! mechanisms.
+
+use std::fmt;
+
+use dope_core::diag::{DiagCode, Diagnostic};
+use dope_core::{Config, Mechanism, MonitorSnapshot, ProgramShape, Resources, TaskPath, TaskStats};
+
+use crate::analyze;
+
+/// Evidence that a mechanism proposed a non-conformant configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// `Mechanism::name()` of the offender.
+    pub mechanism: String,
+    /// Index into the snapshot sequence at which the proposal was made
+    /// (`usize::MAX` for the initial configuration).
+    pub step: usize,
+    /// The offending configuration.
+    pub config: Config,
+    /// Error-severity diagnostics, exemptions already removed.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.step == usize::MAX {
+            write!(
+                f,
+                "mechanism {} proposed non-conformant initial config {}:",
+                self.mechanism, self.config
+            )?;
+        } else {
+            write!(
+                f,
+                "mechanism {} proposed non-conformant config {} at step {}:",
+                self.mechanism, self.config, self.step
+            )?;
+        }
+        for d in &self.diagnostics {
+            write!(f, "\n  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Builds a deterministic grid of synthetic snapshots exercising the
+/// regimes mechanisms branch on: idle and saturated queues, balanced and
+/// skewed stage execution times, light and heavy load, power present and
+/// absent, and a growing dispatch counter.
+///
+/// One [`TaskStats`] entry is synthesized per leaf path of `shape`
+/// (following first alternatives), which matches what the runtime
+/// monitor publishes.
+#[must_use]
+pub fn snapshot_grid(shape: &ProgramShape, steps: usize) -> Vec<MonitorSnapshot> {
+    const EXECS: [f64; 4] = [1e-4, 1e-3, 1e-2, 0.1];
+    const LOADS: [f64; 4] = [0.0, 0.5, 4.0, 32.0];
+    const OCCUPANCIES: [f64; 5] = [0.0, 0.5, 2.0, 9.0, 64.0];
+    const POWERS: [Option<f64>; 3] = [None, Some(450.0), Some(700.0)];
+
+    let leaves: Vec<TaskPath> = shape.leaf_paths();
+    (0..steps)
+        .map(|i| {
+            let mut snap = MonitorSnapshot::at(0.25 * (i + 1) as f64);
+            for (k, path) in leaves.iter().enumerate() {
+                // Skew stage cost with the leaf index so slowest-task
+                // driven mechanisms see a moving bottleneck.
+                let exec = EXECS[(i + k) % EXECS.len()];
+                let load = LOADS[(i + 2 * k) % LOADS.len()];
+                snap.tasks.insert(
+                    path.clone(),
+                    TaskStats {
+                        invocations: 50 + 10 * i as u64,
+                        mean_exec_secs: exec,
+                        throughput: if exec > 0.0 { 1.0 / exec } else { 0.0 },
+                        load,
+                        utilization: 0.25 + 0.5 * ((i % 3) as f64) / 2.0,
+                    },
+                );
+            }
+            snap.queue.occupancy = OCCUPANCIES[i % OCCUPANCIES.len()];
+            snap.queue.arrival_rate = LOADS[i % LOADS.len()];
+            snap.queue.enqueued = 100 + i as u64;
+            snap.queue.completed = 90 + i as u64;
+            snap.power_watts = POWERS[i % POWERS.len()];
+            snap.dispatches_since_reconfig = i as u64 + 1;
+            snap
+        })
+        .collect()
+}
+
+/// Drives `mech` over `snaps` and statically analyzes every
+/// configuration it proposes (including its initial configuration).
+///
+/// Returns the number of proposals that were made and accepted. Codes
+/// in `exempt` are ignored at error severity — the caller documents
+/// why (e.g. SEDA's budget exemption). Warnings never fail conformance.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] carrying the offending configuration and the
+/// non-exempt error diagnostics as soon as one proposal fails analysis.
+pub fn verify_mechanism(
+    mech: &mut dyn Mechanism,
+    shape: &ProgramShape,
+    fallback: Config,
+    resources: &Resources,
+    snaps: &[MonitorSnapshot],
+    exempt: &[DiagCode],
+) -> Result<usize, Box<Violation>> {
+    let name = mech.name().to_string();
+    let check = move |config: &Config, step: usize| -> Result<(), Box<Violation>> {
+        let report = analyze(shape, config, resources);
+        let errors: Vec<Diagnostic> = report.errors_excluding(exempt).cloned().collect();
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(Box::new(Violation {
+                mechanism: name.clone(),
+                step,
+                config: config.clone(),
+                diagnostics: errors,
+            }))
+        }
+    };
+
+    let mut current = match mech.initial(shape, resources) {
+        Some(initial) => {
+            check(&initial, usize::MAX)?;
+            initial
+        }
+        None => fallback,
+    };
+    let mut accepted = 0usize;
+    for (step, snap) in snaps.iter().enumerate() {
+        if let Some(proposal) = mech.reconfigure(snap, &current, shape, resources) {
+            check(&proposal, step)?;
+            current = proposal;
+            mech.applied(&current);
+            accepted += 1;
+        }
+    }
+    Ok(accepted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dope_core::{ShapeNode, StaticMechanism, TaskConfig, TaskKind};
+
+    fn shape() -> ProgramShape {
+        ProgramShape::new(vec![
+            ShapeNode::leaf("in", TaskKind::Seq),
+            ShapeNode::leaf("work", TaskKind::Par),
+            ShapeNode::leaf("out", TaskKind::Seq),
+        ])
+    }
+
+    #[test]
+    fn grid_is_deterministic_and_covers_leaves() {
+        let a = snapshot_grid(&shape(), 12);
+        let b = snapshot_grid(&shape(), 12);
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tasks.len(), 3);
+            assert_eq!(x.tasks, y.tasks);
+            assert_eq!(x.queue.occupancy, y.queue.occupancy);
+        }
+        // The grid must visit both an idle and a saturated queue.
+        assert!(a.iter().any(|s| s.queue.occupancy == 0.0));
+        assert!(a.iter().any(|s| s.queue.occupancy >= 32.0));
+        // And both power regimes.
+        assert!(a.iter().any(|s| s.power_watts.is_none()));
+        assert!(a.iter().any(|s| s.power_watts.is_some()));
+    }
+
+    #[test]
+    fn static_mechanism_is_conformant() {
+        let shape = shape();
+        let good = Config::new(vec![
+            TaskConfig::leaf("in", 1),
+            TaskConfig::leaf("work", 6),
+            TaskConfig::leaf("out", 1),
+        ]);
+        let mut mech = StaticMechanism::new(good.clone());
+        let snaps = snapshot_grid(&shape, 16);
+        let accepted =
+            verify_mechanism(&mut mech, &shape, good, &Resources::threads(8), &snaps, &[]).unwrap();
+        // A static mechanism proposes nothing after launch.
+        assert_eq!(accepted, 0);
+    }
+
+    #[test]
+    fn over_budget_initial_is_reported() {
+        let shape = shape();
+        let wide = Config::new(vec![
+            TaskConfig::leaf("in", 1),
+            TaskConfig::leaf("work", 64),
+            TaskConfig::leaf("out", 1),
+        ]);
+        let mut mech = StaticMechanism::new(wide.clone());
+        let snaps = snapshot_grid(&shape, 4);
+        let violation =
+            verify_mechanism(&mut mech, &shape, wide, &Resources::threads(8), &snaps, &[])
+                .unwrap_err();
+        assert_eq!(violation.step, usize::MAX);
+        assert!(violation
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::BudgetExceeded));
+        let text = violation.to_string();
+        assert!(text.contains("initial"), "{text}");
+        assert!(text.contains("DV001"), "{text}");
+    }
+
+    #[test]
+    fn exemptions_silence_the_named_code_only() {
+        let shape = shape();
+        let wide = Config::new(vec![
+            TaskConfig::leaf("in", 1),
+            TaskConfig::leaf("work", 64),
+            TaskConfig::leaf("out", 1),
+        ]);
+        let mut mech = StaticMechanism::new(wide.clone());
+        let snaps = snapshot_grid(&shape, 4);
+        verify_mechanism(
+            &mut mech,
+            &shape,
+            wide.clone(),
+            &Resources::threads(8),
+            &snaps,
+            &[DiagCode::BudgetExceeded],
+        )
+        .unwrap();
+
+        // A name mismatch is not covered by the budget exemption.
+        let mut broken = wide;
+        broken.tasks[1].name = "werk".into();
+        let mut mech = StaticMechanism::new(broken.clone());
+        assert!(verify_mechanism(
+            &mut mech,
+            &shape,
+            broken,
+            &Resources::threads(8),
+            &snaps,
+            &[DiagCode::BudgetExceeded],
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,577 @@
+//! Minimal JSON codec for the `dope-verify` CLI.
+//!
+//! The workspace's `serde` is an offline no-op shim, so the CLI's input
+//! format is implemented by hand: a strict JSON subset (objects, arrays,
+//! strings, non-negative integers, `null`, booleans — everything the
+//! shape/config encoding needs) with precise error offsets.
+//!
+//! The document format is:
+//!
+//! ```json
+//! {
+//!   "threads": 24,
+//!   "shape": { "tasks": [
+//!     { "name": "transcode", "kind": "par", "alternatives": [[
+//!       { "name": "read", "kind": "seq" },
+//!       { "name": "transform", "kind": "par", "max_extent": 16 },
+//!       { "name": "write", "kind": "seq" }
+//!     ]] }
+//!   ]},
+//!   "config": { "tasks": [
+//!     { "name": "transcode", "extent": 3, "nested": { "alternative": 0, "tasks": [
+//!       { "name": "read", "extent": 1 },
+//!       { "name": "transform", "extent": 6 },
+//!       { "name": "write", "extent": 1 }
+//!     ]}}
+//!   ]}
+//! }
+//! ```
+
+use std::fmt;
+
+use dope_core::{Config, NestConfig, ProgramShape, ShapeNode, TaskConfig, TaskKind};
+
+/// A parse or decode failure, with a byte offset when parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input, if the failure was syntactic.
+    pub offset: Option<usize>,
+}
+
+impl JsonError {
+    fn at(offset: usize, message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    fn decode(message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+            offset: None,
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(offset) => write!(f, "{} (at byte {offset})", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (the only numbers the format uses).
+    Number(u64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, preserving insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with a byte offset on malformed input or
+/// trailing garbage.
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError::at(pos, "trailing characters after document"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), JsonError> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError::at(
+            *pos,
+            format!("expected `{}`", char::from(byte)),
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError::at(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(c) if c.is_ascii_digit() => parse_number(bytes, pos),
+        Some(_) => Err(JsonError::at(*pos, "unexpected character")),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    keyword: &str,
+    value: Value,
+) -> Result<Value, JsonError> {
+    if bytes[*pos..].starts_with(keyword.as_bytes()) {
+        *pos += keyword.len();
+        Ok(value)
+    } else {
+        Err(JsonError::at(*pos, format!("expected `{keyword}`")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if let Some(b'.' | b'e' | b'E' | b'-' | b'+') = bytes.get(*pos) {
+        return Err(JsonError::at(
+            *pos,
+            "only non-negative integers are supported",
+        ));
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Value::Number)
+        .ok_or_else(|| JsonError::at(start, "invalid number"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonError::at(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    _ => return Err(JsonError::at(*pos, "unsupported escape")),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => return Err(JsonError::at(*pos, "control character in string")),
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is safe).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| JsonError::at(*pos, "invalid UTF-8"))?;
+                let ch = rest.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(JsonError::at(*pos, "expected `,` or `]`")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            _ => return Err(JsonError::at(*pos, "expected `,` or `}`")),
+        }
+    }
+}
+
+/// The decoded CLI input: a shape, a configuration, and a thread budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyInput {
+    /// The program's parallelism structure.
+    pub shape: ProgramShape,
+    /// The configuration to analyze.
+    pub config: Config,
+    /// The administrator's thread budget.
+    pub threads: u32,
+}
+
+/// Decodes a full CLI document.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] on malformed JSON or on a document missing
+/// required fields / using wrong types.
+pub fn input_from_json(text: &str) -> Result<VerifyInput, JsonError> {
+    let doc = parse(text)?;
+    let threads = match doc.get("threads") {
+        Some(Value::Number(n)) => {
+            u32::try_from(*n).map_err(|_| JsonError::decode("`threads` does not fit in u32"))?
+        }
+        Some(_) => return Err(JsonError::decode("`threads` must be an integer")),
+        None => return Err(JsonError::decode("missing `threads`")),
+    };
+    let shape_tasks = doc
+        .get("shape")
+        .and_then(|s| s.get("tasks"))
+        .ok_or_else(|| JsonError::decode("missing `shape.tasks`"))?;
+    let config_tasks = doc
+        .get("config")
+        .and_then(|c| c.get("tasks"))
+        .ok_or_else(|| JsonError::decode("missing `config.tasks`"))?;
+    Ok(VerifyInput {
+        shape: ProgramShape::new(decode_shape_nodes(shape_tasks)?),
+        config: Config::new(decode_task_configs(config_tasks)?),
+        threads,
+    })
+}
+
+fn as_array<'a>(value: &'a Value, what: &str) -> Result<&'a [Value], JsonError> {
+    match value {
+        Value::Array(items) => Ok(items),
+        _ => Err(JsonError::decode(format!("{what} must be an array"))),
+    }
+}
+
+fn field_string(value: &Value, key: &str, what: &str) -> Result<String, JsonError> {
+    match value.get(key) {
+        Some(Value::String(s)) => Ok(s.clone()),
+        Some(_) => Err(JsonError::decode(format!("{what}.{key} must be a string"))),
+        None => Err(JsonError::decode(format!("{what} is missing `{key}`"))),
+    }
+}
+
+fn decode_shape_nodes(value: &Value) -> Result<Vec<ShapeNode>, JsonError> {
+    as_array(value, "shape tasks")?
+        .iter()
+        .map(decode_shape_node)
+        .collect()
+}
+
+fn decode_shape_node(value: &Value) -> Result<ShapeNode, JsonError> {
+    let name = field_string(value, "name", "shape node")?;
+    let kind = match field_string(value, "kind", "shape node")?.as_str() {
+        "seq" => TaskKind::Seq,
+        "par" => TaskKind::Par,
+        other => {
+            return Err(JsonError::decode(format!(
+                "shape node kind must be \"seq\" or \"par\", got {other:?}"
+            )))
+        }
+    };
+    let max_extent = match value.get("max_extent") {
+        None | Some(Value::Null) => None,
+        Some(Value::Number(n)) => Some(
+            u32::try_from(*n).map_err(|_| JsonError::decode("`max_extent` does not fit in u32"))?,
+        ),
+        Some(_) => return Err(JsonError::decode("`max_extent` must be an integer or null")),
+    };
+    let alternatives = match value.get("alternatives") {
+        None | Some(Value::Null) => Vec::new(),
+        Some(alts) => as_array(alts, "alternatives")?
+            .iter()
+            .map(decode_shape_nodes)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    Ok(ShapeNode {
+        name,
+        kind,
+        max_extent,
+        alternatives,
+    })
+}
+
+fn decode_task_configs(value: &Value) -> Result<Vec<TaskConfig>, JsonError> {
+    as_array(value, "config tasks")?
+        .iter()
+        .map(decode_task_config)
+        .collect()
+}
+
+fn decode_task_config(value: &Value) -> Result<TaskConfig, JsonError> {
+    let name = field_string(value, "name", "config node")?;
+    let extent = match value.get("extent") {
+        Some(Value::Number(n)) => {
+            u32::try_from(*n).map_err(|_| JsonError::decode("`extent` does not fit in u32"))?
+        }
+        Some(_) => return Err(JsonError::decode("`extent` must be an integer")),
+        None => return Err(JsonError::decode("config node is missing `extent`")),
+    };
+    let nested = match value.get("nested") {
+        None | Some(Value::Null) => None,
+        Some(nest) => {
+            let alternative = match nest.get("alternative") {
+                Some(Value::Number(n)) => usize::try_from(*n)
+                    .map_err(|_| JsonError::decode("`alternative` does not fit in usize"))?,
+                Some(_) => return Err(JsonError::decode("`alternative` must be an integer")),
+                None => return Err(JsonError::decode("nested block is missing `alternative`")),
+            };
+            let tasks = nest
+                .get("tasks")
+                .ok_or_else(|| JsonError::decode("nested block is missing `tasks`"))?;
+            Some(NestConfig {
+                alternative,
+                tasks: decode_task_configs(tasks)?,
+            })
+        }
+    };
+    Ok(TaskConfig {
+        name,
+        extent,
+        nested,
+    })
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn shape_node_to_json(node: &ShapeNode, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"name\": \"{}\", \"kind\": \"{}\"",
+        escape(&node.name),
+        match node.kind {
+            TaskKind::Seq => "seq",
+            TaskKind::Par => "par",
+        }
+    ));
+    if let Some(max) = node.max_extent {
+        out.push_str(&format!(", \"max_extent\": {max}"));
+    }
+    if !node.alternatives.is_empty() {
+        out.push_str(", \"alternatives\": [");
+        for (j, alt) in node.alternatives.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push('[');
+            for (i, child) in alt.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                shape_node_to_json(child, out);
+            }
+            out.push(']');
+        }
+        out.push(']');
+    }
+    out.push('}');
+}
+
+fn task_config_to_json(task: &TaskConfig, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"name\": \"{}\", \"extent\": {}",
+        escape(&task.name),
+        task.extent
+    ));
+    if let Some(nest) = &task.nested {
+        out.push_str(&format!(
+            ", \"nested\": {{\"alternative\": {}, \"tasks\": [",
+            nest.alternative
+        ));
+        for (i, child) in nest.tasks.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            task_config_to_json(child, out);
+        }
+        out.push_str("]}");
+    }
+    out.push('}');
+}
+
+/// Encodes a [`VerifyInput`] back to the CLI's JSON format.
+///
+/// The output round-trips through [`input_from_json`]; used by tests and
+/// for generating example documents.
+#[must_use]
+pub fn input_to_json(input: &VerifyInput) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\"threads\": {},\n", input.threads));
+    out.push_str(" \"shape\": {\"tasks\": [");
+    for (i, node) in input.shape.tasks.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        shape_node_to_json(node, &mut out);
+    }
+    out.push_str("]},\n \"config\": {\"tasks\": [");
+    for (i, task) in input.config.tasks.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        task_config_to_json(task, &mut out);
+    }
+    out.push_str("]}}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> VerifyInput {
+        VerifyInput {
+            shape: ProgramShape::new(vec![ShapeNode::nest(
+                "transcode",
+                TaskKind::Par,
+                vec![
+                    ShapeNode::leaf("read", TaskKind::Seq),
+                    ShapeNode::leaf("transform", TaskKind::Par).with_max_extent(16),
+                    ShapeNode::leaf("write", TaskKind::Seq),
+                ],
+            )]),
+            config: Config::new(vec![TaskConfig::nest(
+                "transcode",
+                3,
+                0,
+                vec![
+                    TaskConfig::leaf("read", 1),
+                    TaskConfig::leaf("transform", 6),
+                    TaskConfig::leaf("write", 1),
+                ],
+            )]),
+            threads: 24,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let input = sample();
+        let text = input_to_json(&input);
+        let back = input_from_json(&text).unwrap();
+        assert_eq!(back, input);
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let value = parse(" { \"a\\n\" : [ 1 , true , null , \"x\" ] } ").unwrap();
+        let arr = value.get("a\n").unwrap();
+        assert_eq!(
+            arr,
+            &Value::Array(vec![
+                Value::Number(1),
+                Value::Bool(true),
+                Value::Null,
+                Value::String("x".into()),
+            ])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{}extra").is_err());
+        assert!(parse("1.5").is_err());
+        assert!(parse("\"open").is_err());
+    }
+
+    #[test]
+    fn decode_reports_missing_fields() {
+        let err = input_from_json("{\"threads\": 4}").unwrap_err();
+        assert!(err.to_string().contains("shape"), "{err}");
+        let err = input_from_json("{\"threads\": 4, \"shape\": {\"tasks\": []}, \"config\": {}}")
+            .unwrap_err();
+        assert!(err.to_string().contains("config.tasks"), "{err}");
+    }
+
+    #[test]
+    fn decode_rejects_bad_kind() {
+        let text = "{\"threads\": 4, \"shape\": {\"tasks\": [{\"name\": \"t\", \"kind\": \"pipe\"}]}, \"config\": {\"tasks\": []}}";
+        let err = input_from_json(text).unwrap_err();
+        assert!(err.to_string().contains("seq"), "{err}");
+    }
+
+    #[test]
+    fn parse_error_carries_offset() {
+        let err = parse("[1, ?]").unwrap_err();
+        assert_eq!(err.offset, Some(4));
+    }
+}

@@ -1,0 +1,782 @@
+//! Static analysis for DoPE parallelism configurations.
+//!
+//! The runtime's [`Config::validate`](dope_core::Config::validate) is
+//! first-error-wins: it answers "may I launch this?" with a single
+//! [`Error`](dope_core::Error). This crate answers the developer's
+//! question instead — "*everything* that is wrong or suspicious about
+//! this configuration" — as a [`Report`] of structured
+//! [`Diagnostic`]s, each carrying a stable `DV0xx` code from
+//! [`dope_core::diag`], the offending [`TaskPath`], a severity, and a
+//! suggested fix.
+//!
+//! The analyzer is **strictly stronger** than the validator: a
+//! configuration with no error-severity diagnostics always passes
+//! `Config::validate` (the soundness property, enforced by property
+//! tests in `tests/`). The converse is deliberately false — the
+//! analyzer also rejects degenerate trees the validator tolerates
+//! (empty nests, [`DiagCode::EmptyNest`]) and warns about legal but
+//! suspicious configurations (under-subscription, duplicate names,
+//! starved pipeline stages, unreachable alternatives).
+//!
+//! # Example
+//!
+//! ```
+//! use dope_core::{Config, ProgramShape, Resources, ShapeNode, TaskConfig, TaskKind};
+//! use dope_core::diag::DiagCode;
+//!
+//! let shape = ProgramShape::new(vec![ShapeNode::nest(
+//!     "transcode",
+//!     TaskKind::Par,
+//!     vec![
+//!         ShapeNode::leaf("read", TaskKind::Seq),
+//!         ShapeNode::leaf("transform", TaskKind::Par).with_max_extent(16),
+//!         ShapeNode::leaf("write", TaskKind::Seq),
+//!     ],
+//! )]);
+//! // Two problems at once: a parallel sequential stage and a budget overrun.
+//! let config = Config::new(vec![TaskConfig::nest(
+//!     "transcode",
+//!     8,
+//!     0,
+//!     vec![
+//!         TaskConfig::leaf("read", 2),
+//!         TaskConfig::leaf("transform", 6),
+//!         TaskConfig::leaf("write", 1),
+//!     ],
+//! )]);
+//! let report = dope_verify::analyze(&shape, &config, &Resources::threads(24));
+//! let codes: Vec<_> = report.errors().map(|d| d.code).collect();
+//! assert!(codes.contains(&DiagCode::SequentialExtent));
+//! assert!(codes.contains(&DiagCode::BudgetExceeded));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod conformance;
+pub mod json;
+pub mod report;
+
+pub use conformance::{snapshot_grid, verify_mechanism, Violation};
+pub use report::Report;
+
+use dope_core::diag::{DiagCode, Diagnostic};
+use dope_core::{
+    Config, NestConfig, ProgramShape, Resources, ShapeNode, TaskConfig, TaskKind, TaskPath,
+};
+
+/// Budget fraction below which [`DiagCode::UnderSubscription`] fires.
+///
+/// A configuration occupying at most this fraction of the thread budget
+/// (for budgets of at least [`UNDER_SUBSCRIPTION_MIN_BUDGET`] threads)
+/// leaves most of the machine idle, which defeats the purpose of an
+/// adaptive executive.
+pub const UNDER_SUBSCRIPTION_FRACTION: f64 = 0.5;
+
+/// Budgets smaller than this never trigger under-subscription warnings.
+pub const UNDER_SUBSCRIPTION_MIN_BUDGET: u32 = 8;
+
+/// Analyzes `config` against `shape` under `resources`, collecting every
+/// diagnostic the catalogue defines.
+///
+/// Unlike [`Config::validate`], analysis never stops at the first
+/// problem: mismatched levels are still descended (pairing tasks
+/// positionally as far as both trees extend), so a single run reports
+/// all findings. Shape-only lints ([`lint_shape`]) are included.
+#[must_use]
+pub fn analyze(shape: &ProgramShape, config: &Config, resources: &Resources) -> Report {
+    let mut diags = lint_shape(shape);
+    analyze_level(&config.tasks, &shape.tasks, &TaskPath::root(), &mut diags);
+    analyze_budget(config, resources, &mut diags);
+    Report::new(diags)
+}
+
+/// Lints a shape on its own: findings that exist before any
+/// configuration is chosen (empty alternatives, duplicate sibling names,
+/// redundant alternatives).
+#[must_use]
+pub fn lint_shape(shape: &ProgramShape) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if shape.tasks.is_empty() {
+        diags.push(
+            Diagnostic::new(
+                DiagCode::EmptyNest,
+                TaskPath::root(),
+                "program shape declares no tasks",
+            )
+            .with_suggestion("declare at least one task in the root descriptor"),
+        );
+    }
+    lint_shape_level(&shape.tasks, &TaskPath::root(), &mut diags);
+    diags
+}
+
+fn lint_shape_level(nodes: &[ShapeNode], prefix: &TaskPath, diags: &mut Vec<Diagnostic>) {
+    // DV015: duplicate sibling names make paths ambiguous to humans.
+    for (i, node) in nodes.iter().enumerate() {
+        if nodes[..i].iter().any(|earlier| earlier.name == node.name) {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::DuplicateTaskName,
+                    prefix.child(i as u16),
+                    format!("sibling task name `{}` is used more than once", node.name),
+                )
+                .with_suggestion("give each sibling task a distinct name"),
+            );
+        }
+    }
+    for (i, node) in nodes.iter().enumerate() {
+        let path = prefix.child(i as u16);
+        for (j, alt) in node.alternatives.iter().enumerate() {
+            // DV008: an alternative with no tasks can never do work.
+            if alt.is_empty() {
+                diags.push(
+                    Diagnostic::new(
+                        DiagCode::EmptyNest,
+                        path.clone(),
+                        format!("task `{}` declares an empty alternative {j}", node.name),
+                    )
+                    .with_suggestion("remove the empty alternative or add tasks to it"),
+                );
+            }
+            // DV009: a structural duplicate of an earlier alternative can
+            // never change behaviour, so no mechanism gains anything by
+            // selecting it.
+            if node.alternatives[..j].iter().any(|earlier| earlier == alt) {
+                diags.push(
+                    Diagnostic::new(
+                        DiagCode::UnreachableAlternative,
+                        path.clone(),
+                        format!(
+                            "task `{}` alternative {j} duplicates an earlier alternative",
+                            node.name
+                        ),
+                    )
+                    .with_suggestion("remove the redundant alternative"),
+                );
+            }
+            lint_shape_level(alt, &path, diags);
+        }
+    }
+}
+
+fn analyze_budget(config: &Config, resources: &Resources, diags: &mut Vec<Diagnostic>) {
+    let required = config.total_threads();
+    let budget = resources.threads;
+    if required > budget {
+        diags.push(
+            Diagnostic::new(
+                DiagCode::BudgetExceeded,
+                TaskPath::root(),
+                format!("configuration needs {required} threads but only {budget} are available"),
+            )
+            .with_suggestion(format!(
+                "reduce extents until the total drops by {}",
+                required - budget
+            )),
+        );
+    } else if budget >= UNDER_SUBSCRIPTION_MIN_BUDGET
+        && f64::from(required) <= f64::from(budget) * UNDER_SUBSCRIPTION_FRACTION
+    {
+        diags.push(
+            Diagnostic::new(
+                DiagCode::UnderSubscription,
+                TaskPath::root(),
+                format!(
+                    "configuration uses {required} of {budget} budgeted threads ({}%)",
+                    (100 * required) / budget.max(1)
+                ),
+            )
+            .with_suggestion("raise extents of parallel tasks to use the idle budget"),
+        );
+    }
+}
+
+fn analyze_level(
+    tasks: &[TaskConfig],
+    nodes: &[ShapeNode],
+    prefix: &TaskPath,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // DV011: arity mismatch. Analysis continues over the common prefix so
+    // deeper findings are still reported.
+    if tasks.len() != nodes.len() {
+        diags.push(
+            Diagnostic::new(
+                DiagCode::ArityMismatch,
+                prefix.clone(),
+                format!(
+                    "descriptor has {} tasks but configuration has {}",
+                    nodes.len(),
+                    tasks.len()
+                ),
+            )
+            .with_suggestion(format!(
+                "configure exactly {} tasks at this level",
+                nodes.len()
+            )),
+        );
+    }
+    for (i, (task, node)) in tasks.iter().zip(nodes).enumerate() {
+        let path = prefix.child(i as u16);
+        analyze_node(task, node, &path, diags);
+    }
+    analyze_starvation(tasks, prefix, diags);
+}
+
+fn analyze_node(task: &TaskConfig, node: &ShapeNode, path: &TaskPath, diags: &mut Vec<Diagnostic>) {
+    // DV005: names must agree so reports and mechanisms talk about the
+    // same tasks.
+    if task.name != node.name {
+        diags.push(
+            Diagnostic::new(
+                DiagCode::NameMismatch,
+                path.clone(),
+                format!("expected task `{}`, found `{}`", node.name, task.name),
+            )
+            .with_suggestion(format!("rename the configured task to `{}`", node.name)),
+        );
+    }
+    // DV007: zero extent means the task never runs.
+    if task.extent == 0 {
+        diags.push(
+            Diagnostic::new(
+                DiagCode::ZeroExtent,
+                path.clone(),
+                format!("task `{}` was assigned extent zero", task.name),
+            )
+            .with_suggestion("assign an extent of at least 1"),
+        );
+    }
+    // DV003: sequential tasks cannot be replicated.
+    if node.kind == TaskKind::Seq && task.extent > 1 {
+        diags.push(
+            Diagnostic::new(
+                DiagCode::SequentialExtent,
+                path.clone(),
+                format!(
+                    "sequential task `{}` was assigned extent {} (must be 1)",
+                    task.name, task.extent
+                ),
+            )
+            .with_suggestion("set the extent of sequential tasks to 1"),
+        );
+    }
+    // DV006: extents above the declared cap overload the task.
+    if let Some(max) = node.max_extent {
+        if task.extent > max {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::MaxExtentExceeded,
+                    path.clone(),
+                    format!(
+                        "task `{}` extent {} exceeds declared cap {max}",
+                        task.name, task.extent
+                    ),
+                )
+                .with_suggestion(format!("clamp the extent to at most {max}")),
+            );
+        }
+    }
+    match (&task.nested, node.is_leaf()) {
+        (None, true) => {}
+        (Some(nest), false) => analyze_nest(task, nest, node, path, diags),
+        // DV012: leaf/nest structure must agree.
+        (Some(_), true) => {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::StructureMismatch,
+                    path.clone(),
+                    format!("configuration nests leaf task `{}`", task.name),
+                )
+                .with_suggestion("configure this task as a leaf (no nested block)"),
+            );
+        }
+        (None, false) => {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::StructureMismatch,
+                    path.clone(),
+                    format!("configuration treats nested task `{}` as a leaf", task.name),
+                )
+                .with_suggestion("add a nested block choosing one of the declared alternatives"),
+            );
+        }
+    }
+}
+
+fn analyze_nest(
+    task: &TaskConfig,
+    nest: &NestConfig,
+    node: &ShapeNode,
+    path: &TaskPath,
+    diags: &mut Vec<Diagnostic>,
+) {
+    match node.alternatives.get(nest.alternative) {
+        // DV004: the chosen alternative must exist.
+        None => {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::AltOutOfRange,
+                    path.clone(),
+                    format!(
+                        "task `{}` has {} parallelism descriptors but alternative {} was requested",
+                        task.name,
+                        node.alternatives.len(),
+                        nest.alternative
+                    ),
+                )
+                .with_suggestion(format!(
+                    "choose an alternative below {}",
+                    node.alternatives.len()
+                )),
+            );
+        }
+        Some(alt) => {
+            // DV008: a nest whose chosen alternative is empty replicates
+            // nothing. `Config::validate` tolerates this (0 == 0 arity),
+            // which is exactly why the analyzer flags it.
+            if alt.is_empty() && nest.tasks.is_empty() {
+                diags.push(
+                    Diagnostic::new(
+                        DiagCode::EmptyNest,
+                        path.clone(),
+                        format!(
+                            "task `{}` selects empty alternative {}: the nest does no work",
+                            task.name, nest.alternative
+                        ),
+                    )
+                    .with_suggestion("select an alternative that contains tasks"),
+                );
+            }
+            analyze_level(&nest.tasks, alt, path, diags);
+        }
+    }
+}
+
+/// DV010: inside a multi-stage nest (a pipeline), a stage with extent
+/// zero while a sibling has capacity stalls the whole pipeline — every
+/// item must flow through every stage.
+fn analyze_starvation(tasks: &[TaskConfig], prefix: &TaskPath, diags: &mut Vec<Diagnostic>) {
+    if tasks.len() < 2 {
+        return;
+    }
+    let any_active = tasks.iter().any(|t| t.extent > 0);
+    if !any_active {
+        return;
+    }
+    for (i, task) in tasks.iter().enumerate() {
+        if task.extent == 0 {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::PipeStarvation,
+                    prefix.child(i as u16),
+                    format!(
+                        "pipeline stage `{}` has extent 0 while sibling stages are active; \
+                         items will pile up and the pipeline will starve",
+                        task.name
+                    ),
+                )
+                .with_suggestion("give every pipeline stage at least one worker"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dope_core::diag::Severity;
+
+    fn transcode_shape() -> ProgramShape {
+        ProgramShape::new(vec![ShapeNode::nest(
+            "transcode",
+            TaskKind::Par,
+            vec![
+                ShapeNode::leaf("read", TaskKind::Seq),
+                ShapeNode::leaf("transform", TaskKind::Par).with_max_extent(16),
+                ShapeNode::leaf("write", TaskKind::Seq),
+            ],
+        )])
+    }
+
+    fn transcode_config(outer: u32, transform: u32) -> Config {
+        Config::new(vec![TaskConfig::nest(
+            "transcode",
+            outer,
+            0,
+            vec![
+                TaskConfig::leaf("read", 1),
+                TaskConfig::leaf("transform", transform),
+                TaskConfig::leaf("write", 1),
+            ],
+        )])
+    }
+
+    fn codes(report: &Report) -> Vec<DiagCode> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_config_has_no_diagnostics() {
+        let report = analyze(
+            &transcode_shape(),
+            &transcode_config(3, 6),
+            &Resources::threads(24),
+        );
+        assert!(report.is_clean(), "{report}");
+    }
+
+    // DV001 ------------------------------------------------------------
+
+    #[test]
+    fn dv001_budget_exceeded_fires() {
+        let report = analyze(
+            &transcode_shape(),
+            &transcode_config(4, 8),
+            &Resources::threads(24),
+        );
+        assert!(codes(&report).contains(&DiagCode::BudgetExceeded));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn dv001_quiet_within_budget() {
+        let report = analyze(
+            &transcode_shape(),
+            &transcode_config(3, 6),
+            &Resources::threads(24),
+        );
+        assert!(!codes(&report).contains(&DiagCode::BudgetExceeded));
+    }
+
+    // DV002 ------------------------------------------------------------
+
+    #[test]
+    fn dv002_under_subscription_warns() {
+        let report = analyze(
+            &transcode_shape(),
+            &transcode_config(1, 1),
+            &Resources::threads(24),
+        );
+        let diag = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagCode::UnderSubscription)
+            .expect("under-subscription warning");
+        assert_eq!(diag.severity, Severity::Warning);
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn dv002_quiet_on_small_budgets_and_good_usage() {
+        // Budget below the minimum: never warns.
+        let small = analyze(
+            &transcode_shape(),
+            &transcode_config(1, 1),
+            &Resources::threads(4),
+        );
+        assert!(!codes(&small).contains(&DiagCode::UnderSubscription));
+        // Above half the budget: no warning.
+        let busy = analyze(
+            &transcode_shape(),
+            &transcode_config(2, 6),
+            &Resources::threads(24),
+        );
+        assert!(!codes(&busy).contains(&DiagCode::UnderSubscription));
+    }
+
+    // DV003 ------------------------------------------------------------
+
+    #[test]
+    fn dv003_sequential_extent_fires() {
+        let mut config = transcode_config(1, 12);
+        config.tasks[0].nested.as_mut().unwrap().tasks[0].extent = 2;
+        let report = analyze(&transcode_shape(), &config, &Resources::threads(24));
+        let diag = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagCode::SequentialExtent)
+            .expect("sequential-extent error");
+        assert_eq!(diag.path.to_string(), "0.0");
+    }
+
+    #[test]
+    fn dv003_quiet_for_parallel_tasks() {
+        let report = analyze(
+            &transcode_shape(),
+            &transcode_config(2, 8),
+            &Resources::threads(24),
+        );
+        assert!(!codes(&report).contains(&DiagCode::SequentialExtent));
+    }
+
+    // DV004 ------------------------------------------------------------
+
+    #[test]
+    fn dv004_alt_out_of_range_fires() {
+        let mut config = transcode_config(2, 8);
+        config.tasks[0].nested.as_mut().unwrap().alternative = 3;
+        let report = analyze(&transcode_shape(), &config, &Resources::threads(24));
+        assert!(codes(&report).contains(&DiagCode::AltOutOfRange));
+    }
+
+    #[test]
+    fn dv004_quiet_for_declared_alternative() {
+        let report = analyze(
+            &transcode_shape(),
+            &transcode_config(2, 8),
+            &Resources::threads(24),
+        );
+        assert!(!codes(&report).contains(&DiagCode::AltOutOfRange));
+    }
+
+    // DV005 ------------------------------------------------------------
+
+    #[test]
+    fn dv005_name_mismatch_fires() {
+        let mut config = transcode_config(2, 8);
+        config.tasks[0].name = "transmogrify".into();
+        let report = analyze(&transcode_shape(), &config, &Resources::threads(24));
+        let diag = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagCode::NameMismatch)
+            .expect("name-mismatch error");
+        assert!(diag.message.contains("transmogrify"));
+        assert!(diag.suggestion.as_deref().unwrap().contains("transcode"));
+    }
+
+    #[test]
+    fn dv005_quiet_when_names_agree() {
+        let report = analyze(
+            &transcode_shape(),
+            &transcode_config(2, 8),
+            &Resources::threads(24),
+        );
+        assert!(!codes(&report).contains(&DiagCode::NameMismatch));
+    }
+
+    // DV006 ------------------------------------------------------------
+
+    #[test]
+    fn dv006_max_extent_fires() {
+        let report = analyze(
+            &transcode_shape(),
+            &transcode_config(1, 17),
+            &Resources::threads(64),
+        );
+        assert!(codes(&report).contains(&DiagCode::MaxExtentExceeded));
+    }
+
+    #[test]
+    fn dv006_quiet_at_the_cap() {
+        let report = analyze(
+            &transcode_shape(),
+            &transcode_config(1, 16),
+            &Resources::threads(64),
+        );
+        assert!(!codes(&report).contains(&DiagCode::MaxExtentExceeded));
+    }
+
+    // DV007 / DV010 ----------------------------------------------------
+
+    #[test]
+    fn dv007_and_dv010_fire_for_starved_stage() {
+        let mut config = transcode_config(2, 8);
+        config.tasks[0].nested.as_mut().unwrap().tasks[1].extent = 0;
+        let report = analyze(&transcode_shape(), &config, &Resources::threads(24));
+        let c = codes(&report);
+        assert!(c.contains(&DiagCode::ZeroExtent));
+        assert!(c.contains(&DiagCode::PipeStarvation));
+        let starve = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagCode::PipeStarvation)
+            .unwrap();
+        assert_eq!(starve.path.to_string(), "0.1");
+    }
+
+    #[test]
+    fn dv010_quiet_when_every_stage_has_workers() {
+        let report = analyze(
+            &transcode_shape(),
+            &transcode_config(2, 8),
+            &Resources::threads(24),
+        );
+        assert!(!codes(&report).contains(&DiagCode::PipeStarvation));
+    }
+
+    #[test]
+    fn dv010_quiet_for_single_task_level() {
+        // A root with one nested task whose extent is zero is DV007 only:
+        // there is no pipeline to starve.
+        let shape = ProgramShape::new(vec![ShapeNode::leaf("solo", TaskKind::Par)]);
+        let config = Config::new(vec![TaskConfig::leaf("solo", 0)]);
+        let report = analyze(&shape, &config, &Resources::threads(4));
+        let c = codes(&report);
+        assert!(c.contains(&DiagCode::ZeroExtent));
+        assert!(!c.contains(&DiagCode::PipeStarvation));
+    }
+
+    // DV008 ------------------------------------------------------------
+
+    #[test]
+    fn dv008_empty_nest_fires() {
+        let shape = ProgramShape::new(vec![ShapeNode {
+            name: "hollow".into(),
+            kind: TaskKind::Par,
+            max_extent: None,
+            alternatives: vec![vec![]],
+        }]);
+        let config = Config::new(vec![TaskConfig::nest("hollow", 2, 0, vec![])]);
+        // validate() tolerates this; the analyzer must not.
+        config.validate(&shape, 8).unwrap();
+        let report = analyze(&shape, &config, &Resources::threads(8));
+        assert!(codes(&report).contains(&DiagCode::EmptyNest));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn dv008_quiet_for_populated_nests() {
+        let report = analyze(
+            &transcode_shape(),
+            &transcode_config(2, 8),
+            &Resources::threads(24),
+        );
+        assert!(!codes(&report).contains(&DiagCode::EmptyNest));
+    }
+
+    // DV009 ------------------------------------------------------------
+
+    #[test]
+    fn dv009_unreachable_alternative_warns() {
+        let inner = vec![ShapeNode::leaf("stage", TaskKind::Par)];
+        let shape = ProgramShape::new(vec![ShapeNode {
+            name: "outer".into(),
+            kind: TaskKind::Par,
+            max_extent: None,
+            alternatives: vec![inner.clone(), inner],
+        }]);
+        let config = Config::new(vec![TaskConfig::nest(
+            "outer",
+            1,
+            0,
+            vec![TaskConfig::leaf("stage", 4)],
+        )]);
+        let report = analyze(&shape, &config, &Resources::threads(4));
+        let diag = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagCode::UnreachableAlternative)
+            .expect("unreachable-alternative warning");
+        assert_eq!(diag.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn dv009_quiet_for_distinct_alternatives() {
+        let shape = ProgramShape::new(vec![ShapeNode {
+            name: "outer".into(),
+            kind: TaskKind::Par,
+            max_extent: None,
+            alternatives: vec![
+                vec![ShapeNode::leaf("split", TaskKind::Par)],
+                vec![ShapeNode::leaf("fused", TaskKind::Par)],
+            ],
+        }]);
+        assert!(lint_shape(&shape)
+            .iter()
+            .all(|d| d.code != DiagCode::UnreachableAlternative));
+    }
+
+    // DV011 ------------------------------------------------------------
+
+    #[test]
+    fn dv011_arity_mismatch_fires_and_analysis_continues() {
+        let mut config = transcode_config(2, 8);
+        config.tasks[0].nested.as_mut().unwrap().tasks.pop();
+        // Also break a name deeper in, to prove the walk continues.
+        config.tasks[0].nested.as_mut().unwrap().tasks[0].name = "reed".into();
+        let report = analyze(&transcode_shape(), &config, &Resources::threads(24));
+        let c = codes(&report);
+        assert!(c.contains(&DiagCode::ArityMismatch));
+        assert!(c.contains(&DiagCode::NameMismatch));
+    }
+
+    #[test]
+    fn dv011_quiet_when_arities_agree() {
+        let report = analyze(
+            &transcode_shape(),
+            &transcode_config(2, 8),
+            &Resources::threads(24),
+        );
+        assert!(!codes(&report).contains(&DiagCode::ArityMismatch));
+    }
+
+    // DV012 ------------------------------------------------------------
+
+    #[test]
+    fn dv012_structure_mismatch_fires_both_ways() {
+        // Nest where the shape declares a leaf.
+        let mut nested_leaf = transcode_config(2, 8);
+        nested_leaf.tasks[0].nested.as_mut().unwrap().tasks[1] =
+            TaskConfig::nest("transform", 2, 0, vec![TaskConfig::leaf("x", 1)]);
+        let report = analyze(&transcode_shape(), &nested_leaf, &Resources::threads(24));
+        assert!(codes(&report).contains(&DiagCode::StructureMismatch));
+
+        // Leaf where the shape declares a nest.
+        let flat = Config::new(vec![TaskConfig::leaf("transcode", 2)]);
+        let report = analyze(&transcode_shape(), &flat, &Resources::threads(24));
+        assert!(codes(&report).contains(&DiagCode::StructureMismatch));
+    }
+
+    #[test]
+    fn dv012_quiet_when_structure_agrees() {
+        let report = analyze(
+            &transcode_shape(),
+            &transcode_config(2, 8),
+            &Resources::threads(24),
+        );
+        assert!(!codes(&report).contains(&DiagCode::StructureMismatch));
+    }
+
+    // DV015 ------------------------------------------------------------
+
+    #[test]
+    fn dv015_duplicate_sibling_names_warn() {
+        let shape = ProgramShape::new(vec![
+            ShapeNode::leaf("stage", TaskKind::Par),
+            ShapeNode::leaf("stage", TaskKind::Par),
+        ]);
+        let diags = lint_shape(&shape);
+        let dup = diags
+            .iter()
+            .find(|d| d.code == DiagCode::DuplicateTaskName)
+            .expect("duplicate-name warning");
+        assert_eq!(dup.severity, Severity::Warning);
+        assert_eq!(dup.path.to_string(), "1");
+    }
+
+    #[test]
+    fn dv015_quiet_for_distinct_names() {
+        assert!(lint_shape(&transcode_shape())
+            .iter()
+            .all(|d| d.code != DiagCode::DuplicateTaskName));
+    }
+
+    // Aggregation -------------------------------------------------------
+
+    #[test]
+    fn multiple_findings_are_all_reported() {
+        let mut config = transcode_config(4, 20);
+        config.tasks[0].nested.as_mut().unwrap().tasks[0].extent = 3;
+        config.tasks[0].nested.as_mut().unwrap().tasks[2].name = "wrote".into();
+        let report = analyze(&transcode_shape(), &config, &Resources::threads(24));
+        let c = codes(&report);
+        assert!(c.contains(&DiagCode::SequentialExtent));
+        assert!(c.contains(&DiagCode::MaxExtentExceeded));
+        assert!(c.contains(&DiagCode::NameMismatch));
+        assert!(c.contains(&DiagCode::BudgetExceeded));
+        assert!(report.errors().count() >= 4, "{report}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Conformance tests: every shipped mechanism, fed a deterministic grid
+//! of synthetic monitoring snapshots, must only ever propose
+//! configurations that pass the static analyzer with no errors.
+//!
+//! One test per mechanism so a regression names its offender directly.
+//!
+//! # The SEDA exemption
+//!
+//! SEDA is *uncoordinated by design*: each stage controller sizes its
+//! own thread pool from local queue observations, with no global budget
+//! (paper §7.2; the original SEDA paper has no admission budget either).
+//! Its proposals may therefore exceed `Resources::threads`, which the
+//! executive handles by rejecting over-budget proposals at the
+//! reconfiguration gate. SEDA is accordingly exempt from
+//! [`DiagCode::BudgetExceeded`] (DV001) — and from that code *only*; it
+//! must still match the shape, keep extents positive, and so on. The
+//! `seda_violates_only_the_budget` test pins this down.
+
+use dope_core::diag::DiagCode;
+use dope_core::{Config, Mechanism, ProgramShape, Resources, ShapeNode, TaskConfig, TaskKind};
+use dope_mechanisms::{Fdp, Oracle, Proportional, Seda, Tbf, Tpc, WqLinear, WqLinearH, WqtH};
+use dope_verify::{snapshot_grid, verify_mechanism};
+
+const STEPS: usize = 48;
+
+fn pipeline_shape() -> ProgramShape {
+    ProgramShape::new(vec![ShapeNode {
+        name: "pipe".into(),
+        kind: TaskKind::Par,
+        max_extent: Some(1),
+        alternatives: vec![
+            vec![
+                ShapeNode::leaf("in", TaskKind::Seq),
+                ShapeNode::leaf("a", TaskKind::Par),
+                ShapeNode::leaf("b", TaskKind::Par),
+                ShapeNode::leaf("out", TaskKind::Seq),
+            ],
+            vec![
+                ShapeNode::leaf("in", TaskKind::Seq),
+                ShapeNode::leaf("fused", TaskKind::Par),
+                ShapeNode::leaf("out", TaskKind::Seq),
+            ],
+        ],
+    }])
+}
+
+fn pipeline_initial() -> Config {
+    Config::new(vec![TaskConfig::nest(
+        "pipe",
+        1,
+        0,
+        vec![
+            TaskConfig::leaf("in", 1),
+            TaskConfig::leaf("a", 1),
+            TaskConfig::leaf("b", 1),
+            TaskConfig::leaf("out", 1),
+        ],
+    )])
+}
+
+fn two_level_shape() -> ProgramShape {
+    ProgramShape::new(vec![ShapeNode {
+        name: "txn".into(),
+        kind: TaskKind::Par,
+        max_extent: None,
+        alternatives: vec![
+            vec![
+                ShapeNode::leaf("read", TaskKind::Seq),
+                ShapeNode::leaf("work", TaskKind::Par),
+            ],
+            vec![ShapeNode::leaf("whole", TaskKind::Seq)],
+        ],
+    }])
+}
+
+fn two_level_initial(shape: &ProgramShape, threads: u32) -> Config {
+    dope_core::nest::config_for_width(
+        shape,
+        &dope_core::nest::find_two_level(shape).expect("two-level"),
+        threads,
+        1,
+    )
+}
+
+/// Runs one pipeline-goal mechanism through the grid on several budgets.
+fn check_pipeline(mech: &mut dyn Mechanism, exempt: &[DiagCode]) {
+    let shape = pipeline_shape();
+    let snaps = snapshot_grid(&shape, STEPS);
+    for threads in [4, 9, 24, 32] {
+        let res = Resources::threads(threads).with_power_budget(630.0);
+        if let Err(violation) =
+            verify_mechanism(mech, &shape, pipeline_initial(), &res, &snaps, exempt)
+        {
+            panic!("budget {threads}: {violation}");
+        }
+    }
+}
+
+/// Runs one queue-goal mechanism through the grid on several budgets.
+fn check_two_level(mech: &mut dyn Mechanism, exempt: &[DiagCode]) {
+    let shape = two_level_shape();
+    let snaps = snapshot_grid(&shape, STEPS);
+    for threads in [2, 9, 24, 32] {
+        let res = Resources::threads(threads).with_power_budget(630.0);
+        let initial = two_level_initial(&shape, threads);
+        if let Err(violation) = verify_mechanism(mech, &shape, initial, &res, &snaps, exempt) {
+            panic!("budget {threads}: {violation}");
+        }
+    }
+}
+
+#[test]
+fn fdp_is_conformant() {
+    check_pipeline(&mut Fdp::default(), &[]);
+}
+
+#[test]
+fn tbf_is_conformant() {
+    check_pipeline(&mut Tbf::new(), &[]);
+    check_pipeline(&mut Tbf::without_fusion(), &[]);
+}
+
+#[test]
+fn tpc_is_conformant() {
+    check_pipeline(&mut Tpc::default(), &[]);
+}
+
+#[test]
+fn proportional_is_conformant() {
+    check_pipeline(&mut Proportional::new(), &[]);
+}
+
+#[test]
+fn seda_is_conformant_modulo_budget() {
+    check_pipeline(&mut Seda::default(), &[DiagCode::BudgetExceeded]);
+}
+
+/// Pins the SEDA exemption to exactly DV001: driven hard enough, SEDA
+/// does exceed the budget (proving the exemption is load-bearing), but
+/// it never produces any *other* error.
+#[test]
+fn seda_violates_only_the_budget() {
+    let shape = pipeline_shape();
+    let snaps = snapshot_grid(&shape, STEPS);
+    let res = Resources::threads(4);
+    let result = verify_mechanism(
+        &mut Seda::default(),
+        &shape,
+        pipeline_initial(),
+        &res,
+        &snaps,
+        &[],
+    );
+    let violation = result.expect_err("a 4-thread budget must be exceeded under heavy load");
+    assert!(
+        violation
+            .diagnostics
+            .iter()
+            .all(|d| d.code == DiagCode::BudgetExceeded),
+        "{violation}"
+    );
+}
+
+#[test]
+fn oracle_is_conformant() {
+    check_two_level(&mut Oracle::from_table(vec![(2.0, 8), (8.0, 2)], 1), &[]);
+}
+
+#[test]
+fn wq_linear_is_conformant() {
+    check_two_level(&mut WqLinear::new(1, 8, 8.0), &[]);
+    check_two_level(&mut WqLinear::default(), &[]);
+}
+
+#[test]
+fn wq_linear_h_is_conformant() {
+    check_two_level(&mut WqLinearH::new(1, 8, 8.0, 3), &[]);
+    check_two_level(&mut WqLinearH::default(), &[]);
+}
+
+#[test]
+fn wqt_h_is_conformant() {
+    check_two_level(&mut WqtH::new(4.0, 8, 2, 2), &[]);
+    check_two_level(&mut WqtH::default(), &[]);
+}

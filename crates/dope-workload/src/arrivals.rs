@@ -87,12 +87,7 @@ impl ArrivalSchedule {
     ///
     /// Panics if `load_factor` or `max_throughput` is not positive.
     #[must_use]
-    pub fn for_load_factor(
-        load_factor: f64,
-        max_throughput: f64,
-        count: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn for_load_factor(load_factor: f64, max_throughput: f64, count: usize, seed: u64) -> Self {
         assert!(load_factor > 0.0, "load factor must be positive");
         assert!(max_throughput > 0.0, "max throughput must be positive");
         ArrivalSchedule::poisson(load_factor * max_throughput, count, seed)

@@ -81,9 +81,10 @@ impl ResponseStats {
     /// Maximum response time, or `None` if empty.
     #[must_use]
     pub fn max(&self) -> Option<f64> {
-        self.samples.iter().copied().fold(None, |acc, v| {
-            Some(acc.map_or(v, |m: f64| m.max(v)))
-        })
+        self.samples
+            .iter()
+            .copied()
+            .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.max(v))))
     }
 
     /// All samples, in recording order.

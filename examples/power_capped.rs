@@ -22,7 +22,11 @@ fn main() {
         threads: 24,
         watts: target,
     };
-    println!("goal: {goal} (idle {:.0} W, peak {:.0} W)", power_model.idle_watts(), power_model.peak_power());
+    println!(
+        "goal: {goal} (idle {:.0} W, peak {:.0} W)",
+        power_model.idle_watts(),
+        power_model.peak_power()
+    );
 
     let mut tpc = Tpc::default();
     let outcome = run_pipeline(
@@ -50,7 +54,7 @@ fn main() {
         .collect();
     for &(t, p) in outcome.power_series.points() {
         let ti = t as u64;
-        if ti % 20 == 0 {
+        if ti.is_multiple_of(20) {
             println!(
                 "{ti:>6} {p:>10.1} {:>14.1}",
                 thr.get(&ti).copied().unwrap_or(0.0)

@@ -109,7 +109,11 @@ fn main() {
         .expect("launch");
     let report = dope.wait().expect("run to completion");
 
-    println!("processed {} items in {:?}", consumed.load(Ordering::Relaxed), report.elapsed);
+    println!(
+        "processed {} items in {:?}",
+        consumed.load(Ordering::Relaxed),
+        report.elapsed
+    );
     println!("reconfigurations: {}", report.reconfigurations);
     println!("final configuration: {}", report.final_config);
     assert_eq!(consumed.load(Ordering::Relaxed), ITEMS);

@@ -1,0 +1,7 @@
+//! Offline shim for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros so that
+//! `#[derive(Serialize, Deserialize)]` and `use serde::{Deserialize,
+//! Serialize}` compile unchanged in an environment without crates.io.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`: the derive macros expand to nothing.
+//!
+//! Nothing in this workspace performs serde-driven serialization (the
+//! `dope-verify` CLI ships its own small JSON codec), so the derives only
+//! need to exist, not to generate code.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -2,8 +2,8 @@
 //! to suspend, mechanisms misbehave, or the power meter goes quiet.
 
 use dope_core::{
-    body_fn, Config, Goal, Mechanism, MonitorSnapshot, ProgramShape, Resources, TaskBody, TaskCx,
-    TaskConfig, TaskKind, TaskSpec, TaskStatus, WorkerSlot,
+    body_fn, Config, Goal, Mechanism, MonitorSnapshot, ProgramShape, Resources, TaskBody,
+    TaskConfig, TaskCx, TaskKind, TaskSpec, TaskStatus, WorkerSlot,
 };
 use dope_runtime::Dope;
 use dope_workload::{DequeueOutcome, WorkQueue};

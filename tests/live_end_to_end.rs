@@ -26,11 +26,17 @@ fn transcoding_service_adapts_and_conserves_work() {
     };
     // Light phase, then a burst that must push WQ-Linear to narrow widths.
     for id in 0..8u64 {
-        service.queue.enqueue(transcode::make_video(id, params)).unwrap();
+        service
+            .queue
+            .enqueue(transcode::make_video(id, params))
+            .unwrap();
         std::thread::sleep(Duration::from_millis(25));
     }
     for id in 8..48u64 {
-        service.queue.enqueue(transcode::make_video(id, params)).unwrap();
+        service
+            .queue
+            .enqueue(transcode::make_video(id, params))
+            .unwrap();
     }
     service.queue.close();
     let report = dope.wait().expect("drains");
@@ -103,7 +109,10 @@ fn default_mechanism_for_goal_runs_a_service() {
         chunks: 4,
     };
     for id in 0..20u64 {
-        service.queue.enqueue(swaptions::make_request(id, params)).unwrap();
+        service
+            .queue
+            .enqueue(swaptions::make_request(id, params))
+            .unwrap();
     }
     service.queue.close();
     dope.wait().expect("drains");
@@ -126,7 +135,10 @@ fn wqt_h_live_switches_modes() {
     };
     // WQT-H starts SEQ; a long light phase must flip it to PAR.
     for id in 0..30u64 {
-        service.queue.enqueue(transcode::make_video(id, params)).unwrap();
+        service
+            .queue
+            .enqueue(transcode::make_video(id, params))
+            .unwrap();
         std::thread::sleep(Duration::from_millis(12));
     }
     service.queue.close();
@@ -152,7 +164,10 @@ fn early_stop_is_orderly() {
         height: 32,
     };
     for id in 0..4u64 {
-        service.queue.enqueue(transcode::make_video(id, params)).unwrap();
+        service
+            .queue
+            .enqueue(transcode::make_video(id, params))
+            .unwrap();
     }
     std::thread::sleep(Duration::from_millis(60));
     dope.stop();

@@ -187,3 +187,119 @@ proptest! {
         prop_assert!(out.response.percentile(0.0).expect("non-empty") >= exec - 1e-9);
     }
 }
+
+/// Reference implementation of thread accounting, written independently
+/// of `TaskConfig::threads`: leaves cost their extent, nests cost
+/// `extent x max(1, sum(children))`, computed in u64 so the property
+/// can also assert that no overflow occurred in the tested range.
+fn reference_threads(task: &dope_core::TaskConfig) -> u64 {
+    match &task.nested {
+        None => u64::from(task.extent),
+        Some(nest) => {
+            let inner: u64 = nest.tasks.iter().map(reference_threads).sum();
+            u64::from(task.extent) * inner.max(1)
+        }
+    }
+}
+
+proptest! {
+    /// `TaskConfig::threads` agrees with the independent recursive sum on
+    /// arbitrary three-level trees (leaves at the root, a nest of leaves,
+    /// and a nest containing a further nest).
+    #[test]
+    fn task_config_threads_matches_reference(
+        leaf_extents in prop::collection::vec(0u32..50, 0..6),
+        inner_extents in prop::collection::vec(0u32..50, 0..6),
+        outer_extent in 0u32..50,
+        deep_extent in 0u32..10,
+    ) {
+        use dope_core::TaskConfig;
+
+        let mut tasks: Vec<TaskConfig> = leaf_extents
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| TaskConfig::leaf(format!("l{i}"), e))
+            .collect();
+        let mut inner: Vec<TaskConfig> = inner_extents
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| TaskConfig::leaf(format!("i{i}"), e))
+            .collect();
+        inner.push(TaskConfig::nest(
+            "deep",
+            deep_extent,
+            0,
+            vec![TaskConfig::leaf("d0", 3)],
+        ));
+        tasks.push(TaskConfig::nest("outer", outer_extent, 0, inner));
+
+        let config = Config::new(tasks);
+        let expected: u64 = config.tasks.iter().map(reference_threads).sum();
+        prop_assert!(expected <= u64::from(u32::MAX), "range keeps sums in u32");
+        prop_assert_eq!(u64::from(config.total_threads()), expected);
+        for (_, node) in config.paths() {
+            prop_assert_eq!(u64::from(node.threads()), reference_threads(node));
+        }
+    }
+
+    /// Soundness and completeness of the static analyzer with respect to
+    /// the runtime validator, over randomly (mis)configured trees:
+    ///
+    /// * analyzer-clean (no error diagnostics) implies `validate` accepts;
+    /// * `validate` rejecting implies the analyzer reports an error.
+    #[test]
+    fn analyzer_agrees_with_validator(
+        outer in 0u32..6,
+        read in 0u32..4,
+        transform in 0u32..24,
+        write in 0u32..4,
+        alt in 0usize..3,
+        threads in 1u32..64,
+        break_name in any::<bool>(),
+        drop_stage in any::<bool>(),
+    ) {
+        use dope_core::{Resources, TaskConfig};
+
+        let shape = ProgramShape::new(vec![ShapeNode {
+            name: "txn".into(),
+            kind: TaskKind::Par,
+            max_extent: None,
+            alternatives: vec![
+                vec![
+                    ShapeNode::leaf("read", TaskKind::Seq),
+                    ShapeNode::leaf("transform", TaskKind::Par).with_max_extent(16),
+                    ShapeNode::leaf("write", TaskKind::Seq),
+                ],
+                vec![ShapeNode::leaf("whole", TaskKind::Seq)],
+            ],
+        }]);
+        let mut stages = vec![
+            TaskConfig::leaf("read", read),
+            TaskConfig::leaf("transform", transform),
+            TaskConfig::leaf("write", write),
+        ];
+        if break_name {
+            stages[1].name = "transmogrify".into();
+        }
+        if drop_stage {
+            stages.pop();
+        }
+        let config = Config::new(vec![TaskConfig::nest("txn", outer, alt, stages)]);
+
+        let report = dope_verify::analyze(&shape, &config, &Resources::threads(threads));
+        let verdict = config.validate(&shape, threads);
+        if !report.has_errors() {
+            prop_assert!(
+                verdict.is_ok(),
+                "analyzer-clean config rejected by validate: {:?} for {config}",
+                verdict
+            );
+        }
+        if let Err(err) = &verdict {
+            prop_assert!(
+                report.has_errors(),
+                "validate rejected ({err}) but the analyzer found nothing for {config}"
+            );
+        }
+    }
+}
