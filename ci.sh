@@ -31,4 +31,10 @@ fi
 step "cargo test -q"
 cargo test -q --offline
 
+step "cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
+
+step "cargo test --doc"
+cargo test -q --doc --workspace --offline
+
 step "ci.sh: all checks passed"

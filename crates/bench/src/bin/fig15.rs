@@ -1,5 +1,14 @@
 //! Regenerates the paper's fig15 artifact. Run with --release.
+//!
+//! Pass `--trace[=PATH]` to additionally record one representative run
+//! (ferret under TBF, saturated source) as a `dope-trace` JSONL flight
+//! recording (default `fig15-ferret-tbf.jsonl`).
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
     let _ = dope_bench::fig15::report(quick);
+    if let Some(path) = dope_bench::trace::trace_path(&args, "fig15-ferret-tbf.jsonl") {
+        let jsonl = dope_bench::trace::record_fig15(quick);
+        dope_bench::trace::write_trace(&jsonl, &path);
+    }
 }

@@ -15,6 +15,7 @@
 //! | [`fig15`] | Figure 15: ferret and dedup throughput across mechanisms |
 //! | [`tables`] | Tables 3 (mechanism LoC) and 4 (application metadata) |
 //! | [`ablations`] | sensitivity sweeps of the mechanisms' knobs (beyond the paper) |
+//! | [`trace`] | flight-recorder captures of representative fig11/fig15 runs |
 //!
 //! Run any artifact with `cargo run -p dope-bench --release --bin <id>`;
 //! `cargo bench` runs quick versions of all of them.
@@ -29,6 +30,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod tables;
+pub mod trace;
 
 /// The paper's load-factor sweep.
 #[must_use]

@@ -3,7 +3,7 @@
 //! PARSEC's dedup fragments a stream with a rolling hash, refines
 //! fragments into chunks, deduplicates by content hash, and compresses
 //! unique chunks. All four stages are here, with FNV-based content hashes
-//! and the [`compress`](crate::kernels::compress) codec for chunk
+//! and the [`compress`] codec for chunk
 //! payloads.
 
 use crate::kernels::compress;

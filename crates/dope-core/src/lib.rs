@@ -51,6 +51,7 @@ pub mod diag;
 pub mod error;
 pub mod ewma;
 pub mod goal;
+pub mod json;
 pub mod mechanism;
 pub mod metrics;
 pub mod nest;

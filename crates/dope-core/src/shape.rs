@@ -3,7 +3,7 @@
 //! Mechanisms must reason about the loop nest (which tasks exist, which are
 //! parallel, what alternatives a nest offers) without instantiating bodies.
 //! [`ProgramShape`] is that structural view, derived once from the
-//! application's [`TaskSpec`](crate::TaskSpec) tree.
+//! application's [`TaskSpec`] tree.
 
 use crate::path::TaskPath;
 use crate::spec::{TaskKind, TaskSpec, Work};

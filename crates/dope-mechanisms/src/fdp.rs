@@ -26,7 +26,7 @@ enum Phase {
 ///
 /// Unlike TBF, FDP has "a global view of resource allocation" but no
 /// explicit fusion; the paper implements it as one of DoPE's throughput
-/// mechanisms (§7.2, [29]).
+/// mechanisms (§7.2, \[29\]).
 ///
 /// # Example
 ///

@@ -20,7 +20,7 @@ enum Mode {
 /// From the paper: "Initially, WQT-H is in the SEQ state... When the
 /// occupancy of the work queue remains under a threshold T for more than
 /// N_off consecutive tasks, WQT-H transitions to the PAR state... WQT-H
-/// stays in the PAR state until the work queue [occupancy] increases above
+/// stays in the PAR state until the work queue \[occupancy\] increases above
 /// T and stays like that for more than N_on tasks."
 ///
 /// # Example

@@ -35,6 +35,6 @@ pub mod features;
 pub mod power;
 pub mod topology;
 
-pub use features::FeatureRegistry;
+pub use features::{FeatureObserver, FeatureRegistry};
 pub use power::{PowerModel, PowerSensor};
 pub use topology::Topology;

@@ -8,6 +8,7 @@ use dope_core::{
     TaskPath, TaskSpec, TaskStatus,
 };
 use dope_platform::FeatureRegistry;
+use dope_trace::{Recorder, TraceEvent, Verdict};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -40,6 +41,7 @@ pub struct DopeBuilder {
     features: FeatureRegistry,
     queue_probe: Option<Arc<dyn Fn() -> QueueStats + Send + Sync>>,
     pool_threads: Option<u32>,
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for DopeBuilder {
@@ -61,6 +63,7 @@ impl DopeBuilder {
             features: FeatureRegistry::new(),
             queue_probe: None,
             pool_threads: None,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -110,6 +113,19 @@ impl DopeBuilder {
     #[must_use]
     pub fn pool_threads(mut self, threads: u32) -> Self {
         self.pool_threads = Some(threads);
+        self
+    }
+
+    /// Attaches a flight recorder (see `dope-trace`): the executive then
+    /// records `Launched`, `SnapshotTaken`, `ProposalEvaluated`,
+    /// `ReconfigureEpoch` (with measured pause/relaunch latencies), and
+    /// `Finished` events; the monitor records per-task and queue samples;
+    /// and platform feature reads record `FeatureRead`. A
+    /// [`Recorder::disabled`] handle (the default) keeps every hook a
+    /// no-op.
+    #[must_use]
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -200,10 +216,31 @@ impl Dope {
         initial.validate(&shape, launch_budget)?;
         debug_verify_gate("launch", &shape, &initial, launch_budget);
 
+        let recorder = builder.recorder;
+        recorder.record_with(|| TraceEvent::Launched {
+            mechanism: mechanism.name().to_string(),
+            goal: goal.to_string(),
+            threads: budget,
+            shape: shape.clone(),
+            config: initial.clone(),
+        });
+
         let monitor = Monitor::new(builder.throughput_window, 0.25, builder.features.clone());
         if let Some(probe) = &builder.queue_probe {
             let probe = Arc::clone(probe);
             monitor.set_queue_probe(move || probe());
+        }
+        if recorder.is_enabled() {
+            monitor.set_recorder(recorder.clone());
+            let feature_recorder = recorder.clone();
+            builder
+                .features
+                .set_observer(Some(Arc::new(move |feature: &str, value: f64| {
+                    feature_recorder.record(TraceEvent::FeatureRead {
+                        feature: feature.to_string(),
+                        value,
+                    });
+                })));
         }
 
         let shared = Arc::new(Shared {
@@ -230,6 +267,7 @@ impl Dope {
                     &shared_for_thread,
                     control_period,
                     window,
+                    &recorder,
                 )
             })
             .expect("spawning the executive thread");
@@ -280,6 +318,7 @@ fn run_control_loop(
     shared: &Shared,
     control_period: Duration,
     window: Duration,
+    recorder: &Recorder,
 ) -> Result<RunReport> {
     let start = Instant::now();
     let mut config = initial;
@@ -287,9 +326,13 @@ fn run_control_loop(
     let mut rejected: u64 = 0;
     let mut history = vec![(0.0, config.clone())];
     let budget = res.threads;
+    // Pause latency of a completed drain, waiting for the relaunch half
+    // of its `ReconfigureEpoch` event.
+    let mut pending_pause: Option<f64> = None;
 
     'epochs: loop {
         // Launch the epoch.
+        let relaunch_started = Instant::now();
         let epoch = instantiate(descriptor, &config)?;
         shared
             .monitor
@@ -325,10 +368,22 @@ fn run_control_loop(
             });
         }
         drop(done_tx);
+        if let Some(pause_secs) = pending_pause.take() {
+            let relaunch_secs = relaunch_started.elapsed().as_secs_f64();
+            let jobs = outstanding as u64;
+            let config_now = &config;
+            recorder.record_with(|| TraceEvent::ReconfigureEpoch {
+                pause_secs,
+                relaunch_secs,
+                jobs,
+                config: config_now.clone(),
+            });
+        }
 
         // Monitor until the epoch ends or a reconfiguration triggers.
         let mut remaining = outstanding;
         let mut reconfig_target: Option<Config> = None;
+        let mut suspend_started: Option<Instant> = None;
         while remaining > 0 {
             match done_rx.recv_timeout(control_period) {
                 Ok((path, status)) => {
@@ -344,17 +399,38 @@ fn run_control_loop(
                         continue; // already draining
                     }
                     let snap = shared.monitor.snapshot();
+                    recorder.record_with(|| TraceEvent::SnapshotTaken {
+                        snapshot: snap.clone(),
+                    });
                     if let Some(proposal) = mechanism.reconfigure(&snap, &config, shape, &res) {
                         if proposal == config {
+                            recorder.record_with(|| TraceEvent::ProposalEvaluated {
+                                mechanism: mechanism.name().to_string(),
+                                proposal: proposal.clone(),
+                                verdict: Verdict::Unchanged,
+                            });
                             continue;
                         }
                         match proposal.validate(shape, budget) {
                             Ok(()) => {
                                 debug_verify_gate("reconfigure", shape, &proposal, budget);
+                                recorder.record_with(|| TraceEvent::ProposalEvaluated {
+                                    mechanism: mechanism.name().to_string(),
+                                    proposal: proposal.clone(),
+                                    verdict: Verdict::Accepted,
+                                });
                                 reconfig_target = Some(proposal);
+                                suspend_started = Some(Instant::now());
                                 shared.suspend.store(true, Ordering::Release);
                             }
-                            Err(_) => rejected += 1,
+                            Err(err) => {
+                                rejected += 1;
+                                recorder.record_with(|| TraceEvent::ProposalEvaluated {
+                                    mechanism: mechanism.name().to_string(),
+                                    proposal: proposal.clone(),
+                                    verdict: Verdict::Rejected { code: err.code() },
+                                });
+                            }
                         }
                     }
                 }
@@ -372,6 +448,8 @@ fn run_control_loop(
             history.push((start.elapsed().as_secs_f64(), config.clone()));
             shared.monitor.mark_reconfig();
             mechanism.applied(&config);
+            pending_pause =
+                Some(suspend_started.map_or(0.0, |since| since.elapsed().as_secs_f64()));
             continue 'epochs;
         }
         // No reconfiguration pending: did the program finish?
@@ -382,6 +460,14 @@ fn run_control_loop(
         // Mixed suspension without a target (stop raced): relaunch as-is.
     }
 
+    if recorder.is_enabled() {
+        let completed = shared.monitor.queue_completed();
+        recorder.record(TraceEvent::Finished {
+            completed,
+            reconfigurations,
+            dropped_events: recorder.dropped(),
+        });
+    }
     Ok(RunReport {
         elapsed: start.elapsed(),
         reconfigurations,
@@ -458,6 +544,107 @@ mod tests {
         let report = dope.wait().unwrap();
         assert_eq!(hits.load(Ordering::Relaxed), 2000);
         assert_eq!(report.final_config, pinned);
+    }
+
+    /// A recorded run captures the whole decision loop: launch, the
+    /// accepted proposal, the reconfiguration epoch with its measured
+    /// pause/relaunch latencies, and the terminal summary.
+    #[test]
+    fn attached_recorder_captures_the_decision_loop() {
+        let queue = WorkQueue::new();
+        for i in 0..200u64 {
+            queue.enqueue(i).unwrap();
+        }
+        queue.close();
+        let hits = Arc::new(AtomicU64::new(0));
+        // Each item takes ~1 ms so the run outlives several control
+        // periods and the mechanism actually gets consulted.
+        let q = queue.clone();
+        let h = Arc::clone(&hits);
+        let spec = TaskSpec::leaf(
+            "drain",
+            TaskKind::Par,
+            move |_slot: dope_core::WorkerSlot| {
+                let queue = q.clone();
+                let hits = Arc::clone(&h);
+                Box::new(dope_core::body_fn(move |cx| {
+                    cx.begin();
+                    let item = queue.dequeue_timeout(Duration::from_millis(2));
+                    cx.end();
+                    match item {
+                        dope_workload::DequeueOutcome::Item(_) => {
+                            std::thread::sleep(Duration::from_millis(1));
+                            hits.fetch_add(1, Ordering::Relaxed);
+                            TaskStatus::Executing
+                        }
+                        dope_workload::DequeueOutcome::Drained => TaskStatus::Finished,
+                        dope_workload::DequeueOutcome::TimedOut => {
+                            if cx.directive().wants_suspend() {
+                                TaskStatus::Suspended
+                            } else {
+                                TaskStatus::Executing
+                            }
+                        }
+                    }
+                })) as Box<dyn dope_core::TaskBody>
+            },
+        );
+        let pinned = Config::new(vec![dope_core::TaskConfig::leaf("drain", 2)]);
+        // Starts on the executive's even split, then proposes the pinned
+        // config at the first decision point — guaranteeing exactly the
+        // reconfiguration this test wants to see traced.
+        struct OneShot {
+            target: Config,
+        }
+        impl Mechanism for OneShot {
+            fn name(&self) -> &'static str {
+                "OneShot"
+            }
+            fn reconfigure(
+                &mut self,
+                _snap: &dope_core::MonitorSnapshot,
+                _current: &Config,
+                _shape: &ProgramShape,
+                _res: &Resources,
+            ) -> Option<Config> {
+                Some(self.target.clone())
+            }
+        }
+        let recorder = dope_trace::Recorder::bounded(4096);
+        let dope = Dope::builder(Goal::MaxThroughput { threads: 4 })
+            .mechanism(Box::new(OneShot {
+                target: pinned.clone(),
+            }))
+            .control_period(Duration::from_millis(5))
+            .recorder(recorder.clone())
+            .launch(vec![spec])
+            .unwrap();
+        let report = dope.wait().unwrap();
+        assert!(report.reconfigurations >= 1);
+
+        let records = recorder.records();
+        let kinds: Vec<&str> = records.iter().map(|r| r.event.kind()).collect();
+        assert_eq!(kinds.first(), Some(&"Launched"));
+        assert_eq!(kinds.last(), Some(&"Finished"));
+        assert!(kinds.contains(&"SnapshotTaken"));
+        assert!(kinds.contains(&"TaskStatsSample"));
+        assert!(kinds.contains(&"ProposalEvaluated"));
+        assert!(kinds.contains(&"ReconfigureEpoch"));
+        let epoch = records
+            .iter()
+            .find_map(|r| match &r.event {
+                TraceEvent::ReconfigureEpoch {
+                    pause_secs,
+                    relaunch_secs,
+                    jobs,
+                    config,
+                } => Some((*pause_secs, *relaunch_secs, *jobs, config.clone())),
+                _ => None,
+            })
+            .expect("a ReconfigureEpoch event");
+        assert!(epoch.0 >= 0.0 && epoch.1 >= 0.0);
+        assert_eq!(epoch.2, 2, "new epoch runs the pinned extent-2 jobs");
+        assert_eq!(epoch.3, pinned);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use dope_core::{Ewma, MonitorSnapshot, QueueStats, TaskPath, TaskStats};
 use dope_platform::FeatureRegistry;
+use dope_trace::{Recorder, TraceEvent};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -88,6 +89,7 @@ struct MonitorShared {
     queue_probe: Mutex<Option<Arc<dyn Fn() -> QueueStats + Send + Sync>>>,
     features: FeatureRegistry,
     completed_at_reconfig: AtomicU64,
+    recorder: Mutex<Recorder>,
 }
 
 impl std::fmt::Debug for Monitor {
@@ -114,8 +116,26 @@ impl Monitor {
                 queue_probe: Mutex::new(None),
                 features,
                 completed_at_reconfig: AtomicU64::new(0),
+                recorder: Mutex::new(Recorder::disabled()),
             }),
         }
+    }
+
+    /// Attaches a flight recorder: every [`snapshot`](Monitor::snapshot)
+    /// additionally emits one `TaskStatsSample` per task and one
+    /// `QueueSample` into it.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        *self.shared.recorder.lock() = recorder;
+    }
+
+    /// Requests completed so far per the installed queue probe (0 when no
+    /// probe is installed).
+    pub(crate) fn queue_completed(&self) -> u64 {
+        self.shared
+            .queue_probe
+            .lock()
+            .as_ref()
+            .map_or(0, |probe| probe().completed)
     }
 
     /// The measurement cell for `path`, created on first use.
@@ -212,6 +232,17 @@ impl Monitor {
             .completed
             .saturating_sub(shared.completed_at_reconfig.load(Ordering::Relaxed));
         snap.power_watts = shared.features.value("SystemPower");
+
+        let recorder = shared.recorder.lock().clone();
+        if recorder.is_enabled() {
+            for (path, stats) in &snap.tasks {
+                recorder.record(TraceEvent::TaskStatsSample {
+                    path: path.clone(),
+                    stats: *stats,
+                });
+            }
+            recorder.record(TraceEvent::QueueSample { queue: snap.queue });
+        }
         snap
     }
 }
@@ -278,6 +309,24 @@ mod tests {
         features.register("SystemPower", || 612.5);
         let m = Monitor::new(Duration::from_secs(5), 0.25, features);
         assert_eq!(m.snapshot().power_watts, Some(612.5));
+    }
+
+    #[test]
+    fn snapshot_emits_samples_into_an_attached_recorder() {
+        let m = monitor();
+        let path: TaskPath = "0".parse().unwrap();
+        let stats = m.stats_for(&path);
+        stats.record(
+            Duration::from_millis(5),
+            Instant::now(),
+            Duration::from_secs(10),
+        );
+        m.install_epoch(Vec::new(), HashMap::from([(path, 1)]));
+        let recorder = Recorder::bounded(16);
+        m.set_recorder(recorder.clone());
+        let _ = m.snapshot();
+        let kinds: Vec<&str> = recorder.records().iter().map(|r| r.event.kind()).collect();
+        assert_eq!(kinds, ["TaskStatsSample", "QueueSample"]);
     }
 
     #[test]

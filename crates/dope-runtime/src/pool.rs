@@ -6,6 +6,8 @@
 //! the channel.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -34,6 +36,7 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct WorkerPool {
     tx: Option<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
+    submitted: Arc<AtomicU64>,
 }
 
 impl WorkerPool {
@@ -62,6 +65,7 @@ impl WorkerPool {
         WorkerPool {
             tx: Some(tx),
             handles,
+            submitted: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -69,6 +73,14 @@ impl WorkerPool {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Total jobs submitted over the pool's lifetime — across epochs,
+    /// this counts every worker job the executive ever launched (the
+    /// flight recorder's per-epoch `jobs` field sums to it).
+    #[must_use]
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
     }
 
     /// Submits a job. Jobs beyond the thread count queue until a worker
@@ -81,6 +93,7 @@ impl WorkerPool {
     where
         F: FnOnce() + Send + 'static,
     {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
         self.tx
             .as_ref()
             .expect("pool is live")
@@ -147,6 +160,17 @@ mod tests {
     fn threads_reports_size() {
         let pool = WorkerPool::new(7);
         assert_eq!(pool.threads(), 7);
+    }
+
+    #[test]
+    fn submitted_counts_jobs_across_lifetime() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.submitted(), 0);
+        for _ in 0..6 {
+            pool.submit(|| {});
+        }
+        assert_eq!(pool.submitted(), 6);
+        pool.shutdown();
     }
 
     #[test]

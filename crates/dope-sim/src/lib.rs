@@ -43,9 +43,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod event;
+pub mod observer;
 pub mod pipeline;
 pub mod profile;
 pub mod system;
 
 pub use event::OrdF64;
+pub use observer::{NullObserver, ProposalOutcome, SimObserver};
 pub use profile::AmdahlProfile;

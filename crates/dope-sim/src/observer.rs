@@ -1,0 +1,111 @@
+//! Hooks for observing the simulator's decision loop.
+//!
+//! Both [`run_system`](crate::system::run_system) and
+//! [`run_pipeline`](crate::pipeline::run_pipeline) drive the same loop the
+//! live executive runs: freeze a [`MonitorSnapshot`], consult the
+//! mechanism, validate the proposal, apply it. A [`SimObserver`] sees each
+//! of those decision points as it happens, without the simulator
+//! depending on any particular trace format — the `dope-trace` crate
+//! implements this trait to build replayable flight-recorder traces.
+//!
+//! # Example
+//!
+//! Counting applied reconfigurations:
+//!
+//! ```
+//! use dope_core::Config;
+//! use dope_sim::observer::SimObserver;
+//!
+//! #[derive(Default)]
+//! struct Counter(u64);
+//!
+//! impl SimObserver for Counter {
+//!     fn config_applied(&mut self, _time_secs: f64, _config: &Config) {
+//!         self.0 += 1;
+//!     }
+//! }
+//!
+//! let mut counter = Counter::default();
+//! // pass `&mut counter` to `run_system_observed` / `run_pipeline_observed`
+//! # let _ = &mut counter;
+//! ```
+
+use dope_core::{Config, DiagCode, MonitorSnapshot, ProgramShape};
+
+/// What happened to one mechanism proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProposalOutcome {
+    /// The proposal validated and differs from the current configuration;
+    /// it will be applied.
+    Accepted,
+    /// The proposal validated but equals the current configuration; the
+    /// simulator leaves the structure untouched.
+    Unchanged,
+    /// The proposal failed [`Config::validate`]; the diagnostic code of
+    /// the first error explains why.
+    Rejected(DiagCode),
+}
+
+/// Observes the decision loop of a simulation run.
+///
+/// Every method has a no-op default, so observers implement only what
+/// they care about. The simulator calls the methods in causal order:
+/// [`launched`](SimObserver::launched) once, then per decision point
+/// [`snapshot_taken`](SimObserver::snapshot_taken), possibly
+/// [`proposal_evaluated`](SimObserver::proposal_evaluated), and — when a
+/// proposal is accepted — [`config_applied`](SimObserver::config_applied).
+pub trait SimObserver {
+    /// The run started under `config` (after initial-config validation).
+    fn launched(&mut self, mechanism: &str, threads: u32, shape: &ProgramShape, config: &Config) {
+        let _ = (mechanism, threads, shape, config);
+    }
+
+    /// A monitor snapshot was frozen for the mechanism.
+    fn snapshot_taken(&mut self, snapshot: &MonitorSnapshot) {
+        let _ = snapshot;
+    }
+
+    /// The mechanism proposed `proposal` and the simulator judged it.
+    fn proposal_evaluated(
+        &mut self,
+        time_secs: f64,
+        mechanism: &str,
+        proposal: &Config,
+        outcome: ProposalOutcome,
+    ) {
+        let _ = (time_secs, mechanism, proposal, outcome);
+    }
+
+    /// An accepted configuration took effect at `time_secs`.
+    fn config_applied(&mut self, time_secs: f64, config: &Config) {
+        let _ = (time_secs, config);
+    }
+}
+
+/// The do-nothing observer behind the plain `run_*` entry points.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_accepts_all_calls() {
+        let mut obs = NullObserver;
+        let config = Config::default();
+        let shape = ProgramShape::new(vec![]);
+        obs.launched("m", 4, &shape, &config);
+        obs.snapshot_taken(&MonitorSnapshot::at(0.0));
+        obs.proposal_evaluated(1.0, "m", &config, ProposalOutcome::Unchanged);
+        obs.proposal_evaluated(
+            1.0,
+            "m",
+            &config,
+            ProposalOutcome::Rejected(DiagCode::BudgetExceeded),
+        );
+        obs.config_applied(2.0, &config);
+    }
+}

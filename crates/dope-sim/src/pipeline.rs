@@ -633,6 +633,31 @@ pub fn run_pipeline(
     res: Resources,
     params: &PipelineParams,
 ) -> PipelineOutcome {
+    run_pipeline_observed(
+        model,
+        source,
+        mechanism,
+        res,
+        params,
+        &mut crate::observer::NullObserver,
+    )
+}
+
+/// [`run_pipeline`] with a [`SimObserver`](crate::observer::SimObserver)
+/// watching every decision point.
+///
+/// The observer sees the launch configuration, each control-tick
+/// snapshot, each proposal verdict, and each applied configuration —
+/// enough to build a replayable flight-recorder trace of the run.
+pub fn run_pipeline_observed(
+    model: &PipelineModel,
+    source: &Source,
+    mechanism: &mut dyn Mechanism,
+    res: Resources,
+    params: &PipelineParams,
+    observer: &mut dyn crate::observer::SimObserver,
+) -> PipelineOutcome {
+    use crate::observer::ProposalOutcome;
     let budget = if params.allow_oversubscription {
         u32::MAX
     } else {
@@ -674,6 +699,7 @@ pub fn run_pipeline(
         last_power_time: 0.0,
         sink_at_tick: 0,
     };
+    observer.launched(mechanism.name(), res.threads, shape, &initial);
     sim.apply_config(initial);
     sim.config_history.clear(); // the initial config is not a "change"
 
@@ -746,15 +772,37 @@ pub fn run_pipeline(
                 sim.throughput_series.push(sim.now, window_rate);
                 sim.sink_at_tick = sim.completed;
 
+                observer.snapshot_taken(&snap);
                 let mut proposal = mechanism.reconfigure(&snap, &sim.config, shape, &res);
                 if let Some(config) = proposal.take() {
-                    if config.validate(shape, budget).is_ok() {
-                        if config != sim.config {
+                    match config.validate(shape, budget) {
+                        Ok(()) if config != sim.config => {
+                            observer.proposal_evaluated(
+                                sim.now,
+                                mechanism.name(),
+                                &config,
+                                ProposalOutcome::Accepted,
+                            );
                             sim.apply_config(config);
                             mechanism.applied(&sim.config);
+                            let now = sim.now;
+                            observer.config_applied(now, &sim.config);
                         }
-                    } else {
-                        sim.rejected += 1;
+                        Ok(()) => observer.proposal_evaluated(
+                            sim.now,
+                            mechanism.name(),
+                            &config,
+                            ProposalOutcome::Unchanged,
+                        ),
+                        Err(err) => {
+                            sim.rejected += 1;
+                            observer.proposal_evaluated(
+                                sim.now,
+                                mechanism.name(),
+                                &config,
+                                ProposalOutcome::Rejected(err.code()),
+                            );
+                        }
                     }
                 }
                 for st in &mut sim.stages {

@@ -9,6 +9,7 @@
 //! may change the configuration for subsequent dispatches.
 
 use crate::event::OrdF64;
+use crate::observer::{ProposalOutcome, SimObserver};
 use crate::profile::AmdahlProfile;
 use dope_core::nest::{self, TwoLevelNest};
 use dope_core::{
@@ -246,6 +247,29 @@ pub fn run_system(
     res: Resources,
     params: &SystemParams,
 ) -> SystemOutcome {
+    run_system_observed(
+        model,
+        schedule,
+        mechanism,
+        res,
+        params,
+        &mut crate::observer::NullObserver,
+    )
+}
+
+/// [`run_system`] with a [`SimObserver`] watching every decision point.
+///
+/// The observer sees the launch configuration, each frozen snapshot, each
+/// proposal verdict, and each applied configuration — enough to build a
+/// replayable flight-recorder trace of the run.
+pub fn run_system_observed(
+    model: &TwoLevelModel,
+    schedule: &ArrivalSchedule,
+    mechanism: &mut dyn Mechanism,
+    res: Resources,
+    params: &SystemParams,
+    observer: &mut dyn SimObserver,
+) -> SystemOutcome {
     let budget = res.threads.min(params.contexts).max(1);
     let res = Resources {
         threads: budget,
@@ -257,6 +281,7 @@ pub fn run_system(
         .initial(shape, &res)
         .filter(|c| c.validate(shape, budget).is_ok())
         .unwrap_or_else(|| model.config_for_width(budget, 1));
+    observer.launched(mechanism.name(), budget, shape, &config);
     let mut width = model.width_of(&config).max(1);
     let mut outer_cap = nest::outer_extent_of(&config, model.nest()).max(1);
     let mut exec = model.exec_time(width);
@@ -324,9 +349,16 @@ pub fn run_system(
                     free,
                     model,
                 );
+                observer.snapshot_taken(&snap);
                 if let Some(proposal) = mechanism.reconfigure(&snap, &config, shape, &res) {
-                    if proposal.validate(shape, budget).is_ok() {
-                        if proposal != config {
+                    match proposal.validate(shape, budget) {
+                        Ok(()) if proposal != config => {
+                            observer.proposal_evaluated(
+                                now,
+                                mechanism.name(),
+                                &proposal,
+                                ProposalOutcome::Accepted,
+                            );
                             config = proposal;
                             width = model.width_of(&config).max(1);
                             outer_cap = nest::outer_extent_of(&config, model.nest()).max(1);
@@ -336,9 +368,23 @@ pub fn run_system(
                             last_reconfig_at = now;
                             dop_series.push(now, f64::from(width));
                             mechanism.applied(&config);
+                            observer.config_applied(now, &config);
                         }
-                    } else {
-                        rejected += 1;
+                        Ok(()) => observer.proposal_evaluated(
+                            now,
+                            mechanism.name(),
+                            &proposal,
+                            ProposalOutcome::Unchanged,
+                        ),
+                        Err(err) => {
+                            rejected += 1;
+                            observer.proposal_evaluated(
+                                now,
+                                mechanism.name(),
+                                &proposal,
+                                ProposalOutcome::Rejected(err.code()),
+                            );
+                        }
                     }
                 }
             }

@@ -1,0 +1,142 @@
+//! The `dope-trace` command-line tool: record, replay, and render traces.
+//!
+//! ```text
+//! dope-trace record [OUT]            record a built-in adaptive scenario
+//! dope-trace replay <TRACE>          replay a JSONL trace into dope-sim
+//! dope-trace timeline <TRACE>        render a JSONL trace as ASCII
+//! ```
+//!
+//! `TRACE` may be `-` to read JSONL from standard input; `record` writes
+//! to `OUT` when given, standard output otherwise. Exit status: `0` on
+//! success (for `replay`: the replayed accepted-config sequence matched
+//! the recorded one), `1` on a failed replay or unreadable trace, `2` on
+//! a usage error.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use dope_core::Resources;
+use dope_mechanisms::WqLinear;
+use dope_sim::profile::AmdahlProfile;
+use dope_sim::system::{run_system_observed, SystemParams, TwoLevelModel};
+use dope_trace::{
+    parse_jsonl, render_timeline, replay_into_sim, Recorder, RecordingObserver, TraceRecord,
+};
+use dope_workload::ArrivalSchedule;
+
+const USAGE: &str = "usage: dope-trace <record [OUT] | replay <TRACE> | timeline <TRACE>>
+  record [OUT]       record a built-in adaptive scenario as JSONL (stdout when OUT omitted)
+  replay <TRACE>     replay a JSONL trace into dope-sim; exit 0 iff the decision sequence matches
+  timeline <TRACE>   render a JSONL trace as an ASCII timeline
+  TRACE may be '-' for standard input";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") if args.len() <= 2 => record(args.get(1).map(String::as_str)),
+        Some("replay") if args.len() == 2 => replay(&args[1]),
+        Some("timeline") if args.len() == 2 => timeline(&args[1]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The built-in scenario: an x264-like transactional server under a
+/// work-queue mechanism, arrivals ramping enough to force adaptation.
+fn record(out: Option<&str>) -> ExitCode {
+    let model = TwoLevelModel::pipeline("transcode", AmdahlProfile::new(8.0, 0.95, 0.1, 0.05));
+    let threads = 24;
+    let mut mechanism = WqLinear::new(1, 12, 8.0);
+    let recorder = Recorder::bounded(65_536);
+    let mut observer = RecordingObserver::new(recorder.clone()).with_goal("MinResponseTime");
+    let schedule = ArrivalSchedule::poisson(0.8, 200, 11);
+    let outcome = run_system_observed(
+        &model,
+        &schedule,
+        &mut mechanism,
+        Resources::threads(threads),
+        &SystemParams::default(),
+        &mut observer,
+    );
+    observer.finished(outcome.completed, outcome.config_changes);
+    let jsonl = recorder.to_jsonl();
+    match out {
+        None => {
+            print!("{jsonl}");
+            ExitCode::SUCCESS
+        }
+        Some(path) => match std::fs::write(path, &jsonl) {
+            Ok(()) => {
+                eprintln!(
+                    "recorded {} events ({} reconfigurations) to {path}",
+                    recorder.len(),
+                    outcome.config_changes
+                );
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("dope-trace: cannot write {path}: {err}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
+fn replay(path: &str) -> ExitCode {
+    let records = match load(path) {
+        Ok(records) => records,
+        Err(err) => {
+            eprintln!("dope-trace: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match replay_into_sim(&records) {
+        Ok(outcome) if outcome.matches() => {
+            println!(
+                "replay OK: {} accepted configuration(s) reproduced",
+                outcome.recorded.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(outcome) => {
+            eprintln!(
+                "replay DIVERGED: recorded {} accepted configuration(s), replayed {}",
+                outcome.recorded.len(),
+                outcome.replayed.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("dope-trace: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn timeline(path: &str) -> ExitCode {
+    match load(path) {
+        Ok(records) => {
+            print!("{}", render_timeline(&records));
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("dope-trace: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Vec<TraceRecord>, String> {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|err| format!("cannot read stdin: {err}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?
+    };
+    parse_jsonl(&text).map_err(|err| format!("{path}: {err}"))
+}

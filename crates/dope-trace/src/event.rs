@@ -1,0 +1,195 @@
+//! The structured events the flight recorder captures.
+//!
+//! Each [`TraceRecord`] is one line of a JSONL trace: a monotonically
+//! increasing sequence number, a timestamp in seconds since launch, and
+//! one [`TraceEvent`]. The set of event kinds — and the exact field
+//! names they serialize to — is a **versioned public contract**
+//! documented in `docs/event-schema.md` (schema version
+//! [`SCHEMA_VERSION`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dope_trace::{TraceEvent, TraceRecord};
+//!
+//! let record = TraceRecord {
+//!     seq: 0,
+//!     time_secs: 0.125,
+//!     event: TraceEvent::FeatureRead {
+//!         feature: "SystemPower".to_string(),
+//!         value: 612.5,
+//!     },
+//! };
+//! assert_eq!(record.event.kind(), "FeatureRead");
+//! ```
+
+use dope_core::{Config, DiagCode, MonitorSnapshot, ProgramShape, QueueStats, TaskPath, TaskStats};
+
+/// Version of the event schema emitted by this build.
+///
+/// Every JSONL line carries this number in its `"v"` field; readers must
+/// reject lines with a version they do not understand.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One recorded line of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Monotonic sequence number assigned by the recorder. Gaps indicate
+    /// events dropped by the bounded ring buffer.
+    pub seq: u64,
+    /// Seconds since the recorder (and hence the run) started. Simulated
+    /// sources stamp simulated seconds; live sources stamp wall-clock
+    /// seconds.
+    pub time_secs: f64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+/// How the executive judged one mechanism proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The proposal validated and differs from the current configuration;
+    /// a reconfiguration epoch follows.
+    Accepted,
+    /// The proposal validated but equals the current configuration.
+    Unchanged,
+    /// The proposal failed validation; `code` is the `DV0xx` diagnostic
+    /// of the first error.
+    Rejected {
+        /// The diagnostic code explaining the rejection.
+        code: DiagCode,
+    },
+}
+
+/// A structured executive event.
+///
+/// Variants mirror the decision loop: launch, monitor, propose, judge,
+/// reconfigure, finish — plus the platform- and queue-level samples that
+/// explain *why* a mechanism decided what it did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// The executive launched the application.
+    Launched {
+        /// `Mechanism::name()` of the driving mechanism.
+        mechanism: String,
+        /// The administrator's goal, rendered with `Display`.
+        goal: String,
+        /// The thread budget.
+        threads: u32,
+        /// The structural shape derived from the descriptor.
+        shape: ProgramShape,
+        /// The initial configuration.
+        config: Config,
+    },
+    /// A [`MonitorSnapshot`] was frozen for the mechanism.
+    SnapshotTaken {
+        /// The frozen snapshot, verbatim.
+        snapshot: MonitorSnapshot,
+    },
+    /// One task's EWMA statistics, sampled at a control period.
+    TaskStatsSample {
+        /// Configured-tree path of the task.
+        path: TaskPath,
+        /// The task's aggregated statistics.
+        stats: TaskStats,
+    },
+    /// A mechanism proposal was evaluated.
+    ProposalEvaluated {
+        /// `Mechanism::name()` of the proposer.
+        mechanism: String,
+        /// The proposed configuration.
+        proposal: Config,
+        /// Accept / unchanged / reject-with-DV-code.
+        verdict: Verdict,
+    },
+    /// A reconfiguration epoch completed: the old epoch drained
+    /// (`pause_secs`) and the new one launched (`relaunch_secs`).
+    ReconfigureEpoch {
+        /// Seconds from the suspend decision until the old epoch drained
+        /// to a consistent state.
+        pause_secs: f64,
+        /// Seconds to instantiate and submit the new epoch.
+        relaunch_secs: f64,
+        /// Worker jobs in the new epoch.
+        jobs: u64,
+        /// The configuration now in force.
+        config: Config,
+    },
+    /// A platform feature callback was read (paper Figure 9).
+    FeatureRead {
+        /// Feature name, e.g. `"SystemPower"`.
+        feature: String,
+        /// The value the callback returned.
+        value: f64,
+    },
+    /// A work-queue probe sample.
+    QueueSample {
+        /// The probed statistics.
+        queue: QueueStats,
+    },
+    /// The run ended.
+    Finished {
+        /// Requests completed over the whole run.
+        completed: u64,
+        /// Applied reconfigurations.
+        reconfigurations: u64,
+        /// Events the bounded ring buffer had to drop.
+        dropped_events: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The stable `"kind"` discriminator this event serializes under.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Launched { .. } => "Launched",
+            TraceEvent::SnapshotTaken { .. } => "SnapshotTaken",
+            TraceEvent::TaskStatsSample { .. } => "TaskStatsSample",
+            TraceEvent::ProposalEvaluated { .. } => "ProposalEvaluated",
+            TraceEvent::ReconfigureEpoch { .. } => "ReconfigureEpoch",
+            TraceEvent::FeatureRead { .. } => "FeatureRead",
+            TraceEvent::QueueSample { .. } => "QueueSample",
+            TraceEvent::Finished { .. } => "Finished",
+        }
+    }
+
+    /// All `"kind"` discriminators of schema version [`SCHEMA_VERSION`],
+    /// in documentation order.
+    pub const KINDS: [&'static str; 8] = [
+        "Launched",
+        "SnapshotTaken",
+        "TaskStatsSample",
+        "ProposalEvaluated",
+        "ReconfigureEpoch",
+        "FeatureRead",
+        "QueueSample",
+        "Finished",
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_matches_catalogue() {
+        let event = TraceEvent::Finished {
+            completed: 1,
+            reconfigurations: 0,
+            dropped_events: 0,
+        };
+        assert!(TraceEvent::KINDS.contains(&event.kind()));
+    }
+
+    #[test]
+    fn verdict_equality() {
+        assert_eq!(Verdict::Accepted, Verdict::Accepted);
+        assert_ne!(
+            Verdict::Rejected {
+                code: DiagCode::BudgetExceeded
+            },
+            Verdict::Unchanged
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Bridges the simulator's observer hooks onto a [`Recorder`].
+//!
+//! `dope-sim` exposes its decision loop through the
+//! [`SimObserver`] trait; [`RecordingObserver`]
+//! implements that trait by translating each hook into the corresponding
+//! [`TraceEvent`] and appending it to a [`Recorder`] — stamped with
+//! **simulated** seconds, so replaying the trace reproduces the original
+//! timeline exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use dope_core::{Mechanism, Resources, StaticMechanism};
+//! use dope_sim::profile::AmdahlProfile;
+//! use dope_sim::system::{run_system_observed, SystemParams, TwoLevelModel};
+//! use dope_trace::{Recorder, RecordingObserver};
+//! use dope_workload::ArrivalSchedule;
+//!
+//! let model = TwoLevelModel::doall("price", AmdahlProfile::new(4.0, 0.9, 0.0, 0.05));
+//! let mut mech = StaticMechanism::new(model.config_for_width(8, 4));
+//! let recorder = Recorder::bounded(4096);
+//! let mut observer = RecordingObserver::new(recorder.clone());
+//! let outcome = run_system_observed(
+//!     &model,
+//!     &ArrivalSchedule::uniform(1.0, 5),
+//!     &mut mech,
+//!     Resources::threads(8),
+//!     &SystemParams::default(),
+//!     &mut observer,
+//! );
+//! observer.finished(outcome.completed, 0);
+//! assert_eq!(recorder.records()[0].event.kind(), "Launched");
+//! assert_eq!(recorder.records().last().unwrap().event.kind(), "Finished");
+//! ```
+
+use dope_core::{Config, MonitorSnapshot, ProgramShape};
+use dope_sim::{ProposalOutcome, SimObserver};
+
+use crate::event::{TraceEvent, Verdict};
+use crate::recorder::Recorder;
+
+/// A [`SimObserver`] that records the decision loop into a [`Recorder`].
+#[derive(Debug, Clone)]
+pub struct RecordingObserver {
+    recorder: Recorder,
+    goal: String,
+    last_time_secs: f64,
+}
+
+impl RecordingObserver {
+    /// Wraps `recorder`; the `Launched` event will carry an empty goal.
+    #[must_use]
+    pub fn new(recorder: Recorder) -> Self {
+        RecordingObserver {
+            recorder,
+            goal: String::new(),
+            last_time_secs: 0.0,
+        }
+    }
+
+    /// Sets the goal string stamped into the `Launched` event.
+    #[must_use]
+    pub fn with_goal(mut self, goal: impl Into<String>) -> Self {
+        self.goal = goal.into();
+        self
+    }
+
+    /// The wrapped recorder handle.
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Records the terminal `Finished` event. The simulator has no
+    /// explicit shutdown hook, so callers invoke this once the run
+    /// returns.
+    pub fn finished(&mut self, completed: u64, reconfigurations: u64) {
+        let dropped = self.recorder.dropped();
+        self.recorder.record_at(
+            self.last_time_secs,
+            TraceEvent::Finished {
+                completed,
+                reconfigurations,
+                dropped_events: dropped,
+            },
+        );
+    }
+}
+
+impl SimObserver for RecordingObserver {
+    fn launched(&mut self, mechanism: &str, threads: u32, shape: &ProgramShape, config: &Config) {
+        self.recorder.record_at(
+            0.0,
+            TraceEvent::Launched {
+                mechanism: mechanism.to_string(),
+                goal: self.goal.clone(),
+                threads,
+                shape: shape.clone(),
+                config: config.clone(),
+            },
+        );
+    }
+
+    fn snapshot_taken(&mut self, snapshot: &MonitorSnapshot) {
+        self.last_time_secs = self.last_time_secs.max(snapshot.time_secs);
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        for (path, stats) in &snapshot.tasks {
+            self.recorder.record_at(
+                snapshot.time_secs,
+                TraceEvent::TaskStatsSample {
+                    path: path.clone(),
+                    stats: *stats,
+                },
+            );
+        }
+        self.recorder.record_at(
+            snapshot.time_secs,
+            TraceEvent::QueueSample {
+                queue: snapshot.queue,
+            },
+        );
+        if let Some(watts) = snapshot.power_watts {
+            self.recorder.record_at(
+                snapshot.time_secs,
+                TraceEvent::FeatureRead {
+                    feature: "SystemPower".to_string(),
+                    value: watts,
+                },
+            );
+        }
+        self.recorder.record_at(
+            snapshot.time_secs,
+            TraceEvent::SnapshotTaken {
+                snapshot: snapshot.clone(),
+            },
+        );
+    }
+
+    fn proposal_evaluated(
+        &mut self,
+        time_secs: f64,
+        mechanism: &str,
+        proposal: &Config,
+        outcome: ProposalOutcome,
+    ) {
+        self.last_time_secs = self.last_time_secs.max(time_secs);
+        let verdict = match outcome {
+            ProposalOutcome::Accepted => Verdict::Accepted,
+            ProposalOutcome::Unchanged => Verdict::Unchanged,
+            ProposalOutcome::Rejected(code) => Verdict::Rejected { code },
+        };
+        self.recorder.record_at(
+            time_secs,
+            TraceEvent::ProposalEvaluated {
+                mechanism: mechanism.to_string(),
+                proposal: proposal.clone(),
+                verdict,
+            },
+        );
+    }
+
+    fn config_applied(&mut self, time_secs: f64, config: &Config) {
+        self.last_time_secs = self.last_time_secs.max(time_secs);
+        self.recorder.record_at(
+            time_secs,
+            TraceEvent::ReconfigureEpoch {
+                pause_secs: 0.0,
+                relaunch_secs: 0.0,
+                jobs: 0,
+                config: config.clone(),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dope_core::{Config, TaskConfig};
+
+    #[test]
+    fn hooks_translate_to_events() {
+        let recorder = Recorder::bounded(64);
+        let mut obs = RecordingObserver::new(recorder.clone()).with_goal("MaxThroughput");
+        let shape = ProgramShape::new(vec![]);
+        let config = Config::new(vec![TaskConfig::leaf("t", 1)]);
+        obs.launched("WQ-Linear", 8, &shape, &config);
+        obs.snapshot_taken(&MonitorSnapshot::at(1.0));
+        obs.proposal_evaluated(1.0, "WQ-Linear", &config, ProposalOutcome::Unchanged);
+        obs.config_applied(2.0, &config);
+        obs.finished(10, 1);
+
+        let kinds: Vec<&str> = recorder.records().iter().map(|r| r.event.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "Launched",
+                "QueueSample",
+                "SnapshotTaken",
+                "ProposalEvaluated",
+                "ReconfigureEpoch",
+                "Finished",
+            ]
+        );
+        if let TraceEvent::Launched { goal, .. } = &recorder.records()[0].event {
+            assert_eq!(goal, "MaxThroughput");
+        } else {
+            panic!("first event must be Launched");
+        }
+    }
+
+    #[test]
+    fn finished_is_stamped_at_the_latest_seen_time() {
+        let recorder = Recorder::bounded(16);
+        let mut obs = RecordingObserver::new(recorder.clone());
+        obs.config_applied(7.5, &Config::default());
+        obs.finished(1, 1);
+        let last = recorder.records().last().cloned().unwrap();
+        assert_eq!(last.time_secs, 7.5);
+    }
+}

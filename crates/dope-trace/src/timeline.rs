@@ -1,0 +1,186 @@
+//! ASCII rendering of a trace as a human-readable timeline.
+//!
+//! One record becomes one line: a right-aligned timestamp, an upper-case
+//! event tag, and the fields an operator scans for. Sequence gaps (events
+//! the bounded ring evicted) render as an explicit `~~ n dropped ~~`
+//! marker so a reader never mistakes a truncated trace for a quiet one.
+//!
+//! # Example
+//!
+//! ```
+//! use dope_trace::{render_timeline, TraceEvent, TraceRecord};
+//!
+//! let records = vec![TraceRecord {
+//!     seq: 0,
+//!     time_secs: 0.25,
+//!     event: TraceEvent::FeatureRead {
+//!         feature: "SystemPower".to_string(),
+//!         value: 612.5,
+//!     },
+//! }];
+//! let timeline = render_timeline(&records);
+//! assert!(timeline.contains("FEATURE"));
+//! assert!(timeline.contains("SystemPower=612.5"));
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::event::{TraceEvent, TraceRecord, Verdict};
+
+/// Renders `records` as an ASCII timeline, one line per record.
+#[must_use]
+pub fn render_timeline(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    let mut expected_seq: Option<u64> = None;
+    for record in records {
+        if let Some(expected) = expected_seq {
+            if record.seq > expected {
+                let _ = writeln!(out, "          ~~ {} dropped ~~", record.seq - expected);
+            }
+        }
+        expected_seq = Some(record.seq + 1);
+        let _ = writeln!(
+            out,
+            "{:>9.3}s  {}",
+            record.time_secs,
+            describe(&record.event)
+        );
+    }
+    out
+}
+
+/// One-line description of an event, tag first.
+fn describe(event: &TraceEvent) -> String {
+    match event {
+        TraceEvent::Launched {
+            mechanism,
+            goal,
+            threads,
+            shape,
+            config,
+        } => format!(
+            "LAUNCH   {mechanism} goal=\"{goal}\" threads={threads} tasks={} config={config}",
+            shape.leaf_paths().len()
+        ),
+        TraceEvent::SnapshotTaken { snapshot } => {
+            let power = snapshot
+                .power_watts
+                .map_or_else(|| "-".to_string(), |w| format!("{w:.1}W"));
+            format!(
+                "SNAPSHOT tasks={} queue={:.1} power={power} dispatches={}",
+                snapshot.tasks.len(),
+                snapshot.queue.occupancy,
+                snapshot.dispatches_since_reconfig
+            )
+        }
+        TraceEvent::TaskStatsSample { path, stats } => format!(
+            "STATS    {path} invocations={} exec={:.4}s thr={:.2}/s load={:.2} util={:.2}",
+            stats.invocations, stats.mean_exec_secs, stats.throughput, stats.load, stats.utilization
+        ),
+        TraceEvent::ProposalEvaluated {
+            mechanism,
+            proposal,
+            verdict,
+        } => {
+            let judged = match verdict {
+                Verdict::Accepted => "ACCEPTED".to_string(),
+                Verdict::Unchanged => "unchanged".to_string(),
+                Verdict::Rejected { code } => format!("REJECTED {}", code.as_str()),
+            };
+            format!("PROPOSE  {mechanism} -> {judged} proposal={proposal}")
+        }
+        TraceEvent::ReconfigureEpoch {
+            pause_secs,
+            relaunch_secs,
+            jobs,
+            config,
+        } => format!(
+            "EPOCH    pause={:.1}ms relaunch={:.1}ms jobs={jobs} config={config}",
+            pause_secs * 1e3,
+            relaunch_secs * 1e3
+        ),
+        TraceEvent::FeatureRead { feature, value } => format!("FEATURE  {feature}={value}"),
+        TraceEvent::QueueSample { queue } => format!(
+            "QUEUE    occupancy={:.1} rate={:.2}/s enqueued={} completed={}",
+            queue.occupancy, queue.arrival_rate, queue.enqueued, queue.completed
+        ),
+        TraceEvent::Finished {
+            completed,
+            reconfigurations,
+            dropped_events,
+        } => format!(
+            "FINISH   completed={completed} reconfigurations={reconfigurations} dropped={dropped_events}"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dope_core::DiagCode;
+    use dope_core::{Config, TaskConfig};
+
+    fn record(seq: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            seq,
+            time_secs: seq as f64,
+            event,
+        }
+    }
+
+    #[test]
+    fn every_kind_renders_its_tag() {
+        let config = Config::new(vec![TaskConfig::leaf("t", 1)]);
+        let lines = render_timeline(&[
+            record(
+                0,
+                TraceEvent::ProposalEvaluated {
+                    mechanism: "WQ-Linear".to_string(),
+                    proposal: config.clone(),
+                    verdict: Verdict::Rejected {
+                        code: DiagCode::BudgetExceeded,
+                    },
+                },
+            ),
+            record(
+                1,
+                TraceEvent::ReconfigureEpoch {
+                    pause_secs: 0.0012,
+                    relaunch_secs: 0.0008,
+                    jobs: 8,
+                    config,
+                },
+            ),
+        ]);
+        assert!(lines.contains("PROPOSE"), "{lines}");
+        assert!(lines.contains("REJECTED DV001"), "{lines}");
+        assert!(lines.contains("EPOCH"), "{lines}");
+        assert!(lines.contains("pause=1.2ms"), "{lines}");
+    }
+
+    #[test]
+    fn sequence_gaps_render_a_drop_marker() {
+        let lines = render_timeline(&[
+            record(
+                0,
+                TraceEvent::FeatureRead {
+                    feature: "SystemPower".to_string(),
+                    value: 1.0,
+                },
+            ),
+            record(
+                5,
+                TraceEvent::FeatureRead {
+                    feature: "SystemPower".to_string(),
+                    value: 2.0,
+                },
+            ),
+        ]);
+        assert!(lines.contains("~~ 4 dropped ~~"), "{lines}");
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert_eq!(render_timeline(&[]), "");
+    }
+}

@@ -1,0 +1,251 @@
+//! Property-based round-trip tests of the JSONL event codec.
+//!
+//! Arbitrary events (and whole event sequences) must survive the trip
+//! through `to_jsonl` / `parse_jsonl` byte-identically at the value
+//! level. The generators stick to finite floats: the codec canonicalizes
+//! non-finite values to `null` by design (see `dope_core::json`), so
+//! NaN/infinity round-trips are covered by the codec's own unit tests.
+
+use dope_core::{
+    Config, DiagCode, MonitorSnapshot, NestConfig, ProgramShape, QueueStats, ShapeNode, TaskConfig,
+    TaskKind, TaskPath, TaskStats,
+};
+use dope_trace::{
+    parse_jsonl, parse_line, to_jsonl, to_jsonl_line, TraceEvent, TraceRecord, Verdict,
+};
+use proptest::prelude::*;
+
+/// Fixed name pools: the proptest shim has no string strategy, so names
+/// are indexed out of small tables (including escape-worthy characters).
+const NAMES: [&str; 4] = ["work", "rank \"stage\"", "emit\nnl", "päth"];
+const MECHANISMS: [&str; 3] = ["WQ-Linear", "TBF", "Static"];
+
+fn name(idx: usize) -> String {
+    NAMES[idx % NAMES.len()].to_string()
+}
+
+fn mechanism(idx: usize) -> String {
+    MECHANISMS[idx % MECHANISMS.len()].to_string()
+}
+
+/// An arbitrary (not necessarily valid) configuration: validity is a
+/// `validate` concern, not a codec concern.
+fn config(extents: &[u32], alt: usize, nested: bool) -> Config {
+    let tasks = extents
+        .iter()
+        .enumerate()
+        .map(|(i, &extent)| {
+            let inner = if nested && i == 0 {
+                Some(NestConfig {
+                    alternative: alt,
+                    tasks: vec![TaskConfig::leaf(name(i + 1), extent)],
+                })
+            } else {
+                None
+            };
+            TaskConfig {
+                name: name(i),
+                extent,
+                nested: inner,
+            }
+        })
+        .collect();
+    Config::new(tasks)
+}
+
+/// A small two-level shape exercising caps and alternatives.
+fn shape(cap: Option<u32>) -> ProgramShape {
+    let mut par = ShapeNode::leaf("work", TaskKind::Par);
+    par.max_extent = cap;
+    ProgramShape::new(vec![ShapeNode {
+        name: "outer".into(),
+        kind: TaskKind::Par,
+        max_extent: None,
+        alternatives: vec![
+            vec![ShapeNode::leaf("read", TaskKind::Seq), par],
+            vec![ShapeNode::leaf("whole", TaskKind::Seq)],
+        ],
+    }])
+}
+
+fn task_path(parts: &[u32]) -> TaskPath {
+    let text = parts
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(".");
+    text.parse().expect("dotted indices parse")
+}
+
+fn queue_stats(occupancy: f64, arrival_rate: f64, enqueued: u64, completed: u64) -> QueueStats {
+    QueueStats {
+        occupancy,
+        arrival_rate,
+        enqueued,
+        completed,
+    }
+}
+
+fn task_stats(invocations: u64, mean: f64, throughput: f64, load: f64, util: f64) -> TaskStats {
+    TaskStats {
+        invocations,
+        mean_exec_secs: mean,
+        throughput,
+        load,
+        utilization: util,
+    }
+}
+
+/// Builds one arbitrary event of the `kind`-th schema variant from a
+/// bag of generated primitives.
+#[allow(clippy::too_many_arguments)]
+fn build_event(
+    kind: usize,
+    idx: usize,
+    extents: &[u32],
+    alt: usize,
+    nested: bool,
+    cap: Option<u32>,
+    path_parts: &[u32],
+    power: Option<f64>,
+    f_small: f64,
+    f_big: f64,
+    n_small: u64,
+    n_big: u64,
+    verdict_sel: usize,
+    code_idx: usize,
+    threads: u32,
+) -> TraceEvent {
+    match kind % TraceEvent::KINDS.len() {
+        0 => TraceEvent::Launched {
+            mechanism: mechanism(idx),
+            goal: format!("MinResponseTime(threads={threads})"),
+            threads,
+            shape: shape(cap),
+            config: config(extents, alt, nested),
+        },
+        1 => {
+            let mut snapshot = MonitorSnapshot {
+                time_secs: f_big,
+                tasks: Default::default(),
+                queue: queue_stats(f_small, f_big, n_small, n_big),
+                power_watts: power,
+                dispatches_since_reconfig: n_small,
+            };
+            for (i, &part) in path_parts.iter().enumerate() {
+                snapshot.tasks.insert(
+                    task_path(&[part, i as u32]),
+                    task_stats(n_big, f_small, f_big, f_small, f_small % 1.0),
+                );
+            }
+            TraceEvent::SnapshotTaken { snapshot }
+        }
+        2 => TraceEvent::TaskStatsSample {
+            path: task_path(path_parts),
+            stats: task_stats(n_small, f_big, f_small, f_big, f_small % 1.0),
+        },
+        3 => TraceEvent::ProposalEvaluated {
+            mechanism: mechanism(idx),
+            proposal: config(extents, alt, nested),
+            verdict: match verdict_sel % 3 {
+                0 => Verdict::Accepted,
+                1 => Verdict::Unchanged,
+                _ => Verdict::Rejected {
+                    code: DiagCode::ALL[code_idx % DiagCode::ALL.len()],
+                },
+            },
+        },
+        4 => TraceEvent::ReconfigureEpoch {
+            pause_secs: f_small,
+            relaunch_secs: f_big,
+            jobs: n_small,
+            config: config(extents, alt, nested),
+        },
+        5 => TraceEvent::FeatureRead {
+            feature: name(idx),
+            value: f_big,
+        },
+        6 => TraceEvent::QueueSample {
+            queue: queue_stats(f_big, f_small, n_big, n_small),
+        },
+        _ => TraceEvent::Finished {
+            completed: n_big,
+            reconfigurations: n_small,
+            dropped_events: n_small % 7,
+        },
+    }
+}
+
+proptest! {
+    /// Any single record of any event kind round-trips through one
+    /// JSONL line without loss.
+    #[test]
+    fn any_record_roundtrips_through_a_jsonl_line(
+        kind in 0usize..8,
+        idx in 0usize..16,
+        seq in any::<u64>(),
+        t in 0.0f64..1.0e9,
+        extents in prop::collection::vec(1u32..40, 1..4),
+        alt in 0usize..3,
+        nested in any::<bool>(),
+        cap in prop::option::of(1u32..16),
+        path_parts in prop::collection::vec(0u32..9, 0..4),
+        power in prop::option::of(0.0f64..900.0),
+        f_small in 0.0f64..1.0,
+        f_big in 0.0f64..1.0e6,
+        n_small in 0u64..1_000,
+        n_big in any::<u64>(),
+        verdict_sel in 0usize..3,
+        code_idx in 0usize..15,
+        threads in 1u32..256,
+    ) {
+        let record = TraceRecord {
+            seq,
+            time_secs: t,
+            event: build_event(
+                kind, idx, &extents, alt, nested, cap, &path_parts, power,
+                f_small, f_big, n_small, n_big, verdict_sel, code_idx, threads,
+            ),
+        };
+        let line = to_jsonl_line(&record);
+        prop_assert!(!line.contains('\n'), "one record must stay one line");
+        let parsed = parse_line(&line).map_err(|e| {
+            TestCaseError::fail(format!("parse failed: {e} for line {line}"))
+        })?;
+        prop_assert_eq!(parsed, record);
+    }
+
+    /// Whole sequences of records round-trip through a multi-line JSONL
+    /// document, preserving order, count, and every field.
+    #[test]
+    fn any_sequence_roundtrips_through_jsonl(
+        kinds in prop::collection::vec(0usize..8, 0..12),
+        extents in prop::collection::vec(1u32..12, 1..3),
+        alt in 0usize..2,
+        power in prop::option::of(1.0f64..400.0),
+        f_small in 0.0f64..1.0,
+        f_big in 0.0f64..1.0e4,
+        n_small in 0u64..100,
+        n_big in 0u64..1_000_000,
+        code_idx in 0usize..15,
+        threads in 1u32..64,
+    ) {
+        let records: Vec<TraceRecord> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| TraceRecord {
+                seq: i as u64 * 2, // even gaps: drops must not break parsing
+                time_secs: i as f64 * 0.5 + f_small,
+                event: build_event(
+                    kind, i, &extents, alt, i % 2 == 0, Some(8), &[0, i as u32 % 4],
+                    power, f_small, f_big, n_small, n_big, i, code_idx, threads,
+                ),
+            })
+            .collect();
+        let jsonl = to_jsonl(&records);
+        let parsed = parse_jsonl(&jsonl).map_err(|e| {
+            TestCaseError::fail(format!("parse failed: {e}"))
+        })?;
+        prop_assert_eq!(parsed, records);
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! A mechanism is *conformant* when, for every snapshot in a grid of
 //! synthetic [`MonitorSnapshot`]s, each proposal it returns produces no
-//! error-severity diagnostics under [`analyze`](crate::analyze)
+//! error-severity diagnostics under [`analyze`]
 //! (codes on the mechanism's documented exemption list excluded — SEDA
 //! is uncoordinated by design and exempt from the budget check
 //! [`DiagCode::BudgetExceeded`]; the executive clamps its proposals at

@@ -1,9 +1,11 @@
-//! Minimal JSON codec for the `dope-verify` CLI.
+//! JSON document codec for the `dope-verify` CLI.
 //!
-//! The workspace's `serde` is an offline no-op shim, so the CLI's input
-//! format is implemented by hand: a strict JSON subset (objects, arrays,
-//! strings, non-negative integers, `null`, booleans — everything the
-//! shape/config encoding needs) with precise error offsets.
+//! The strict JSON parser and the shape/config tree codecs now live in
+//! [`dope_core::json`] (they are shared with the `dope-trace` flight
+//! recorder); this module re-exports them so existing callers of
+//! `dope_verify::json::{parse, Value, JsonError}` keep compiling, and
+//! keeps only what is specific to the CLI: the [`VerifyInput`] document
+//! format.
 //!
 //! The document format is:
 //!
@@ -27,239 +29,12 @@
 //! }
 //! ```
 
-use std::fmt;
+pub use dope_core::json::{parse, JsonError, Value};
 
-use dope_core::{Config, NestConfig, ProgramShape, ShapeNode, TaskConfig, TaskKind};
-
-/// A parse or decode failure, with a byte offset when parsing failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError {
-    /// Human-readable description.
-    pub message: String,
-    /// Byte offset into the input, if the failure was syntactic.
-    pub offset: Option<usize>,
-}
-
-impl JsonError {
-    fn at(offset: usize, message: impl Into<String>) -> Self {
-        JsonError {
-            message: message.into(),
-            offset: Some(offset),
-        }
-    }
-
-    fn decode(message: impl Into<String>) -> Self {
-        JsonError {
-            message: message.into(),
-            offset: None,
-        }
-    }
-}
-
-impl fmt::Display for JsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.offset {
-            Some(offset) => write!(f, "{} (at byte {offset})", self.message),
-            None => f.write_str(&self.message),
-        }
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Value {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A non-negative integer (the only numbers the format uses).
-    Number(u64),
-    /// A string.
-    String(String),
-    /// An array.
-    Array(Vec<Value>),
-    /// An object, preserving insertion order.
-    Object(Vec<(String, Value)>),
-}
-
-impl Value {
-    /// Looks up `key` in an object.
-    #[must_use]
-    pub fn get(&self, key: &str) -> Option<&Value> {
-        match self {
-            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-}
-
-/// Parses a JSON document.
-///
-/// # Errors
-///
-/// Returns a [`JsonError`] with a byte offset on malformed input or
-/// trailing garbage.
-pub fn parse(input: &str) -> Result<Value, JsonError> {
-    let bytes = input.as_bytes();
-    let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(JsonError::at(pos, "trailing characters after document"));
-    }
-    Ok(value)
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), JsonError> {
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&byte) {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(JsonError::at(
-            *pos,
-            format!("expected `{}`", char::from(byte)),
-        ))
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err(JsonError::at(*pos, "unexpected end of input")),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
-        Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
-        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
-        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
-        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
-        Some(c) if c.is_ascii_digit() => parse_number(bytes, pos),
-        Some(_) => Err(JsonError::at(*pos, "unexpected character")),
-    }
-}
-
-fn parse_keyword(
-    bytes: &[u8],
-    pos: &mut usize,
-    keyword: &str,
-    value: Value,
-) -> Result<Value, JsonError> {
-    if bytes[*pos..].starts_with(keyword.as_bytes()) {
-        *pos += keyword.len();
-        Ok(value)
-    } else {
-        Err(JsonError::at(*pos, format!("expected `{keyword}`")))
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
-    let start = *pos;
-    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
-        *pos += 1;
-    }
-    if let Some(b'.' | b'e' | b'E' | b'-' | b'+') = bytes.get(*pos) {
-        return Err(JsonError::at(
-            *pos,
-            "only non-negative integers are supported",
-        ));
-    }
-    std::str::from_utf8(&bytes[start..*pos])
-        .ok()
-        .and_then(|s| s.parse::<u64>().ok())
-        .map(Value::Number)
-        .ok_or_else(|| JsonError::at(start, "invalid number"))
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
-    expect(bytes, pos, b'"')?;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*pos) {
-            None => return Err(JsonError::at(*pos, "unterminated string")),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b't') => out.push('\t'),
-                    _ => return Err(JsonError::at(*pos, "unsupported escape")),
-                }
-                *pos += 1;
-            }
-            Some(&c) if c < 0x20 => return Err(JsonError::at(*pos, "control character in string")),
-            Some(_) => {
-                // Consume one UTF-8 scalar (input is a &str, so this is safe).
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| JsonError::at(*pos, "invalid UTF-8"))?;
-                let ch = rest.chars().next().expect("non-empty");
-                out.push(ch);
-                *pos += ch.len_utf8();
-            }
-        }
-    }
-}
-
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
-    expect(bytes, pos, b'[')?;
-    let mut items = Vec::new();
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(Value::Array(items));
-    }
-    loop {
-        items.push(parse_value(bytes, pos)?);
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(Value::Array(items));
-            }
-            _ => return Err(JsonError::at(*pos, "expected `,` or `]`")),
-        }
-    }
-}
-
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
-    expect(bytes, pos, b'{')?;
-    let mut fields = Vec::new();
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(Value::Object(fields));
-    }
-    loop {
-        skip_ws(bytes, pos);
-        let key = parse_string(bytes, pos)?;
-        expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
-        fields.push((key, value));
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(Value::Object(fields));
-            }
-            _ => return Err(JsonError::at(*pos, "expected `,` or `}`")),
-        }
-    }
-}
+use dope_core::json::{
+    config_to_value, shape_node_from_value, shape_to_value, task_config_from_value,
+};
+use dope_core::{Config, ProgramShape};
 
 /// The decoded CLI input: a shape, a configuration, and a thread budget.
 #[derive(Debug, Clone, PartialEq)]
@@ -295,175 +70,23 @@ pub fn input_from_json(text: &str) -> Result<VerifyInput, JsonError> {
         .get("config")
         .and_then(|c| c.get("tasks"))
         .ok_or_else(|| JsonError::decode("missing `config.tasks`"))?;
+    let shape_nodes = shape_tasks
+        .as_array()
+        .ok_or_else(|| JsonError::decode("shape tasks must be an array"))?
+        .iter()
+        .map(shape_node_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    let config_nodes = config_tasks
+        .as_array()
+        .ok_or_else(|| JsonError::decode("config tasks must be an array"))?
+        .iter()
+        .map(task_config_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
     Ok(VerifyInput {
-        shape: ProgramShape::new(decode_shape_nodes(shape_tasks)?),
-        config: Config::new(decode_task_configs(config_tasks)?),
+        shape: ProgramShape::new(shape_nodes),
+        config: Config::new(config_nodes),
         threads,
     })
-}
-
-fn as_array<'a>(value: &'a Value, what: &str) -> Result<&'a [Value], JsonError> {
-    match value {
-        Value::Array(items) => Ok(items),
-        _ => Err(JsonError::decode(format!("{what} must be an array"))),
-    }
-}
-
-fn field_string(value: &Value, key: &str, what: &str) -> Result<String, JsonError> {
-    match value.get(key) {
-        Some(Value::String(s)) => Ok(s.clone()),
-        Some(_) => Err(JsonError::decode(format!("{what}.{key} must be a string"))),
-        None => Err(JsonError::decode(format!("{what} is missing `{key}`"))),
-    }
-}
-
-fn decode_shape_nodes(value: &Value) -> Result<Vec<ShapeNode>, JsonError> {
-    as_array(value, "shape tasks")?
-        .iter()
-        .map(decode_shape_node)
-        .collect()
-}
-
-fn decode_shape_node(value: &Value) -> Result<ShapeNode, JsonError> {
-    let name = field_string(value, "name", "shape node")?;
-    let kind = match field_string(value, "kind", "shape node")?.as_str() {
-        "seq" => TaskKind::Seq,
-        "par" => TaskKind::Par,
-        other => {
-            return Err(JsonError::decode(format!(
-                "shape node kind must be \"seq\" or \"par\", got {other:?}"
-            )))
-        }
-    };
-    let max_extent = match value.get("max_extent") {
-        None | Some(Value::Null) => None,
-        Some(Value::Number(n)) => Some(
-            u32::try_from(*n).map_err(|_| JsonError::decode("`max_extent` does not fit in u32"))?,
-        ),
-        Some(_) => return Err(JsonError::decode("`max_extent` must be an integer or null")),
-    };
-    let alternatives = match value.get("alternatives") {
-        None | Some(Value::Null) => Vec::new(),
-        Some(alts) => as_array(alts, "alternatives")?
-            .iter()
-            .map(decode_shape_nodes)
-            .collect::<Result<Vec<_>, _>>()?,
-    };
-    Ok(ShapeNode {
-        name,
-        kind,
-        max_extent,
-        alternatives,
-    })
-}
-
-fn decode_task_configs(value: &Value) -> Result<Vec<TaskConfig>, JsonError> {
-    as_array(value, "config tasks")?
-        .iter()
-        .map(decode_task_config)
-        .collect()
-}
-
-fn decode_task_config(value: &Value) -> Result<TaskConfig, JsonError> {
-    let name = field_string(value, "name", "config node")?;
-    let extent = match value.get("extent") {
-        Some(Value::Number(n)) => {
-            u32::try_from(*n).map_err(|_| JsonError::decode("`extent` does not fit in u32"))?
-        }
-        Some(_) => return Err(JsonError::decode("`extent` must be an integer")),
-        None => return Err(JsonError::decode("config node is missing `extent`")),
-    };
-    let nested = match value.get("nested") {
-        None | Some(Value::Null) => None,
-        Some(nest) => {
-            let alternative = match nest.get("alternative") {
-                Some(Value::Number(n)) => usize::try_from(*n)
-                    .map_err(|_| JsonError::decode("`alternative` does not fit in usize"))?,
-                Some(_) => return Err(JsonError::decode("`alternative` must be an integer")),
-                None => return Err(JsonError::decode("nested block is missing `alternative`")),
-            };
-            let tasks = nest
-                .get("tasks")
-                .ok_or_else(|| JsonError::decode("nested block is missing `tasks`"))?;
-            Some(NestConfig {
-                alternative,
-                tasks: decode_task_configs(tasks)?,
-            })
-        }
-    };
-    Ok(TaskConfig {
-        name,
-        extent,
-        nested,
-    })
-}
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn shape_node_to_json(node: &ShapeNode, out: &mut String) {
-    out.push_str(&format!(
-        "{{\"name\": \"{}\", \"kind\": \"{}\"",
-        escape(&node.name),
-        match node.kind {
-            TaskKind::Seq => "seq",
-            TaskKind::Par => "par",
-        }
-    ));
-    if let Some(max) = node.max_extent {
-        out.push_str(&format!(", \"max_extent\": {max}"));
-    }
-    if !node.alternatives.is_empty() {
-        out.push_str(", \"alternatives\": [");
-        for (j, alt) in node.alternatives.iter().enumerate() {
-            if j > 0 {
-                out.push_str(", ");
-            }
-            out.push('[');
-            for (i, child) in alt.iter().enumerate() {
-                if i > 0 {
-                    out.push_str(", ");
-                }
-                shape_node_to_json(child, out);
-            }
-            out.push(']');
-        }
-        out.push(']');
-    }
-    out.push('}');
-}
-
-fn task_config_to_json(task: &TaskConfig, out: &mut String) {
-    out.push_str(&format!(
-        "{{\"name\": \"{}\", \"extent\": {}",
-        escape(&task.name),
-        task.extent
-    ));
-    if let Some(nest) = &task.nested {
-        out.push_str(&format!(
-            ", \"nested\": {{\"alternative\": {}, \"tasks\": [",
-            nest.alternative
-        ));
-        for (i, child) in nest.tasks.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            task_config_to_json(child, out);
-        }
-        out.push_str("]}");
-    }
-    out.push('}');
 }
 
 /// Encodes a [`VerifyInput`] back to the CLI's JSON format.
@@ -472,29 +95,18 @@ fn task_config_to_json(task: &TaskConfig, out: &mut String) {
 /// for generating example documents.
 #[must_use]
 pub fn input_to_json(input: &VerifyInput) -> String {
-    let mut out = String::new();
-    out.push_str(&format!("{{\"threads\": {},\n", input.threads));
-    out.push_str(" \"shape\": {\"tasks\": [");
-    for (i, node) in input.shape.tasks.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
-        }
-        shape_node_to_json(node, &mut out);
-    }
-    out.push_str("]},\n \"config\": {\"tasks\": [");
-    for (i, task) in input.config.tasks.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
-        }
-        task_config_to_json(task, &mut out);
-    }
-    out.push_str("]}}\n");
-    out
+    let shape = shape_to_value(&input.shape).to_json();
+    let config = config_to_value(&input.config).to_json();
+    format!(
+        "{{\"threads\": {},\n \"shape\": {shape},\n \"config\": {config}}}\n",
+        input.threads
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dope_core::{ShapeNode, TaskConfig, TaskKind};
 
     fn sample() -> VerifyInput {
         VerifyInput {
@@ -549,7 +161,6 @@ mod tests {
         assert!(parse("{").is_err());
         assert!(parse("[1,]").is_err());
         assert!(parse("{}extra").is_err());
-        assert!(parse("1.5").is_err());
         assert!(parse("\"open").is_err());
     }
 

@@ -224,7 +224,7 @@ pub mod collection {
     use std::fmt::Debug;
     use std::ops::Range;
 
-    /// Number-of-elements specification for [`vec`].
+    /// Number-of-elements specification for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         low: usize,

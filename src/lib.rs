@@ -12,7 +12,13 @@
 //! * [`dope_platform`] — topology, power model, feature registry;
 //! * [`dope_workload`] — arrival processes, work queues, statistics;
 //! * [`dope_sim`] — the discrete-event evaluation testbed;
-//! * [`dope_apps`] — the six benchmark applications.
+//! * [`dope_apps`] — the six benchmark applications;
+//! * [`dope_trace`] — the flight recorder: structured executive events,
+//!   the JSONL codec, deterministic replay, and the timeline CLI.
+//!
+//! The prose documentation under `docs/` is embedded below (see
+//! [`docs`]) so that every example in the book compiles and runs as a
+//! doctest of this crate.
 
 pub use dope_apps as apps;
 pub use dope_core as core;
@@ -20,4 +26,25 @@ pub use dope_mechanisms as mechanisms;
 pub use dope_platform as platform;
 pub use dope_runtime as runtime;
 pub use dope_sim as sim;
+pub use dope_trace as trace;
 pub use dope_workload as workload;
+
+/// The documentation book, embedded verbatim from `docs/`.
+///
+/// Each sub-module is one markdown file; embedding them here makes
+/// `rustdoc` render the book next to the API docs **and** compiles and
+/// runs every Rust code block in the book as a doctest, so the prose
+/// cannot drift from the implementation.
+pub mod docs {
+    /// `docs/architecture.md`: how the flight recorder is built.
+    #[doc = include_str!("../docs/architecture.md")]
+    pub mod architecture {}
+
+    /// `docs/event-schema.md`: the versioned JSONL trace contract.
+    #[doc = include_str!("../docs/event-schema.md")]
+    pub mod event_schema {}
+
+    /// `docs/operator-guide.md`: capturing and reading traces.
+    #[doc = include_str!("../docs/operator-guide.md")]
+    pub mod operator_guide {}
+}

@@ -1,0 +1,100 @@
+//! Keeps the prose documentation in lock-step with the code.
+//!
+//! The Rust examples in `docs/` are already enforced as doctests of the
+//! umbrella crate (see `src/lib.rs`); these tests cover the parts
+//! doctests cannot see — the diagnostic-code catalogue and the event
+//! tables written as markdown prose.
+
+use dope_core::DiagCode;
+use dope_trace::TraceEvent;
+
+const EVENT_SCHEMA: &str = include_str!("../docs/event-schema.md");
+const ARCHITECTURE: &str = include_str!("../docs/architecture.md");
+const OPERATOR_GUIDE: &str = include_str!("../docs/operator-guide.md");
+
+/// Every `DVnnn` token in `text`, in order of appearance.
+fn dv_codes(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 5 <= bytes.len() {
+        if bytes[i] == b'D'
+            && bytes[i + 1] == b'V'
+            && bytes[i + 2].is_ascii_digit()
+            && bytes[i + 3].is_ascii_digit()
+            && bytes[i + 4].is_ascii_digit()
+        {
+            out.push(text[i..i + 5].to_string());
+            i += 5;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[test]
+fn every_documented_dv_code_is_catalogued() {
+    let codes = dv_codes(EVENT_SCHEMA);
+    assert!(
+        codes.len() >= DiagCode::ALL.len(),
+        "docs/event-schema.md must list the whole DV catalogue, found {codes:?}"
+    );
+    for code in &codes {
+        let parsed: DiagCode = code
+            .parse()
+            .unwrap_or_else(|_| panic!("docs/event-schema.md mentions unknown code {code}"));
+        assert_eq!(parsed.as_str(), code);
+    }
+}
+
+#[test]
+fn every_catalogued_dv_code_is_documented() {
+    let documented = dv_codes(EVENT_SCHEMA);
+    for code in DiagCode::ALL {
+        assert!(
+            documented.iter().any(|c| c == code.as_str()),
+            "docs/event-schema.md is missing {} ({code:?})",
+            code.as_str()
+        );
+    }
+}
+
+#[test]
+fn every_event_kind_has_a_schema_section() {
+    for kind in TraceEvent::KINDS {
+        let heading = format!("## `{kind}`");
+        assert!(
+            EVENT_SCHEMA.contains(&heading),
+            "docs/event-schema.md is missing a section for {kind}"
+        );
+        let example = format!("\"kind\": \"{kind}\"");
+        assert!(
+            EVENT_SCHEMA.contains(&example),
+            "docs/event-schema.md has no worked JSONL example for {kind}"
+        );
+    }
+}
+
+#[test]
+fn schema_doc_states_the_current_version() {
+    let marker = format!("`v = {}`", dope_trace::SCHEMA_VERSION);
+    assert!(
+        EVENT_SCHEMA.contains(&marker),
+        "docs/event-schema.md must state schema version {}",
+        dope_trace::SCHEMA_VERSION
+    );
+}
+
+#[test]
+fn book_pages_cross_reference_each_other() {
+    for (name, text) in [
+        ("architecture.md", ARCHITECTURE),
+        ("operator-guide.md", OPERATOR_GUIDE),
+    ] {
+        assert!(
+            text.contains("event-schema.md"),
+            "docs/{name} must point readers at the schema contract"
+        );
+    }
+}

@@ -151,6 +151,72 @@ fn wqt_h_live_switches_modes() {
 }
 
 #[test]
+fn recorded_live_trace_replays_identically() {
+    let recorder = dope_trace::Recorder::bounded(1 << 14);
+    let (service, descriptor) = transcode::live_service();
+    let dope = Dope::builder(Goal::MinResponseTime { threads: 4 })
+        .mechanism(Box::new(WqLinear::new(1, 4, 8.0)))
+        .control_period(Duration::from_millis(10))
+        .queue_probe(service.queue_probe())
+        .recorder(recorder.clone())
+        .launch(descriptor)
+        .expect("launch");
+
+    let params = transcode::VideoParams {
+        frames: 4,
+        width: 32,
+        height: 32,
+    };
+    // Same slow-then-burst load as the adaptation test above so WQ-Linear
+    // is forced through at least one reconfiguration epoch.
+    for id in 0..8u64 {
+        service
+            .queue
+            .enqueue(transcode::make_video(id, params))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    for id in 8..48u64 {
+        service
+            .queue
+            .enqueue(transcode::make_video(id, params))
+            .unwrap();
+    }
+    service.queue.close();
+    let report = dope.wait().expect("drains");
+    assert!(report.reconfigurations >= 1, "burst must force an epoch");
+
+    // The flight recording round-trips through the JSONL wire format.
+    let jsonl = recorder.to_jsonl();
+    let records = dope_trace::parse_jsonl(&jsonl).expect("live trace parses");
+    assert_eq!(records[0].event.kind(), "Launched");
+    assert_eq!(records.last().unwrap().event.kind(), "Finished");
+
+    // The human-readable timeline renders every phase of the decision loop.
+    let timeline = dope_trace::render_timeline(&records);
+    assert!(timeline.contains("LAUNCH"), "timeline: {timeline}");
+    assert!(timeline.contains("SNAPSHOT"));
+    assert!(timeline.contains("PROPOSE"));
+    assert!(timeline.contains("EPOCH"));
+    assert!(timeline.contains("FINISH"));
+
+    // Replaying the trace through dope-sim reproduces the exact sequence
+    // of accepted configurations the live executive committed.
+    let outcome = dope_trace::replay_into_sim(&records).expect("replay");
+    assert!(
+        outcome.matches(),
+        "live trace must replay to the same accepted-config sequence: \
+         recorded {:?} vs replayed {:?}",
+        outcome.recorded,
+        outcome.replayed
+    );
+    assert!(
+        outcome.recorded.len() >= 2,
+        "launch config plus at least one epoch"
+    );
+}
+
+#[test]
 fn early_stop_is_orderly() {
     let (service, descriptor) = transcode::live_service();
     let dope = Dope::builder(Goal::MinResponseTime { threads: 2 })
