@@ -37,4 +37,21 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
 step "cargo test --doc"
 cargo test -q --doc --workspace --offline
 
+if [[ "$QUICK" -eq 0 ]]; then
+  step "metrics smoke: live scrape + overhead regression"
+  # A tiny live run that serves and scrapes its own Prometheus endpoint
+  # and asserts the monitoring-overhead ratio stays under the ceiling.
+  cargo test -q --release --offline --test metrics_smoke
+
+  step "metrics smoke: dope-trace stats on a fresh recording"
+  TRACE_TMP="$(mktemp -d)"
+  trap 'rm -rf "$TRACE_TMP"' EXIT
+  cargo run -q --release --offline -p dope-trace --bin dope-trace -- \
+    record "$TRACE_TMP/smoke.jsonl"
+  cargo run -q --release --offline -p dope-trace --bin dope-trace -- \
+    stats "$TRACE_TMP/smoke.jsonl" | grep -q "finished:"
+  cargo run -q --release --offline -p dope-trace --bin dope-trace -- \
+    replay "$TRACE_TMP/smoke.jsonl"
+fi
+
 step "ci.sh: all checks passed"

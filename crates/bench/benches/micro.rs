@@ -15,11 +15,32 @@ fn bench_monitoring(c: &mut Criterion) {
                 throughput: 50.0,
                 load: 2.0,
                 utilization: 0.8,
+                ..Default::default()
             },
         );
     }
     c.bench_function("snapshot_slowest_task", |b| {
         b.iter(|| std::hint::black_box(snap.slowest_task()))
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    use dope_metrics::{Histogram, MetricsRegistry};
+    let hist = Histogram::new();
+    let mut i: u64 = 0;
+    c.bench_function("histogram_record_nanos", |b| {
+        b.iter(|| {
+            i = i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            hist.record_nanos(std::hint::black_box(i >> 34));
+        })
+    });
+    c.bench_function("histogram_quantile_p99", |b| {
+        b.iter(|| std::hint::black_box(hist.quantile_secs(0.99)))
+    });
+    let registry = MetricsRegistry::new();
+    let gauge = registry.gauge("dope_bench_gauge", "microbench gauge");
+    c.bench_function("registry_gauge_set", |b| {
+        b.iter(|| gauge.set(std::hint::black_box(42.0)))
     });
 }
 
@@ -50,6 +71,7 @@ fn bench_mechanism(c: &mut Criterion) {
                 throughput: 10.0,
                 load: 1.0,
                 utilization: 0.9,
+                ..Default::default()
             },
         );
     }
@@ -107,6 +129,7 @@ fn bench_sim(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_monitoring,
+    bench_histogram,
     bench_queue,
     bench_mechanism,
     bench_kernels,

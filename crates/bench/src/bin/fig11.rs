@@ -2,13 +2,19 @@
 //!
 //! Pass `--trace[=PATH]` to additionally record one representative run
 //! (x264 under WQ-Linear at 0.8 load) as a `dope-trace` JSONL flight
-//! recording (default `fig11-x264-wqlinear.jsonl`).
+//! recording (default `fig11-x264-wqlinear.jsonl`), and/or
+//! `--metrics[=PATH]` to dump the sweep's response-time histograms as a
+//! Prometheus-text registry (default `fig11-metrics.prom`).
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let _ = dope_bench::fig11::report(quick);
+    let sweeps = dope_bench::fig11::report(quick);
     if let Some(path) = dope_bench::trace::trace_path(&args, "fig11-x264-wqlinear.jsonl") {
         let jsonl = dope_bench::trace::record_fig11(quick);
         dope_bench::trace::write_trace(&jsonl, &path);
+    }
+    if let Some(path) = dope_bench::metrics::metrics_path(&args, "fig11-metrics.prom") {
+        let registry = dope_bench::metrics::fig11_registry(&sweeps);
+        dope_bench::metrics::write_dump(&registry, &path);
     }
 }

@@ -2,13 +2,19 @@
 //!
 //! Pass `--trace[=PATH]` to additionally record one representative run
 //! (ferret under TBF, saturated source) as a `dope-trace` JSONL flight
-//! recording (default `fig15-ferret-tbf.jsonl`).
+//! recording (default `fig15-ferret-tbf.jsonl`), and/or
+//! `--metrics[=PATH]` to dump per-(app, mechanism) throughput gauges as
+//! a Prometheus-text registry (default `fig15-metrics.prom`).
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let _ = dope_bench::fig15::report(quick);
+    let results = dope_bench::fig15::report(quick);
     if let Some(path) = dope_bench::trace::trace_path(&args, "fig15-ferret-tbf.jsonl") {
         let jsonl = dope_bench::trace::record_fig15(quick);
         dope_bench::trace::write_trace(&jsonl, &path);
+    }
+    if let Some(path) = dope_bench::metrics::metrics_path(&args, "fig15-metrics.prom") {
+        let registry = dope_bench::metrics::fig15_registry(&results);
+        dope_bench::metrics::write_dump(&registry, &path);
     }
 }

@@ -4,7 +4,10 @@
 use dope_core::{Mechanism, Resources, StaticMechanism};
 use dope_mechanisms::{WqLinear, WqtH};
 use dope_sim::system::{run_system, SystemParams, TwoLevelModel};
-use dope_workload::ArrivalSchedule;
+use dope_workload::{ArrivalSchedule, ResponseStats};
+
+/// Mechanism column labels, in `rows` order.
+pub const MECHANISMS: [&str; 4] = ["static-seq", "static-par", "WQT-H", "WQ-Linear"];
 
 /// Mechanism parameters for one application.
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +30,13 @@ pub struct AppSweep {
     /// `(load, static_seq, static_par, wqt_h, wq_linear)` mean response
     /// times in seconds.
     pub rows: Vec<(f64, f64, f64, f64, f64)>,
+    /// Same shape as `rows` but reporting the p99 response time
+    /// (histogram-backed, see `dope_workload::ResponseStats`).
+    pub p99_rows: Vec<(f64, f64, f64, f64, f64)>,
+    /// Per-mechanism response statistics merged across the load sweep,
+    /// in [`MECHANISMS`] order — the source of the `--metrics` registry
+    /// dump.
+    pub responses: Vec<(&'static str, ResponseStats)>,
 }
 
 /// The four applications with their tunings.
@@ -87,57 +97,80 @@ pub fn run(loads: &[f64], requests: usize) -> Vec<AppSweep> {
         .into_iter()
         .map(|(name, model, tuning)| {
             let max_thr = model.max_throughput(24, 1);
-            let rows = loads
+            let mut merged: Vec<(&'static str, ResponseStats)> = MECHANISMS
                 .iter()
-                .map(|&load| {
-                    let schedule = ArrivalSchedule::for_load_factor(load, max_thr, requests, 7);
-                    let run_mech = |mech: &mut dyn Mechanism| {
-                        run_system(&model, &schedule, mech, res, &params).mean_response()
-                    };
-                    let static_seq =
-                        run_mech(&mut StaticMechanism::new(model.config_for_width(24, 1)));
-                    let static_par = run_mech(&mut StaticMechanism::new(
-                        model.config_for_width(24, tuning.m_max),
-                    ));
-                    let wqt_h = run_mech(&mut WqtH::new(tuning.threshold, tuning.m_max, 4, 4));
-                    let wq_linear =
-                        run_mech(&mut WqLinear::new(tuning.m_min, tuning.m_max, tuning.q_max));
-                    (load, static_seq, static_par, wqt_h, wq_linear)
-                })
+                .map(|&mech| (mech, ResponseStats::new()))
                 .collect();
-            AppSweep { name, rows }
+            let mut rows = Vec::with_capacity(loads.len());
+            let mut p99_rows = Vec::with_capacity(loads.len());
+            for &load in loads {
+                let schedule = ArrivalSchedule::for_load_factor(load, max_thr, requests, 7);
+                let mut run_mech = |slot: usize, mech: &mut dyn Mechanism| {
+                    let out = run_system(&model, &schedule, mech, res, &params);
+                    merged[slot].1.merge(&out.response);
+                    let p99 = out.response.percentile(0.99).unwrap_or(0.0);
+                    (out.mean_response(), p99)
+                };
+                let static_seq =
+                    run_mech(0, &mut StaticMechanism::new(model.config_for_width(24, 1)));
+                let static_par = run_mech(
+                    1,
+                    &mut StaticMechanism::new(model.config_for_width(24, tuning.m_max)),
+                );
+                let wqt_h = run_mech(2, &mut WqtH::new(tuning.threshold, tuning.m_max, 4, 4));
+                let wq_linear = run_mech(
+                    3,
+                    &mut WqLinear::new(tuning.m_min, tuning.m_max, tuning.q_max),
+                );
+                rows.push((load, static_seq.0, static_par.0, wqt_h.0, wq_linear.0));
+                p99_rows.push((load, static_seq.1, static_par.1, wqt_h.1, wq_linear.1));
+            }
+            AppSweep {
+                name,
+                rows,
+                p99_rows,
+                responses: merged,
+            }
         })
         .collect()
 }
 
-/// Runs and prints all four panels.
-pub fn report(quick: bool) -> Vec<AppSweep> {
-    let sweeps = run(&crate::load_factors(quick), crate::request_count(quick));
-    for sweep in &sweeps {
-        println!("== Figure 11: {} — mean response time (s) ==", sweep.name);
+fn print_panel(title: &str, rows: &[(f64, f64, f64, f64, f64)]) {
+    println!("{title}");
+    let mut header = vec!["load".to_string()];
+    header.extend(MECHANISMS.iter().map(|m| (*m).to_string()));
+    println!("{}", crate::row(&header));
+    for &(load, s, p, h, l) in rows {
         println!(
             "{}",
             crate::row(&[
-                "load".into(),
-                "static-seq".into(),
-                "static-par".into(),
-                "WQT-H".into(),
-                "WQ-Linear".into(),
+                format!("{load:.1}"),
+                crate::cell(s),
+                crate::cell(p),
+                crate::cell(h),
+                crate::cell(l),
             ])
         );
-        for &(load, s, p, h, l) in &sweep.rows {
-            println!(
-                "{}",
-                crate::row(&[
-                    format!("{load:.1}"),
-                    crate::cell(s),
-                    crate::cell(p),
-                    crate::cell(h),
-                    crate::cell(l),
-                ])
-            );
-        }
-        println!();
+    }
+    println!();
+}
+
+/// Runs and prints all four panels: the paper's mean response times plus
+/// a histogram-backed p99 panel per application.
+pub fn report(quick: bool) -> Vec<AppSweep> {
+    let sweeps = run(&crate::load_factors(quick), crate::request_count(quick));
+    for sweep in &sweeps {
+        print_panel(
+            &format!("== Figure 11: {} — mean response time (s) ==", sweep.name),
+            &sweep.rows,
+        );
+        print_panel(
+            &format!(
+                "== Figure 11: {} — p99 response time (s, histogram-backed) ==",
+                sweep.name
+            ),
+            &sweep.p99_rows,
+        );
     }
     sweeps
 }
@@ -163,6 +196,43 @@ mod tests {
         let sweeps = run(&[0.2, 1.0], 500);
         for sweep in &sweeps {
             assert!(shape_holds(sweep), "{}: {:?}", sweep.name, sweep.rows);
+        }
+    }
+
+    #[test]
+    fn p99_panel_and_merged_responses_are_populated() {
+        let loads = [0.5, 1.0];
+        let requests = 200;
+        let sweeps = run(&loads, requests);
+        for sweep in &sweeps {
+            assert_eq!(sweep.p99_rows.len(), sweep.rows.len());
+            for (mean_row, p99_row) in sweep.rows.iter().zip(&sweep.p99_rows) {
+                assert_eq!(mean_row.0, p99_row.0, "load column must match");
+                // Tail latency sits at or above the bulk of the
+                // distribution (generous slack for histogram error).
+                for (mean, p99) in [
+                    (mean_row.1, p99_row.1),
+                    (mean_row.2, p99_row.2),
+                    (mean_row.3, p99_row.3),
+                    (mean_row.4, p99_row.4),
+                ] {
+                    assert!(p99 > 0.0, "{}: missing p99", sweep.name);
+                    assert!(
+                        p99 >= mean * 0.5,
+                        "{}: p99 {p99} << mean {mean}",
+                        sweep.name
+                    );
+                }
+            }
+            assert_eq!(sweep.responses.len(), MECHANISMS.len());
+            for (mech, response) in &sweep.responses {
+                assert_eq!(
+                    response.count(),
+                    loads.len() * requests,
+                    "{}/{mech}: responses must merge across the sweep",
+                    sweep.name
+                );
+            }
         }
     }
 }

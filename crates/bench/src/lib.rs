@@ -16,6 +16,7 @@
 //! | [`tables`] | Tables 3 (mechanism LoC) and 4 (application metadata) |
 //! | [`ablations`] | sensitivity sweeps of the mechanisms' knobs (beyond the paper) |
 //! | [`trace`] | flight-recorder captures of representative fig11/fig15 runs |
+//! | [`metrics`] | `--metrics` Prometheus-text registry dumps for fig11/fig15 |
 //!
 //! Run any artifact with `cargo run -p dope-bench --release --bin <id>`;
 //! `cargo bench` runs quick versions of all of them.
@@ -29,6 +30,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod metrics;
 pub mod tables;
 pub mod trace;
 

@@ -1,0 +1,121 @@
+//! `--metrics[=PATH]` support for the figure binaries.
+//!
+//! The figure harnesses already aggregate their sweeps into tables; this
+//! module additionally renders them as a final [`MetricsRegistry`] dump
+//! in Prometheus text format — the same exposition the live endpoint
+//! serves — so dashboards built against the runtime's metric names can
+//! be smoke-tested against simulated data:
+//!
+//! * [`fig11_registry`] — one `dope_response_seconds{app,mechanism}`
+//!   histogram per Figure 11 cell group (the bounded response
+//!   accumulators merged across the load sweep);
+//! * [`fig15_registry`] — one `dope_pipeline_throughput{app,mechanism}`
+//!   gauge per Figure 15 cell.
+//!
+//! Run `cargo run -p dope-bench --release --bin fig11 -- --metrics` (or
+//! `--metrics=PATH`) to write the dump next to the figure output.
+
+use dope_metrics::{names, MetricsRegistry};
+
+/// Parses `--metrics` / `--metrics=PATH` out of the argument list.
+#[must_use]
+pub fn metrics_path(args: &[String], default_path: &str) -> Option<String> {
+    args.iter().find_map(|arg| {
+        if arg == "--metrics" {
+            Some(default_path.to_string())
+        } else {
+            arg.strip_prefix("--metrics=").map(ToString::to_string)
+        }
+    })
+}
+
+/// Builds the Figure 11 registry: per-(app, mechanism) response-time
+/// histograms merged across the load sweep.
+#[must_use]
+pub fn fig11_registry(sweeps: &[crate::fig11::AppSweep]) -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+    for sweep in sweeps {
+        for (mechanism, response) in &sweep.responses {
+            let hist = registry.histogram_with_labels(
+                names::RESPONSE_SECONDS,
+                "End-to-end response time (seconds)",
+                &[("app", sweep.name), ("mechanism", mechanism)],
+            );
+            hist.merge_local(response.histogram());
+        }
+    }
+    registry
+}
+
+/// Builds the Figure 15 registry: per-(app, mechanism) stable-throughput
+/// gauges.
+#[must_use]
+pub fn fig15_registry(results: &[crate::fig15::AppResults]) -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+    for app in results {
+        for (mechanism, throughput) in &app.rows {
+            registry
+                .gauge_with_labels(
+                    names::PIPELINE_THROUGHPUT,
+                    "Pipeline sink throughput (items per second)",
+                    &[("app", app.name), ("mechanism", mechanism)],
+                )
+                .set(*throughput);
+        }
+    }
+    registry
+}
+
+/// Writes a rendered registry dump to `path`, reporting on stderr.
+pub fn write_dump(registry: &MetricsRegistry, path: &str) {
+    let text = registry.render();
+    match std::fs::write(path, &text) {
+        Ok(()) => eprintln!(
+            "metrics: wrote {} series to {path} (Prometheus text format)",
+            text.lines().filter(|l| !l.starts_with('#')).count()
+        ),
+        Err(err) => eprintln!("metrics: cannot write {path}: {err}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_path_parses_flags() {
+        let args = vec!["--quick".to_string(), "--metrics".to_string()];
+        assert_eq!(metrics_path(&args, "d.prom"), Some("d.prom".to_string()));
+        let args = vec!["--metrics=x.prom".to_string()];
+        assert_eq!(metrics_path(&args, "d.prom"), Some("x.prom".to_string()));
+        assert_eq!(metrics_path(&[], "d.prom"), None);
+    }
+
+    #[test]
+    fn fig11_registry_exports_response_histograms() {
+        let sweeps = crate::fig11::run(&[0.5], 100);
+        let registry = fig11_registry(&sweeps);
+        let text = registry.render();
+        assert!(
+            text.contains("dope_response_seconds_bucket{app=\"x264 (video transcoding)\""),
+            "{text}"
+        );
+        assert!(
+            text.contains("mechanism=\"WQ-Linear\"") && text.contains("_count"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn fig15_registry_exports_throughput_gauges() {
+        let results = vec![crate::fig15::AppResults {
+            name: "ferret",
+            rows: vec![("DoPE-TBF", 42.5)],
+        }];
+        let text = fig15_registry(&results).render();
+        assert!(
+            text.contains("dope_pipeline_throughput{app=\"ferret\",mechanism=\"DoPE-TBF\"} 42.5"),
+            "{text}"
+        );
+    }
+}

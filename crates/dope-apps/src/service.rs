@@ -390,6 +390,37 @@ mod tests {
     }
 
     #[test]
+    fn queue_probe_estimates_arrival_rate() {
+        let service = TwoLevelService::new();
+        let probe = service.queue_probe();
+        // Nothing enqueued: the estimate is exactly zero, not NaN, even
+        // though almost no time has elapsed.
+        assert_eq!(probe().arrival_rate, 0.0);
+
+        for id in 0..8 {
+            service.queue.enqueue(make_txn(id, 1)).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let first = probe();
+        assert_eq!(first.enqueued, 8);
+        // rate = enqueued / elapsed; elapsed is at least the 20 ms sleep,
+        // so the estimate is positive and bounded by 8 / 0.020.
+        assert!(first.arrival_rate > 0.0);
+        assert!(
+            first.arrival_rate <= 8.0 / 0.020,
+            "rate {} exceeds enqueued/elapsed bound",
+            first.arrival_rate
+        );
+
+        // With no further arrivals the cumulative estimate strictly
+        // decays as time passes.
+        std::thread::sleep(Duration::from_millis(20));
+        let second = probe();
+        assert_eq!(second.enqueued, 8);
+        assert!(second.arrival_rate < first.arrival_rate);
+    }
+
+    #[test]
     fn traced_queue_probe_records_samples() {
         let service = TwoLevelService::new();
         service.queue.enqueue(make_txn(0, 1)).unwrap();

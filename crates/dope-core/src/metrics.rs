@@ -26,6 +26,19 @@ pub struct TaskStats {
     /// Fraction of wall-clock time the task's workers spent inside
     /// `begin`/`end`, in `[0, 1]`.
     pub utilization: f64,
+    /// Median per-invocation execution time, in seconds.
+    ///
+    /// Additive over the original schema: producers that do not measure
+    /// percentiles (old traces, the simulator's analytic monitor) leave
+    /// this and the other `p*_exec_secs` fields at `0.0`, which readers
+    /// must treat as "not measured".
+    pub p50_exec_secs: f64,
+    /// 95th-percentile per-invocation execution time, in seconds
+    /// (`0.0` when not measured; see [`TaskStats::p50_exec_secs`]).
+    pub p95_exec_secs: f64,
+    /// 99th-percentile per-invocation execution time, in seconds
+    /// (`0.0` when not measured; see [`TaskStats::p50_exec_secs`]).
+    pub p99_exec_secs: f64,
 }
 
 /// Statistics of the application's work queue (the open-workload inlet).
@@ -58,6 +71,7 @@ pub struct QueueStats {
 ///         throughput: 48.0,
 ///         load: 3.0,
 ///         utilization: 0.96,
+///         ..TaskStats::default()
 ///     },
 /// );
 /// let slowest = snap.slowest_task().unwrap();
@@ -132,7 +146,20 @@ mod tests {
             throughput: thr,
             load: 0.0,
             utilization: 0.5,
+            ..TaskStats::default()
         }
+    }
+
+    #[test]
+    fn percentile_fields_default_to_unmeasured_zero() {
+        // Additive-schema contract: a producer that does not measure
+        // percentiles yields exactly 0.0 in every `p*_exec_secs` field.
+        let stats = TaskStats::default();
+        assert_eq!(stats.p50_exec_secs, 0.0);
+        assert_eq!(stats.p95_exec_secs, 0.0);
+        assert_eq!(stats.p99_exec_secs, 0.0);
+        let partial = sample(0.5, 2.0, 1);
+        assert_eq!(partial.p99_exec_secs, 0.0);
     }
 
     #[test]

@@ -243,6 +243,7 @@ mod tests {
                     throughput: if i == n - 1 { sink_throughput } else { 100.0 },
                     load: 0.0,
                     utilization: 0.8,
+                    ..TaskStats::default()
                 },
             );
         }

@@ -100,6 +100,7 @@ mod tests {
                     throughput: 1.0 / e,
                     load: 0.0,
                     utilization: 0.5,
+                    ..TaskStats::default()
                 },
             );
         }

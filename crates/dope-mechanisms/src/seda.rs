@@ -141,6 +141,7 @@ mod tests {
                     throughput: 100.0,
                     load: loads[i],
                     utilization: utils[i],
+                    ..TaskStats::default()
                 },
             );
         }

@@ -208,6 +208,7 @@ mod tests {
                     throughput: 1.0 / e,
                     load: 1.0,
                     utilization: 0.9,
+                    ..TaskStats::default()
                 },
             );
         }

@@ -274,6 +274,7 @@ mod tests {
                     throughput: if i == 3 { sink } else { 100.0 },
                     load: 0.0,
                     utilization: 0.8,
+                    ..TaskStats::default()
                 },
             );
         }

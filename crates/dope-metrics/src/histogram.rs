@@ -1,0 +1,658 @@
+//! Log-linear ("HDR-style") fixed-bucket latency histograms.
+//!
+//! Values are nanoseconds stored as `u64`. The bucket layout is
+//! *log-linear*: bucket widths double every octave but each octave is
+//! subdivided linearly, bounding the **relative** quantile error by the
+//! sub-bucket resolution instead of wasting memory on linear buckets or
+//! precision on purely exponential ones.
+//!
+//! Concretely, with [`SUB_BITS`] = 6:
+//!
+//! * group 0 covers `[0, 64)` ns with 64 buckets of width 1 (exact);
+//! * group `g >= 1` covers `[64 << (g-1), 64 << g)` ns with 32 buckets
+//!   of width `2^g`.
+//!
+//! Every recorded value lands in a bucket whose width is at most
+//! `value / 32`, so any quantile read from bucket upper bounds is within
+//! [`QUANTILE_RELATIVE_ERROR`] (= 1/32 ≈ 3.125 %) of the true sample
+//! quantile. 1920 buckets cover the full `u64` range (~584 years in
+//! nanoseconds), so recording can never overflow or clamp.
+//!
+//! Two concrete types share the layout:
+//!
+//! * [`Histogram`] — atomics per bucket, for concurrent hot paths (the
+//!   monitor's per-invocation record is a single `fetch_add` per bucket
+//!   plus three for count/sum/min-max maintenance);
+//! * [`LocalHistogram`] — a plain single-threaded variant with
+//!   grow-on-demand storage, `Clone`/`PartialEq`, and `merge`, used by
+//!   `ResponseStats` and the offline `dope-trace stats` summarizer.
+//!
+//! ```
+//! use dope_metrics::Histogram;
+//!
+//! let h = Histogram::new();
+//! for ms in [1_u64, 2, 3, 4, 100] {
+//!     h.record_secs(ms as f64 / 1e3);
+//! }
+//! assert_eq!(h.count(), 5);
+//! let p50 = h.quantile_secs(0.50).unwrap();
+//! assert!((p50 - 0.003).abs() / 0.003 < 0.04, "p50 = {p50}");
+//! let p99 = h.quantile_secs(0.99).unwrap();
+//! assert!((p99 - 0.100).abs() / 0.100 < 0.04, "p99 = {p99}");
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the number of linear sub-buckets per octave.
+pub const SUB_BITS: u32 = 6;
+const SUB_COUNT: u64 = 1 << SUB_BITS; // 64
+const SUB_HALF: u64 = SUB_COUNT / 2; // 32
+
+/// Number of value groups: group 0 plus one per remaining octave of u64.
+const GROUPS: usize = (64 - SUB_BITS as usize) + 1; // 59
+
+/// Total number of buckets in the layout.
+pub const BUCKET_COUNT: usize = SUB_COUNT as usize + (GROUPS - 1) * SUB_HALF as usize; // 1920
+
+/// Worst-case relative error of any quantile reported by these
+/// histograms, by construction of the bucket widths.
+pub const QUANTILE_RELATIVE_ERROR: f64 = 1.0 / SUB_HALF as f64;
+
+/// Maps a nanosecond value to its bucket index. Total over all of `u64`.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_COUNT {
+        return value as usize;
+    }
+    // Highest set bit; value >= 64 so msb >= SUB_BITS.
+    let msb = 63 - value.leading_zeros();
+    let group = (msb - (SUB_BITS - 1)) as u64; // >= 1
+    let sub = (value >> group) - SUB_HALF; // in [0, 32)
+    (SUB_COUNT + (group - 1) * SUB_HALF + sub) as usize
+}
+
+/// The half-open nanosecond range `[low, high)` covered by bucket `index`.
+///
+/// The final bucket's upper bound saturates at `u64::MAX`.
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    let index = index as u64;
+    if index < SUB_COUNT {
+        return (index, index + 1);
+    }
+    let group = (index - SUB_COUNT) / SUB_HALF + 1;
+    let sub = (index - SUB_COUNT) % SUB_HALF;
+    let low = (SUB_HALF + sub) << group;
+    let high = low.saturating_add(1 << group);
+    (low, high)
+}
+
+const NANOS_PER_SEC: f64 = 1e9;
+
+fn secs_to_nanos(secs: f64) -> u64 {
+    if secs.is_nan() || secs <= 0.0 {
+        return 0;
+    }
+    let nanos = secs * NANOS_PER_SEC;
+    if nanos >= u64::MAX as f64 {
+        u64::MAX // covers +Inf
+    } else {
+        nanos as u64
+    }
+}
+
+/// Shared quantile logic over any bucket iterator.
+///
+/// `rank` is 1-based: the k-th smallest recorded value. Returns the
+/// upper bound (in ns) of the bucket containing that rank.
+fn rank_bucket_upper(counts: impl Iterator<Item = (usize, u64)>, rank: u64) -> u64 {
+    let mut seen = 0u64;
+    for (idx, c) in counts {
+        seen += c;
+        if seen >= rank {
+            return bucket_bounds(idx)
+                .1
+                .saturating_sub(1)
+                .max(bucket_bounds(idx).0);
+        }
+    }
+    0
+}
+
+fn quantile_rank(q: f64, count: u64) -> u64 {
+    let q = q.clamp(0.0, 1.0);
+    (((q * count as f64).ceil()) as u64).clamp(1, count)
+}
+
+/// A concurrent log-linear histogram of nanosecond latencies.
+///
+/// All operations are lock-free (`Relaxed` atomics). Reads taken while
+/// writers are active are *approximately* consistent — fine for
+/// monitoring, matching Prometheus semantics.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKET_COUNT]>,
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    min_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        // Box<[AtomicU64; N]> without a large stack temporary.
+        let buckets: Box<[AtomicU64; BUCKET_COUNT]> = (0..BUCKET_COUNT)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("length is BUCKET_COUNT"));
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            min_nanos: AtomicU64::new(u64::MAX),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one nanosecond value.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.min_nanos.fetch_min(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Records one duration expressed in seconds (negative or non-finite
+    /// values clamp to 0).
+    pub fn record_secs(&self, secs: f64) {
+        self.record_nanos(secs_to_nanos(secs));
+    }
+
+    /// Total number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values, in seconds.
+    #[must_use]
+    pub fn sum_secs(&self) -> f64 {
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / NANOS_PER_SEC
+    }
+
+    /// Mean recorded value in seconds (`None` when empty).
+    #[must_use]
+    pub fn mean_secs(&self) -> Option<f64> {
+        let count = self.count();
+        (count > 0).then(|| self.sum_secs() / count as f64)
+    }
+
+    /// Smallest recorded value in seconds (`None` when empty).
+    #[must_use]
+    pub fn min_secs(&self) -> Option<f64> {
+        (self.count() > 0).then(|| self.min_nanos.load(Ordering::Relaxed) as f64 / NANOS_PER_SEC)
+    }
+
+    /// Largest recorded value in seconds (`None` when empty).
+    #[must_use]
+    pub fn max_secs(&self) -> Option<f64> {
+        (self.count() > 0).then(|| self.max_nanos.load(Ordering::Relaxed) as f64 / NANOS_PER_SEC)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) in seconds, within
+    /// [`QUANTILE_RELATIVE_ERROR`] of the true sample quantile, clamped
+    /// to the observed `[min, max]`. `None` when empty.
+    #[must_use]
+    pub fn quantile_secs(&self, q: f64) -> Option<f64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = quantile_rank(q, count);
+        let nanos = rank_bucket_upper(
+            self.buckets
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (i, b.load(Ordering::Relaxed))),
+            rank,
+        );
+        let min = self.min_nanos.load(Ordering::Relaxed);
+        let max = self.max_nanos.load(Ordering::Relaxed);
+        Some(nanos.clamp(min, max) as f64 / NANOS_PER_SEC)
+    }
+
+    /// Number of recorded values `<= upper_secs` (cumulative, Prometheus
+    /// `le` semantics, conservative: a fine bucket counts when its whole
+    /// range lies at or below the boundary).
+    #[must_use]
+    pub fn cumulative_le_secs(&self, upper_secs: f64) -> u64 {
+        let upper = secs_to_nanos(upper_secs);
+        let mut total = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            let (_, high) = bucket_bounds(i);
+            // Bucket range [low, high) fits under `upper` iff high-1 <= upper.
+            if high.saturating_sub(1) <= upper {
+                total += c;
+            }
+        }
+        total
+    }
+
+    /// Resets all buckets and counters to empty.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_nanos.store(0, Ordering::Relaxed);
+        self.min_nanos.store(u64::MAX, Ordering::Relaxed);
+        self.max_nanos.store(0, Ordering::Relaxed);
+    }
+
+    /// Absorbs every recorded value of a [`LocalHistogram`] into this
+    /// atomic histogram (the inverse of [`Histogram::snapshot`]): used to
+    /// expose offline accumulators — e.g. a bounded `ResponseStats` — on
+    /// a scrapeable registry.
+    pub fn merge_local(&self, other: &LocalHistogram) {
+        for (i, &c) in other.buckets.iter().enumerate() {
+            if c > 0 {
+                self.buckets[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        if other.count > 0 {
+            self.count.fetch_add(other.count, Ordering::Relaxed);
+            self.sum_nanos.fetch_add(other.sum_nanos, Ordering::Relaxed);
+            self.min_nanos.fetch_min(other.min_nanos, Ordering::Relaxed);
+            self.max_nanos.fetch_max(other.max_nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time single-threaded copy of this histogram.
+    #[must_use]
+    pub fn snapshot(&self) -> LocalHistogram {
+        let mut local = LocalHistogram::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                local.add_bucket(i, c);
+            }
+        }
+        local.count = self.count();
+        local.sum_nanos = self.sum_nanos.load(Ordering::Relaxed);
+        local.min_nanos = self.min_nanos.load(Ordering::Relaxed);
+        local.max_nanos = self.max_nanos.load(Ordering::Relaxed);
+        local
+    }
+}
+
+/// A plain (non-atomic) log-linear histogram with the same bucket layout
+/// as [`Histogram`].
+///
+/// Storage grows on demand, so an empty or low-latency histogram stays
+/// tiny. Used where `Clone`/`PartialEq`/`merge` matter more than
+/// concurrency: `dope-workload`'s `ResponseStats` and the offline trace
+/// summarizer.
+#[derive(Debug, Clone)]
+pub struct LocalHistogram {
+    /// Bucket counts; trailing zero buckets may be absent.
+    buckets: Vec<u64>,
+    count: u64,
+    sum_nanos: u64,
+    min_nanos: u64,
+    max_nanos: u64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartialEq for LocalHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        if (self.count, self.sum_nanos) != (other.count, other.sum_nanos) {
+            return false;
+        }
+        if self.count > 0 && (self.min_nanos, self.max_nanos) != (other.min_nanos, other.max_nanos)
+        {
+            return false;
+        }
+        // Compare buckets, padding the shorter Vec with zeros.
+        let longest = self.buckets.len().max(other.buckets.len());
+        (0..longest).all(|i| {
+            self.buckets.get(i).copied().unwrap_or(0) == other.buckets.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl LocalHistogram {
+    /// An empty histogram (no bucket storage allocated yet).
+    #[must_use]
+    pub fn new() -> Self {
+        LocalHistogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum_nanos: 0,
+            min_nanos: u64::MAX,
+            max_nanos: 0,
+        }
+    }
+
+    fn add_bucket(&mut self, index: usize, n: u64) {
+        if self.buckets.len() <= index {
+            self.buckets.resize(index + 1, 0);
+        }
+        self.buckets[index] += n;
+    }
+
+    /// Records one nanosecond value.
+    pub fn record_nanos(&mut self, nanos: u64) {
+        self.add_bucket(bucket_index(nanos), 1);
+        self.count += 1;
+        self.sum_nanos = self.sum_nanos.saturating_add(nanos);
+        self.min_nanos = self.min_nanos.min(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Records one duration expressed in seconds (negative or non-finite
+    /// values clamp to 0).
+    pub fn record_secs(&mut self, secs: f64) {
+        self.record_nanos(secs_to_nanos(secs));
+    }
+
+    /// Absorbs every recorded value of `other` into `self`.
+    pub fn merge(&mut self, other: &LocalHistogram) {
+        for (i, &c) in other.buckets.iter().enumerate() {
+            if c > 0 {
+                self.add_bucket(i, c);
+            }
+        }
+        self.count += other.count;
+        self.sum_nanos = self.sum_nanos.saturating_add(other.sum_nanos);
+        self.min_nanos = self.min_nanos.min(other.min_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// Total number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values, in seconds.
+    #[must_use]
+    pub fn sum_secs(&self) -> f64 {
+        self.sum_nanos as f64 / NANOS_PER_SEC
+    }
+
+    /// Mean recorded value in seconds (`None` when empty).
+    #[must_use]
+    pub fn mean_secs(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_secs() / self.count as f64)
+    }
+
+    /// Smallest recorded value in seconds (`None` when empty).
+    #[must_use]
+    pub fn min_secs(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.min_nanos as f64 / NANOS_PER_SEC)
+    }
+
+    /// Largest recorded value in seconds (`None` when empty).
+    #[must_use]
+    pub fn max_secs(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.max_nanos as f64 / NANOS_PER_SEC)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) in seconds, within
+    /// [`QUANTILE_RELATIVE_ERROR`] of the true sample quantile, clamped
+    /// to the observed `[min, max]`. `None` when empty.
+    #[must_use]
+    pub fn quantile_secs(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = quantile_rank(q, self.count);
+        let nanos = rank_bucket_upper(self.buckets.iter().copied().enumerate(), rank);
+        Some(nanos.clamp(self.min_nanos, self.max_nanos) as f64 / NANOS_PER_SEC)
+    }
+
+    /// Number of recorded values `<= upper_secs` (Prometheus `le`
+    /// semantics; see [`Histogram::cumulative_le_secs`]).
+    #[must_use]
+    pub fn cumulative_le_secs(&self, upper_secs: f64) -> u64 {
+        let upper = secs_to_nanos(upper_secs);
+        let mut total = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let (_, high) = bucket_bounds(i);
+            if high.saturating_sub(1) <= upper {
+                total += c;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_total_and_monotone() {
+        let probes = [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1_000,
+            1_000_000,
+            1_000_000_000,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut last = None;
+        for &v in &probes {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKET_COUNT, "index {idx} out of range for {v}");
+            if let Some(prev) = last {
+                assert!(idx >= prev, "index not monotone at {v}");
+            }
+            last = Some(idx);
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_round_trip() {
+        for idx in 0..BUCKET_COUNT {
+            let (low, high) = bucket_bounds(idx);
+            assert!(low < high, "empty bucket {idx}");
+            assert_eq!(bucket_index(low), idx, "low bound of {idx}");
+            assert_eq!(bucket_index(high - 1), idx, "high bound of {idx}");
+        }
+    }
+
+    #[test]
+    fn bucket_width_bounds_relative_error() {
+        for &v in &[64u64, 100, 999, 12_345, 1 << 40] {
+            let (low, high) = bucket_bounds(bucket_index(v));
+            let width = (high - low) as f64;
+            assert!(
+                width / low as f64 <= QUANTILE_RELATIVE_ERROR + 1e-12,
+                "bucket [{low},{high}) too wide for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_values_within_bound() {
+        let h = Histogram::new();
+        let mut values: Vec<u64> = (1..=1000).map(|i| i * 1_000_000).collect(); // 1..1000 ms
+        for &v in &values {
+            h.record_nanos(v);
+        }
+        values.sort_unstable();
+        for &q in &[0.5f64, 0.9, 0.95, 0.99, 1.0] {
+            let exact = values[((q * 1000.0).ceil() as usize).clamp(1, 1000) - 1] as f64 / 1e9;
+            let approx = h.quantile_secs(q).unwrap();
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel <= QUANTILE_RELATIVE_ERROR, "q={q}: {approx} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.quantile_secs(0.5).is_none());
+        assert!(h.mean_secs().is_none());
+        assert!(h.min_secs().is_none());
+        assert!(h.max_secs().is_none());
+        let l = LocalHistogram::new();
+        assert!(l.quantile_secs(0.99).is_none());
+    }
+
+    #[test]
+    fn single_value_quantiles_clamp_to_observation() {
+        let h = Histogram::new();
+        h.record_secs(0.010);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile_secs(q).unwrap();
+            assert!(
+                (v - 0.010).abs() / 0.010 <= QUANTILE_RELATIVE_ERROR,
+                "q={q}: {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_and_nan_seconds_clamp_to_zero() {
+        let h = Histogram::new();
+        h.record_secs(-1.0);
+        h.record_secs(f64::NAN);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_secs(1.0), Some(0.0));
+    }
+
+    #[test]
+    fn cumulative_le_matches_manual_count() {
+        let h = Histogram::new();
+        for ms in [1u64, 2, 5, 10, 20, 50] {
+            h.record_secs(ms as f64 / 1e3);
+        }
+        assert_eq!(h.cumulative_le_secs(0.0005), 0);
+        assert!(h.cumulative_le_secs(0.011) >= 4);
+        assert_eq!(h.cumulative_le_secs(1.0), 6);
+        assert_eq!(h.cumulative_le_secs(f64::INFINITY), 6);
+    }
+
+    #[test]
+    fn local_merge_equals_combined_recording() {
+        let mut a = LocalHistogram::new();
+        let mut b = LocalHistogram::new();
+        let mut combined = LocalHistogram::new();
+        for v in [10u64, 200, 3_000] {
+            a.record_nanos(v);
+            combined.record_nanos(v);
+        }
+        for v in [40_000u64, 500_000] {
+            b.record_nanos(v);
+            combined.record_nanos(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        assert_eq!(a.count(), 5);
+    }
+
+    #[test]
+    fn local_partial_eq_ignores_trailing_zero_buckets() {
+        let mut a = LocalHistogram::new();
+        a.record_nanos(5);
+        let mut b = a.clone();
+        // Force b to have longer (all-zero) storage.
+        b.add_bucket(500, 1);
+        b.buckets[500] = 0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_local_round_trips_through_snapshot() {
+        let mut local = LocalHistogram::new();
+        for v in [100u64, 2_000, 30_000_000] {
+            local.record_nanos(v);
+        }
+        let h = Histogram::new();
+        h.record_nanos(7);
+        h.merge_local(&local);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min_secs(), Some(7e-9));
+        assert_eq!(h.max_secs(), Some(0.03));
+        let mut expected = local.clone();
+        expected.record_nanos(7);
+        assert_eq!(h.snapshot(), expected);
+        // Merging an empty histogram is a no-op.
+        h.merge_local(&LocalHistogram::new());
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn atomic_snapshot_equals_local_recording() {
+        let h = Histogram::new();
+        let mut l = LocalHistogram::new();
+        for v in [1u64, 70, 4_096, 1_000_000] {
+            h.record_nanos(v);
+            l.record_nanos(v);
+        }
+        assert_eq!(h.snapshot(), l);
+    }
+
+    #[test]
+    fn reset_empties_the_histogram() {
+        let h = Histogram::new();
+        h.record_secs(0.5);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert!(h.quantile_secs(0.5).is_none());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_nanos(t * 1_000_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -1,0 +1,33 @@
+//! # dope-metrics — live telemetry for the DoPE executive
+//!
+//! The paper's executive steers on *mean* execution times and claims
+//! its monitoring costs "less than 1 %". This crate supplies the live
+//! observability plane those claims demand on a real deployment:
+//!
+//! * a lock-light [`MetricsRegistry`] of [`Counter`]s, [`Gauge`]s, and
+//!   log-linear [`Histogram`]s (handles are plain atomics; the registry
+//!   map is only locked at registration and render time);
+//! * **tail latency**: histograms bound quantile error to
+//!   [`QUANTILE_RELATIVE_ERROR`] (≈ 3.1 %) over the full `u64`
+//!   nanosecond range, with no allocation on the record path;
+//! * Prometheus text exposition: [`MetricsRegistry::render`] for
+//!   one-shot dumps, [`MetricsServer`] for a std-`TcpListener` scrape
+//!   endpoint, and [`scrape`] as the matching `curl`-style client;
+//! * [`names`]: the canonical `dope_*` metric catalogue that docs and
+//!   tests cross-check.
+//!
+//! The crate is std-only (no dependencies at all), keeping the offline
+//! workspace honest, and everything is zero-cost when simply not
+//! registered: instrumented components hold `Option`-free `Arc` handles
+//! only after a registry is attached.
+
+pub mod histogram;
+pub mod names;
+pub mod registry;
+pub mod server;
+
+pub use histogram::{
+    bucket_bounds, bucket_index, Histogram, LocalHistogram, BUCKET_COUNT, QUANTILE_RELATIVE_ERROR,
+};
+pub use registry::{Counter, Gauge, MetricsRegistry, EXPOSITION_BOUNDS_SECS};
+pub use server::{scrape, MetricsServer};

@@ -1,0 +1,91 @@
+//! Canonical metric names exported by the instrumented DoPE stack.
+//!
+//! Every name the runtime registers lives here as a constant so that
+//! documentation, tests, and dashboards can cross-check against one
+//! authoritative list ([`ALL`]). Naming follows Prometheus conventions:
+//! `dope_` prefix, base units (seconds, watts), `_total` suffix on
+//! counters.
+
+/// Per-task execution latency histogram, labelled `path`.
+pub const TASK_EXEC_SECONDS: &str = "dope_task_exec_seconds";
+/// Per-task invocation counter, labelled `path`.
+pub const TASK_INVOCATIONS_TOTAL: &str = "dope_task_invocations_total";
+/// Monitor snapshots taken so far.
+pub const MONITOR_SNAPSHOTS_TOTAL: &str = "dope_monitor_snapshots_total";
+/// Seconds the monitor spent measuring (its self-accounted overhead).
+pub const MONITORING_OVERHEAD_SECONDS: &str = "dope_monitoring_overhead_seconds";
+/// Monitoring overhead as a fraction of total application work
+/// (the paper's "< 1 %" claim, self-measured).
+pub const MONITORING_OVERHEAD_RATIO: &str = "dope_monitoring_overhead_ratio";
+/// Completed reconfiguration epochs.
+pub const RECONFIGURE_EPOCHS_TOTAL: &str = "dope_reconfigure_epochs_total";
+/// Measured pause (suspend + drain) latency per reconfiguration.
+pub const RECONFIGURE_PAUSE_SECONDS: &str = "dope_reconfigure_pause_seconds";
+/// Measured relaunch latency per reconfiguration.
+pub const RECONFIGURE_RELAUNCH_SECONDS: &str = "dope_reconfigure_relaunch_seconds";
+/// Mechanism proposals evaluated, labelled `verdict`
+/// (`accepted` / `unchanged` / `rejected`).
+pub const PROPOSALS_TOTAL: &str = "dope_proposals_total";
+/// Jobs dispatched to pool workers.
+pub const POOL_JOBS_DISPATCHED_TOTAL: &str = "dope_pool_jobs_dispatched_total";
+/// Times a pool worker went back to waiting on the job channel.
+pub const POOL_WORKER_PARKS_TOTAL: &str = "dope_pool_worker_parks_total";
+/// Current worker-pool thread count.
+pub const POOL_THREADS: &str = "dope_pool_threads";
+/// Work-queue occupancy gauge.
+pub const QUEUE_OCCUPANCY: &str = "dope_queue_occupancy";
+/// Work-queue arrival-rate gauge (requests per second).
+pub const QUEUE_ARRIVAL_RATE: &str = "dope_queue_arrival_rate";
+/// Requests enqueued so far.
+pub const QUEUE_ENQUEUED_TOTAL: &str = "dope_queue_enqueued_total";
+/// Requests completed so far.
+pub const QUEUE_COMPLETED_TOTAL: &str = "dope_queue_completed_total";
+/// Platform power draw gauge (watts), mirrored from the `SystemPower`
+/// feature when one is registered.
+pub const POWER_WATTS: &str = "dope_power_watts";
+/// End-to-end response-time histogram (open workloads).
+pub const RESPONSE_SECONDS: &str = "dope_response_seconds";
+/// Pipeline sink throughput gauge (items per second), labelled
+/// `app`/`mechanism` by the benchmark harness.
+pub const PIPELINE_THROUGHPUT: &str = "dope_pipeline_throughput";
+
+/// Every canonical metric name, for docs/tests cross-checks.
+pub const ALL: &[&str] = &[
+    TASK_EXEC_SECONDS,
+    TASK_INVOCATIONS_TOTAL,
+    MONITOR_SNAPSHOTS_TOTAL,
+    MONITORING_OVERHEAD_SECONDS,
+    MONITORING_OVERHEAD_RATIO,
+    RECONFIGURE_EPOCHS_TOTAL,
+    RECONFIGURE_PAUSE_SECONDS,
+    RECONFIGURE_RELAUNCH_SECONDS,
+    PROPOSALS_TOTAL,
+    POOL_JOBS_DISPATCHED_TOTAL,
+    POOL_WORKER_PARKS_TOTAL,
+    POOL_THREADS,
+    QUEUE_OCCUPANCY,
+    QUEUE_ARRIVAL_RATE,
+    QUEUE_ENQUEUED_TOTAL,
+    QUEUE_COMPLETED_TOTAL,
+    POWER_WATTS,
+    RESPONSE_SECONDS,
+    PIPELINE_THROUGHPUT,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn names_are_unique_prefixed_and_conventional() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &name in ALL {
+            assert!(seen.insert(name), "duplicate metric name {name}");
+            assert!(name.starts_with("dope_"), "{name} lacks dope_ prefix");
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "{name} not snake_case"
+            );
+        }
+    }
+}

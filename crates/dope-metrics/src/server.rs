@@ -1,0 +1,176 @@
+//! A minimal std-only HTTP scrape endpoint for a [`MetricsRegistry`].
+//!
+//! [`MetricsServer::serve`] binds a `TcpListener` and answers every
+//! request with the current registry rendering as
+//! `text/plain; version=0.0.4` — enough for `curl` and a Prometheus
+//! scraper, with no routing, keep-alive, or TLS. The accept loop runs on
+//! one background thread and polls a shutdown flag, so dropping the
+//! handle (or calling [`MetricsServer::shutdown`]) stops it promptly.
+//!
+//! ```
+//! use dope_metrics::{scrape, MetricsRegistry, MetricsServer};
+//!
+//! let registry = MetricsRegistry::new();
+//! registry.counter("dope_demo_total", "demo").inc();
+//! let server = MetricsServer::serve("127.0.0.1:0", registry).unwrap();
+//! let body = scrape(&server.local_addr().to_string()).unwrap();
+//! assert!(body.contains("dope_demo_total 1"));
+//! server.shutdown();
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::MetricsRegistry;
+
+/// A running scrape endpoint. Shuts down on drop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9464"`, or port `0` for an
+    /// ephemeral port) and serves `registry` until shutdown.
+    pub fn serve<A: ToSocketAddrs>(addr: A, registry: MetricsRegistry) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("dope-metrics".to_string())
+            .spawn(move || accept_loop(&listener, &registry, &stop_flag))?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, registry: &MetricsRegistry, stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Render outside any lock scope a client could stall.
+                let body = registry.render();
+                let _ = answer(stream, &body);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn answer(mut stream: TcpStream, body: &str) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // Drain the request line + headers (best-effort; we answer any verb
+    // or path identically).
+    let mut buf = [0u8; 4096];
+    let _ = stream.read(&mut buf);
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Performs one `curl`-style scrape of `addr` (host:port) and returns
+/// the response body.
+///
+/// This is the client half used by tests and the CI smoke run; any HTTP
+/// client (curl, Prometheus) works equally against the endpoint.
+pub fn scrape(addr: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(
+        format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map_or(response.as_str(), |(_, body)| body);
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_registry_over_tcp() {
+        let registry = MetricsRegistry::new();
+        registry.gauge("dope_power_watts", "power").set(42.5);
+        let server = MetricsServer::serve("127.0.0.1:0", registry.clone()).unwrap();
+        let addr = server.local_addr().to_string();
+        let body = scrape(&addr).unwrap();
+        assert!(body.contains("dope_power_watts 42.5"), "{body}");
+        // A second scrape sees updated values (live, not a snapshot).
+        registry.gauge("dope_power_watts", "power").set(50.0);
+        let body = scrape(&addr).unwrap();
+        assert!(body.contains("dope_power_watts 50"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let server = MetricsServer::serve("127.0.0.1:0", MetricsRegistry::new()).unwrap();
+        let addr = server.local_addr().to_string();
+        server.shutdown();
+        // After shutdown the port no longer answers (connect may succeed
+        // briefly due to OS backlog, but a scrape must not return data).
+        let result = scrape(&addr);
+        assert!(result.is_err() || result.is_ok_and(|b| b.is_empty()));
+    }
+
+    #[test]
+    fn drop_joins_the_server_thread() {
+        let server = MetricsServer::serve("127.0.0.1:0", MetricsRegistry::new()).unwrap();
+        drop(server); // must not hang or leak the accept thread
+    }
+}

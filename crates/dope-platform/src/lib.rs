@@ -32,9 +32,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod features;
+pub mod metrics;
 pub mod power;
 pub mod topology;
 
 pub use features::{FeatureObserver, FeatureRegistry};
+pub use metrics::metrics_observer;
 pub use power::{PowerModel, PowerSensor};
 pub use topology::Topology;

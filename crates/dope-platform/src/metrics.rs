@@ -1,0 +1,92 @@
+//! Mirroring platform feature reads into a live metrics registry.
+//!
+//! The paper's Figure 9 lets operators register platform features
+//! ("SystemPower" backed by a power-distribution-unit query); the
+//! executive polls them each snapshot. [`metrics_observer`] turns those
+//! polls into scrapeable gauges: `SystemPower` maps onto the canonical
+//! `dope_power_watts` gauge, and every other feature appears as a
+//! `dope_platform_feature{feature="..."}` gauge so custom features are
+//! observable without code changes.
+//!
+//! ```
+//! use dope_metrics::MetricsRegistry;
+//! use dope_platform::{metrics_observer, FeatureRegistry};
+//!
+//! let features = FeatureRegistry::new();
+//! features.register("SystemPower", || 612.5);
+//! let registry = MetricsRegistry::new();
+//! features.set_observer(Some(metrics_observer(&registry)));
+//! let _ = features.value("SystemPower");
+//! assert!(registry.render().contains("dope_power_watts 612.5"));
+//! ```
+
+use crate::features::FeatureObserver;
+use dope_metrics::{names, MetricsRegistry};
+use std::sync::Arc;
+
+/// Gauge family for features without a canonical `dope_*` name.
+pub const PLATFORM_FEATURE_GAUGE: &str = "dope_platform_feature";
+
+/// A [`FeatureObserver`] that mirrors every successful feature read into
+/// `registry`: `SystemPower` sets [`dope_metrics::names::POWER_WATTS`],
+/// anything else sets a [`PLATFORM_FEATURE_GAUGE`] series labelled with
+/// the feature name.
+#[must_use]
+pub fn metrics_observer(registry: &MetricsRegistry) -> FeatureObserver {
+    let power = registry.gauge(names::POWER_WATTS, "Platform power draw (watts)");
+    let registry = registry.clone();
+    Arc::new(move |feature: &str, value: f64| {
+        if feature == "SystemPower" {
+            power.set(value);
+        } else {
+            registry
+                .gauge_with_labels(
+                    PLATFORM_FEATURE_GAUGE,
+                    "Last read value of a registered platform feature",
+                    &[("feature", feature)],
+                )
+                .set(value);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureRegistry;
+
+    #[test]
+    fn system_power_maps_to_the_canonical_gauge() {
+        let features = FeatureRegistry::new();
+        features.register("SystemPower", || 700.0);
+        let registry = MetricsRegistry::new();
+        features.set_observer(Some(metrics_observer(&registry)));
+        assert_eq!(features.value("SystemPower"), Some(700.0));
+        assert!(registry.render().contains("dope_power_watts 700"));
+    }
+
+    #[test]
+    fn other_features_get_labelled_gauges() {
+        let features = FeatureRegistry::new();
+        features.register("Temperature", || 58.25);
+        let registry = MetricsRegistry::new();
+        features.set_observer(Some(metrics_observer(&registry)));
+        let _ = features.value("Temperature");
+        let text = registry.render();
+        assert!(
+            text.contains("dope_platform_feature{feature=\"Temperature\"} 58.25"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn failed_reads_leave_the_registry_untouched() {
+        let features = FeatureRegistry::new();
+        let registry = MetricsRegistry::new();
+        features.set_observer(Some(metrics_observer(&registry)));
+        assert_eq!(features.value("Missing"), None);
+        // Only the eagerly created power gauge exists, still at 0.
+        assert!(registry.render().contains("dope_power_watts 0"));
+        assert!(!registry.render().contains("dope_platform_feature{"));
+    }
+}

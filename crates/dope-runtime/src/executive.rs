@@ -7,7 +7,8 @@ use dope_core::{
     Config, Error, Goal, Mechanism, ProgramShape, QueueStats, Resources, Result, StaticMechanism,
     TaskPath, TaskSpec, TaskStatus,
 };
-use dope_platform::FeatureRegistry;
+use dope_metrics::{names, Counter, Histogram, MetricsRegistry};
+use dope_platform::{FeatureObserver, FeatureRegistry};
 use dope_trace::{Recorder, TraceEvent, Verdict};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -42,6 +43,7 @@ pub struct DopeBuilder {
     queue_probe: Option<Arc<dyn Fn() -> QueueStats + Send + Sync>>,
     pool_threads: Option<u32>,
     recorder: Recorder,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl std::fmt::Debug for DopeBuilder {
@@ -64,6 +66,7 @@ impl DopeBuilder {
             queue_probe: None,
             pool_threads: None,
             recorder: Recorder::disabled(),
+            metrics: None,
         }
     }
 
@@ -126,6 +129,21 @@ impl DopeBuilder {
     #[must_use]
     pub fn recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a live metrics registry (see `dope-metrics`): the
+    /// monitor then exports per-task `dope_task_exec_seconds` latency
+    /// histograms, queue gauges, and its self-measured overhead; the
+    /// executive exports `dope_reconfigure_epochs_total`, measured
+    /// pause/relaunch latency histograms, and per-verdict proposal
+    /// counts; the pool exports dispatch/park counters; and platform
+    /// feature reads mirror into the `dope_power_watts` gauge. Serve the
+    /// same registry with `dope_metrics::MetricsServer` to scrape the
+    /// run live, or dump `registry.render()` at the end.
+    #[must_use]
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
         self
     }
 
@@ -232,14 +250,34 @@ impl Dope {
         }
         if recorder.is_enabled() {
             monitor.set_recorder(recorder.clone());
+        }
+        let exec_metrics = builder.metrics.as_ref().map(|registry| {
+            monitor.set_metrics(registry.clone());
+            ExecMetrics::new(registry)
+        });
+        // The feature registry has a single observer slot, so the
+        // flight-recorder hook and the platform metrics mirror compose
+        // into one closure.
+        let mut observers: Vec<FeatureObserver> = Vec::new();
+        if recorder.is_enabled() {
             let feature_recorder = recorder.clone();
+            observers.push(Arc::new(move |feature: &str, value: f64| {
+                feature_recorder.record(TraceEvent::FeatureRead {
+                    feature: feature.to_string(),
+                    value,
+                });
+            }));
+        }
+        if let Some(registry) = &builder.metrics {
+            observers.push(dope_platform::metrics_observer(registry));
+        }
+        if !observers.is_empty() {
             builder
                 .features
                 .set_observer(Some(Arc::new(move |feature: &str, value: f64| {
-                    feature_recorder.record(TraceEvent::FeatureRead {
-                        feature: feature.to_string(),
-                        value,
-                    });
+                    for observer in &observers {
+                        observer(feature, value);
+                    }
                 })));
         }
 
@@ -250,6 +288,9 @@ impl Dope {
         });
 
         let pool = WorkerPool::new(builder.pool_threads.unwrap_or(budget).max(1));
+        if let Some(registry) = &builder.metrics {
+            pool.register_metrics(registry);
+        }
         let control_period = builder.control_period;
         let window = builder.throughput_window;
         let shared_for_thread = Arc::clone(&shared);
@@ -268,6 +309,7 @@ impl Dope {
                     control_period,
                     window,
                     &recorder,
+                    exec_metrics.as_ref(),
                 )
             })
             .expect("spawning the executive thread");
@@ -276,6 +318,45 @@ impl Dope {
             control: Some(control),
             shared,
         })
+    }
+}
+
+/// Registry handles for the executive's own metric series.
+struct ExecMetrics {
+    epochs: Arc<Counter>,
+    pause: Arc<Histogram>,
+    relaunch: Arc<Histogram>,
+    proposals_accepted: Arc<Counter>,
+    proposals_unchanged: Arc<Counter>,
+    proposals_rejected: Arc<Counter>,
+}
+
+impl ExecMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        let proposals = |verdict: &str| {
+            registry.counter_with_labels(
+                names::PROPOSALS_TOTAL,
+                "Mechanism proposals evaluated, by verdict",
+                &[("verdict", verdict)],
+            )
+        };
+        ExecMetrics {
+            epochs: registry.counter(
+                names::RECONFIGURE_EPOCHS_TOTAL,
+                "Completed reconfiguration epochs",
+            ),
+            pause: registry.histogram(
+                names::RECONFIGURE_PAUSE_SECONDS,
+                "Measured suspend-and-drain latency per reconfiguration",
+            ),
+            relaunch: registry.histogram(
+                names::RECONFIGURE_RELAUNCH_SECONDS,
+                "Measured relaunch latency per reconfiguration",
+            ),
+            proposals_accepted: proposals("accepted"),
+            proposals_unchanged: proposals("unchanged"),
+            proposals_rejected: proposals("rejected"),
+        }
     }
 }
 
@@ -319,6 +400,7 @@ fn run_control_loop(
     control_period: Duration,
     window: Duration,
     recorder: &Recorder,
+    metrics: Option<&ExecMetrics>,
 ) -> Result<RunReport> {
     let start = Instant::now();
     let mut config = initial;
@@ -378,6 +460,11 @@ fn run_control_loop(
                 jobs,
                 config: config_now.clone(),
             });
+            if let Some(m) = metrics {
+                m.epochs.inc();
+                m.pause.record_secs(pause_secs);
+                m.relaunch.record_secs(relaunch_secs);
+            }
         }
 
         // Monitor until the epoch ends or a reconfiguration triggers.
@@ -409,6 +496,9 @@ fn run_control_loop(
                                 proposal: proposal.clone(),
                                 verdict: Verdict::Unchanged,
                             });
+                            if let Some(m) = metrics {
+                                m.proposals_unchanged.inc();
+                            }
                             continue;
                         }
                         match proposal.validate(shape, budget) {
@@ -419,6 +509,9 @@ fn run_control_loop(
                                     proposal: proposal.clone(),
                                     verdict: Verdict::Accepted,
                                 });
+                                if let Some(m) = metrics {
+                                    m.proposals_accepted.inc();
+                                }
                                 reconfig_target = Some(proposal);
                                 suspend_started = Some(Instant::now());
                                 shared.suspend.store(true, Ordering::Release);
@@ -430,6 +523,9 @@ fn run_control_loop(
                                     proposal: proposal.clone(),
                                     verdict: Verdict::Rejected { code: err.code() },
                                 });
+                                if let Some(m) = metrics {
+                                    m.proposals_rejected.inc();
+                                }
                             }
                         }
                     }

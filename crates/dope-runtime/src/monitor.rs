@@ -7,9 +7,19 @@
 //! [`Monitor`] aggregates those measurements per task path and freezes
 //! them into [`MonitorSnapshot`]s for mechanisms. Its overhead is a
 //! handful of atomic operations per task invocation (the paper reports
-//! less than 1%).
+//! less than 1%) — and, unlike the paper, this monitor *proves* it: all
+//! time spent inside `PathStats::record` and [`Monitor::snapshot`] is
+//! self-accounted, and [`Monitor::monitoring_overhead_ratio`] reports it
+//! as a fraction of application work.
+//!
+//! Beyond the paper's mean execution times, every invocation latency is
+//! recorded into a lock-free log-linear histogram (`dope-metrics`), so
+//! snapshots carry `p50/p95/p99_exec_secs` per task and an attached
+//! [`MetricsRegistry`] exposes full `dope_task_exec_seconds` histograms
+//! to a Prometheus scrape.
 
 use dope_core::{Ewma, MonitorSnapshot, QueueStats, TaskPath, TaskStats};
+use dope_metrics::{names, Counter, Gauge, Histogram, MetricsRegistry};
 use dope_platform::FeatureRegistry;
 use dope_trace::{Recorder, TraceEvent};
 use parking_lot::Mutex;
@@ -23,6 +33,15 @@ use std::time::{Duration, Instant};
 pub(crate) struct PathStats {
     pub invocations: AtomicU64,
     pub busy_nanos: AtomicU64,
+    /// Fine-grained latency distribution of every `begin`..`end`
+    /// interval; the source of the snapshot percentiles and of the
+    /// `dope_task_exec_seconds` scrape series.
+    exec_hist: Arc<Histogram>,
+    /// When this cell was created — bounds the throughput window right
+    /// after launch (see [`PathStats::sample`]).
+    created: Instant,
+    /// Shared monitoring-overhead accumulator (nanoseconds).
+    overhead_nanos: Arc<AtomicU64>,
     inner: Mutex<PathStatsInner>,
 }
 
@@ -33,10 +52,13 @@ struct PathStatsInner {
 }
 
 impl PathStats {
-    fn new(alpha: f64) -> Self {
+    fn new(alpha: f64, overhead_nanos: Arc<AtomicU64>) -> Self {
         PathStats {
             invocations: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
+            exec_hist: Arc::new(Histogram::new()),
+            created: Instant::now(),
+            overhead_nanos,
             inner: Mutex::new(PathStatsInner {
                 exec_ewma: Ewma::new(alpha),
                 completions: VecDeque::new(),
@@ -45,25 +67,49 @@ impl PathStats {
     }
 
     /// Records one completed `begin`..`end` interval.
+    ///
+    /// The cost of this very call is charged to the monitor's
+    /// self-overhead meter.
     pub fn record(&self, exec: Duration, now: Instant, window: Duration) {
+        let t0 = Instant::now();
         self.invocations.fetch_add(1, Ordering::Relaxed);
         self.busy_nanos
             .fetch_add(exec.as_nanos() as u64, Ordering::Relaxed);
-        let mut inner = self.inner.lock();
-        inner.exec_ewma.update(exec.as_secs_f64());
-        inner.completions.push_back(now);
-        let horizon = now.checked_sub(window).unwrap_or(now);
-        while inner.completions.front().is_some_and(|&t| t < horizon) {
-            inner.completions.pop_front();
+        self.exec_hist
+            .record_nanos(u64::try_from(exec.as_nanos()).unwrap_or(u64::MAX));
+        {
+            let mut inner = self.inner.lock();
+            inner.exec_ewma.update(exec.as_secs_f64());
+            inner.completions.push_back(now);
+            let horizon = now.checked_sub(window).unwrap_or(now);
+            while inner.completions.front().is_some_and(|&t| t < horizon) {
+                inner.completions.pop_front();
+            }
         }
+        self.overhead_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Mean execution time and recent throughput.
+    ///
+    /// The throughput denominator is `min(window, elapsed-since-cell-
+    /// creation)`: right after launch (or after a reconfiguration
+    /// creates a fresh path) the monitor has observed less than a full
+    /// window, and dividing by the whole window would underreport
+    /// throughput until the window fills.
     fn sample(&self, now: Instant, window: Duration) -> (f64, f64) {
         let inner = self.inner.lock();
         let horizon = now.checked_sub(window).unwrap_or(now);
         let recent = inner.completions.iter().filter(|&&t| t >= horizon).count();
-        let throughput = recent as f64 / window.as_secs_f64().max(1e-9);
+        let elapsed = now.saturating_duration_since(self.created);
+        let effective = window.min(elapsed);
+        let throughput = recent as f64 / effective.as_secs_f64().max(1e-9);
         (inner.exec_ewma.value_or(0.0), throughput)
+    }
+
+    /// Execution-latency percentile in seconds (0.0 before any record).
+    fn exec_quantile(&self, q: f64) -> f64 {
+        self.exec_hist.quantile_secs(q).unwrap_or(0.0)
     }
 }
 
@@ -79,6 +125,55 @@ pub struct Monitor {
 /// A registered per-task load probe (queue occupancy, pending work, ...).
 type LoadCallback = Arc<dyn Fn() -> f64 + Send + Sync>;
 
+/// Registry handles for the monitor-level metric series.
+struct MonitorMetrics {
+    registry: MetricsRegistry,
+    snapshots: Arc<Counter>,
+    overhead_seconds: Arc<Gauge>,
+    overhead_ratio: Arc<Gauge>,
+    queue_occupancy: Arc<Gauge>,
+    queue_arrival_rate: Arc<Gauge>,
+    queue_enqueued: Arc<Counter>,
+    queue_completed: Arc<Counter>,
+    power_watts: Arc<Gauge>,
+}
+
+impl MonitorMetrics {
+    fn new(registry: MetricsRegistry) -> Self {
+        MonitorMetrics {
+            snapshots: registry.counter(names::MONITOR_SNAPSHOTS_TOTAL, "Monitor snapshots taken"),
+            overhead_seconds: registry.gauge(
+                names::MONITORING_OVERHEAD_SECONDS,
+                "Seconds spent inside monitoring code (self-measured)",
+            ),
+            overhead_ratio: registry.gauge(
+                names::MONITORING_OVERHEAD_RATIO,
+                "Monitoring overhead as a fraction of application work",
+            ),
+            queue_occupancy: registry.gauge(names::QUEUE_OCCUPANCY, "Work-queue occupancy"),
+            queue_arrival_rate: registry.gauge(
+                names::QUEUE_ARRIVAL_RATE,
+                "Work-queue arrival rate (requests per second)",
+            ),
+            queue_enqueued: registry.counter(names::QUEUE_ENQUEUED_TOTAL, "Requests enqueued"),
+            queue_completed: registry.counter(names::QUEUE_COMPLETED_TOTAL, "Requests completed"),
+            power_watts: registry.gauge(names::POWER_WATTS, "Platform power draw (watts)"),
+            registry,
+        }
+    }
+
+    /// Exposes one task path's cells as labelled scrape series.
+    fn register_path(&self, path: &TaskPath, stats: &PathStats) {
+        let label = path.to_string();
+        self.registry.register_histogram(
+            names::TASK_EXEC_SECONDS,
+            "Per-invocation task execution latency",
+            &[("path", &label)],
+            Arc::clone(&stats.exec_hist),
+        );
+    }
+}
+
 struct MonitorShared {
     start: Instant,
     window: Duration,
@@ -90,6 +185,9 @@ struct MonitorShared {
     features: FeatureRegistry,
     completed_at_reconfig: AtomicU64,
     recorder: Mutex<Recorder>,
+    /// Nanoseconds spent inside monitoring code, summed across threads.
+    overhead_nanos: Arc<AtomicU64>,
+    metrics: Mutex<Option<MonitorMetrics>>,
 }
 
 impl std::fmt::Debug for Monitor {
@@ -117,6 +215,8 @@ impl Monitor {
                 features,
                 completed_at_reconfig: AtomicU64::new(0),
                 recorder: Mutex::new(Recorder::disabled()),
+                overhead_nanos: Arc::new(AtomicU64::new(0)),
+                metrics: Mutex::new(None),
             }),
         }
     }
@@ -126,6 +226,21 @@ impl Monitor {
     /// `QueueSample` into it.
     pub fn set_recorder(&self, recorder: Recorder) {
         *self.shared.recorder.lock() = recorder;
+    }
+
+    /// Attaches a live metrics registry.
+    ///
+    /// Registers monitor-level series (snapshot counter, overhead
+    /// gauges, queue gauges/counters, power gauge) immediately, plus one
+    /// `dope_task_exec_seconds{path=...}` histogram per task path —
+    /// existing paths now, future paths as they are created. Every
+    /// subsequent [`snapshot`](Monitor::snapshot) refreshes the gauges.
+    pub fn set_metrics(&self, registry: MetricsRegistry) {
+        let metrics = MonitorMetrics::new(registry);
+        for (path, stats) in self.shared.paths.lock().iter() {
+            metrics.register_path(path, stats);
+        }
+        *self.shared.metrics.lock() = Some(metrics);
     }
 
     /// Requests completed so far per the installed queue probe (0 when no
@@ -141,11 +256,18 @@ impl Monitor {
     /// The measurement cell for `path`, created on first use.
     pub(crate) fn stats_for(&self, path: &TaskPath) -> Arc<PathStats> {
         let mut paths = self.shared.paths.lock();
-        Arc::clone(
-            paths
-                .entry(path.clone())
-                .or_insert_with(|| Arc::new(PathStats::new(self.shared.ewma_alpha))),
-        )
+        if let Some(stats) = paths.get(path) {
+            return Arc::clone(stats);
+        }
+        let stats = Arc::new(PathStats::new(
+            self.shared.ewma_alpha,
+            Arc::clone(&self.shared.overhead_nanos),
+        ));
+        if let Some(metrics) = self.shared.metrics.lock().as_ref() {
+            metrics.register_path(path, &stats);
+        }
+        paths.insert(path.clone(), Arc::clone(&stats));
+        stats
     }
 
     /// Registers the load callbacks and extents of a freshly instantiated
@@ -193,9 +315,42 @@ impl Monitor {
         self.shared.start.elapsed().as_secs_f64()
     }
 
+    /// Seconds spent inside monitoring code so far (self-measured across
+    /// all worker threads: every `PathStats::record` and every
+    /// [`snapshot`](Monitor::snapshot)).
+    #[must_use]
+    pub fn monitoring_overhead_secs(&self) -> f64 {
+        self.shared.overhead_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Monitoring overhead as a fraction of application work.
+    ///
+    /// The denominator is `max(total busy seconds, wall-clock seconds)`:
+    /// in steady state that is the accumulated `begin`..`end` work time
+    /// across all workers (the quantity the paper's "< 1 %" claim is
+    /// stated against); before any work has completed, wall-clock time
+    /// keeps the ratio meaningful instead of dividing by zero.
+    #[must_use]
+    pub fn monitoring_overhead_ratio(&self) -> f64 {
+        let overhead = self.monitoring_overhead_secs();
+        let busy: u64 = self
+            .shared
+            .paths
+            .lock()
+            .values()
+            .map(|s| s.busy_nanos.load(Ordering::Relaxed))
+            .sum();
+        let busy_secs = busy as f64 / 1e9;
+        overhead / busy_secs.max(self.elapsed_secs()).max(1e-9)
+    }
+
     /// Freezes the current measurements into a snapshot.
+    ///
+    /// The cost of taking the snapshot itself is charged to the
+    /// monitoring-overhead meter.
     #[must_use]
     pub fn snapshot(&self) -> MonitorSnapshot {
+        let t0 = Instant::now();
         let now = Instant::now();
         let shared = &self.shared;
         let mut snap = MonitorSnapshot::at(self.elapsed_secs());
@@ -220,6 +375,9 @@ impl Monitor {
                     throughput,
                     load: loads.get(path).copied().unwrap_or(0.0),
                     utilization: (busy_secs / (elapsed * f64::from(extent))).min(1.0),
+                    p50_exec_secs: stats.exec_quantile(0.50),
+                    p95_exec_secs: stats.exec_quantile(0.95),
+                    p99_exec_secs: stats.exec_quantile(0.99),
                 },
             );
         }
@@ -243,6 +401,24 @@ impl Monitor {
             }
             recorder.record(TraceEvent::QueueSample { queue: snap.queue });
         }
+
+        if let Some(metrics) = shared.metrics.lock().as_ref() {
+            metrics.snapshots.inc();
+            metrics.queue_occupancy.set(snap.queue.occupancy);
+            metrics.queue_arrival_rate.set(snap.queue.arrival_rate);
+            metrics.queue_enqueued.set_at_least(snap.queue.enqueued);
+            metrics.queue_completed.set_at_least(snap.queue.completed);
+            if let Some(watts) = snap.power_watts {
+                metrics.power_watts.set(watts);
+            }
+            metrics
+                .overhead_seconds
+                .set(self.monitoring_overhead_secs());
+            metrics.overhead_ratio.set(self.monitoring_overhead_ratio());
+        }
+        shared
+            .overhead_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         snap
     }
 }
@@ -269,6 +445,58 @@ mod tests {
         assert_eq!(ts.invocations, 2);
         assert!(ts.mean_exec_secs > 0.009 && ts.mean_exec_secs < 0.031);
         assert!(ts.throughput > 0.0);
+    }
+
+    #[test]
+    fn snapshot_carries_exec_percentiles() {
+        let m = monitor();
+        let path: TaskPath = "0".parse().unwrap();
+        let stats = m.stats_for(&path);
+        let now = Instant::now();
+        // 99 fast invocations and one slow outlier: the mean hides the
+        // tail, the percentiles must expose it.
+        for _ in 0..99 {
+            stats.record(Duration::from_millis(1), now, Duration::from_secs(10));
+        }
+        stats.record(Duration::from_millis(500), now, Duration::from_secs(10));
+        m.install_epoch(Vec::new(), HashMap::from([(path.clone(), 1)]));
+        let snap = m.snapshot();
+        let ts = snap.task(&path).unwrap();
+        assert!(
+            (ts.p50_exec_secs - 0.001).abs() / 0.001 < 0.05,
+            "p50 = {}",
+            ts.p50_exec_secs
+        );
+        assert!(
+            (ts.p99_exec_secs - 0.5).abs() / 0.5 < 0.05,
+            "p99 = {}",
+            ts.p99_exec_secs
+        );
+        assert!(ts.p50_exec_secs <= ts.p95_exec_secs);
+        assert!(ts.p95_exec_secs <= ts.p99_exec_secs);
+    }
+
+    #[test]
+    fn early_window_throughput_uses_elapsed_not_window() {
+        let m = monitor();
+        let path: TaskPath = "0".parse().unwrap();
+        let stats = m.stats_for(&path);
+        // 50 completions within ~1 s of cell creation, sampled with a
+        // 10 s window: the old code divided by the full 10 s and
+        // reported ~5/s; the fix divides by elapsed (~1 s) → ~50/s.
+        let now = stats.created + Duration::from_secs(1);
+        for _ in 0..50 {
+            stats.record(Duration::from_micros(10), now, Duration::from_secs(10));
+        }
+        let (_, throughput) = stats.sample(now, Duration::from_secs(10));
+        assert!(
+            (throughput - 50.0).abs() < 1.0,
+            "early-window throughput {throughput}, want ~50/s"
+        );
+        // Once the window has filled, the window itself is the divisor.
+        let later = stats.created + Duration::from_secs(20);
+        let (_, settled) = stats.sample(later, Duration::from_secs(10));
+        assert!(settled <= 0.1, "all completions aged out: {settled}");
     }
 
     #[test]
@@ -341,5 +569,59 @@ mod tests {
             Duration::from_secs(1),
         );
         assert_eq!(b.invocations.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn attached_registry_sees_task_queue_and_overhead_series() {
+        let m = monitor();
+        m.set_queue_probe(|| QueueStats {
+            occupancy: 4.0,
+            arrival_rate: 8.5,
+            enqueued: 20,
+            completed: 15,
+        });
+        // One path exists before attach, one is created after: both must
+        // end up registered.
+        let before: TaskPath = "0".parse().unwrap();
+        let s0 = m.stats_for(&before);
+        let registry = MetricsRegistry::new();
+        m.set_metrics(registry.clone());
+        let after: TaskPath = "1".parse().unwrap();
+        let s1 = m.stats_for(&after);
+        let now = Instant::now();
+        s0.record(Duration::from_millis(2), now, Duration::from_secs(10));
+        s1.record(Duration::from_millis(4), now, Duration::from_secs(10));
+        let _ = m.snapshot();
+        let text = registry.render();
+        assert!(
+            text.contains("dope_task_exec_seconds_count{path=\"0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dope_task_exec_seconds_count{path=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("dope_monitor_snapshots_total 1"), "{text}");
+        assert!(text.contains("dope_queue_arrival_rate 8.5"), "{text}");
+        assert!(text.contains("dope_queue_completed_total 15"), "{text}");
+        assert!(text.contains("dope_monitoring_overhead_ratio "), "{text}");
+    }
+
+    #[test]
+    fn overhead_meter_accumulates_and_stays_small() {
+        let m = monitor();
+        let path: TaskPath = "0".parse().unwrap();
+        let stats = m.stats_for(&path);
+        assert_eq!(m.monitoring_overhead_secs(), 0.0);
+        let now = Instant::now();
+        for _ in 0..100 {
+            // 1 ms of (claimed) work per 1 record call.
+            stats.record(Duration::from_millis(1), now, Duration::from_secs(10));
+        }
+        let _ = m.snapshot();
+        let overhead = m.monitoring_overhead_secs();
+        assert!(overhead > 0.0, "overhead meter never advanced");
+        let ratio = m.monitoring_overhead_ratio();
+        assert!(ratio >= 0.0 && ratio.is_finite());
     }
 }

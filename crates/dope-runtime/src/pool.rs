@@ -6,6 +6,7 @@
 //! the channel.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use dope_metrics::{names, Counter, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -37,6 +38,11 @@ pub struct WorkerPool {
     tx: Option<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
     submitted: Arc<AtomicU64>,
+    /// Jobs a worker actually started executing.
+    dispatched: Arc<Counter>,
+    /// Times a worker finished a job and went back to waiting on the
+    /// channel (between-epoch idleness, the paper's "threads sit idle").
+    parks: Arc<Counter>,
 }
 
 impl WorkerPool {
@@ -49,14 +55,20 @@ impl WorkerPool {
     pub fn new(threads: u32) -> Self {
         assert!(threads >= 1, "pool needs at least one thread");
         let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let dispatched = Arc::new(Counter::new());
+        let parks = Arc::new(Counter::new());
         let handles = (0..threads)
             .map(|i| {
                 let rx = rx.clone();
+                let dispatched = Arc::clone(&dispatched);
+                let parks = Arc::clone(&parks);
                 std::thread::Builder::new()
                     .name(format!("dope-worker-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
+                            dispatched.inc();
                             job();
+                            parks.inc();
                         }
                     })
                     .expect("spawning a worker thread")
@@ -66,7 +78,36 @@ impl WorkerPool {
             tx: Some(tx),
             handles,
             submitted: Arc::new(AtomicU64::new(0)),
+            dispatched,
+            parks,
         }
+    }
+
+    /// Exposes the pool's counters and size on `registry`:
+    /// `dope_pool_jobs_dispatched_total`, `dope_pool_worker_parks_total`,
+    /// and the `dope_pool_threads` gauge.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        registry.register_counter(
+            names::POOL_JOBS_DISPATCHED_TOTAL,
+            "Jobs dispatched to pool workers",
+            &[],
+            Arc::clone(&self.dispatched),
+        );
+        registry.register_counter(
+            names::POOL_WORKER_PARKS_TOTAL,
+            "Times a pool worker finished a job and went back to waiting",
+            &[],
+            Arc::clone(&self.parks),
+        );
+        registry
+            .gauge(names::POOL_THREADS, "Worker-pool thread count")
+            .set(self.threads() as f64);
+    }
+
+    /// Jobs workers actually started executing so far.
+    #[must_use]
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched.get()
     }
 
     /// Number of worker threads.
@@ -171,6 +212,21 @@ mod tests {
         }
         assert_eq!(pool.submitted(), 6);
         pool.shutdown();
+    }
+
+    #[test]
+    fn registered_counters_track_dispatch_and_parks() {
+        let pool = WorkerPool::new(2);
+        let registry = MetricsRegistry::new();
+        pool.register_metrics(&registry);
+        for _ in 0..5 {
+            pool.submit(|| {});
+        }
+        pool.shutdown();
+        let text = registry.render();
+        assert!(text.contains("dope_pool_jobs_dispatched_total 5"), "{text}");
+        assert!(text.contains("dope_pool_worker_parks_total 5"), "{text}");
+        assert!(text.contains("dope_pool_threads 2"), "{text}");
     }
 
     #[test]

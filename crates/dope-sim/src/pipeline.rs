@@ -547,6 +547,10 @@ impl<'a> Sim<'a> {
                     throughput: rate,
                     load: st.queue.len() as f64,
                     utilization: f64::from(st.busy) / f64::from(st.extent.max(1)),
+                    // The analytic simulator does not model latency
+                    // distributions; percentile fields stay at their
+                    // "not measured" default of 0.0.
+                    ..TaskStats::default()
                 },
             );
         }

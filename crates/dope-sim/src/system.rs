@@ -473,6 +473,9 @@ fn build_snapshot(
             throughput: rate,
             load: queue.len() as f64,
             utilization: f64::from(budget - free) / f64::from(budget),
+            // Percentile fields stay 0.0: the simulator's monitor is
+            // analytic and does not measure latency distributions.
+            ..TaskStats::default()
         },
     );
     snap

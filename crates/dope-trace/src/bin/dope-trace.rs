@@ -4,6 +4,7 @@
 //! dope-trace record [OUT]            record a built-in adaptive scenario
 //! dope-trace replay <TRACE>          replay a JSONL trace into dope-sim
 //! dope-trace timeline <TRACE>        render a JSONL trace as ASCII
+//! dope-trace stats <TRACE>           histogram summaries of a trace
 //! ```
 //!
 //! `TRACE` may be `-` to read JSONL from standard input; `record` writes
@@ -20,14 +21,17 @@ use dope_mechanisms::WqLinear;
 use dope_sim::profile::AmdahlProfile;
 use dope_sim::system::{run_system_observed, SystemParams, TwoLevelModel};
 use dope_trace::{
-    parse_jsonl, render_timeline, replay_into_sim, Recorder, RecordingObserver, TraceRecord,
+    parse_jsonl, render_timeline, replay_into_sim, summarize, Recorder, RecordingObserver,
+    TraceRecord,
 };
 use dope_workload::ArrivalSchedule;
 
-const USAGE: &str = "usage: dope-trace <record [OUT] | replay <TRACE> | timeline <TRACE>>
+const USAGE: &str =
+    "usage: dope-trace <record [OUT] | replay <TRACE> | timeline <TRACE> | stats <TRACE>>
   record [OUT]       record a built-in adaptive scenario as JSONL (stdout when OUT omitted)
   replay <TRACE>     replay a JSONL trace into dope-sim; exit 0 iff the decision sequence matches
   timeline <TRACE>   render a JSONL trace as an ASCII timeline
+  stats <TRACE>      histogram summaries (counts, mean, p50/p95/p99, max) of a trace
   TRACE may be '-' for standard input";
 
 fn main() -> ExitCode {
@@ -36,6 +40,7 @@ fn main() -> ExitCode {
         Some("record") if args.len() <= 2 => record(args.get(1).map(String::as_str)),
         Some("replay") if args.len() == 2 => replay(&args[1]),
         Some("timeline") if args.len() == 2 => timeline(&args[1]),
+        Some("stats") if args.len() == 2 => stats(&args[1]),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
@@ -107,6 +112,19 @@ fn replay(path: &str) -> ExitCode {
                 outcome.replayed.len()
             );
             ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("dope-trace: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn stats(path: &str) -> ExitCode {
+    match load(path) {
+        Ok(records) => {
+            print!("{}", summarize(&records).render());
+            ExitCode::SUCCESS
         }
         Err(err) => {
             eprintln!("dope-trace: {err}");

@@ -65,6 +65,21 @@ fn task_stats_fields(stats: &TaskStats) -> Vec<(String, Value)> {
             "utilization".to_string(),
             Value::from_f64(stats.utilization),
         ),
+        // Additive since the metrics plane landed; readers of older
+        // traces default these to 0.0 ("not measured"), so the schema
+        // version stays 1.
+        (
+            "p50_exec_secs".to_string(),
+            Value::from_f64(stats.p50_exec_secs),
+        ),
+        (
+            "p95_exec_secs".to_string(),
+            Value::from_f64(stats.p95_exec_secs),
+        ),
+        (
+            "p99_exec_secs".to_string(),
+            Value::from_f64(stats.p99_exec_secs),
+        ),
     ]
 }
 
@@ -240,6 +255,17 @@ fn queue_from_value(value: &Value) -> Result<QueueStats, JsonError> {
     })
 }
 
+/// Reads an *optional* numeric field: absent (old traces) or `null`
+/// decodes as `default`; present-but-mistyped is still an error.
+fn opt_f64(value: &Value, key: &str, default: f64) -> Result<f64, JsonError> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| JsonError::decode(format!("`{key}` must be a number or null"))),
+    }
+}
+
 fn task_stats_from_value(value: &Value) -> Result<TaskStats, JsonError> {
     Ok(TaskStats {
         invocations: req_u64(value, "invocations")?,
@@ -247,6 +273,11 @@ fn task_stats_from_value(value: &Value) -> Result<TaskStats, JsonError> {
         throughput: req_f64(value, "throughput")?,
         load: req_f64(value, "load")?,
         utilization: req_f64(value, "utilization")?,
+        // Additive v1 fields: traces written before the metrics plane
+        // landed simply omit them, which decodes as "not measured".
+        p50_exec_secs: opt_f64(value, "p50_exec_secs", 0.0)?,
+        p95_exec_secs: opt_f64(value, "p95_exec_secs", 0.0)?,
+        p99_exec_secs: opt_f64(value, "p99_exec_secs", 0.0)?,
     })
 }
 
@@ -423,6 +454,9 @@ mod tests {
                 throughput: 33.5,
                 load: 4.0,
                 utilization: 0.875,
+                p50_exec_secs: 0.011,
+                p95_exec_secs: 0.02,
+                p99_exec_secs: 0.045,
             },
         );
         snap.queue = QueueStats {
@@ -456,6 +490,9 @@ mod tests {
                     throughput: 14.0,
                     load: 0.0,
                     utilization: 1.0,
+                    p50_exec_secs: 0.4,
+                    p95_exec_secs: 0.9,
+                    p99_exec_secs: 1.2,
                 },
             },
             TraceEvent::ProposalEvaluated {
@@ -524,6 +561,34 @@ mod tests {
         let mut text = to_jsonl(&records);
         text.push('\n'); // extra blank line
         assert_eq!(parse_jsonl(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn old_traces_without_percentile_fields_still_parse() {
+        // A pre-metrics v1 line: `stats` carries only the original five
+        // fields. The additive `p*_exec_secs` must default to 0.0.
+        let line = r#"{"v": 1, "seq": 3, "t": 0.5, "kind": "TaskStatsSample", "path": "0.1", "stats": {"invocations": 9, "mean_exec_secs": 0.02, "throughput": 45.0, "load": 1.0, "utilization": 0.9}}"#;
+        let record = parse_line(line).unwrap();
+        let TraceEvent::TaskStatsSample { stats, .. } = record.event else {
+            panic!("wrong kind");
+        };
+        assert_eq!(stats.invocations, 9);
+        assert_eq!(stats.p50_exec_secs, 0.0);
+        assert_eq!(stats.p95_exec_secs, 0.0);
+        assert_eq!(stats.p99_exec_secs, 0.0);
+
+        // Explicit null is also accepted (producers that know the field
+        // but did not measure).
+        let line = r#"{"v": 1, "seq": 4, "t": 0.5, "kind": "TaskStatsSample", "path": "0.1", "stats": {"invocations": 1, "mean_exec_secs": 0.02, "throughput": 45.0, "load": 1.0, "utilization": 0.9, "p99_exec_secs": null}}"#;
+        let record = parse_line(line).unwrap();
+        let TraceEvent::TaskStatsSample { stats, .. } = record.event else {
+            panic!("wrong kind");
+        };
+        assert_eq!(stats.p99_exec_secs, 0.0);
+
+        // Present-but-mistyped still errors: additive, not lax.
+        let line = r#"{"v": 1, "seq": 5, "t": 0.5, "kind": "TaskStatsSample", "path": "0.1", "stats": {"invocations": 1, "mean_exec_secs": 0.02, "throughput": 45.0, "load": 1.0, "utilization": 0.9, "p99_exec_secs": "fast"}}"#;
+        assert!(parse_line(line).is_err());
     }
 
     #[test]

@@ -19,8 +19,11 @@
 //! * [`replay_into_sim`] — deterministic replay: rebuilds a simulated
 //!   system from a trace and asserts it re-applies the identical
 //!   accepted-configuration sequence;
-//! * [`render_timeline`] — an ASCII timeline for humans, also available
-//!   as the `dope-trace` CLI (`record` / `replay` / `timeline`).
+//! * [`render_timeline`] — an ASCII timeline for humans;
+//! * [`summarize`] — offline histogram summaries (latency percentiles
+//!   for exec/pause/relaunch, queue and feature distributions) of a
+//!   parsed trace, also available as the `dope-trace` CLI's `stats`
+//!   subcommand (alongside `record` / `replay` / `timeline`).
 //!
 //! The prose book lives in `docs/`: `docs/architecture.md` (how the
 //! recorder, instrumentation, and replay fit together),
@@ -67,6 +70,7 @@ pub mod event;
 pub mod observer;
 pub mod recorder;
 pub mod replay;
+pub mod stats;
 pub mod timeline;
 
 pub use codec::{parse_jsonl, parse_line, to_jsonl, to_jsonl_line};
@@ -74,4 +78,5 @@ pub use event::{TraceEvent, TraceRecord, Verdict, SCHEMA_VERSION};
 pub use observer::RecordingObserver;
 pub use recorder::Recorder;
 pub use replay::{accepted_configs, replay_into_sim, ReplayMechanism, ReplayOutcome};
+pub use stats::{summarize, TraceSummary};
 pub use timeline::render_timeline;

@@ -1,0 +1,321 @@
+//! Offline histogram summaries of recorded traces.
+//!
+//! [`summarize`] folds a parsed JSONL trace into a [`TraceSummary`]:
+//! per-kind event counts plus bounded log-linear histograms
+//! ([`dope_metrics::LocalHistogram`]) over every latency-like field the
+//! recorder captures — per-task execution times, reconfiguration
+//! pause/relaunch costs, queue occupancy and arrival rate, and platform
+//! feature reads. [`TraceSummary::render`] prints them as an ASCII
+//! table; this is what the `dope-trace stats` subcommand shows.
+//!
+//! Quantiles are within [`dope_metrics::QUANTILE_RELATIVE_ERROR`]
+//! (≈ 3.1 %) of the exact sample quantiles; counts, means, and maxima
+//! are exact up to the histogram's nanosecond (1e-9) value resolution.
+//! Dimensionless series (occupancy, feature values) reuse the same
+//! 1e-9-resolution storage — `LocalHistogram` is unit-agnostic.
+//!
+//! Traces recorded **before** `TaskStats` grew its percentile fields
+//! still summarize: the per-sample `p*_exec_secs` histograms simply
+//! stay empty (the codec parses absent fields as `0.0`, and
+//! [`summarize`] skips non-positive percentile samples).
+//!
+//! # Example
+//!
+//! ```
+//! use dope_trace::{summarize, TraceEvent, TraceRecord};
+//!
+//! let records = vec![TraceRecord {
+//!     seq: 0,
+//!     time_secs: 1.0,
+//!     event: TraceEvent::ReconfigureEpoch {
+//!         pause_secs: 0.004,
+//!         relaunch_secs: 0.001,
+//!         jobs: 8,
+//!         config: dope_core::Config::default(),
+//!     },
+//! }];
+//! let summary = summarize(&records);
+//! assert_eq!(summary.events.get("ReconfigureEpoch"), Some(&1));
+//! let text = summary.render();
+//! assert!(text.contains("reconfigure.pause_secs"), "{text}");
+//! ```
+
+use crate::event::{TraceEvent, TraceRecord};
+use dope_metrics::LocalHistogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Histogram summaries of one parsed trace. Produced by [`summarize`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Events seen, by `kind` discriminator.
+    pub events: BTreeMap<&'static str, u64>,
+    /// Per-task-path distribution of sampled `mean_exec_secs`.
+    pub task_exec_secs: BTreeMap<String, LocalHistogram>,
+    /// Per-task-path distribution of sampled `p99_exec_secs` (empty for
+    /// traces predating the percentile fields).
+    pub task_p99_exec_secs: BTreeMap<String, LocalHistogram>,
+    /// Reconfiguration pause (drain) latency.
+    pub pause_secs: LocalHistogram,
+    /// Reconfiguration relaunch latency.
+    pub relaunch_secs: LocalHistogram,
+    /// Queue occupancy over all `QueueSample` events (dimensionless).
+    pub queue_occupancy: LocalHistogram,
+    /// Queue arrival rate over all `QueueSample` events (requests/sec).
+    pub queue_arrival_rate: LocalHistogram,
+    /// Per-feature distribution of `FeatureRead` values (feature units).
+    pub feature_values: BTreeMap<String, LocalHistogram>,
+    /// Requests completed, from the final `Finished` event (if any).
+    pub completed: Option<u64>,
+    /// Applied reconfigurations, from the final `Finished` event.
+    pub reconfigurations: Option<u64>,
+    /// Events dropped by the bounded recorder, from `Finished`.
+    pub dropped_events: Option<u64>,
+}
+
+/// Folds `records` into histogram summaries.
+#[must_use]
+pub fn summarize(records: &[TraceRecord]) -> TraceSummary {
+    let mut out = TraceSummary::default();
+    for record in records {
+        *out.events.entry(record.event.kind()).or_insert(0) += 1;
+        match &record.event {
+            TraceEvent::TaskStatsSample { path, stats } => {
+                let key = path.to_string();
+                if stats.mean_exec_secs > 0.0 {
+                    out.task_exec_secs
+                        .entry(key.clone())
+                        .or_default()
+                        .record_secs(stats.mean_exec_secs);
+                }
+                // Pre-percentile traces parse these fields as 0.0
+                // ("not measured"); skip so old recordings stay clean.
+                if stats.p99_exec_secs > 0.0 {
+                    out.task_p99_exec_secs
+                        .entry(key)
+                        .or_default()
+                        .record_secs(stats.p99_exec_secs);
+                }
+            }
+            TraceEvent::ReconfigureEpoch {
+                pause_secs,
+                relaunch_secs,
+                ..
+            } => {
+                out.pause_secs.record_secs(*pause_secs);
+                out.relaunch_secs.record_secs(*relaunch_secs);
+            }
+            TraceEvent::QueueSample { queue } => {
+                out.queue_occupancy.record_secs(queue.occupancy);
+                out.queue_arrival_rate.record_secs(queue.arrival_rate);
+            }
+            TraceEvent::FeatureRead { feature, value } => {
+                out.feature_values
+                    .entry(feature.clone())
+                    .or_default()
+                    .record_secs(*value);
+            }
+            TraceEvent::Finished {
+                completed,
+                reconfigurations,
+                dropped_events,
+            } => {
+                out.completed = Some(*completed);
+                out.reconfigurations = Some(*reconfigurations);
+                out.dropped_events = Some(*dropped_events);
+            }
+            TraceEvent::Launched { .. }
+            | TraceEvent::SnapshotTaken { .. }
+            | TraceEvent::ProposalEvaluated { .. } => {}
+        }
+    }
+    out
+}
+
+impl TraceSummary {
+    /// Renders the summary as an ASCII table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "events:");
+        for (kind, n) in &self.events {
+            let _ = writeln!(out, "  {kind:<18} {n}");
+        }
+        let mut rows: Vec<(String, &LocalHistogram)> = Vec::new();
+        for (path, hist) in &self.task_exec_secs {
+            rows.push((format!("task[{path}].mean_exec_secs"), hist));
+        }
+        for (path, hist) in &self.task_p99_exec_secs {
+            rows.push((format!("task[{path}].p99_exec_secs"), hist));
+        }
+        rows.push(("reconfigure.pause_secs".to_string(), &self.pause_secs));
+        rows.push(("reconfigure.relaunch_secs".to_string(), &self.relaunch_secs));
+        rows.push(("queue.occupancy".to_string(), &self.queue_occupancy));
+        rows.push(("queue.arrival_rate".to_string(), &self.queue_arrival_rate));
+        for (feature, hist) in &self.feature_values {
+            rows.push((format!("feature[{feature}]"), hist));
+        }
+        let width = rows.iter().map(|(name, _)| name.len()).max().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "\n{:<width$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}",
+            "series", "count", "mean", "p50", "p95", "p99", "max"
+        );
+        for (name, hist) in rows {
+            let _ = writeln!(
+                out,
+                "{name:<width$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}",
+                hist.count(),
+                fmt_value(hist.mean_secs()),
+                fmt_value(hist.quantile_secs(0.50)),
+                fmt_value(hist.quantile_secs(0.95)),
+                fmt_value(hist.quantile_secs(0.99)),
+                fmt_value(hist.max_secs()),
+            );
+        }
+        if let (Some(completed), Some(reconfigs)) = (self.completed, self.reconfigurations) {
+            let dropped = self.dropped_events.unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "\nfinished: {completed} completed, {reconfigs} reconfiguration(s), \
+                 {dropped} dropped event(s)"
+            );
+        }
+        out
+    }
+}
+
+fn fmt_value(value: Option<f64>) -> String {
+    match value {
+        None => "-".to_string(),
+        Some(0.0) => "0".to_string(),
+        Some(v) if (1e-3..1e6).contains(&v.abs()) => format!("{v:.6}"),
+        Some(v) => format!("{v:.3e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dope_core::{QueueStats, TaskPath, TaskStats};
+
+    fn record(seq: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            seq,
+            time_secs: seq as f64 * 0.1,
+            event,
+        }
+    }
+
+    fn sample(path: u16, mean: f64, p99: f64) -> TraceEvent {
+        TraceEvent::TaskStatsSample {
+            path: TaskPath::root_child(path),
+            stats: TaskStats {
+                invocations: 10,
+                mean_exec_secs: mean,
+                p99_exec_secs: p99,
+                ..TaskStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn summarize_groups_task_samples_by_path() {
+        let records = vec![
+            record(0, sample(0, 0.010, 0.025)),
+            record(1, sample(0, 0.020, 0.050)),
+            record(2, sample(1, 0.002, 0.0)),
+        ];
+        let summary = summarize(&records);
+        assert_eq!(summary.events.get("TaskStatsSample"), Some(&3));
+        assert_eq!(summary.task_exec_secs["0"].count(), 2);
+        assert_eq!(summary.task_exec_secs["1"].count(), 1);
+        // p99 of 0.0 means "not measured" (pre-percentile trace).
+        assert_eq!(summary.task_p99_exec_secs["0"].count(), 2);
+        assert!(!summary.task_p99_exec_secs.contains_key("1"));
+    }
+
+    #[test]
+    fn summarize_collects_reconfigure_and_queue_histograms() {
+        let records = vec![
+            record(
+                0,
+                TraceEvent::ReconfigureEpoch {
+                    pause_secs: 0.004,
+                    relaunch_secs: 0.001,
+                    jobs: 8,
+                    config: dope_core::Config::default(),
+                },
+            ),
+            record(
+                1,
+                TraceEvent::QueueSample {
+                    queue: QueueStats {
+                        occupancy: 12.0,
+                        arrival_rate: 85.0,
+                        enqueued: 100,
+                        completed: 88,
+                    },
+                },
+            ),
+            record(
+                2,
+                TraceEvent::Finished {
+                    completed: 88,
+                    reconfigurations: 1,
+                    dropped_events: 0,
+                },
+            ),
+        ];
+        let summary = summarize(&records);
+        assert_eq!(summary.pause_secs.count(), 1);
+        assert_eq!(summary.relaunch_secs.count(), 1);
+        assert_eq!(summary.queue_occupancy.count(), 1);
+        let occ = summary.queue_occupancy.quantile_secs(0.5).unwrap();
+        assert!((occ - 12.0).abs() / 12.0 < 0.04, "occupancy {occ}");
+        assert_eq!(summary.completed, Some(88));
+        assert_eq!(summary.reconfigurations, Some(1));
+    }
+
+    #[test]
+    fn render_lists_every_series_and_the_finish_line() {
+        let records = vec![
+            record(0, sample(0, 0.010, 0.030)),
+            record(
+                1,
+                TraceEvent::FeatureRead {
+                    feature: "SystemPower".to_string(),
+                    value: 612.5,
+                },
+            ),
+            record(
+                2,
+                TraceEvent::Finished {
+                    completed: 5,
+                    reconfigurations: 0,
+                    dropped_events: 2,
+                },
+            ),
+        ];
+        let text = summarize(&records).render();
+        for needle in [
+            "task[0].mean_exec_secs",
+            "task[0].p99_exec_secs",
+            "reconfigure.pause_secs",
+            "queue.arrival_rate",
+            "feature[SystemPower]",
+            "finished: 5 completed, 0 reconfiguration(s), 2 dropped event(s)",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_summarizes_to_empty_tables() {
+        let summary = summarize(&[]);
+        assert!(summary.events.is_empty());
+        assert_eq!(summary.completed, None);
+        let text = summary.render();
+        assert!(text.contains("series"), "{text}");
+    }
+}

@@ -93,6 +93,11 @@ fn task_stats(invocations: u64, mean: f64, throughput: f64, load: f64, util: f64
         throughput,
         load,
         utilization: util,
+        // Derived non-zero percentiles so round-trips cover the
+        // additive v1 fields alongside the original five.
+        p50_exec_secs: mean,
+        p95_exec_secs: mean * 1.5,
+        p99_exec_secs: mean * 2.0,
     }
 }
 

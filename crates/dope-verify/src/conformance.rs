@@ -90,6 +90,7 @@ pub fn snapshot_grid(shape: &ProgramShape, steps: usize) -> Vec<MonitorSnapshot>
                         throughput: if exec > 0.0 { 1.0 / exec } else { 0.0 },
                         load,
                         utilization: 0.25 + 0.5 * ((i % 3) as f64) / 2.0,
+                        ..TaskStats::default()
                     },
                 );
             }

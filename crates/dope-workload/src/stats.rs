@@ -1,13 +1,35 @@
 //! Measurement types behind the evaluation figures.
 
+use dope_metrics::LocalHistogram;
 use serde::{Deserialize, Serialize};
 
 /// Accumulates per-request response times (paper Equation 1's
 /// `T_response`): the interval from submission to completion.
 ///
+/// # Memory bound and accuracy
+///
+/// Open workloads record one response per request, so an unbounded
+/// sample vector would grow linearly for the lifetime of the service.
+/// Instead the accumulator keeps **exact** `count`, `mean` (via an exact
+/// running sum), `min`, and `max`, and backs [`percentile`] with a
+/// fixed-size log-linear histogram ([`dope_metrics::LocalHistogram`]).
+/// Memory is therefore bounded by the histogram's bucket count
+/// regardless of how many responses are recorded.
+///
+/// The trade-off is on quantiles only: any value returned by
+/// [`percentile`] is within
+/// [`dope_metrics::QUANTILE_RELATIVE_ERROR`] (= 1/32 ≈ 3.125 %
+/// relative error) of the true nearest-rank sample percentile, clamped
+/// to the exact observed `[min, max]` (so `percentile(1.0) == max()`
+/// exactly). Samples are quantized to nanoseconds on recording, adding
+/// at most 1 ns of absolute error.
+///
+/// [`percentile`]: ResponseStats::percentile
+///
 /// # Example
 ///
 /// ```
+/// use dope_metrics::QUANTILE_RELATIVE_ERROR;
 /// use dope_workload::ResponseStats;
 ///
 /// let mut stats = ResponseStats::new();
@@ -16,19 +38,38 @@ use serde::{Deserialize, Serialize};
 /// }
 /// assert_eq!(stats.count(), 4);
 /// assert_eq!(stats.mean(), Some(4.0));
-/// assert_eq!(stats.percentile(0.5), Some(2.0));
+/// let p50 = stats.percentile(0.5).unwrap();
+/// assert!((p50 - 2.0).abs() / 2.0 <= QUANTILE_RELATIVE_ERROR + 1e-9);
 /// assert_eq!(stats.max(), Some(10.0));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResponseStats {
-    samples: Vec<f64>,
+    hist: LocalHistogram,
+    /// Exact running sum of recorded seconds (the histogram's own sum is
+    /// nanosecond-quantized; this keeps `mean` exact).
+    sum_secs: f64,
+    /// Exact smallest recorded value (`f64::INFINITY` when empty).
+    min_secs: f64,
+    /// Exact largest recorded value.
+    max_secs: f64,
+}
+
+impl Default for ResponseStats {
+    fn default() -> Self {
+        ResponseStats::new()
+    }
 }
 
 impl ResponseStats {
     /// An empty accumulator.
     #[must_use]
     pub fn new() -> Self {
-        ResponseStats::default()
+        ResponseStats {
+            hist: LocalHistogram::new(),
+            sum_secs: 0.0,
+            min_secs: f64::INFINITY,
+            max_secs: 0.0,
+        }
     }
 
     /// Records one response time in seconds.
@@ -41,27 +82,31 @@ impl ResponseStats {
             secs.is_finite() && secs >= 0.0,
             "response time must be non-negative, got {secs}"
         );
-        self.samples.push(secs);
+        self.hist.record_secs(secs);
+        self.sum_secs += secs;
+        self.min_secs = self.min_secs.min(secs);
+        self.max_secs = self.max_secs.max(secs);
     }
 
     /// Number of recorded responses.
     #[must_use]
     pub fn count(&self) -> usize {
-        self.samples.len()
+        usize::try_from(self.hist.count()).unwrap_or(usize::MAX)
     }
 
-    /// Mean response time, or `None` if empty.
+    /// Mean response time (exact), or `None` if empty.
     #[must_use]
     pub fn mean(&self) -> Option<f64> {
-        if self.samples.is_empty() {
-            None
-        } else {
-            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
-        }
+        let n = self.hist.count();
+        (n > 0).then(|| self.sum_secs / n as f64)
     }
 
-    /// The `q`-th percentile (`q` in `[0, 1]`) by nearest-rank, or `None`
-    /// if empty.
+    /// The `q`-th percentile (`q` in `[0, 1]`), or `None` if empty.
+    ///
+    /// Backed by the bounded histogram: the result is within
+    /// [`dope_metrics::QUANTILE_RELATIVE_ERROR`] of the true
+    /// nearest-rank sample percentile, clamped to the exact observed
+    /// `[min, max]`.
     ///
     /// # Panics
     ///
@@ -69,33 +114,34 @@ impl ResponseStats {
     #[must_use]
     pub fn percentile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
-        if self.samples.is_empty() {
-            return None;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        Some(sorted[rank - 1])
+        let approx = self.hist.quantile_secs(q)?;
+        Some(approx.clamp(self.min_secs, self.max_secs))
     }
 
-    /// Maximum response time, or `None` if empty.
+    /// Minimum response time (exact), or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.hist.count() > 0).then_some(self.min_secs)
+    }
+
+    /// Maximum response time (exact), or `None` if empty.
     #[must_use]
     pub fn max(&self) -> Option<f64> {
-        self.samples
-            .iter()
-            .copied()
-            .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.max(v))))
+        (self.hist.count() > 0).then_some(self.max_secs)
     }
 
-    /// All samples, in recording order.
+    /// The underlying bounded latency histogram.
     #[must_use]
-    pub fn samples(&self) -> &[f64] {
-        &self.samples
+    pub fn histogram(&self) -> &LocalHistogram {
+        &self.hist
     }
 
     /// Merges another accumulator into this one.
     pub fn merge(&mut self, other: &ResponseStats) {
-        self.samples.extend_from_slice(&other.samples);
+        self.hist.merge(&other.hist);
+        self.sum_secs += other.sum_secs;
+        self.min_secs = self.min_secs.min(other.min_secs);
+        self.max_secs = self.max_secs.max(other.max_secs);
     }
 }
 
@@ -270,16 +316,54 @@ impl TimeSeries {
 mod tests {
     use super::*;
 
+    /// Asserts `got` is within the histogram's quantile-error bound of
+    /// the exact nearest-rank value.
+    fn assert_close(got: f64, exact: f64) {
+        let tolerance = exact * dope_metrics::QUANTILE_RELATIVE_ERROR + 1e-9;
+        assert!(
+            (got - exact).abs() <= tolerance,
+            "got {got}, want {exact} +/- {tolerance}"
+        );
+    }
+
     #[test]
     fn response_percentiles_nearest_rank() {
         let mut s = ResponseStats::new();
         for t in [5.0, 1.0, 3.0, 2.0, 4.0] {
             s.record(t);
         }
-        assert_eq!(s.percentile(0.0), Some(1.0));
-        assert_eq!(s.percentile(0.5), Some(3.0));
+        assert_close(s.percentile(0.0).unwrap(), 1.0);
+        assert_close(s.percentile(0.5).unwrap(), 3.0);
+        // Extreme percentiles clamp to the exact observed range.
         assert_eq!(s.percentile(1.0), Some(5.0));
+        assert_eq!(s.min(), Some(1.0));
         assert_eq!(s.max(), Some(5.0));
+    }
+
+    #[test]
+    fn response_count_mean_min_max_stay_exact() {
+        let mut s = ResponseStats::new();
+        // Values chosen to straddle histogram bucket boundaries.
+        for t in [0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+            s.record(t);
+        }
+        assert_eq!(s.count(), 7);
+        assert_eq!(s.mean(), Some(15.85 / 7.0));
+        assert_eq!(s.min(), Some(0.1));
+        assert_eq!(s.max(), Some(8.0));
+    }
+
+    #[test]
+    fn response_memory_is_bounded_under_open_load() {
+        let mut s = ResponseStats::new();
+        for i in 0..100_000u32 {
+            s.record(f64::from(i % 977) / 1000.0);
+        }
+        assert_eq!(s.count(), 100_000);
+        // Bucket storage is capped by the histogram layout, not by the
+        // number of samples.
+        assert!(s.histogram().count() == 100_000);
+        assert_close(s.percentile(0.5).unwrap(), 0.488);
     }
 
     #[test]
@@ -287,6 +371,7 @@ mod tests {
         let s = ResponseStats::new();
         assert_eq!(s.mean(), None);
         assert_eq!(s.percentile(0.5), None);
+        assert_eq!(s.min(), None);
         assert_eq!(s.max(), None);
         assert_eq!(s.count(), 0);
     }

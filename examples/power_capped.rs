@@ -7,10 +7,16 @@
 //! example runs on the simulated 24-context machine so the power ramp is
 //! reproducible anywhere.
 //!
+//! At the end the run's power and throughput are published as gauges in a
+//! [`MetricsRegistry`] and dumped once in Prometheus text format — the
+//! one-shot (`curl`-free) counterpart to the live endpoint in
+//! `examples/video_service.rs`.
+//!
 //! Run with: `cargo run --release --example power_capped`
 
 use dope_core::{Goal, Resources};
 use dope_mechanisms::Tpc;
+use dope_metrics::{names, MetricsRegistry};
 use dope_platform::PowerModel;
 use dope_sim::pipeline::{run_pipeline, PipelineParams, PowerSim, Source};
 
@@ -65,9 +71,37 @@ fn main() {
         .power_series
         .mean_after(outcome.horizon_secs * 0.5)
         .unwrap_or(0.0);
+    let stable_throughput = outcome.stable_throughput(outcome.horizon_secs * 0.5);
     println!(
-        "\nstable power {stable_power:.1} W (target {target:.0} W), stable throughput {:.1} queries/s",
-        outcome.stable_throughput(outcome.horizon_secs * 0.5)
+        "\nstable power {stable_power:.1} W (target {target:.0} W), stable throughput {stable_throughput:.1} queries/s",
     );
+
+    // One-shot metrics dump: publish the run's stable operating point as
+    // gauges and render the registry as Prometheus text.
+    let registry = MetricsRegistry::new();
+    registry
+        .gauge_with_labels(
+            names::POWER_WATTS,
+            "Most recent platform power reading in watts.",
+            &[("app", "ferret"), ("mechanism", "TPC")],
+        )
+        .set(stable_power);
+    registry
+        .gauge_with_labels(
+            names::PIPELINE_THROUGHPUT,
+            "Stable pipeline throughput in queries per second.",
+            &[("app", "ferret"), ("mechanism", "TPC")],
+        )
+        .set(stable_throughput);
+    let dump = registry.render();
+    println!("\n-- metrics dump --");
+    for line in dump.lines().filter(|l| !l.starts_with('#')) {
+        println!("  {line}");
+    }
+
     assert!(stable_power < target + 10.0, "controller respects the cap");
+    assert!(
+        dump.contains(names::POWER_WATTS) && dump.contains(names::PIPELINE_THROUGHPUT),
+        "dump must carry the power and throughput gauges"
+    );
 }

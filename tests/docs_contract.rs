@@ -6,6 +6,7 @@
 //! tables written as markdown prose.
 
 use dope_core::DiagCode;
+use dope_metrics::names;
 use dope_trace::TraceEvent;
 
 const EVENT_SCHEMA: &str = include_str!("../docs/event-schema.md");
@@ -84,6 +85,42 @@ fn schema_doc_states_the_current_version() {
         "docs/event-schema.md must state schema version {}",
         dope_trace::SCHEMA_VERSION
     );
+}
+
+/// Every metric name documented in the operator guide's naming table
+/// (rows of the form `| \`dope_...\` | ...`), in order of appearance.
+fn documented_metric_names(text: &str) -> Vec<String> {
+    text.lines()
+        .filter_map(|line| line.strip_prefix("| `dope_"))
+        .filter_map(|rest| rest.split('`').next())
+        .map(|name| format!("dope_{name}"))
+        .collect()
+}
+
+#[test]
+fn every_canonical_metric_name_is_documented() {
+    let documented = documented_metric_names(OPERATOR_GUIDE);
+    for &name in names::ALL {
+        assert!(
+            documented.iter().any(|d| d == name),
+            "docs/operator-guide.md metric table is missing {name}"
+        );
+    }
+}
+
+#[test]
+fn every_documented_metric_name_is_canonical() {
+    let documented = documented_metric_names(OPERATOR_GUIDE);
+    assert!(
+        !documented.is_empty(),
+        "operator guide must carry a metric naming table"
+    );
+    for name in &documented {
+        assert!(
+            names::ALL.contains(&name.as_str()),
+            "docs/operator-guide.md documents unknown metric {name}"
+        );
+    }
 }
 
 #[test]

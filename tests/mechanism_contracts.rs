@@ -75,6 +75,7 @@ fn snapshot(
                 throughput: if e > 0.0 { 1.0 / e } else { 0.0 },
                 load: l,
                 utilization: 0.7,
+                ..TaskStats::default()
             },
         );
     }
