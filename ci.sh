@@ -52,6 +52,27 @@ if [[ "$QUICK" -eq 0 ]]; then
     stats "$TRACE_TMP/smoke.jsonl" | grep -q "finished:"
   cargo run -q --release --offline -p dope-trace --bin dope-trace -- \
     replay "$TRACE_TMP/smoke.jsonl"
+
+  step "fault smoke: panic injection under every failure policy (release)"
+  # The supervision layer must hold with release-build optimizations:
+  # panicking replicas are contained, accounted, and handled per policy.
+  cargo test -q --release --offline --test failure_injection
+
+  step "fault smoke: dope-trace record -> stats round trip with TaskFailed"
+  # The record CLI cannot inject panics, so a fixture trace carrying
+  # TaskFailed events checks the consumer half: stats must count the
+  # failures per path and the timeline must render them.
+  FAULT_TRACE="$TRACE_TMP/faults.jsonl"
+  printf '%s\n' \
+    '{"v": 1, "seq": 0, "t": 0.1, "kind": "FeatureRead", "feature": "SystemPower", "value": 612.5}' \
+    '{"v": 1, "seq": 1, "t": 0.5, "kind": "TaskFailed", "path": "0.1", "reason": "worker panicked: boom", "policy": "restart"}' \
+    '{"v": 1, "seq": 2, "t": 0.9, "kind": "TaskFailed", "path": "0.1", "reason": "worker panicked: boom again", "policy": "restart"}' \
+    '{"v": 1, "seq": 3, "t": 1.5, "kind": "Finished", "completed": 48, "reconfigurations": 1, "dropped_events": 0}' \
+    > "$FAULT_TRACE"
+  cargo run -q --release --offline -p dope-trace --bin dope-trace -- \
+    stats "$FAULT_TRACE" | grep -q "2 failed replica(s)"
+  cargo run -q --release --offline -p dope-trace --bin dope-trace -- \
+    timeline "$FAULT_TRACE" | grep -q "FAILED"
 fi
 
 step "ci.sh: all checks passed"

@@ -23,6 +23,7 @@
 //! | DV013 | path does not resolve                                       |
 //! | DV014 | API misuse                                                  |
 //! | DV015 | duplicate task name among siblings (warning)                |
+//! | DV016 | task body failed (panicked) at run time                     |
 
 use std::fmt;
 use std::str::FromStr;
@@ -77,11 +78,15 @@ pub enum DiagCode {
     /// DV015: two sibling tasks share a name, making paths ambiguous to
     /// humans (addressing is positional, so this is only a warning).
     DuplicateTaskName,
+    /// DV016: a task body failed (panicked) at run time. This code is
+    /// emitted by the runtime's supervision layer, never by the static
+    /// analyzer — no configuration can predict a panic.
+    TaskFailed,
 }
 
 impl DiagCode {
     /// All catalogued codes, in numeric order.
-    pub const ALL: [DiagCode; 15] = [
+    pub const ALL: [DiagCode; 16] = [
         DiagCode::BudgetExceeded,
         DiagCode::UnderSubscription,
         DiagCode::SequentialExtent,
@@ -97,6 +102,7 @@ impl DiagCode {
         DiagCode::UnknownPath,
         DiagCode::Usage,
         DiagCode::DuplicateTaskName,
+        DiagCode::TaskFailed,
     ];
 
     /// The stable textual form, e.g. `"DV001"`.
@@ -118,6 +124,7 @@ impl DiagCode {
             DiagCode::UnknownPath => "DV013",
             DiagCode::Usage => "DV014",
             DiagCode::DuplicateTaskName => "DV015",
+            DiagCode::TaskFailed => "DV016",
         }
     }
 

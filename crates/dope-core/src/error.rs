@@ -69,6 +69,14 @@ pub enum Error {
         /// Description of the misuse.
         String,
     ),
+    /// A task body failed (panicked) at run time and the failure policy
+    /// chose to abort the run.
+    TaskFailed {
+        /// Path of the failed task.
+        path: TaskPath,
+        /// The panic payload (or a description of how the task was lost).
+        reason: String,
+    },
 }
 
 impl Error {
@@ -102,6 +110,7 @@ impl Error {
             Error::UnknownAlternative { .. } => DiagCode::AltOutOfRange,
             Error::UnknownPath { .. } => DiagCode::UnknownPath,
             Error::Usage(_) => DiagCode::Usage,
+            Error::TaskFailed { .. } => DiagCode::TaskFailed,
         }
     }
 }
@@ -136,6 +145,9 @@ impl std::fmt::Display for Error {
             ),
             Error::UnknownPath { path } => write!(f, "no task at path {path}"),
             Error::Usage(detail) => write!(f, "usage error: {detail}"),
+            Error::TaskFailed { path, reason } => {
+                write!(f, "task at {path} failed: {reason}")
+            }
         }
     }
 }
@@ -173,6 +185,10 @@ mod tests {
                 path: TaskPath::root_child(7),
             },
             Error::Usage("spawned twice".into()),
+            Error::TaskFailed {
+                path: TaskPath::root_child(0),
+                reason: "worker panicked: boom".into(),
+            },
         ];
         for e in errors {
             let msg = e.to_string();
@@ -234,6 +250,13 @@ mod tests {
                 "DV013",
             ),
             (Error::Usage("spawned twice".into()), "DV014"),
+            (
+                Error::TaskFailed {
+                    path: TaskPath::root_child(0),
+                    reason: "worker panicked: boom".into(),
+                },
+                "DV016",
+            ),
         ];
         for (err, expected) in cases {
             let code = err.code();

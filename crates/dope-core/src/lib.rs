@@ -50,6 +50,7 @@ pub mod config;
 pub mod diag;
 pub mod error;
 pub mod ewma;
+pub mod failure;
 pub mod goal;
 pub mod json;
 pub mod mechanism;
@@ -65,6 +66,7 @@ pub use config::{Config, NestConfig, TaskConfig};
 pub use diag::{DiagCode, Diagnostic, Severity};
 pub use error::{Error, Result};
 pub use ewma::Ewma;
+pub use failure::{FailurePolicy, FailureVerdict, TaskOutcome};
 pub use goal::Goal;
 pub use mechanism::{Mechanism, Resources, StaticMechanism};
 pub use metrics::{MonitorSnapshot, QueueStats, TaskStats};
@@ -77,8 +79,8 @@ pub use task::{body_fn, FnBody, TaskBody, TaskCx};
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::{
-        body_fn, Config, Directive, Goal, Mechanism, MonitorSnapshot, ParKind, ProgramShape,
-        Resources, ShapeNode, TaskBody, TaskConfig, TaskCx, TaskKind, TaskPath, TaskSpec,
-        TaskStats, TaskStatus, Work, WorkerSlot,
+        body_fn, Config, Directive, FailurePolicy, FailureVerdict, Goal, Mechanism,
+        MonitorSnapshot, ParKind, ProgramShape, Resources, ShapeNode, TaskBody, TaskConfig, TaskCx,
+        TaskKind, TaskOutcome, TaskPath, TaskSpec, TaskStats, TaskStatus, Work, WorkerSlot,
     };
 }

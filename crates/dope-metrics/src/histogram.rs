@@ -119,9 +119,21 @@ fn rank_bucket_upper(counts: impl Iterator<Item = (usize, u64)>, rank: u64) -> u
     0
 }
 
+/// 1-based rank of the `q`-quantile under the *exceedance* convention:
+/// the smallest rank strictly greater than `q * count` (clamped to
+/// `[1, count]`).
+///
+/// The previous nearest-rank rule (`ceil(q * count)`) hid exactly the
+/// observations tail quantiles exist to expose: with 100 samples, 99
+/// fast and 1 slow, `p99` ranked `ceil(99) = 99` and reported a *fast*
+/// sample. `floor(q * count) + 1` ranks 100 and reports the outlier,
+/// while agreeing with nearest-rank everywhere `q * count` is not an
+/// exact integer.
 fn quantile_rank(q: f64, count: u64) -> u64 {
     let q = q.clamp(0.0, 1.0);
-    (((q * count as f64).ceil()) as u64).clamp(1, count)
+    (((q * count as f64).floor()) as u64)
+        .saturating_add(1)
+        .clamp(1, count)
 }
 
 /// A concurrent log-linear histogram of nanosecond latencies.

@@ -30,6 +30,9 @@ pub const PROPOSALS_TOTAL: &str = "dope_proposals_total";
 pub const POOL_JOBS_DISPATCHED_TOTAL: &str = "dope_pool_jobs_dispatched_total";
 /// Times a pool worker went back to waiting on the job channel.
 pub const POOL_WORKER_PARKS_TOTAL: &str = "dope_pool_worker_parks_total";
+/// Job panics the pool's supervision layer caught (the worker thread
+/// survived each one).
+pub const POOL_PANICS_CAUGHT_TOTAL: &str = "dope_pool_panics_caught_total";
 /// Current worker-pool thread count.
 pub const POOL_THREADS: &str = "dope_pool_threads";
 /// Work-queue occupancy gauge.
@@ -48,6 +51,13 @@ pub const RESPONSE_SECONDS: &str = "dope_response_seconds";
 /// Pipeline sink throughput gauge (items per second), labelled
 /// `app`/`mechanism` by the benchmark harness.
 pub const PIPELINE_THROUGHPUT: &str = "dope_pipeline_throughput";
+/// Task replicas that failed (panicked or vanished) during the run.
+pub const TASK_FAILURES_TOTAL: &str = "dope_task_failures_total";
+/// Failed replicas the `Restart` failure policy re-instantiated.
+pub const TASK_RESTARTS_TOTAL: &str = "dope_task_restarts_total";
+/// Replicas currently dead in the running epoch (excluded from
+/// monitor snapshots until restart or degrade clears them).
+pub const TASK_FAILED_REPLICAS: &str = "dope_task_failed_replicas";
 
 /// Every canonical metric name, for docs/tests cross-checks.
 pub const ALL: &[&str] = &[
@@ -62,6 +72,7 @@ pub const ALL: &[&str] = &[
     PROPOSALS_TOTAL,
     POOL_JOBS_DISPATCHED_TOTAL,
     POOL_WORKER_PARKS_TOTAL,
+    POOL_PANICS_CAUGHT_TOTAL,
     POOL_THREADS,
     QUEUE_OCCUPANCY,
     QUEUE_ARRIVAL_RATE,
@@ -70,6 +81,9 @@ pub const ALL: &[&str] = &[
     POWER_WATTS,
     RESPONSE_SECONDS,
     PIPELINE_THROUGHPUT,
+    TASK_FAILURES_TOTAL,
+    TASK_RESTARTS_TOTAL,
+    TASK_FAILED_REPLICAS,
 ];
 
 #[cfg(test)]

@@ -4,14 +4,14 @@ use crate::instance::{instantiate, LiveCx};
 use crate::monitor::Monitor;
 use crate::pool::WorkerPool;
 use dope_core::{
-    Config, Error, Goal, Mechanism, ProgramShape, QueueStats, Resources, Result, StaticMechanism,
-    TaskPath, TaskSpec, TaskStatus,
+    Config, Error, FailurePolicy, FailureVerdict, Goal, Mechanism, ProgramShape, QueueStats,
+    Resources, Result, StaticMechanism, TaskOutcome, TaskPath, TaskSpec, TaskStatus,
 };
 use dope_metrics::{names, Counter, Histogram, MetricsRegistry};
 use dope_platform::{FeatureObserver, FeatureRegistry};
 use dope_trace::{Recorder, TraceEvent, Verdict};
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -31,6 +31,18 @@ pub struct RunReport {
     /// `(elapsed_secs, config)` for every applied configuration, the
     /// initial one included.
     pub config_history: Vec<(f64, Config)>,
+    /// Task replicas that failed (panicked or vanished) during the run.
+    pub task_failures: u64,
+    /// Failed replicas the `Restart` policy re-instantiated.
+    pub task_restarts: u64,
+    /// Worker jobs that vanished without reporting a status. Always
+    /// `<= task_failures`; non-zero means the report must not be read
+    /// as clean success even if the run "completed".
+    pub lost_jobs: u64,
+    /// The failure-handling verdict: clean, recovered, degraded, or
+    /// lost-work (most severe thing that happened, see
+    /// [`FailureVerdict`]).
+    pub failure_verdict: FailureVerdict,
 }
 
 /// Builder for a [`Dope`] executive (the paper's `DoPE::create`).
@@ -44,6 +56,7 @@ pub struct DopeBuilder {
     pool_threads: Option<u32>,
     recorder: Recorder,
     metrics: Option<MetricsRegistry>,
+    failure_policy: FailurePolicy,
 }
 
 impl std::fmt::Debug for DopeBuilder {
@@ -67,6 +80,7 @@ impl DopeBuilder {
             pool_threads: None,
             recorder: Recorder::disabled(),
             metrics: None,
+            failure_policy: FailurePolicy::default(),
         }
     }
 
@@ -147,6 +161,21 @@ impl DopeBuilder {
         self
     }
 
+    /// What the executive does when a task body panics mid-run (the
+    /// worker thread itself always survives — the pool contains the
+    /// unwind). The default is [`FailurePolicy::Abort`]: fail fast with
+    /// the panic message in the returned error. `Restart` re-instantiates
+    /// the epoch (up to a retry budget, with backoff); `Degrade` drops
+    /// the failed replica's degree of parallelism and keeps going.
+    /// Either way the failure is counted in the [`RunReport`], traced as
+    /// a `TaskFailed` event, and exported as
+    /// `dope_task_failures_total`.
+    #[must_use]
+    pub fn failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.failure_policy = policy;
+        self
+    }
+
     /// Launches the application described by `descriptor` under the DoPE
     /// run-time system.
     ///
@@ -205,12 +234,19 @@ impl Dope {
     ///
     /// # Errors
     ///
-    /// Propagates launch-time validation errors from reconfigurations.
+    /// Propagates launch-time validation errors from reconfigurations,
+    /// [`Error::TaskFailed`] when the failure policy aborted the run,
+    /// and — should the control thread itself panic — an
+    /// [`Error::Usage`] carrying the downcast panic payload so operators
+    /// see *why* the executive died, not just that it did.
     pub fn wait(mut self) -> Result<RunReport> {
         let handle = self.control.take().expect("wait called once");
-        handle
-            .join()
-            .map_err(|_| Error::Usage("executive control thread panicked".to_string()))?
+        handle.join().map_err(|payload| {
+            Error::Usage(format!(
+                "executive control thread panicked: {}",
+                panic_reason(payload.as_ref())
+            ))
+        })?
     }
 
     fn launch(builder: DopeBuilder, descriptor: Vec<TaskSpec>) -> Result<Dope> {
@@ -293,6 +329,7 @@ impl Dope {
         }
         let control_period = builder.control_period;
         let window = builder.throughput_window;
+        let failure_policy = builder.failure_policy;
         let shared_for_thread = Arc::clone(&shared);
 
         let control = std::thread::Builder::new()
@@ -308,6 +345,7 @@ impl Dope {
                     &shared_for_thread,
                     control_period,
                     window,
+                    failure_policy,
                     &recorder,
                     exec_metrics.as_ref(),
                 )
@@ -321,6 +359,21 @@ impl Dope {
     }
 }
 
+/// Extracts a human-readable panic reason from a caught payload.
+///
+/// `panic!("...")` yields `&'static str`; `panic!("{x}")` and
+/// `String::from` payloads yield `String`; anything else (custom
+/// `panic_any` values) is summarized as opaque.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Registry handles for the executive's own metric series.
 struct ExecMetrics {
     epochs: Arc<Counter>,
@@ -329,6 +382,8 @@ struct ExecMetrics {
     proposals_accepted: Arc<Counter>,
     proposals_unchanged: Arc<Counter>,
     proposals_rejected: Arc<Counter>,
+    task_failures: Arc<Counter>,
+    task_restarts: Arc<Counter>,
 }
 
 impl ExecMetrics {
@@ -356,6 +411,14 @@ impl ExecMetrics {
             proposals_accepted: proposals("accepted"),
             proposals_unchanged: proposals("unchanged"),
             proposals_rejected: proposals("rejected"),
+            task_failures: registry.counter(
+                names::TASK_FAILURES_TOTAL,
+                "Task replicas that failed (panicked or vanished) during the run",
+            ),
+            task_restarts: registry.counter(
+                names::TASK_RESTARTS_TOTAL,
+                "Failed replicas re-instantiated by the Restart failure policy",
+            ),
         }
     }
 }
@@ -389,6 +452,7 @@ fn debug_verify_gate(stage: &str, shape: &ProgramShape, config: &Config, threads
 }
 
 #[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_lines)]
 fn run_control_loop(
     descriptor: &[TaskSpec],
     shape: &ProgramShape,
@@ -399,6 +463,7 @@ fn run_control_loop(
     shared: &Shared,
     control_period: Duration,
     window: Duration,
+    policy: FailurePolicy,
     recorder: &Recorder,
     metrics: Option<&ExecMetrics>,
 ) -> Result<RunReport> {
@@ -411,6 +476,12 @@ fn run_control_loop(
     // Pause latency of a completed drain, waiting for the relaunch half
     // of its `ReconfigureEpoch` event.
     let mut pending_pause: Option<f64> = None;
+    // Failure accounting for the honest RunReport.
+    let mut task_failures: u64 = 0;
+    let mut task_restarts: u64 = 0;
+    let mut lost_jobs: u64 = 0;
+    let mut restarts_used: u64 = 0;
+    let mut verdict = FailureVerdict::Clean;
 
     'epochs: loop {
         // Launch the epoch.
@@ -422,32 +493,58 @@ fn run_control_loop(
         shared.suspend.store(false, Ordering::Release);
         let suspend = Arc::clone(&shared.suspend);
 
-        let (done_tx, done_rx) = mpsc::channel::<(TaskPath, TaskStatus)>();
+        let (done_tx, done_rx) = mpsc::channel::<(TaskPath, TaskOutcome)>();
         let outstanding = epoch.jobs.len();
-        let statuses: Arc<Mutex<HashMap<TaskPath, TaskStatus>>> =
-            Arc::new(Mutex::new(HashMap::new()));
+        // Replicas submitted per path, decremented as outcomes arrive:
+        // whatever is left after a channel disconnect is lost work.
+        let mut unreported: HashMap<TaskPath, u32> = HashMap::new();
+        for job in &epoch.jobs {
+            *unreported.entry(job.path.clone()).or_insert(0) += 1;
+        }
         for job in epoch.jobs {
             let monitor = shared.monitor.clone();
             let suspend = Arc::clone(&suspend);
             let done = done_tx.clone();
-            pool.submit(move || {
+            pool.try_submit(move || {
                 let mut cx = LiveCx::new(&monitor, suspend, &job.path, job.slot, window);
                 let mut body = job.body;
-                body.init();
                 // The paper's TaskExecutor (Figure 4a): re-invoke while the
                 // body reports EXECUTING. The suspend directive reaches the
                 // body through begin/end; the *body* decides when it has
                 // steered into a globally consistent state (drained its
                 // queues) and yields — the executor must not cut it short.
-                let status = loop {
-                    let status = body.invoke(&mut cx);
-                    if status.is_terminal() {
-                        break status;
+                //
+                // Supervision: a panic anywhere in init/invoke is caught
+                // here so it can be *reported* as a first-class outcome;
+                // the pool's own net only sees panics this wrapper
+                // cannot express (and keeps the thread alive either way).
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    body.init();
+                    loop {
+                        let status = body.invoke(&mut cx);
+                        if status.is_terminal() {
+                            break status;
+                        }
+                    }
+                }));
+                let outcome = match result {
+                    Ok(status) => {
+                        body.fini(status);
+                        TaskOutcome::Completed(status)
+                    }
+                    Err(payload) => {
+                        let reason = panic_reason(payload.as_ref());
+                        // The executive's contract is that `fini` always
+                        // runs; a `fini` that panics in turn is contained
+                        // rather than allowed to mask the original reason.
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            body.fini(TaskStatus::Suspended);
+                        }));
+                        TaskOutcome::Failed { reason }
                     }
                 };
-                body.fini(status);
-                let _ = done.send((job.path, status));
-            });
+                let _ = done.send((job.path, outcome));
+            })?;
         }
         drop(done_tx);
         if let Some(pause_secs) = pending_pause.take() {
@@ -469,20 +566,49 @@ fn run_control_loop(
 
         // Monitor until the epoch ends or a reconfiguration triggers.
         let mut remaining = outstanding;
+        let mut finished = 0usize;
+        let mut failures: Vec<(TaskPath, String)> = Vec::new();
         let mut reconfig_target: Option<Config> = None;
         let mut suspend_started: Option<Instant> = None;
         while remaining > 0 {
             match done_rx.recv_timeout(control_period) {
-                Ok((path, status)) => {
-                    statuses.lock().insert(path, status);
+                Ok((path, outcome)) => {
                     remaining -= 1;
+                    if let Some(left) = unreported.get_mut(&path) {
+                        *left = left.saturating_sub(1);
+                    }
+                    match outcome {
+                        TaskOutcome::Completed(status) => {
+                            if status == TaskStatus::Finished {
+                                finished += 1;
+                            }
+                        }
+                        TaskOutcome::Failed { reason } => {
+                            task_failures += 1;
+                            shared.monitor.mark_failed(&path);
+                            if let Some(m) = metrics {
+                                m.task_failures.inc();
+                            }
+                            let event_path = path.clone();
+                            let event_reason = reason.clone();
+                            recorder.record_with(|| TraceEvent::TaskFailed {
+                                path: event_path,
+                                reason: event_reason,
+                                policy: policy.kind().to_string(),
+                            });
+                            failures.push((path, reason));
+                            // Drain the epoch so the failure policy acts
+                            // at a globally consistent point.
+                            shared.suspend.store(true, Ordering::Release);
+                        }
+                    }
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     if shared.stop.load(Ordering::Acquire) {
                         shared.suspend.store(true, Ordering::Release);
                         continue;
                     }
-                    if reconfig_target.is_some() {
+                    if reconfig_target.is_some() || !failures.is_empty() {
                         continue; // already draining
                     }
                     let snap = shared.monitor.snapshot();
@@ -534,6 +660,118 @@ fn run_control_loop(
             }
         }
 
+        // Anything still unreported when the channel closed vanished
+        // without sending an outcome (an escaped unwind, a worker died
+        // some other way). Silently shrinking `remaining` here is how
+        // work used to get lost without a trace — count every missing
+        // replica as a failure and poison the verdict.
+        if remaining > 0 {
+            for (path, left) in &unreported {
+                for _ in 0..*left {
+                    task_failures += 1;
+                    lost_jobs += 1;
+                    shared.monitor.mark_failed(path);
+                    if let Some(m) = metrics {
+                        m.task_failures.inc();
+                    }
+                    let reason = "worker job vanished without reporting an outcome".to_string();
+                    let event_path = path.clone();
+                    let event_reason = reason.clone();
+                    recorder.record_with(|| TraceEvent::TaskFailed {
+                        path: event_path,
+                        reason: event_reason,
+                        policy: policy.kind().to_string(),
+                    });
+                    failures.push((path.clone(), reason));
+                }
+            }
+            verdict = verdict.worsen(FailureVerdict::LostWork);
+        }
+
+        // Epoch-end failure handling: the policy decides what the run
+        // does *before* any stop or reconfiguration logic sees the
+        // drained epoch.
+        if !failures.is_empty() {
+            match policy {
+                FailurePolicy::Abort => {
+                    let (path, reason) = failures.swap_remove(0);
+                    return Err(Error::TaskFailed { path, reason });
+                }
+                FailurePolicy::Restart {
+                    max_retries,
+                    backoff,
+                } => {
+                    let needed = failures.len() as u64;
+                    if restarts_used + needed > u64::from(max_retries) {
+                        let (path, reason) = failures.swap_remove(0);
+                        return Err(Error::TaskFailed {
+                            path,
+                            reason: format!("{reason} (restart budget of {max_retries} exhausted)"),
+                        });
+                    }
+                    restarts_used += needed;
+                    task_restarts += needed;
+                    if let Some(m) = metrics {
+                        m.task_restarts.add(needed);
+                    }
+                    verdict = verdict.worsen(FailureVerdict::Recovered);
+                    if shared.stop.load(Ordering::Acquire) {
+                        break 'epochs;
+                    }
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    continue 'epochs;
+                }
+                FailurePolicy::Degrade => {
+                    // Shrink each failed task's degree of parallelism by
+                    // its dead-replica count; a task with no survivors
+                    // cannot be degraded, only aborted.
+                    let mut dead: HashMap<TaskPath, u32> = HashMap::new();
+                    for (path, _) in &failures {
+                        *dead.entry(path.clone()).or_insert(0) += 1;
+                    }
+                    let mut degraded = config.clone();
+                    for (path, count) in &dead {
+                        let extent = degraded.extent_of(path).unwrap_or(0);
+                        let survivors = extent.saturating_sub(*count);
+                        if survivors == 0 {
+                            let reason = failures
+                                .iter()
+                                .find(|(p, _)| p == path)
+                                .map_or_else(String::new, |(_, r)| r.clone());
+                            return Err(Error::TaskFailed {
+                                path: path.clone(),
+                                reason: format!(
+                                    "all {extent} replica(s) failed; cannot degrade below one: {reason}"
+                                ),
+                            });
+                        }
+                        degraded.set_extent(path, survivors)?;
+                    }
+                    degraded.validate(shape, budget)?;
+                    debug_verify_gate("degrade", shape, &degraded, budget);
+                    config = degraded;
+                    reconfigurations += 1;
+                    history.push((start.elapsed().as_secs_f64(), config.clone()));
+                    shared.monitor.mark_reconfig();
+                    mechanism.applied(&config);
+                    verdict = verdict.worsen(FailureVerdict::Degraded);
+                    if shared.stop.load(Ordering::Acquire) {
+                        break 'epochs;
+                    }
+                    continue 'epochs;
+                }
+                // `FailurePolicy` is non-exhaustive: a policy this
+                // executive does not know yet fails safe, exactly like
+                // `Abort`.
+                _ => {
+                    let (path, reason) = failures.swap_remove(0);
+                    return Err(Error::TaskFailed { path, reason });
+                }
+            }
+        }
+
         // Epoch fully drained.
         if shared.stop.load(Ordering::Acquire) {
             break 'epochs;
@@ -549,8 +787,7 @@ fn run_control_loop(
             continue 'epochs;
         }
         // No reconfiguration pending: did the program finish?
-        let all_finished = statuses.lock().values().all(|s| *s == TaskStatus::Finished);
-        if all_finished {
+        if finished == outstanding {
             break 'epochs;
         }
         // Mixed suspension without a target (stop raced): relaunch as-is.
@@ -570,6 +807,10 @@ fn run_control_loop(
         rejected_configs: rejected,
         final_config: config,
         config_history: history,
+        task_failures,
+        task_restarts,
+        lost_jobs,
+        failure_verdict: verdict,
     })
 }
 
@@ -741,6 +982,86 @@ mod tests {
         assert!(epoch.0 >= 0.0 && epoch.1 >= 0.0);
         assert_eq!(epoch.2, 2, "new epoch runs the pinned extent-2 jobs");
         assert_eq!(epoch.3, pinned);
+    }
+
+    /// A clean run reports a clean verdict and zero failure counters —
+    /// the honest-report fields must not cry wolf.
+    #[test]
+    fn clean_run_reports_clean_verdict() {
+        let queue = WorkQueue::new();
+        for i in 0..100u64 {
+            queue.enqueue(i).unwrap();
+        }
+        queue.close();
+        let hits = Arc::new(AtomicU64::new(0));
+        let spec = drain_spec("drain", queue, Arc::clone(&hits));
+        let dope = Dope::builder(Goal::MaxThroughput { threads: 2 })
+            .launch(vec![spec])
+            .unwrap();
+        let report = dope.wait().unwrap();
+        assert_eq!(report.task_failures, 0);
+        assert_eq!(report.task_restarts, 0);
+        assert_eq!(report.lost_jobs, 0);
+        assert_eq!(report.failure_verdict, FailureVerdict::Clean);
+    }
+
+    /// If the control thread itself dies, `wait` must surface the panic
+    /// payload — "the executive died" without a *why* is undebuggable.
+    #[test]
+    fn wait_surfaces_control_thread_panic_payload() {
+        struct Exploding;
+        impl Mechanism for Exploding {
+            fn name(&self) -> &'static str {
+                "Exploding"
+            }
+            fn reconfigure(
+                &mut self,
+                _snap: &dope_core::MonitorSnapshot,
+                _current: &Config,
+                _shape: &ProgramShape,
+                _res: &Resources,
+            ) -> Option<Config> {
+                panic!("mechanism exploded");
+            }
+        }
+        // A finite but slow drain: the run outlives the first control
+        // tick (which detonates the mechanism), yet the workers finish
+        // on their own so the pool can be torn down afterwards.
+        let queue = WorkQueue::new();
+        for i in 0..100u64 {
+            queue.enqueue(i).unwrap();
+        }
+        queue.close();
+        let hits = Arc::new(AtomicU64::new(0));
+        let q = queue.clone();
+        let h = Arc::clone(&hits);
+        let spec = TaskSpec::leaf("drain", TaskKind::Par, move |_slot: WorkerSlot| {
+            let queue = q.clone();
+            let hits = Arc::clone(&h);
+            Box::new(body_fn(move |cx| {
+                cx.begin();
+                let item = queue.dequeue_timeout(Duration::from_millis(2));
+                cx.end();
+                match item {
+                    dope_workload::DequeueOutcome::Item(_) => {
+                        std::thread::sleep(Duration::from_millis(1));
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        TaskStatus::Executing
+                    }
+                    dope_workload::DequeueOutcome::Drained => TaskStatus::Finished,
+                    dope_workload::DequeueOutcome::TimedOut => TaskStatus::Executing,
+                }
+            })) as Box<dyn TaskBody>
+        });
+        let dope = Dope::builder(Goal::MaxThroughput { threads: 2 })
+            .mechanism(Box::new(Exploding))
+            .control_period(Duration::from_millis(5))
+            .launch(vec![spec])
+            .unwrap();
+        let err = dope.wait().unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("executive control thread panicked"), "{text}");
+        assert!(text.contains("mechanism exploded"), "{text}");
     }
 
     #[test]

@@ -136,6 +136,7 @@ struct MonitorMetrics {
     queue_enqueued: Arc<Counter>,
     queue_completed: Arc<Counter>,
     power_watts: Arc<Gauge>,
+    failed_replicas: Arc<Gauge>,
 }
 
 impl MonitorMetrics {
@@ -158,6 +159,10 @@ impl MonitorMetrics {
             queue_enqueued: registry.counter(names::QUEUE_ENQUEUED_TOTAL, "Requests enqueued"),
             queue_completed: registry.counter(names::QUEUE_COMPLETED_TOTAL, "Requests completed"),
             power_watts: registry.gauge(names::POWER_WATTS, "Platform power draw (watts)"),
+            failed_replicas: registry.gauge(
+                names::TASK_FAILED_REPLICAS,
+                "Replicas currently dead in the running epoch",
+            ),
             registry,
         }
     }
@@ -182,6 +187,11 @@ struct MonitorShared {
     load_cbs: Mutex<Vec<(TaskPath, LoadCallback)>>,
     extents: Mutex<HashMap<TaskPath, u32>>,
     queue_probe: Mutex<Option<Arc<dyn Fn() -> QueueStats + Send + Sync>>>,
+    /// Replicas that failed (panicked or vanished) in the running epoch,
+    /// per path. Snapshots exclude them from per-task statistics so
+    /// mechanisms don't steer toward ghosts; `install_epoch` clears the
+    /// set when the next epoch (restarted or degraded) launches.
+    failed: Mutex<HashMap<TaskPath, u32>>,
     features: FeatureRegistry,
     completed_at_reconfig: AtomicU64,
     recorder: Mutex<Recorder>,
@@ -212,6 +222,7 @@ impl Monitor {
                 load_cbs: Mutex::new(Vec::new()),
                 extents: Mutex::new(HashMap::new()),
                 queue_probe: Mutex::new(None),
+                failed: Mutex::new(HashMap::new()),
                 features,
                 completed_at_reconfig: AtomicU64::new(0),
                 recorder: Mutex::new(Recorder::disabled()),
@@ -271,7 +282,9 @@ impl Monitor {
     }
 
     /// Registers the load callbacks and extents of a freshly instantiated
-    /// epoch, replacing the previous epoch's.
+    /// epoch, replacing the previous epoch's. Failure marks from the
+    /// previous epoch are cleared: a restarted or degraded epoch starts
+    /// with every replica alive.
     pub(crate) fn install_epoch(
         &self,
         load_cbs: Vec<(TaskPath, Arc<dyn Fn() -> f64 + Send + Sync>)>,
@@ -279,6 +292,33 @@ impl Monitor {
     ) {
         *self.shared.load_cbs.lock() = load_cbs;
         *self.shared.extents.lock() = extents;
+        self.shared.failed.lock().clear();
+        if let Some(metrics) = self.shared.metrics.lock().as_ref() {
+            metrics.failed_replicas.set(0.0);
+        }
+    }
+
+    /// Marks one replica of `path` as dead in the running epoch.
+    ///
+    /// Snapshots taken afterwards exclude the dead replica: the path's
+    /// utilization denominator shrinks to its surviving extent, and a
+    /// path with no survivors vanishes from `snapshot().tasks` entirely
+    /// so mechanisms don't steer threads toward ghosts.
+    pub(crate) fn mark_failed(&self, path: &TaskPath) {
+        let total: u32 = {
+            let mut failed = self.shared.failed.lock();
+            *failed.entry(path.clone()).or_insert(0) += 1;
+            failed.values().sum()
+        };
+        if let Some(metrics) = self.shared.metrics.lock().as_ref() {
+            metrics.failed_replicas.set(f64::from(total));
+        }
+    }
+
+    /// Replicas currently marked dead in the running epoch.
+    #[must_use]
+    pub fn failed_replicas(&self) -> u32 {
+        self.shared.failed.lock().values().sum()
     }
 
     /// Installs the work-queue probe feeding `snapshot().queue`.
@@ -362,10 +402,20 @@ impl Monitor {
         }
 
         let extents = shared.extents.lock().clone();
+        let failed = shared.failed.lock().clone();
         let elapsed = self.elapsed_secs().max(1e-9);
         for (path, stats) in shared.paths.lock().iter() {
             let (mean_exec, throughput) = stats.sample(now, shared.window);
             let extent = extents.get(path).copied().unwrap_or(1).max(1);
+            // Dead replicas leave the statistics: a fully failed path is
+            // a ghost no mechanism should feed threads to, and a partly
+            // failed path only counts its survivors in the utilization
+            // denominator.
+            let dead = failed.get(path).copied().unwrap_or(0);
+            let alive = extent.saturating_sub(dead);
+            if dead > 0 && alive == 0 {
+                continue;
+            }
             let busy_secs = stats.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9;
             snap.tasks.insert(
                 path.clone(),
@@ -374,7 +424,7 @@ impl Monitor {
                     mean_exec_secs: mean_exec,
                     throughput,
                     load: loads.get(path).copied().unwrap_or(0.0),
-                    utilization: (busy_secs / (elapsed * f64::from(extent))).min(1.0),
+                    utilization: (busy_secs / (elapsed * f64::from(alive.max(1)))).min(1.0),
                     p50_exec_secs: stats.exec_quantile(0.50),
                     p95_exec_secs: stats.exec_quantile(0.95),
                     p99_exec_secs: stats.exec_quantile(0.99),
@@ -555,6 +605,66 @@ mod tests {
         let _ = m.snapshot();
         let kinds: Vec<&str> = recorder.records().iter().map(|r| r.event.kind()).collect();
         assert_eq!(kinds, ["TaskStatsSample", "QueueSample"]);
+    }
+
+    #[test]
+    fn failed_replicas_leave_the_snapshot() {
+        let m = monitor();
+        let alive: TaskPath = "0".parse().unwrap();
+        let doomed: TaskPath = "1".parse().unwrap();
+        let now = Instant::now();
+        for path in [&alive, &doomed] {
+            m.stats_for(path)
+                .record(Duration::from_millis(2), now, Duration::from_secs(10));
+        }
+        m.install_epoch(
+            Vec::new(),
+            HashMap::from([(alive.clone(), 2), (doomed.clone(), 1)]),
+        );
+        assert_eq!(m.failed_replicas(), 0);
+        // One of `alive`'s two replicas dies: the path stays, but its
+        // utilization denominator shrinks to the single survivor.
+        let full = m.snapshot().task(&alive).unwrap().utilization;
+        m.mark_failed(&alive);
+        assert_eq!(m.failed_replicas(), 1);
+        let snap = m.snapshot();
+        let degraded = snap.task(&alive).unwrap().utilization;
+        assert!(
+            degraded >= full,
+            "survivor utilization {degraded} must not shrink below {full}"
+        );
+        // `doomed` loses its only replica: the whole path vanishes.
+        m.mark_failed(&doomed);
+        assert_eq!(m.failed_replicas(), 2);
+        let snap = m.snapshot();
+        assert!(snap.task(&doomed).is_none(), "ghost path must be excluded");
+        assert!(snap.task(&alive).is_some());
+        // The next epoch resurrects everything.
+        m.install_epoch(Vec::new(), HashMap::from([(doomed.clone(), 1)]));
+        assert_eq!(m.failed_replicas(), 0);
+        assert!(m.snapshot().task(&doomed).is_some());
+    }
+
+    #[test]
+    fn failed_replica_gauge_tracks_marks() {
+        let m = monitor();
+        let path: TaskPath = "0".parse().unwrap();
+        let _ = m.stats_for(&path);
+        let registry = MetricsRegistry::new();
+        m.set_metrics(registry.clone());
+        m.install_epoch(Vec::new(), HashMap::from([(path.clone(), 2)]));
+        m.mark_failed(&path);
+        assert!(
+            registry.render().contains("dope_task_failed_replicas 1"),
+            "{}",
+            registry.render()
+        );
+        m.install_epoch(Vec::new(), HashMap::from([(path, 2)]));
+        assert!(
+            registry.render().contains("dope_task_failed_replicas 0"),
+            "{}",
+            registry.render()
+        );
     }
 
     #[test]

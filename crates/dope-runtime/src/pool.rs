@@ -4,9 +4,19 @@
 //! the performance goals" (paper §5). Workers pull long-running jobs (task
 //! executor loops) from a shared queue; between epochs they sit idle on
 //! the channel.
+//!
+//! Workers are **supervised**: each job runs under
+//! [`std::panic::catch_unwind`], so a panicking job can
+//! never tear down its worker thread — the pool keeps its full capacity
+//! for the rest of the run, and [`WorkerPool::panics_caught`] counts
+//! every contained panic. Jobs that must *report* their panic (the
+//! executive's task loops) catch the unwind themselves first; the pool's
+//! net is the last line of defence.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use dope_core::Error;
 use dope_metrics::{names, Counter, MetricsRegistry};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -43,6 +53,9 @@ pub struct WorkerPool {
     /// Times a worker finished a job and went back to waiting on the
     /// channel (between-epoch idleness, the paper's "threads sit idle").
     parks: Arc<Counter>,
+    /// Job panics the supervision wrapper caught. Each one left its
+    /// worker thread alive.
+    panics_caught: Arc<Counter>,
 }
 
 impl WorkerPool {
@@ -57,17 +70,26 @@ impl WorkerPool {
         let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
         let dispatched = Arc::new(Counter::new());
         let parks = Arc::new(Counter::new());
+        let panics_caught = Arc::new(Counter::new());
         let handles = (0..threads)
             .map(|i| {
                 let rx = rx.clone();
                 let dispatched = Arc::clone(&dispatched);
                 let parks = Arc::clone(&parks);
+                let panics_caught = Arc::clone(&panics_caught);
                 std::thread::Builder::new()
                     .name(format!("dope-worker-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
                             dispatched.inc();
-                            job();
+                            // Supervision: a panicking job must not kill
+                            // this thread, or the pool silently loses
+                            // capacity for the rest of the run. Jobs are
+                            // FnOnce and dropped either way, so unwind
+                            // safety reduces to "the panic is contained".
+                            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                panics_caught.inc();
+                            }
                             parks.inc();
                         }
                     })
@@ -80,6 +102,7 @@ impl WorkerPool {
             submitted: Arc::new(AtomicU64::new(0)),
             dispatched,
             parks,
+            panics_caught,
         }
     }
 
@@ -99,6 +122,12 @@ impl WorkerPool {
             &[],
             Arc::clone(&self.parks),
         );
+        registry.register_counter(
+            names::POOL_PANICS_CAUGHT_TOTAL,
+            "Job panics contained by the pool's supervision layer",
+            &[],
+            Arc::clone(&self.panics_caught),
+        );
         registry
             .gauge(names::POOL_THREADS, "Worker-pool thread count")
             .set(self.threads() as f64);
@@ -108,6 +137,22 @@ impl WorkerPool {
     #[must_use]
     pub fn dispatched(&self) -> u64 {
         self.dispatched.get()
+    }
+
+    /// Times a worker finished a job (panicked or not) and went back to
+    /// waiting on the channel. Equal to [`dispatched`](Self::dispatched)
+    /// whenever no job is currently running — panics do not break the
+    /// balance, proving no worker thread died.
+    #[must_use]
+    pub fn parks(&self) -> u64 {
+        self.parks.get()
+    }
+
+    /// Job panics the supervision wrapper caught so far. Each one left
+    /// its worker thread alive and parked.
+    #[must_use]
+    pub fn panics_caught(&self) -> u64 {
+        self.panics_caught.get()
     }
 
     /// Number of worker threads.
@@ -124,22 +169,45 @@ impl WorkerPool {
         self.submitted.load(Ordering::Relaxed)
     }
 
-    /// Submits a job. Jobs beyond the thread count queue until a worker
-    /// frees up.
+    /// Submits a job, failing gracefully if the pool can no longer
+    /// accept work (it was shut down, or every worker thread is gone).
+    /// Jobs beyond the thread count queue until a worker frees up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Usage`] if the pool has been shut down or the
+    /// job channel is disconnected. The job is dropped unexecuted.
+    pub fn try_submit<F>(&self, job: F) -> dope_core::Result<()>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(Error::Usage(
+                "job submitted to a shut-down worker pool".to_string(),
+            ));
+        };
+        tx.send(Box::new(job)).map_err(|_| {
+            Error::Usage("worker pool has no live workers to accept the job".to_string())
+        })?;
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Submits a job, panicking if the pool cannot accept it. This is
+    /// the convenience wrapper over [`try_submit`](Self::try_submit)
+    /// for contexts (examples, tests) where a dead pool is a bug.
     ///
     /// # Panics
     ///
-    /// Panics if the pool has been shut down.
+    /// Panics if the pool has been shut down or its workers are gone;
+    /// use [`try_submit`](Self::try_submit) to handle that case.
     pub fn submit<F>(&self, job: F)
     where
         F: FnOnce() + Send + 'static,
     {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.tx
-            .as_ref()
-            .expect("pool is live")
-            .send(Box::new(job))
-            .expect("workers alive");
+        if let Err(err) = self.try_submit(job) {
+            panic!("{err}");
+        }
     }
 
     /// Shuts the pool down, waiting for queued jobs to finish.
@@ -227,6 +295,70 @@ mod tests {
         assert!(text.contains("dope_pool_jobs_dispatched_total 5"), "{text}");
         assert!(text.contains("dope_pool_worker_parks_total 5"), "{text}");
         assert!(text.contains("dope_pool_threads 2"), "{text}");
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_its_worker() {
+        let pool = WorkerPool::new(1);
+        // The single worker takes the panicking job first; if the unwind
+        // tore the thread down, the follow-up jobs would never run.
+        pool.submit(|| panic!("injected job panic"));
+        let hits = Arc::new(AtomicU32::new(0));
+        for _ in 0..4 {
+            let hits = Arc::clone(&hits);
+            pool.submit(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn dispatch_and_park_counters_balance_across_a_panic() {
+        let pool = WorkerPool::new(2);
+        pool.submit(|| panic!("boom"));
+        for _ in 0..6 {
+            pool.submit(|| {});
+        }
+        // Drain: all submitted jobs must dispatch and park, panic or not.
+        while pool.parks() < 7 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(pool.dispatched(), 7);
+        assert_eq!(pool.parks(), 7);
+        assert_eq!(pool.panics_caught(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn try_submit_reports_a_shut_down_pool() {
+        let mut pool = WorkerPool::new(1);
+        assert!(pool.try_submit(|| {}).is_ok());
+        pool.shutdown_inner();
+        let err = pool.try_submit(|| {}).unwrap_err();
+        assert!(err.to_string().contains("shut-down"), "{err}");
+        // submitted only counts accepted jobs.
+        assert_eq!(pool.submitted(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shut-down worker pool")]
+    fn submit_panics_on_a_shut_down_pool() {
+        let mut pool = WorkerPool::new(1);
+        pool.shutdown_inner();
+        pool.submit(|| {});
+    }
+
+    #[test]
+    fn panics_caught_counter_is_registered() {
+        let pool = WorkerPool::new(1);
+        let registry = MetricsRegistry::new();
+        pool.register_metrics(&registry);
+        pool.submit(|| panic!("counted"));
+        pool.shutdown();
+        let text = registry.render();
+        assert!(text.contains("dope_pool_panics_caught_total 1"), "{text}");
     }
 
     #[test]

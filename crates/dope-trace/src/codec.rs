@@ -179,6 +179,15 @@ pub fn record_to_value(record: &TraceRecord) -> Value {
         TraceEvent::QueueSample { queue } => {
             fields.push(("queue".to_string(), queue_to_value(queue)));
         }
+        TraceEvent::TaskFailed {
+            path,
+            reason,
+            policy,
+        } => {
+            fields.push(("path".to_string(), Value::String(path.to_string())));
+            fields.push(("reason".to_string(), Value::String(reason.clone())));
+            fields.push(("policy".to_string(), Value::String(policy.clone())));
+        }
         TraceEvent::Finished {
             completed,
             reconfigurations,
@@ -367,6 +376,11 @@ pub fn record_from_value(value: &Value) -> Result<TraceRecord, JsonError> {
         "QueueSample" => TraceEvent::QueueSample {
             queue: queue_from_value(req(value, "queue")?)?,
         },
+        "TaskFailed" => TraceEvent::TaskFailed {
+            path: req_path(value, "path")?,
+            reason: req_str(value, "reason")?.to_string(),
+            policy: req_str(value, "policy")?.to_string(),
+        },
         "Finished" => TraceEvent::Finished {
             completed: req_u64(value, "completed")?,
             reconfigurations: req_u64(value, "reconfigurations")?,
@@ -524,6 +538,11 @@ mod tests {
                     enqueued: 60,
                     completed: 48,
                 },
+            },
+            TraceEvent::TaskFailed {
+                path: "0.1".parse().unwrap(),
+                reason: "index out of bounds: the len is 4 but the index is 7".to_string(),
+                policy: "restart".to_string(),
             },
             TraceEvent::Finished {
                 completed: 48,

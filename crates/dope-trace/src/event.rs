@@ -127,6 +127,20 @@ pub enum TraceEvent {
         /// The probed statistics.
         queue: QueueStats,
     },
+    /// A task replica failed: its body panicked (or its worker vanished
+    /// without reporting) and the supervision layer contained the
+    /// damage. Additive in schema v1 — readers of older traces never
+    /// see it, and `reason`/`policy` explain what happened and how the
+    /// executive responded.
+    TaskFailed {
+        /// Configured-tree path of the failed task.
+        path: TaskPath,
+        /// The downcast panic payload, or a description of the loss.
+        reason: String,
+        /// The failure policy in force, as its stable lowercase tag
+        /// (`"abort"` / `"restart"` / `"degrade"`).
+        policy: String,
+    },
     /// The run ended.
     Finished {
         /// Requests completed over the whole run.
@@ -150,13 +164,14 @@ impl TraceEvent {
             TraceEvent::ReconfigureEpoch { .. } => "ReconfigureEpoch",
             TraceEvent::FeatureRead { .. } => "FeatureRead",
             TraceEvent::QueueSample { .. } => "QueueSample",
+            TraceEvent::TaskFailed { .. } => "TaskFailed",
             TraceEvent::Finished { .. } => "Finished",
         }
     }
 
     /// All `"kind"` discriminators of schema version [`SCHEMA_VERSION`],
     /// in documentation order.
-    pub const KINDS: [&'static str; 8] = [
+    pub const KINDS: [&'static str; 9] = [
         "Launched",
         "SnapshotTaken",
         "TaskStatsSample",
@@ -164,6 +179,7 @@ impl TraceEvent {
         "ReconfigureEpoch",
         "FeatureRead",
         "QueueSample",
+        "TaskFailed",
         "Finished",
     ];
 }

@@ -65,6 +65,9 @@ pub struct TraceSummary {
     pub queue_arrival_rate: LocalHistogram,
     /// Per-feature distribution of `FeatureRead` values (feature units).
     pub feature_values: BTreeMap<String, LocalHistogram>,
+    /// Failed replicas per task path (empty for traces predating the
+    /// `TaskFailed` event kind).
+    pub task_failures: BTreeMap<String, u64>,
     /// Requests completed, from the final `Finished` event (if any).
     pub completed: Option<u64>,
     /// Applied reconfigurations, from the final `Finished` event.
@@ -114,6 +117,9 @@ pub fn summarize(records: &[TraceRecord]) -> TraceSummary {
                     .entry(feature.clone())
                     .or_default()
                     .record_secs(*value);
+            }
+            TraceEvent::TaskFailed { path, .. } => {
+                *out.task_failures.entry(path.to_string()).or_insert(0) += 1;
             }
             TraceEvent::Finished {
                 completed,
@@ -172,6 +178,12 @@ impl TraceSummary {
                 fmt_value(hist.quantile_secs(0.99)),
                 fmt_value(hist.max_secs()),
             );
+        }
+        if !self.task_failures.is_empty() {
+            let _ = writeln!(out, "\nfailures:");
+            for (path, n) in &self.task_failures {
+                let _ = writeln!(out, "  task[{path}]  {n} failed replica(s)");
+            }
         }
         if let (Some(completed), Some(reconfigs)) = (self.completed, self.reconfigurations) {
             let dropped = self.dropped_events.unwrap_or(0);
@@ -308,6 +320,36 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn task_failures_are_counted_per_path_and_rendered() {
+        let records = vec![
+            record(
+                0,
+                TraceEvent::TaskFailed {
+                    path: TaskPath::root_child(1),
+                    reason: "boom".to_string(),
+                    policy: "restart".to_string(),
+                },
+            ),
+            record(
+                1,
+                TraceEvent::TaskFailed {
+                    path: TaskPath::root_child(1),
+                    reason: "boom again".to_string(),
+                    policy: "restart".to_string(),
+                },
+            ),
+        ];
+        let summary = summarize(&records);
+        assert_eq!(summary.events.get("TaskFailed"), Some(&2));
+        assert_eq!(summary.task_failures["1"], 2);
+        let text = summary.render();
+        assert!(text.contains("failures:"), "{text}");
+        assert!(text.contains("task[1]  2 failed replica(s)"), "{text}");
+        // Traces without failures never print the section.
+        assert!(!summarize(&[]).render().contains("failures:"));
     }
 
     #[test]

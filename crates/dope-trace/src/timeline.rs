@@ -104,6 +104,11 @@ fn describe(event: &TraceEvent) -> String {
             "QUEUE    occupancy={:.1} rate={:.2}/s enqueued={} completed={}",
             queue.occupancy, queue.arrival_rate, queue.enqueued, queue.completed
         ),
+        TraceEvent::TaskFailed {
+            path,
+            reason,
+            policy,
+        } => format!("FAILED   {path} policy={policy} reason=\"{reason}\""),
         TraceEvent::Finished {
             completed,
             reconfigurations,
@@ -156,6 +161,22 @@ mod tests {
         assert!(lines.contains("REJECTED DV001"), "{lines}");
         assert!(lines.contains("EPOCH"), "{lines}");
         assert!(lines.contains("pause=1.2ms"), "{lines}");
+    }
+
+    #[test]
+    fn task_failures_render_path_policy_and_reason() {
+        let lines = render_timeline(&[record(
+            0,
+            TraceEvent::TaskFailed {
+                path: "0.1".parse().unwrap(),
+                reason: "index out of bounds".to_string(),
+                policy: "degrade".to_string(),
+            },
+        )]);
+        assert!(lines.contains("FAILED"), "{lines}");
+        assert!(lines.contains("0.1"), "{lines}");
+        assert!(lines.contains("policy=degrade"), "{lines}");
+        assert!(lines.contains("index out of bounds"), "{lines}");
     }
 
     #[test]

@@ -173,6 +173,12 @@ fn build_event(
         6 => TraceEvent::QueueSample {
             queue: queue_stats(f_big, f_small, n_big, n_small),
         },
+        7 => TraceEvent::TaskFailed {
+            path: task_path(path_parts),
+            // Escape-worthy payloads: panic messages quote user code.
+            reason: format!("panicked: {}", name(idx)),
+            policy: ["abort", "restart", "degrade"][verdict_sel % 3].to_string(),
+        },
         _ => TraceEvent::Finished {
             completed: n_big,
             reconfigurations: n_small,
@@ -186,7 +192,7 @@ proptest! {
     /// JSONL line without loss.
     #[test]
     fn any_record_roundtrips_through_a_jsonl_line(
-        kind in 0usize..8,
+        kind in 0usize..9,
         idx in 0usize..16,
         seq in any::<u64>(),
         t in 0.0f64..1.0e9,
@@ -201,7 +207,7 @@ proptest! {
         n_small in 0u64..1_000,
         n_big in any::<u64>(),
         verdict_sel in 0usize..3,
-        code_idx in 0usize..15,
+        code_idx in 0usize..16,
         threads in 1u32..256,
     ) {
         let record = TraceRecord {
@@ -224,7 +230,7 @@ proptest! {
     /// document, preserving order, count, and every field.
     #[test]
     fn any_sequence_roundtrips_through_jsonl(
-        kinds in prop::collection::vec(0usize..8, 0..12),
+        kinds in prop::collection::vec(0usize..9, 0..12),
         extents in prop::collection::vec(1u32..12, 1..3),
         alt in 0usize..2,
         power in prop::option::of(1.0f64..400.0),
@@ -232,7 +238,7 @@ proptest! {
         f_big in 0.0f64..1.0e4,
         n_small in 0u64..100,
         n_big in 0u64..1_000_000,
-        code_idx in 0usize..15,
+        code_idx in 0usize..16,
         threads in 1u32..64,
     ) {
         let records: Vec<TraceRecord> = kinds

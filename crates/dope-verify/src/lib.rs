@@ -18,6 +18,11 @@
 //! suspicious configurations (under-subscription, duplicate names,
 //! starved pipeline stages, unreachable alternatives).
 //!
+//! The catalogue is shared with the runtime, but not every code is
+//! static: [`DiagCode::TaskFailed`] (DV016) is emitted only by the
+//! runtime's supervision layer when a task body fails mid-run — this
+//! analyzer never produces it.
+//!
 //! # Example
 //!
 //! ```

@@ -19,10 +19,14 @@ use serde::{Deserialize, Serialize};
 /// The trade-off is on quantiles only: any value returned by
 /// [`percentile`] is within
 /// [`dope_metrics::QUANTILE_RELATIVE_ERROR`] (= 1/32 ≈ 3.125 %
-/// relative error) of the true nearest-rank sample percentile, clamped
-/// to the exact observed `[min, max]` (so `percentile(1.0) == max()`
-/// exactly). Samples are quantized to nanoseconds on recording, adding
-/// at most 1 ns of absolute error.
+/// relative error) of the true *exceedance-rank* sample percentile —
+/// the smallest recorded value with strictly more than a `q` fraction
+/// of samples at or below it (rank `⌊q·n⌋ + 1`, clamped to `n`) —
+/// clamped to the exact observed `[min, max]` (so
+/// `percentile(1.0) == max()` exactly). The exceedance convention
+/// means a tail quantile such as p99 of 100 samples reports the worst
+/// sample rather than hiding the single outlier. Samples are quantized
+/// to nanoseconds on recording, adding at most 1 ns of absolute error.
 ///
 /// [`percentile`]: ResponseStats::percentile
 ///
@@ -38,8 +42,9 @@ use serde::{Deserialize, Serialize};
 /// }
 /// assert_eq!(stats.count(), 4);
 /// assert_eq!(stats.mean(), Some(4.0));
+/// // Exceedance rank: floor(0.5 * 4) + 1 = 3rd sample => 3.0.
 /// let p50 = stats.percentile(0.5).unwrap();
-/// assert!((p50 - 2.0).abs() / 2.0 <= QUANTILE_RELATIVE_ERROR + 1e-9);
+/// assert!((p50 - 3.0).abs() / 3.0 <= QUANTILE_RELATIVE_ERROR + 1e-9);
 /// assert_eq!(stats.max(), Some(10.0));
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -105,8 +110,8 @@ impl ResponseStats {
     ///
     /// Backed by the bounded histogram: the result is within
     /// [`dope_metrics::QUANTILE_RELATIVE_ERROR`] of the true
-    /// nearest-rank sample percentile, clamped to the exact observed
-    /// `[min, max]`.
+    /// exceedance-rank sample percentile (rank `floor(q * n) + 1`,
+    /// clamped to `n`), clamped to the exact observed `[min, max]`.
     ///
     /// # Panics
     ///
@@ -317,7 +322,7 @@ mod tests {
     use super::*;
 
     /// Asserts `got` is within the histogram's quantile-error bound of
-    /// the exact nearest-rank value.
+    /// the exact exceedance-rank value.
     fn assert_close(got: f64, exact: f64) {
         let tolerance = exact * dope_metrics::QUANTILE_RELATIVE_ERROR + 1e-9;
         assert!(
@@ -327,7 +332,7 @@ mod tests {
     }
 
     #[test]
-    fn response_percentiles_nearest_rank() {
+    fn response_percentiles_exceedance_rank() {
         let mut s = ResponseStats::new();
         for t in [5.0, 1.0, 3.0, 2.0, 4.0] {
             s.record(t);

@@ -1,11 +1,15 @@
 //! Failure injection: the executive must stay correct when tasks are slow
-//! to suspend, mechanisms misbehave, or the power meter goes quiet.
+//! to suspend, mechanisms misbehave, tasks panic mid-run, or the power
+//! meter goes quiet.
 
 use dope_core::{
-    body_fn, Config, Goal, Mechanism, MonitorSnapshot, ProgramShape, Resources, TaskBody,
-    TaskConfig, TaskCx, TaskKind, TaskSpec, TaskStatus, WorkerSlot,
+    body_fn, Config, DiagCode, FailurePolicy, FailureVerdict, Goal, Mechanism, MonitorSnapshot,
+    ProgramShape, Resources, TaskBody, TaskConfig, TaskCx, TaskKind, TaskSpec, TaskStatus,
+    WorkerSlot,
 };
+use dope_metrics::MetricsRegistry;
 use dope_runtime::Dope;
+use dope_trace::{Recorder, TraceEvent};
 use dope_workload::{DequeueOutcome, WorkQueue};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -170,6 +174,368 @@ fn slow_suspenders_drain_before_relaunch() {
     );
     assert_eq!(report.reconfigurations, 1);
     assert_eq!(report.final_config.total_threads(), 1);
+}
+
+/// A task whose replica 0 of the *first* instantiation panics before
+/// touching the queue; every later instantiation behaves. `armed`
+/// counts factory calls so re-instantiated epochs run clean bodies.
+fn bomb_once_spec(
+    name: &str,
+    queue: WorkQueue<u64>,
+    hits: Arc<AtomicU64>,
+    armed: Arc<AtomicU64>,
+) -> TaskSpec {
+    TaskSpec::leaf(name, TaskKind::Par, move |slot: WorkerSlot| {
+        let queue = queue.clone();
+        let hits = Arc::clone(&hits);
+        let instance = armed.fetch_add(1, Ordering::SeqCst);
+        let exploding = instance == 0 && slot.worker == 0;
+        Box::new(body_fn(move |cx: &mut dyn TaskCx| {
+            if exploding {
+                panic!("injected failure");
+            }
+            cx.begin();
+            let outcome = queue.dequeue_timeout(Duration::from_millis(2));
+            cx.end();
+            match outcome {
+                DequeueOutcome::Item(_) => {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    TaskStatus::Executing
+                }
+                DequeueOutcome::Drained => TaskStatus::Finished,
+                DequeueOutcome::TimedOut => {
+                    if cx.directive().wants_suspend() {
+                        TaskStatus::Suspended
+                    } else {
+                        TaskStatus::Executing
+                    }
+                }
+            }
+        })) as Box<dyn TaskBody>
+    })
+}
+
+fn counter_value(render: &str, metric: &str) -> Option<f64> {
+    render
+        .lines()
+        .find(|l| l.starts_with(metric) && !l.starts_with('#'))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+}
+
+/// Tentpole acceptance: a replica panics mid-run; no worker thread dies
+/// (the sibling replica drains the whole queue), the run terminates per
+/// the default `Abort` policy with the panic message in the error, the
+/// `TaskFailed` event is recorded, and the failure counter fires.
+#[test]
+fn panicking_replica_aborts_without_killing_workers() {
+    let queue = WorkQueue::new();
+    for i in 0..300u64 {
+        queue.enqueue(i).unwrap();
+    }
+    queue.close();
+    let hits = Arc::new(AtomicU64::new(0));
+    let armed = Arc::new(AtomicU64::new(0));
+    let recorder = Recorder::bounded(4096);
+    let registry = MetricsRegistry::new();
+    // threads=2 over one leaf: extent 2, worker 0 explodes, worker 1
+    // must finish all 300 items on the surviving (unkilled) thread.
+    let dope = Dope::builder(Goal::MaxThroughput { threads: 2 })
+        .control_period(Duration::from_millis(5))
+        .recorder(recorder.clone())
+        .metrics(registry.clone())
+        .launch(vec![bomb_once_spec(
+            "drain",
+            queue,
+            Arc::clone(&hits),
+            Arc::clone(&armed),
+        )])
+        .expect("launch");
+    let err = dope.wait().expect_err("abort policy fails the run");
+    assert_eq!(err.code(), DiagCode::TaskFailed);
+    let text = err.to_string();
+    assert!(text.contains("injected failure"), "{text}");
+    assert_eq!(
+        hits.load(Ordering::Relaxed),
+        300,
+        "the surviving replica drains everything: no worker died"
+    );
+    let failed: Vec<_> = recorder
+        .records()
+        .into_iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::TaskFailed {
+                path,
+                reason,
+                policy,
+            } => Some((path, reason, policy)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(failed.len(), 1, "exactly one replica failed");
+    assert_eq!(failed[0].2, "abort");
+    assert!(failed[0].1.contains("injected failure"));
+    let render = registry.render();
+    assert_eq!(
+        counter_value(&render, "dope_task_failures_total"),
+        Some(1.0),
+        "{render}"
+    );
+    assert_eq!(
+        counter_value(&render, "dope_pool_panics_caught_total"),
+        Some(0.0),
+        "executive-level supervision reports the panic; the pool's own \
+         net stays untouched"
+    );
+}
+
+/// Under `Restart` the failed replica is re-instantiated next epoch and
+/// the run completes, reporting an honest `Recovered` verdict.
+#[test]
+fn restart_policy_reinstates_the_replica_and_completes() {
+    let queue = WorkQueue::new();
+    for i in 0..200u64 {
+        queue.enqueue(i).unwrap();
+    }
+    queue.close();
+    let hits = Arc::new(AtomicU64::new(0));
+    let armed = Arc::new(AtomicU64::new(0));
+    let recorder = Recorder::bounded(4096);
+    let registry = MetricsRegistry::new();
+    let dope = Dope::builder(Goal::MaxThroughput { threads: 2 })
+        .control_period(Duration::from_millis(5))
+        .failure_policy(FailurePolicy::Restart {
+            max_retries: 3,
+            backoff: Duration::from_millis(1),
+        })
+        .recorder(recorder.clone())
+        .metrics(registry.clone())
+        .launch(vec![bomb_once_spec(
+            "drain",
+            queue,
+            Arc::clone(&hits),
+            Arc::clone(&armed),
+        )])
+        .expect("launch");
+    let report = dope.wait().expect("restart recovers the run");
+    assert_eq!(hits.load(Ordering::Relaxed), 200, "no work lost");
+    assert_eq!(report.task_failures, 1);
+    assert_eq!(report.task_restarts, 1);
+    assert_eq!(report.lost_jobs, 0);
+    assert_eq!(report.failure_verdict, FailureVerdict::Recovered);
+    assert!(recorder.records().iter().any(|r| matches!(
+        &r.event,
+        TraceEvent::TaskFailed { policy, .. } if policy == "restart"
+    )));
+    let render = registry.render();
+    assert_eq!(
+        counter_value(&render, "dope_task_restarts_total"),
+        Some(1.0),
+        "{render}"
+    );
+    // Pool-capacity regression: every dispatched job parked its worker
+    // again, panic or not — a leak here starves later epochs.
+    assert_eq!(
+        counter_value(&render, "dope_pool_jobs_dispatched_total"),
+        counter_value(&render, "dope_pool_worker_parks_total"),
+        "{render}"
+    );
+}
+
+/// A replica that panics on *every* instantiation exhausts the restart
+/// budget and the run fails with the budget in the error text.
+#[test]
+fn restart_budget_exhaustion_aborts_the_run() {
+    let spec = TaskSpec::leaf("always-bomb", TaskKind::Par, move |_slot: WorkerSlot| {
+        Box::new(body_fn(move |_cx: &mut dyn TaskCx| -> TaskStatus {
+            panic!("hopeless");
+        })) as Box<dyn TaskBody>
+    });
+    let registry = MetricsRegistry::new();
+    let dope = Dope::builder(Goal::MaxThroughput { threads: 1 })
+        .control_period(Duration::from_millis(5))
+        .failure_policy(FailurePolicy::Restart {
+            max_retries: 2,
+            backoff: Duration::ZERO,
+        })
+        .metrics(registry.clone())
+        .launch(vec![spec])
+        .expect("launch");
+    let err = dope.wait().expect_err("budget exhausted");
+    let text = err.to_string();
+    assert!(text.contains("restart budget of 2 exhausted"), "{text}");
+    let render = registry.render();
+    assert_eq!(
+        counter_value(&render, "dope_task_restarts_total"),
+        Some(2.0),
+        "{render}"
+    );
+    assert_eq!(
+        counter_value(&render, "dope_task_failures_total"),
+        Some(3.0),
+        "one failure per epoch: two restarted, the third aborted"
+    );
+}
+
+/// Under `Degrade` the failed replica's DoP is dropped and the epoch
+/// relaunches with the survivors only.
+#[test]
+fn degrade_policy_drops_the_failed_replicas_dop() {
+    let queue = WorkQueue::new();
+    for i in 0..200u64 {
+        queue.enqueue(i).unwrap();
+    }
+    queue.close();
+    let hits = Arc::new(AtomicU64::new(0));
+    let armed = Arc::new(AtomicU64::new(0));
+    let recorder = Recorder::bounded(4096);
+    let dope = Dope::builder(Goal::MaxThroughput { threads: 2 })
+        .control_period(Duration::from_millis(5))
+        .failure_policy(FailurePolicy::Degrade)
+        .recorder(recorder.clone())
+        .launch(vec![bomb_once_spec(
+            "drain",
+            queue,
+            Arc::clone(&hits),
+            Arc::clone(&armed),
+        )])
+        .expect("launch");
+    let report = dope.wait().expect("degrade keeps the run alive");
+    assert_eq!(hits.load(Ordering::Relaxed), 200, "survivors drain it all");
+    assert_eq!(report.task_failures, 1);
+    assert_eq!(report.task_restarts, 0);
+    assert_eq!(report.failure_verdict, FailureVerdict::Degraded);
+    assert_eq!(
+        report.final_config.total_threads(),
+        1,
+        "extent dropped from 2 to the single survivor"
+    );
+    assert!(
+        report.reconfigurations >= 1,
+        "degrading is a reconfiguration"
+    );
+    assert!(recorder.records().iter().any(|r| matches!(
+        &r.event,
+        TraceEvent::TaskFailed { policy, .. } if policy == "degrade"
+    )));
+}
+
+/// A task that loses its *only* replica cannot be degraded: the run
+/// aborts instead of continuing with a hole in the pipeline.
+#[test]
+fn degrade_with_no_survivors_aborts() {
+    let spec = TaskSpec::leaf("solo-bomb", TaskKind::Par, move |_slot: WorkerSlot| {
+        Box::new(body_fn(move |_cx: &mut dyn TaskCx| -> TaskStatus {
+            panic!("sole replica down");
+        })) as Box<dyn TaskBody>
+    });
+    let dope = Dope::builder(Goal::MaxThroughput { threads: 1 })
+        .control_period(Duration::from_millis(5))
+        .failure_policy(FailurePolicy::Degrade)
+        .launch(vec![spec])
+        .expect("launch");
+    let err = dope.wait().expect_err("nothing left to degrade to");
+    let text = err.to_string();
+    assert!(text.contains("cannot degrade below one"), "{text}");
+    assert!(text.contains("sole replica down"), "{text}");
+}
+
+/// A panic racing a reconfiguration drain: the proposal is accepted and
+/// the suspend directive goes out, but a replica detonates instead of
+/// suspending. The failure policy must win the race — handled first,
+/// with the stale reconfiguration target discarded — and the run still
+/// completes with nothing lost.
+#[test]
+fn panic_during_reconfiguration_drain_is_handled_first() {
+    struct Widen {
+        target: Config,
+    }
+    impl Mechanism for Widen {
+        fn name(&self) -> &'static str {
+            "Widen"
+        }
+        fn reconfigure(
+            &mut self,
+            _snap: &MonitorSnapshot,
+            current: &Config,
+            _shape: &ProgramShape,
+            _res: &Resources,
+        ) -> Option<Config> {
+            (*current != self.target).then(|| self.target.clone())
+        }
+    }
+
+    let queue = WorkQueue::new();
+    for i in 0..400u64 {
+        queue.enqueue(i).unwrap();
+    }
+    queue.close();
+    let hits = Arc::new(AtomicU64::new(0));
+    let exploded = Arc::new(AtomicU64::new(0));
+    let spec = {
+        let queue = queue.clone();
+        let hits = Arc::clone(&hits);
+        let exploded = Arc::clone(&exploded);
+        TaskSpec::leaf("drain", TaskKind::Par, move |slot: WorkerSlot| {
+            let queue = queue.clone();
+            let hits = Arc::clone(&hits);
+            let exploded = Arc::clone(&exploded);
+            Box::new(body_fn(move |cx: &mut dyn TaskCx| {
+                let directive = cx.begin();
+                // The first replica to observe the drain directive blows
+                // up exactly at the suspension point (once per run).
+                if directive.wants_suspend()
+                    && slot.worker == 0
+                    && exploded
+                        .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    cx.end();
+                    panic!("panicked while draining");
+                }
+                let outcome = queue.dequeue_timeout(Duration::from_millis(2));
+                cx.end();
+                match outcome {
+                    DequeueOutcome::Item(_) => {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_micros(200));
+                        TaskStatus::Executing
+                    }
+                    DequeueOutcome::Drained => TaskStatus::Finished,
+                    DequeueOutcome::TimedOut => {
+                        if directive.wants_suspend() {
+                            TaskStatus::Suspended
+                        } else {
+                            TaskStatus::Executing
+                        }
+                    }
+                }
+            })) as Box<dyn TaskBody>
+        })
+    };
+    let dope = Dope::builder(Goal::MaxThroughput { threads: 4 })
+        .mechanism(Box::new(Widen {
+            target: Config::new(vec![TaskConfig::leaf("drain", 2)]),
+        }))
+        .control_period(Duration::from_millis(5))
+        .failure_policy(FailurePolicy::Restart {
+            max_retries: 4,
+            backoff: Duration::ZERO,
+        })
+        .launch(vec![spec])
+        .expect("launch");
+    let report = dope.wait().expect("restart absorbs the race");
+    assert_eq!(hits.load(Ordering::Relaxed), 400, "no items lost");
+    // The panic may land before, during, or after the drain settles, so
+    // only the honest accounting is asserted, not the exact schedule.
+    if exploded.load(Ordering::SeqCst) == 1 {
+        assert_eq!(report.task_failures, 1);
+        assert_eq!(report.task_restarts, 1);
+        assert!(report.failure_verdict >= FailureVerdict::Recovered);
+    } else {
+        assert_eq!(report.failure_verdict, FailureVerdict::Clean);
+    }
+    assert_eq!(report.lost_jobs, 0);
 }
 
 #[test]
