@@ -23,6 +23,15 @@ cargo fmt --all -- --check
 step "cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+step "dope-lint --strict (workspace contract lint)"
+# Findings, reasonless waivers, and blind passes (missing anchors) all
+# fail the gate; accepted waivers are printed for review.
+cargo run -q --offline -p dope-lint --bin dope-lint -- --strict .
+
+step "dope-lint --json round-trips through the strict codec"
+cargo run -q --offline -p dope-lint --bin dope-lint -- --json . \
+  | cargo run -q --offline -p dope-lint --bin dope-lint -- --parse-report -
+
 if [[ "$QUICK" -eq 0 ]]; then
   step "cargo build --release"
   cargo build --release --offline

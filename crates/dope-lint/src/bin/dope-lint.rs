@@ -1,0 +1,131 @@
+//! The `dope-lint` CLI.
+//!
+//! ```text
+//! dope-lint [--strict] [--json] [ROOT]
+//! dope-lint --parse-report <FILE|->
+//! ```
+//!
+//! Exit codes mirror `dope-verify`: 0 when clean, 1 when there are
+//! findings (or, under `--strict`, missing anchors), 2 on usage or I/O
+//! errors. `--parse-report` re-reads a `--json` report and applies the
+//! same contract to its contents — CI pipes one through the other to
+//! prove the JSON stays strict-codec clean.
+
+use std::io::Read;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dope_lint::Report;
+
+const USAGE: &str = "usage: dope-lint [--strict] [--json] [ROOT]\n\
+                     \u{20}      dope-lint --parse-report <FILE|->";
+
+fn main() -> ExitCode {
+    let mut strict = false;
+    let mut json = false;
+    let mut parse_report: Option<String> = None;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            "--json" => json = true,
+            "--parse-report" => match args.next() {
+                Some(path) => parse_report = Some(path),
+                None => return usage("--parse-report needs a file (or `-` for stdin)"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag `{other}`"));
+            }
+            other => {
+                if root.is_some() {
+                    return usage("more than one ROOT given");
+                }
+                root = Some(PathBuf::from(other));
+            }
+        }
+    }
+
+    if let Some(path) = parse_report {
+        if strict || json || root.is_some() {
+            return usage("--parse-report takes no other arguments");
+        }
+        return run_parse_report(&path);
+    }
+
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let report = match dope_lint::check(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("dope-lint: {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render(strict));
+    }
+    if report.is_clean(strict) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_parse_report(path: &str) -> ExitCode {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        match std::io::stdin().read_to_string(&mut buf) {
+            Ok(_) => buf,
+            Err(err) => {
+                eprintln!("dope-lint: reading stdin: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("dope-lint: {path}: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let report = match Report::from_json(text.trim()) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("dope-lint: report is not valid strict JSON: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    // Prove the codec round-trips before trusting the contents.
+    match Report::from_json(&report.to_json()) {
+        Ok(back) if back == report => {}
+        _ => {
+            eprintln!("dope-lint: report does not round-trip through the strict codec");
+            return ExitCode::from(2);
+        }
+    }
+    println!(
+        "parsed report: {} findings, {} waived, {} anchors missing",
+        report.findings.len(),
+        report.waived.len(),
+        report.missing_anchors.len()
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("dope-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

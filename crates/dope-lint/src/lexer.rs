@@ -1,0 +1,488 @@
+//! A lightweight, panic-free Rust lexer.
+//!
+//! `dope-lint` deliberately carries no `rustc` or `syn` dependency (the
+//! build environment is offline; see `shims/README.md`), so its passes
+//! work on a token stream produced by this hand-rolled lexer. It
+//! understands exactly as much Rust as the analyses need:
+//!
+//! * identifiers and lifetimes (`'a` vs the char literal `'a'`),
+//! * string, raw-string, byte-string, char, and numeric literals,
+//! * line and block comments (nested), **kept** in the stream so the
+//!   waiver scanner can read them,
+//! * everything else as single-character punctuation.
+//!
+//! Every token carries a 1-based `line`/`col` span pointing at its first
+//! character. The lexer never panics on arbitrary input and never loses
+//! text: malformed literals degrade to best-effort tokens that still end
+//! inside the file (a property the crate's proptests pin down).
+//!
+//! # Example
+//!
+//! ```
+//! use dope_lint::lexer::{tokenize, TokKind};
+//!
+//! let toks = tokenize("let x = m.lock(); // dope-lint: allow(DL005): why");
+//! assert_eq!(toks[0].text, "let");
+//! assert!(toks.iter().any(|t| t.kind == TokKind::LineComment));
+//! ```
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `lock`, `TraceEvent`).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A string literal, raw or plain, quotes included in `text`.
+    Str,
+    /// A char literal (`'x'`, `'\n'`).
+    Char,
+    /// A numeric literal (`42`, `0x1f`, `1.5e3`, `100_000u64`).
+    Number,
+    /// A single punctuation character (`.`, `:`, `{`, ...).
+    Punct,
+    /// A `// ...` comment (doc comments included), newline excluded.
+    LineComment,
+    /// A `/* ... */` comment, possibly nested, delimiters included.
+    BlockComment,
+}
+
+/// One lexeme with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The kind of lexeme.
+    pub kind: TokKind,
+    /// The lexeme text, verbatim from the source.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for comment tokens (which most passes skip).
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True when this token is the identifier `word`.
+    #[must_use]
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// True when this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.starts_with(c)
+    }
+
+    /// The decoded value of a string-literal token (`None` for other
+    /// kinds). Handles plain strings with the common escapes and raw
+    /// strings; unknown escapes are preserved verbatim.
+    #[must_use]
+    pub fn str_value(&self) -> Option<String> {
+        if self.kind != TokKind::Str {
+            return None;
+        }
+        let t = self.text.as_str();
+        // Raw (and byte) strings: strip the prefix, hashes, and quotes.
+        if let Some(rest) = t.strip_prefix('r').or_else(|| t.strip_prefix("br")) {
+            let hashes = rest.chars().take_while(|&c| c == '#').count();
+            let body = &rest[hashes..];
+            let body = body.strip_prefix('"').unwrap_or(body);
+            let end = body.len().saturating_sub(1 + hashes);
+            return Some(body.get(..end).unwrap_or(body).to_string());
+        }
+        let body = t
+            .strip_prefix('b')
+            .unwrap_or(t)
+            .trim_start_matches('"')
+            .trim_end_matches('"');
+        let mut out = String::with_capacity(body.len());
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('0') => out.push('\0'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Character-level cursor with line/column accounting.
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `src`. Comments are kept; whitespace is dropped. The
+/// function is total: any input (including invalid UTF-8-adjacent
+/// garbage that made it into a `&str`, unterminated literals, stray
+/// quotes) produces a token list without panicking.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let mut text = String::new();
+        let kind = match c {
+            '/' => {
+                cur.bump();
+                text.push('/');
+                match cur.peek() {
+                    Some('/') => {
+                        while let Some(n) = cur.peek() {
+                            if n == '\n' {
+                                break;
+                            }
+                            text.push(n);
+                            cur.bump();
+                        }
+                        TokKind::LineComment
+                    }
+                    Some('*') => {
+                        text.push('*');
+                        cur.bump();
+                        let mut depth = 1u32;
+                        let mut prev = '\0';
+                        while depth > 0 {
+                            let Some(n) = cur.bump() else { break };
+                            text.push(n);
+                            if prev == '/' && n == '*' {
+                                depth += 1;
+                                prev = '\0';
+                            } else if prev == '*' && n == '/' {
+                                depth -= 1;
+                                prev = '\0';
+                            } else {
+                                prev = n;
+                            }
+                        }
+                        TokKind::BlockComment
+                    }
+                    _ => TokKind::Punct,
+                }
+            }
+            '"' => {
+                lex_string(&mut cur, &mut text);
+                TokKind::Str
+            }
+            '\'' => {
+                cur.bump();
+                text.push('\'');
+                lex_quote_tail(&mut cur, &mut text)
+            }
+            'r' | 'b' => {
+                // Possible raw/byte string prefix; otherwise an ident.
+                cur.bump();
+                text.push(c);
+                if c == 'b' && cur.peek() == Some('r') {
+                    text.push('r');
+                    cur.bump();
+                }
+                let mut hashes = 0usize;
+                if text.ends_with('r') {
+                    while cur.peek() == Some('#') {
+                        // Tentatively consume hashes; if no quote follows
+                        // this was `r#ident` (a raw identifier) — emit
+                        // what we have as an ident plus the hashes we ate.
+                        hashes += 1;
+                        text.push('#');
+                        cur.bump();
+                    }
+                }
+                if text.ends_with(['r', '#']) && cur.peek() == Some('"') {
+                    text.push('"');
+                    cur.bump();
+                    // Raw string: read until `"` followed by `hashes` #s.
+                    while let Some(n) = cur.bump() {
+                        text.push(n);
+                        if n == '"' {
+                            let mut seen = 0usize;
+                            while seen < hashes && cur.peek() == Some('#') {
+                                text.push('#');
+                                cur.bump();
+                                seen += 1;
+                            }
+                            if seen == hashes {
+                                break;
+                            }
+                        }
+                    }
+                    TokKind::Str
+                } else if c == 'b' && cur.peek() == Some('"') {
+                    let mut inner = String::new();
+                    lex_string(&mut cur, &mut inner);
+                    text.push_str(&inner);
+                    TokKind::Str
+                } else {
+                    while let Some(n) = cur.peek() {
+                        if is_ident_continue(n) {
+                            text.push(n);
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    TokKind::Ident
+                }
+            }
+            d if d.is_ascii_digit() => {
+                cur.bump();
+                text.push(d);
+                while let Some(n) = cur.peek() {
+                    if is_ident_continue(n) {
+                        text.push(n);
+                        cur.bump();
+                    } else if n == '.' {
+                        // `1.5` continues the number; `1.max(2)` does not.
+                        let mut ahead = cur.chars.clone();
+                        ahead.next();
+                        if ahead.next().is_some_and(|a| a.is_ascii_digit()) {
+                            text.push('.');
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                TokKind::Number
+            }
+            i if is_ident_start(i) => {
+                cur.bump();
+                text.push(i);
+                while let Some(n) = cur.peek() {
+                    if is_ident_continue(n) {
+                        text.push(n);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokKind::Ident
+            }
+            p => {
+                cur.bump();
+                text.push(p);
+                TokKind::Punct
+            }
+        };
+        out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Lexes a `"..."` string starting at the opening quote.
+fn lex_string(cur: &mut Cursor<'_>, text: &mut String) {
+    text.push('"');
+    cur.bump();
+    while let Some(n) = cur.bump() {
+        text.push(n);
+        if n == '\\' {
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+        } else if n == '"' {
+            break;
+        }
+    }
+}
+
+/// After consuming a `'`, decides lifetime vs char literal and finishes
+/// the token. Returns the kind.
+fn lex_quote_tail(cur: &mut Cursor<'_>, text: &mut String) -> TokKind {
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: `'\n'`, `'\\'`, `'\u{1F600}'`.
+            text.push('\\');
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+                if esc == 'u' {
+                    while let Some(n) = cur.peek() {
+                        let stop = n == '\'';
+                        text.push(n);
+                        cur.bump();
+                        if stop {
+                            return TokKind::Char;
+                        }
+                    }
+                }
+            }
+            if cur.peek() == Some('\'') {
+                text.push('\'');
+                cur.bump();
+            }
+            TokKind::Char
+        }
+        Some(i) if is_ident_start(i) => {
+            // `'a'` is a char literal, `'a` (no closing quote after the
+            // ident run) is a lifetime.
+            let mut ident = String::new();
+            while let Some(n) = cur.peek() {
+                if is_ident_continue(n) {
+                    ident.push(n);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            text.push_str(&ident);
+            if cur.peek() == Some('\'') && ident.chars().count() == 1 {
+                text.push('\'');
+                cur.bump();
+                TokKind::Char
+            } else {
+                TokKind::Lifetime
+            }
+        }
+        Some('\'') => {
+            // `''` — malformed; consume and move on as a char token.
+            text.push('\'');
+            cur.bump();
+            TokKind::Char
+        }
+        Some(other) => {
+            // Non-alphabetic single char literal: `'.'`, `'0'`.
+            text.push(other);
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                text.push('\'');
+                cur.bump();
+            }
+            TokKind::Char
+        }
+        None => TokKind::Char,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        tokenize(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let toks = tokenize("let x = 42;");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", "42", ";"]);
+        assert_eq!(toks[3].kind, TokKind::Number);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str) { let c = 'a'; }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn strings_swallow_embedded_tokens() {
+        let toks = tokenize(r#"let s = "no.lock()here"; s.lock()"#);
+        let locks = toks.iter().filter(|t| t.is_ident("lock")).count();
+        assert_eq!(locks, 1, "{toks:?}");
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = tokenize(r###"let a = r#"quote " inside"#; let r#try = 1;"###);
+        assert!(
+            toks.iter()
+                .any(|t| t.kind == TokKind::Str
+                    && t.str_value().as_deref() == Some("quote \" inside"))
+        );
+        assert!(toks.iter().any(|t| t.text == "r#try"));
+    }
+
+    #[test]
+    fn nested_block_comments_close() {
+        assert_eq!(
+            kinds("/* a /* b */ c */ x"),
+            [TokKind::BlockComment, TokKind::Ident]
+        );
+    }
+
+    #[test]
+    fn spans_are_one_based_and_advance() {
+        let toks = tokenize("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn str_value_decodes_escapes() {
+        let toks = tokenize(r#""a\nb""#);
+        assert_eq!(toks[0].str_value().as_deref(), Some("a\nb"));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["\"abc", "'x", "r#\"abc", "/* never closed", "b\"oops"] {
+            let _ = tokenize(src);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! DL001 — event-kind exhaustiveness.
+//!
+//! Every variant of `dope_trace::event::TraceEvent` must be handled by
+//! each trace consumer (codec, timeline, stats, replay) and mirrored in
+//! the `KINDS` catalogue. The enum carries `#[non_exhaustive]`-style
+//! growth pressure: a new variant compiles fine against a consumer with
+//! a `_ =>` arm, which is exactly the drift this pass exists to catch.
+
+use crate::findings::DlCode;
+use crate::scan;
+
+use super::Ctx;
+
+const EVENT_RS: &str = "crates/dope-trace/src/event.rs";
+const ENUM: &str = "TraceEvent";
+const CONSUMERS: [&str; 4] = [
+    "crates/dope-trace/src/codec.rs",
+    "crates/dope-trace/src/timeline.rs",
+    "crates/dope-trace/src/stats.rs",
+    "crates/dope-trace/src/replay.rs",
+];
+
+pub(crate) fn run(ctx: &mut Ctx<'_>) {
+    let Some(event_file) = ctx.ws().file(EVENT_RS) else {
+        ctx.missing(EVENT_RS);
+        return;
+    };
+    let Some(variants) = scan::enum_variants(event_file, ENUM) else {
+        ctx.missing(&format!("{EVENT_RS} (enum {ENUM})"));
+        return;
+    };
+    let enum_line = variants.first().map_or(1, |v| v.line);
+
+    // The KINDS catalogue must have exactly one entry per variant.
+    match scan::const_str_array(event_file, "KINDS") {
+        Some(kinds) => {
+            if kinds.len() != variants.len() {
+                ctx.emit(
+                    DlCode::EventKindExhaustiveness,
+                    EVENT_RS,
+                    kinds.first().map_or(enum_line, |k| k.1),
+                    format!(
+                        "KINDS lists {} kinds but {ENUM} has {} variants",
+                        kinds.len(),
+                        variants.len()
+                    ),
+                );
+            }
+        }
+        None => ctx.missing(&format!("{EVENT_RS} (const KINDS)")),
+    }
+
+    for consumer in CONSUMERS {
+        let Some(file) = ctx.ws().file(consumer) else {
+            ctx.missing(consumer);
+            continue;
+        };
+        let refs: Vec<String> = scan::path_refs(file, ENUM)
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect();
+        for variant in &variants {
+            if !refs.iter().any(|r| r == &variant.name) {
+                ctx.emit(
+                    DlCode::EventKindExhaustiveness,
+                    consumer,
+                    1,
+                    format!(
+                        "{ENUM}::{} (declared at {EVENT_RS}:{}) is not handled here",
+                        variant.name, variant.line
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! DL002 — metric-name drift.
+//!
+//! The canonical metric catalogue is `dope_metrics::names`: every
+//! `pub const` there must be listed in `names::ALL`, registered against
+//! a live registry somewhere in the workspace, and documented in the
+//! operator guide's metrics table — and nothing may be registered or
+//! documented under a name outside the catalogue.
+
+use std::collections::BTreeMap;
+
+use crate::findings::DlCode;
+use crate::lexer::TokKind;
+use crate::scan;
+use crate::workspace::SourceFile;
+
+use super::Ctx;
+
+const NAMES_RS: &str = "crates/dope-metrics/src/names.rs";
+const GUIDE_MD: &str = "docs/operator-guide.md";
+
+/// Registry methods whose first argument is a metric name.
+const REG_METHODS: [&str; 9] = [
+    "counter",
+    "gauge",
+    "histogram",
+    "counter_with_labels",
+    "gauge_with_labels",
+    "histogram_with_labels",
+    "register_counter",
+    "register_gauge",
+    "register_histogram",
+];
+
+pub(crate) fn run(ctx: &mut Ctx<'_>) {
+    let Some(names_file) = ctx.ws().file(NAMES_RS) else {
+        ctx.missing(NAMES_RS);
+        return;
+    };
+    // const ident -> (value, line)
+    let consts: BTreeMap<String, (String, u32)> = scan::str_consts(names_file)
+        .into_iter()
+        .map(|(name, value, line)| (name, (value, line)))
+        .collect();
+    let Some(all) = scan::const_ident_array(names_file, "ALL") else {
+        ctx.missing(&format!("{NAMES_RS} (const ALL)"));
+        return;
+    };
+
+    // Catalogue closure: ALL <-> the declared consts.
+    for (ident, line) in &all {
+        if !consts.contains_key(ident) {
+            ctx.emit(
+                DlCode::MetricNameDrift,
+                NAMES_RS,
+                *line,
+                format!("names::ALL lists `{ident}` but no such const is declared"),
+            );
+        }
+    }
+    for (ident, (_, line)) in &consts {
+        if !all.iter().any(|(a, _)| a == ident) {
+            ctx.emit(
+                DlCode::MetricNameDrift,
+                NAMES_RS,
+                *line,
+                format!("const `{ident}` is missing from names::ALL"),
+            );
+        }
+    }
+
+    // Registration sites: first argument of every registry method call.
+    let mut registered: Vec<String> = Vec::new();
+    for file in ctx.ws().files() {
+        if !file.rel.starts_with("crates/") || file.rel == NAMES_RS {
+            continue;
+        }
+        for (value, ident, line) in registrations(file, &consts) {
+            registered.push(value.clone());
+            let in_catalogue = match &ident {
+                Some(id) => consts.contains_key(id),
+                None => consts.values().any(|(v, _)| v == &value),
+            };
+            if !in_catalogue {
+                let rel = file.rel.clone();
+                ctx.emit(
+                    DlCode::MetricNameDrift,
+                    &rel,
+                    line,
+                    format!("metric `{value}` is registered here but absent from names::ALL"),
+                );
+            }
+        }
+    }
+    for (ident, (value, line)) in &consts {
+        if !registered.iter().any(|r| r == value) {
+            ctx.emit(
+                DlCode::MetricNameDrift,
+                NAMES_RS,
+                *line,
+                format!(
+                    "`{ident}` (`{value}`) is catalogued but never registered against a registry"
+                ),
+            );
+        }
+    }
+
+    // Operator-guide metrics table.
+    match ctx.ws().raw(GUIDE_MD) {
+        Ok(Some(guide)) => {
+            let documented = table_names(&guide);
+            for (name, line) in &documented {
+                if !consts.values().any(|(v, _)| v == name) {
+                    ctx.emit(
+                        DlCode::MetricNameDrift,
+                        GUIDE_MD,
+                        *line,
+                        format!("documented metric `{name}` is not in names::ALL"),
+                    );
+                }
+            }
+            for (ident, (value, line)) in &consts {
+                if !documented.iter().any(|(n, _)| n == value) {
+                    ctx.emit(
+                        DlCode::MetricNameDrift,
+                        NAMES_RS,
+                        *line,
+                        format!("`{ident}` (`{value}`) is missing from the {GUIDE_MD} table"),
+                    );
+                }
+            }
+        }
+        _ => ctx.missing(GUIDE_MD),
+    }
+}
+
+/// Extracts `(resolved_name, names_const_if_path, line)` for every
+/// registry-method call in non-test code. First arguments that are
+/// neither string literals nor `names::X` paths are skipped — they are
+/// runtime-computed and outside static reach.
+fn registrations(
+    file: &SourceFile,
+    consts: &BTreeMap<String, (String, u32)>,
+) -> Vec<(String, Option<String>, u32)> {
+    let mut out = Vec::new();
+    for method in REG_METHODS {
+        for idx in scan::method_calls(file, method) {
+            // idx is the method ident; the `(` follows, then the arg.
+            let arg: Vec<&crate::lexer::Token> = file.tokens[idx + 1..]
+                .iter()
+                .filter(|t| !t.is_comment())
+                .take(4)
+                .collect();
+            if arg.is_empty() || !arg[0].is_punct('(') {
+                continue;
+            }
+            match arg.get(1) {
+                Some(t) if t.kind == TokKind::Str => {
+                    if let Some(v) = t.str_value() {
+                        if v.starts_with("dope_") {
+                            out.push((v, None, t.line));
+                        }
+                    }
+                }
+                Some(t) if t.is_ident("names") => {
+                    if let (Some(c1), Some(c2), Some(id)) = (arg.get(2), arg.get(3), {
+                        file.tokens[idx + 1..]
+                            .iter()
+                            .filter(|t| !t.is_comment())
+                            .nth(4)
+                    }) {
+                        if c1.is_punct(':') && c2.is_punct(':') && id.kind == TokKind::Ident {
+                            let value = consts
+                                .get(&id.text)
+                                .map_or_else(|| format!("names::{}", id.text), |(v, _)| v.clone());
+                            out.push((value, Some(id.text.clone()), id.line));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Backticked `dope_*` names in markdown table rows (`| \`name\` | ...`).
+fn table_names(markdown: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for (i, line) in markdown.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with("| `dope_") {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("| `") {
+            if let Some(end) = rest.find('`') {
+                let line_no = u32::try_from(i + 1).unwrap_or(u32::MAX);
+                out.push((rest[..end].to_string(), line_no));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,117 @@
+//! DL003 — DV-code drift.
+//!
+//! The `DV0xx` diagnostics raised by `dope-verify` are a stable public
+//! contract: the catalogue lives in `DiagCode` (`dope-core`), the
+//! `Error::code()` mapping feeds it, and `docs/event-schema.md`
+//! documents every code. This pass keeps the three in lockstep.
+
+use std::collections::BTreeMap;
+
+use crate::findings::DlCode;
+use crate::lexer::TokKind;
+use crate::scan;
+
+use super::Ctx;
+
+const DIAG_RS: &str = "crates/dope-core/src/diag.rs";
+const ERROR_RS: &str = "crates/dope-core/src/error.rs";
+const SCHEMA_MD: &str = "docs/event-schema.md";
+
+pub(crate) fn run(ctx: &mut Ctx<'_>) {
+    let Some(diag_file) = ctx.ws().file(DIAG_RS) else {
+        ctx.missing(DIAG_RS);
+        return;
+    };
+    // Catalogued DV strings: every `"DVnnn"` literal in non-test code.
+    let mut catalogued: BTreeMap<String, u32> = BTreeMap::new();
+    for (idx, tok) in diag_file.code_tokens() {
+        if tok.kind == TokKind::Str && !diag_file.in_test_code(idx) {
+            if let Some(v) = tok.str_value() {
+                if is_dv_code(&v) {
+                    catalogued.entry(v).or_insert(tok.line);
+                }
+            }
+        }
+    }
+    if catalogued.is_empty() {
+        ctx.missing(&format!("{DIAG_RS} (DV catalogue)"));
+        return;
+    }
+    let diag_variants: Vec<String> = scan::enum_variants(diag_file, "DiagCode")
+        .map(|vs| vs.into_iter().map(|v| v.name).collect())
+        .unwrap_or_default();
+
+    // Error::code() must only name catalogued DiagCode variants.
+    match ctx.ws().file(ERROR_RS) {
+        Some(error_file) => {
+            for (variant, line) in scan::path_refs(error_file, "DiagCode") {
+                if !diag_variants.iter().any(|v| v == &variant) {
+                    ctx.emit(
+                        DlCode::DvCodeDrift,
+                        ERROR_RS,
+                        line,
+                        format!("Error::code() names DiagCode::{variant}, which does not exist"),
+                    );
+                }
+            }
+        }
+        None => ctx.missing(ERROR_RS),
+    }
+
+    // Docs <-> catalogue closure.
+    match ctx.ws().raw(SCHEMA_MD) {
+        Ok(Some(schema)) => {
+            let documented = doc_dv_codes(&schema);
+            for (code, line) in &documented {
+                if !catalogued.contains_key(code) {
+                    ctx.emit(
+                        DlCode::DvCodeDrift,
+                        SCHEMA_MD,
+                        *line,
+                        format!("documented diagnostic `{code}` is not in the DiagCode catalogue"),
+                    );
+                }
+            }
+            for (code, line) in &catalogued {
+                if !documented.iter().any(|(c, _)| c == code) {
+                    ctx.emit(
+                        DlCode::DvCodeDrift,
+                        DIAG_RS,
+                        *line,
+                        format!("catalogued diagnostic `{code}` is not documented in {SCHEMA_MD}"),
+                    );
+                }
+            }
+        }
+        _ => ctx.missing(SCHEMA_MD),
+    }
+}
+
+fn is_dv_code(s: &str) -> bool {
+    s.len() == 5 && s.starts_with("DV") && s[2..].bytes().all(|b| b.is_ascii_digit())
+}
+
+/// Every distinct `DVnnn` mention in the markdown, with first line.
+fn doc_dv_codes(markdown: &str) -> Vec<(String, u32)> {
+    let mut out: Vec<(String, u32)> = Vec::new();
+    for (i, line) in markdown.lines().enumerate() {
+        let bytes = line.as_bytes();
+        let mut j = 0;
+        // Byte-wise scan: markdown may contain non-ASCII, so string
+        // slicing at arbitrary offsets is not safe.
+        while j + 5 <= bytes.len() {
+            let hit = bytes[j] == b'D'
+                && bytes[j + 1] == b'V'
+                && bytes[j + 2..j + 5].iter().all(u8::is_ascii_digit)
+                && (j + 5 == bytes.len() || !bytes[j + 5].is_ascii_digit());
+            if hit {
+                let candidate = String::from_utf8_lossy(&bytes[j..j + 5]).into_owned();
+                if !out.iter().any(|(c, _)| c == &candidate) {
+                    out.push((candidate, u32::try_from(i + 1).unwrap_or(u32::MAX)));
+                }
+            }
+            j += 1;
+        }
+    }
+    out
+}

@@ -1,0 +1,528 @@
+//! DL004 — lock-order discipline.
+//!
+//! `crates/dope-lint/lock-order.txt` declares a total acquisition order
+//! over the runtime's locks (one `rank name` pair per line, ascending).
+//! This pass reconstructs the acquisition graph of `dope-runtime` —
+//! which locks are taken while which others are held, including through
+//! local function calls — and reports:
+//!
+//! * `.lock()` calls on locks absent from the manifest;
+//! * acquisitions that violate the declared order (equal or descending
+//!   rank while a lock is held), which covers every potential cycle.
+//!
+//! The held-region model follows Rust temporary-lifetime rules for the
+//! shapes the runtime actually uses: `let g = x.lock();` holds to the
+//! end of the enclosing block; a `.lock()` inside a `for`/`if`/`while`/
+//! `match` header holds through the following block; any other use is a
+//! statement temporary held to the next `;`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::findings::DlCode;
+use crate::lexer::{TokKind, Token};
+use crate::workspace::SourceFile;
+
+use super::Ctx;
+
+const MANIFEST: &str = "crates/dope-lint/lock-order.txt";
+const SCOPE: &str = "crates/dope-runtime/src/";
+
+pub(crate) fn run(ctx: &mut Ctx<'_>) {
+    let manifest = match ctx.ws().raw(MANIFEST) {
+        Ok(Some(text)) => text,
+        _ => {
+            ctx.missing(MANIFEST);
+            return;
+        }
+    };
+    let ranks = match parse_manifest(&manifest) {
+        Ok(ranks) => ranks,
+        Err(msg) => {
+            ctx.emit(DlCode::LockOrder, MANIFEST, 1, msg);
+            return;
+        }
+    };
+
+    let files: Vec<&SourceFile> = ctx
+        .ws()
+        .files()
+        .iter()
+        .filter(|f| f.rel.starts_with(SCOPE))
+        .collect();
+    if files.is_empty() {
+        ctx.missing(SCOPE);
+        return;
+    }
+
+    // Types with an `impl` block in the scanned files: a qualified call
+    // `Q::f()` only feeds the call graph when `Q` is one of these (or
+    // `Self`), so `Arc::new` / `Vec::new` do not inherit the locks of
+    // some local constructor that happens to share the name.
+    let mut local_types: BTreeSet<String> = BTreeSet::new();
+    for file in &files {
+        local_types.extend(impl_ranges(file).into_iter().map(|r| r.2));
+    }
+
+    // First sweep: per-function direct acquisitions, nesting edges, and
+    // call sites annotated with the locks held at the call. Functions
+    // are keyed `Type::name` inside an impl block, bare `name` outside.
+    let mut functions: BTreeMap<String, FnInfo> = BTreeMap::new();
+    for file in &files {
+        for func in scan_functions(file, &local_types) {
+            let entry = functions.entry(func.name.clone()).or_default();
+            entry.direct.extend(func.direct.iter().cloned());
+            entry.edges.extend(func.edges.iter().cloned());
+            entry.calls.extend(func.calls.iter().cloned());
+        }
+    }
+
+    // `.method(` receivers are untyped here, so a method call resolves
+    // to every scanned function with that method name.
+    let mut by_method: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for key in functions.keys() {
+        let method = key.rsplit("::").next().unwrap_or(key).to_string();
+        by_method.entry(method).or_default().push(key.clone());
+    }
+    let resolve = |call: &CallSite| -> Vec<String> {
+        if call.is_method {
+            by_method.get(&call.callee).cloned().unwrap_or_default()
+        } else {
+            vec![call.callee.clone()]
+        }
+    };
+
+    // Fixpoint: the set of locks each function may acquire, transitively
+    // through calls into other scanned functions.
+    let mut acquires: BTreeMap<String, BTreeSet<String>> = functions
+        .iter()
+        .map(|(name, f)| {
+            (
+                name.clone(),
+                f.direct.iter().map(|a| a.lock.clone()).collect(),
+            )
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for (name, f) in &functions {
+            let mut grown: BTreeSet<String> = acquires[name].clone();
+            for call in &f.calls {
+                for callee in resolve(call) {
+                    if let Some(callee_locks) = acquires.get(&callee) {
+                        grown.extend(callee_locks.iter().cloned());
+                    }
+                }
+            }
+            if grown.len() > acquires[name].len() {
+                acquires.insert(name.clone(), grown);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Collect every nesting edge: direct ones, plus held-across-call
+    // edges into everything the callee transitively acquires.
+    let mut edges: BTreeSet<Edge> = BTreeSet::new();
+    let mut undeclared: BTreeSet<(String, String, u32)> = BTreeSet::new();
+    for f in functions.values() {
+        for acq in &f.direct {
+            if !ranks.contains_key(&acq.lock) {
+                undeclared.insert((acq.file.clone(), acq.lock.clone(), acq.line));
+            }
+        }
+        edges.extend(f.edges.iter().cloned());
+        for call in &f.calls {
+            for callee in resolve(call) {
+                let Some(callee_locks) = acquires.get(&callee) else {
+                    continue;
+                };
+                for held in &call.held {
+                    for inner in callee_locks {
+                        edges.insert(Edge {
+                            outer: held.clone(),
+                            inner: format!("{inner} (via {callee}())"),
+                            inner_lock: inner.clone(),
+                            file: call.file.clone(),
+                            line: call.line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    for (file, lock, line) in undeclared {
+        ctx.emit(
+            DlCode::LockOrder,
+            &file,
+            line,
+            format!("lock `{lock}` is acquired here but not declared in {MANIFEST}"),
+        );
+    }
+    for edge in edges {
+        let (Some(&outer_rank), Some(&inner_rank)) =
+            (ranks.get(&edge.outer), ranks.get(&edge.inner_lock))
+        else {
+            continue; // undeclared locks already reported above
+        };
+        if inner_rank <= outer_rank {
+            let kind = if edge.inner_lock == edge.outer {
+                "re-entrant acquisition of".to_string()
+            } else {
+                format!("order violation: rank {inner_rank} acquired under rank {outer_rank},")
+            };
+            ctx.emit(
+                DlCode::LockOrder,
+                &edge.file,
+                edge.line,
+                format!("{kind} `{}` while `{}` is held", edge.inner, edge.outer),
+            );
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct FnInfo {
+    direct: Vec<Acquire>,
+    edges: Vec<Edge>,
+    calls: Vec<CallSite>,
+}
+
+#[derive(Debug, Clone)]
+struct Acquire {
+    lock: String,
+    file: String,
+    line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Edge {
+    outer: String,
+    /// Display form of the inner lock (may carry a `via f()` note).
+    inner: String,
+    inner_lock: String,
+    file: String,
+    line: u32,
+}
+
+#[derive(Debug, Clone)]
+struct CallSite {
+    /// Qualified key (`Type::f` / free `f`) or, for `.f(` method calls,
+    /// the bare method name resolved against every scanned impl.
+    callee: String,
+    is_method: bool,
+    held: Vec<String>,
+    file: String,
+    line: u32,
+}
+
+/// How long an acquired guard stays held.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Release {
+    /// Statement temporary: released at the next `;` at this depth.
+    AtSemi(usize),
+    /// `let` binding: released when the enclosing block (entered at
+    /// this depth) closes.
+    AtBlockClose(usize),
+    /// Header temporary (`for`/`if`/`while`/`match`): armed until the
+    /// next `{` opens, then held until that block closes.
+    ThroughNextBlock,
+}
+
+#[derive(Debug, Clone)]
+struct Held {
+    lock: String,
+    release: Release,
+}
+
+/// `impl` blocks in this file, as `(start, end, type_name)` over the
+/// comment-filtered token index space. The name is the ident after
+/// `impl` (skipping a generic parameter list), or after `for` in
+/// `impl Trait for Type`.
+fn impl_ranges(file: &SourceFile) -> Vec<(usize, usize, String)> {
+    let toks: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("impl") {
+            let start = i;
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_punct('<') {
+                let mut depth = 0usize;
+                while j < toks.len() {
+                    if toks[j].is_punct('<') {
+                        depth += 1;
+                    } else if toks[j].is_punct('>') {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            // Walk to the body `{`, remembering the last plain ident
+            // seen at path tail position; `for` resets it so that
+            // `impl Trait for Type` yields `Type`.
+            let mut name: Option<String> = None;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                if toks[j].kind == TokKind::Ident && !toks[j].is_ident("for") {
+                    name = Some(toks[j].text.clone());
+                } else if toks[j].is_punct('<') {
+                    // Generic arguments of the type/trait: skip.
+                    let mut depth = 0usize;
+                    while j < toks.len() {
+                        if toks[j].is_punct('<') {
+                            depth += 1;
+                        } else if toks[j].is_punct('>') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                }
+                j += 1;
+            }
+            // Brace-match the impl body to find the range end.
+            let mut depth = 0usize;
+            let mut end = toks.len();
+            while j < toks.len() {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = j;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if let Some(name) = name {
+                out.push((start, end, name));
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Scans every `fn name(...) { ... }` in the file, ignoring test code.
+/// Functions are keyed `Type::name` inside an `impl Type` block.
+fn scan_functions(file: &SourceFile, local_types: &BTreeSet<String>) -> Vec<ScannedFn> {
+    let toks: Vec<(usize, &Token)> = file.code_tokens().collect();
+    let impls = impl_ranges(file);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].1.is_ident("fn")
+            && toks[i + 1].1.kind == TokKind::Ident
+            && !file.in_test_code(toks[i].0)
+        {
+            let impl_type = impls
+                .iter()
+                .find(|(start, end, _)| i > *start && i < *end)
+                .map(|(_, _, name)| name.as_str());
+            let name = match impl_type {
+                Some(ty) => format!("{ty}::{}", toks[i + 1].1.text),
+                None => toks[i + 1].1.text.clone(),
+            };
+            // Find the body `{` after the signature: the first `{` at
+            // zero paren depth (skips parameter defaults and generics).
+            let mut j = i + 2;
+            let mut paren = 0usize;
+            let mut body_open = None;
+            while j < toks.len() {
+                let t = toks[j].1;
+                if t.is_punct('(') {
+                    paren += 1;
+                } else if t.is_punct(')') {
+                    paren = paren.saturating_sub(1);
+                } else if t.is_punct(';') && paren == 0 {
+                    break; // trait method declaration, no body
+                } else if t.is_punct('{') && paren == 0 {
+                    body_open = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(open) = body_open {
+                let (scanned, end) = scan_body(file, &toks, open, &name, local_types);
+                out.push(scanned);
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+struct ScannedFn {
+    name: String,
+    direct: Vec<Acquire>,
+    edges: Vec<Edge>,
+    calls: Vec<CallSite>,
+}
+
+/// Walks one brace-matched function body, tracking held guards,
+/// nesting edges, and call sites. Returns the scan plus the index (in
+/// `toks`) just past the closing brace.
+fn scan_body(
+    file: &SourceFile,
+    toks: &[(usize, &Token)],
+    open: usize,
+    fn_name: &str,
+    local_types: &BTreeSet<String>,
+) -> (ScannedFn, usize) {
+    let mut scanned = ScannedFn {
+        name: fn_name.to_string(),
+        direct: Vec::new(),
+        edges: Vec::new(),
+        calls: Vec::new(),
+    };
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0usize;
+    let mut stmt_head: Option<String> = None;
+    let mut j = open;
+    while j < toks.len() {
+        let t = toks[j].1;
+        if t.is_punct('{') {
+            depth += 1;
+            for h in &mut held {
+                if h.release == Release::ThroughNextBlock {
+                    h.release = Release::AtBlockClose(depth);
+                }
+            }
+            stmt_head = None;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            held.retain(|h| match h.release {
+                Release::AtBlockClose(d) | Release::AtSemi(d) => d <= depth,
+                Release::ThroughNextBlock => true,
+            });
+            stmt_head = None;
+            if depth == 0 {
+                return (scanned, j + 1);
+            }
+        } else if t.is_punct(';') {
+            held.retain(|h| h.release != Release::AtSemi(depth));
+            stmt_head = None;
+        } else if stmt_head.is_none() && t.kind == TokKind::Ident {
+            stmt_head = Some(t.text.clone());
+        }
+
+        // `.lock()` acquisition on a plain-identifier receiver.
+        if j + 2 < toks.len()
+            && t.is_punct('.')
+            && toks[j + 1].1.is_ident("lock")
+            && toks[j + 2].1.is_punct('(')
+            && j > open
+            && toks[j - 1].1.kind == TokKind::Ident
+        {
+            let lock = toks[j - 1].1.text.clone();
+            let line = toks[j + 1].1.line;
+            scanned.direct.push(Acquire {
+                lock: lock.clone(),
+                file: file.rel.clone(),
+                line,
+            });
+            for h in &held {
+                scanned.edges.push(Edge {
+                    outer: h.lock.clone(),
+                    inner: lock.clone(),
+                    inner_lock: lock.clone(),
+                    file: file.rel.clone(),
+                    line,
+                });
+            }
+            // Decide the hold region from the statement shape.
+            let after_call = toks[j + 3..]
+                .iter()
+                .position(|(_, t)| t.is_punct(')'))
+                .map(|off| j + 3 + off + 1);
+            let next_is_semi =
+                after_call.is_some_and(|k| k < toks.len() && toks[k].1.is_punct(';'));
+            let release = match stmt_head.as_deref() {
+                Some("let") if next_is_semi => Release::AtBlockClose(depth),
+                Some("for" | "if" | "while" | "match") => Release::ThroughNextBlock,
+                _ => Release::AtSemi(depth),
+            };
+            held.push(Held { lock, release });
+            j += 3;
+            continue;
+        }
+
+        // Call sites: `Type::f(`, `f(`, or `.f(` — recorded for the
+        // fixpoint. Path-qualified calls count only when the qualifier
+        // is a locally-implemented type (or `Self`); foreign calls like
+        // `Arc::new` must not inherit a local `fn new`'s locks.
+        if t.kind == TokKind::Ident
+            && j + 1 < toks.len()
+            && toks[j + 1].1.is_punct('(')
+            && !t.is_ident("lock")
+            && !(j > 0 && toks[j - 1].1.is_ident("fn"))
+        {
+            let callee =
+                if j >= open + 3 && toks[j - 1].1.is_punct(':') && toks[j - 2].1.is_punct(':') {
+                    let q = toks[j - 3].1;
+                    if q.is_ident("Self") {
+                        // Resolve Self:: against the enclosing impl type,
+                        // recoverable from the qualified function key.
+                        fn_name
+                            .rsplit_once("::")
+                            .map(|(ty, _)| Some((format!("{ty}::{}", t.text), false)))
+                            .unwrap_or(None)
+                    } else if q.kind == TokKind::Ident && local_types.contains(&q.text) {
+                        Some((format!("{}::{}", q.text, t.text), false))
+                    } else {
+                        None // foreign path: Arc::new, mpsc::channel, ...
+                    }
+                } else if j > open && toks[j - 1].1.is_punct('.') {
+                    Some((t.text.clone(), true))
+                } else {
+                    Some((t.text.clone(), false))
+                };
+            if let Some((callee, is_method)) = callee {
+                scanned.calls.push(CallSite {
+                    callee,
+                    is_method,
+                    held: held.iter().map(|h| h.lock.clone()).collect(),
+                    file: file.rel.clone(),
+                    line: t.line,
+                });
+            }
+        }
+        j += 1;
+    }
+    (scanned, toks.len())
+}
+
+/// Parses `rank name` lines; `#` comments and blanks allowed.
+fn parse_manifest(text: &str) -> Result<BTreeMap<String, u32>, String> {
+    let mut ranks = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rank), Some(name), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!("manifest line {} is not `rank name`", i + 1));
+        };
+        let rank: u32 = rank
+            .parse()
+            .map_err(|_| format!("manifest line {}: bad rank `{rank}`", i + 1))?;
+        if ranks.insert(name.to_string(), rank).is_some() {
+            return Err(format!("manifest line {}: duplicate lock `{name}`", i + 1));
+        }
+    }
+    Ok(ranks)
+}

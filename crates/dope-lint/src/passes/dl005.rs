@@ -1,0 +1,101 @@
+//! DL005 — forbidden APIs in hot paths.
+//!
+//! Three families, each scoped to where they actually hurt:
+//!
+//! * `unwrap()` / `expect()` anywhere in `dope-runtime` — the executive
+//!   must degrade through `Error` / `FailurePolicy`, never panic;
+//! * unbounded channel construction (`unbounded()`, `mpsc::channel()`)
+//!   in `dope-runtime` — queues between executive, monitor, and pool
+//!   must have a stated bound or a waiver explaining the implicit one;
+//! * `Instant::now()` inside `dope-trace` — record paths take their
+//!   timestamps from the recorder's single clock anchor so replay stays
+//!   deterministic.
+//!
+//! Waive with `// dope-lint: allow(DL005): <reason>` on or above the
+//! offending line; the reason is mandatory.
+
+use crate::findings::DlCode;
+use crate::lexer::TokKind;
+use crate::scan;
+
+use super::Ctx;
+
+const RUNTIME: &str = "crates/dope-runtime/src/";
+const TRACE: &str = "crates/dope-trace/src/";
+
+pub(crate) fn run(ctx: &mut Ctx<'_>) {
+    let mut saw_runtime = false;
+    let mut saw_trace = false;
+    let mut hits: Vec<(String, u32, String)> = Vec::new();
+
+    for file in ctx.ws().files() {
+        if file.rel.starts_with(RUNTIME) {
+            saw_runtime = true;
+            for method in ["unwrap", "expect"] {
+                for idx in scan::method_calls(file, method) {
+                    hits.push((
+                        file.rel.clone(),
+                        file.tokens[idx].line,
+                        format!("`{method}()` in runtime code; return an Error or waive"),
+                    ));
+                }
+            }
+            let toks: Vec<_> = file.code_tokens().collect();
+            for w in toks.windows(2) {
+                let (idx, t) = w[0];
+                if t.is_ident("unbounded") && w[1].1.is_punct('(') && !file.in_test_code(idx) {
+                    hits.push((
+                        file.rel.clone(),
+                        t.line,
+                        "unbounded channel constructed in runtime code".to_string(),
+                    ));
+                }
+            }
+            for w in toks.windows(4) {
+                if w[0].1.is_ident("mpsc")
+                    && w[1].1.is_punct(':')
+                    && w[2].1.is_punct(':')
+                    && w[3].1.is_ident("channel")
+                    && !file.in_test_code(w[0].0)
+                {
+                    hits.push((
+                        file.rel.clone(),
+                        w[3].1.line,
+                        "`mpsc::channel()` is unbounded; bound it or waive with the implicit bound"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        if file.rel.starts_with(TRACE) {
+            saw_trace = true;
+            let toks: Vec<_> = file.code_tokens().collect();
+            for w in toks.windows(4) {
+                if w[0].1.is_ident("Instant")
+                    && w[1].1.is_punct(':')
+                    && w[2].1.is_punct(':')
+                    && w[3].1.is_ident("now")
+                    && w[3].1.kind == TokKind::Ident
+                    && !file.in_test_code(w[0].0)
+                {
+                    hits.push((
+                        file.rel.clone(),
+                        w[3].1.line,
+                        "`Instant::now()` in a record path; use the recorder clock anchor"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+
+    if !saw_runtime {
+        ctx.missing(RUNTIME);
+    }
+    if !saw_trace {
+        ctx.missing(TRACE);
+    }
+    for (file, line, message) in hits {
+        ctx.emit(DlCode::ForbiddenApi, &file, line, message);
+    }
+}

@@ -1,0 +1,112 @@
+//! DL006 — the additive-field contract.
+//!
+//! The JSONL trace schema promises consumers that fields and kinds are
+//! added, never removed or renamed (`docs/event-schema.md`). The
+//! committed baseline `crates/dope-lint/baseline/event-fields.txt`
+//! freezes the shape that has shipped: one line per record type —
+//! `Name field field ...` — covering `TraceRecord` and every
+//! `TraceEvent` variant. A field or variant present in the baseline but
+//! gone from the code is a contract violation; a new field or variant
+//! must be appended to the baseline in the same change (which is what
+//! makes removals impossible to disguise as renames).
+
+use std::collections::BTreeMap;
+
+use crate::findings::DlCode;
+use crate::scan;
+
+use super::Ctx;
+
+const BASELINE: &str = "crates/dope-lint/baseline/event-fields.txt";
+const EVENT_RS: &str = "crates/dope-trace/src/event.rs";
+
+pub(crate) fn run(ctx: &mut Ctx<'_>) {
+    let baseline_text = match ctx.ws().raw(BASELINE) {
+        Ok(Some(text)) => text,
+        _ => {
+            ctx.missing(BASELINE);
+            return;
+        }
+    };
+    let Some(event_file) = ctx.ws().file(EVENT_RS) else {
+        ctx.missing(EVENT_RS);
+        return;
+    };
+    let Some(variants) = scan::enum_variants(event_file, "TraceEvent") else {
+        ctx.missing(&format!("{EVENT_RS} (enum TraceEvent)"));
+        return;
+    };
+
+    // Current shape: TraceRecord's own fields plus every variant.
+    let mut current: BTreeMap<String, (Vec<String>, u32)> = BTreeMap::new();
+    match scan::struct_fields(event_file, "TraceRecord") {
+        Some(fields) => {
+            current.insert("TraceRecord".to_string(), (fields, 1));
+        }
+        None => ctx.missing(&format!("{EVENT_RS} (struct TraceRecord)")),
+    }
+    for v in variants {
+        current.insert(v.name.clone(), (v.fields, v.line));
+    }
+
+    let mut baseline: BTreeMap<String, (Vec<String>, u32)> = BTreeMap::new();
+    for (i, line) in baseline_text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace().map(str::to_string);
+        let Some(name) = parts.next() else { continue };
+        let line_no = u32::try_from(i + 1).unwrap_or(u32::MAX);
+        baseline.insert(name, (parts.collect(), line_no));
+    }
+
+    for (name, (fields, line)) in &baseline {
+        match current.get(name) {
+            None => ctx.emit(
+                DlCode::AdditiveField,
+                BASELINE,
+                *line,
+                format!("`{name}` is in the shipped schema baseline but gone from {EVENT_RS}"),
+            ),
+            Some((now, code_line)) => {
+                for field in fields {
+                    if !now.contains(field) {
+                        ctx.emit(
+                            DlCode::AdditiveField,
+                            EVENT_RS,
+                            *code_line,
+                            format!(
+                                "`{name}.{field}` was shipped (baseline line {line}) but has \
+                                 been removed or renamed"
+                            ),
+                        );
+                    }
+                }
+                for field in now {
+                    if !fields.contains(field) {
+                        ctx.emit(
+                            DlCode::AdditiveField,
+                            EVENT_RS,
+                            *code_line,
+                            format!(
+                                "new field `{name}.{field}` is not recorded in {BASELINE}; \
+                                 append it there"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    for (name, (_, code_line)) in &current {
+        if !baseline.contains_key(name) {
+            ctx.emit(
+                DlCode::AdditiveField,
+                EVENT_RS,
+                *code_line,
+                format!("new record type `{name}` is not recorded in {BASELINE}; append it there"),
+            );
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Loading a workspace tree into lexed, waiver-aware source files.
+//!
+//! The analyzer never parses `Cargo.toml`; it walks a fixed set of
+//! source roots under the workspace root (`crates/*/src`, the umbrella
+//! `src/`, `examples/`, and top-level `tests/`) so that fixture corpora
+//! — miniature trees mirroring the real relative layout — load exactly
+//! like the real workspace.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::findings::DlCode;
+use crate::lexer::{tokenize, TokKind, Token};
+
+/// A waiver comment: `// dope-lint: allow(DL005): reason`.
+///
+/// A waiver suppresses findings of its code anchored on the comment's
+/// own line or the line directly below it (so it can sit on its own
+/// line above the offending statement or trail it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// The waived code.
+    pub code: DlCode,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// The justification text after the second colon. Never empty — a
+    /// reasonless waiver is ignored (and the finding stays live).
+    pub reason: String,
+}
+
+/// One lexed source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel: String,
+    /// The raw text.
+    pub text: String,
+    /// The token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Half-open token-index ranges covering `#[cfg(test)] mod` bodies.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Waivers declared in comments, in line order.
+    pub waivers: Vec<Waiver>,
+}
+
+impl SourceFile {
+    pub(crate) fn from_text(rel: String, text: String) -> SourceFile {
+        let tokens = tokenize(&text);
+        let test_ranges = find_test_ranges(&tokens);
+        let waivers = find_waivers(&tokens);
+        SourceFile {
+            rel,
+            text,
+            tokens,
+            test_ranges,
+            waivers,
+        }
+    }
+
+    /// True when the token at `idx` lies inside a `#[cfg(test)] mod`.
+    #[must_use]
+    pub fn in_test_code(&self, idx: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(start, end)| idx >= start && idx < end)
+    }
+
+    /// True when a finding of `code` anchored at `line` is waived by a
+    /// comment on that line or the line above.
+    #[must_use]
+    pub fn is_waived(&self, code: DlCode, line: u32) -> bool {
+        self.waivers
+            .iter()
+            .any(|w| w.code == code && (w.line == line || w.line + 1 == line))
+    }
+
+    /// The non-comment tokens, with their original indices.
+    pub fn code_tokens(&self) -> impl Iterator<Item = (usize, &Token)> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+    }
+}
+
+/// The loaded workspace: every lexed source file plus the root path for
+/// reading non-Rust anchors (manifests, baselines, docs).
+#[derive(Debug)]
+pub struct Workspace {
+    root: PathBuf,
+    files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Walks `root` and lexes every `.rs` file under the analyzer's
+    /// source scope. Missing roots (e.g. a fixture with only one crate)
+    /// are fine; unreadable files are not.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error hit while walking or reading.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        if !root.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("workspace root `{}` is not a directory", root.display()),
+            ));
+        }
+        let mut files = Vec::new();
+        let crates = root.join("crates");
+        if crates.is_dir() {
+            let mut entries: Vec<PathBuf> = fs::read_dir(&crates)?
+                .collect::<io::Result<Vec<_>>>()?
+                .into_iter()
+                .map(|e| e.path())
+                .collect();
+            entries.sort();
+            for krate in entries {
+                let src = krate.join("src");
+                if src.is_dir() {
+                    walk_rs(root, &src, &mut files)?;
+                }
+            }
+        }
+        for top in ["src", "examples", "tests"] {
+            let dir = root.join(top);
+            if dir.is_dir() {
+                walk_rs(root, &dir, &mut files)?;
+            }
+        }
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+
+    /// The workspace root this tree was loaded from.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// All loaded files, sorted by relative path.
+    #[must_use]
+    pub fn files(&self) -> &[SourceFile] {
+        &self.files
+    }
+
+    /// The file at exactly this workspace-relative path, if loaded.
+    #[must_use]
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+
+    /// Reads a non-Rust anchor (manifest, baseline, markdown) relative
+    /// to the root. `None` when the file does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error only for failures other than absence.
+    pub fn raw(&self, rel: &str) -> io::Result<Option<String>> {
+        match fs::read_to_string(self.root.join(rel)) {
+            Ok(text) => Ok(Some(text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+fn walk_rs(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let text = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile::from_text(rel, text));
+        }
+    }
+    Ok(())
+}
+
+/// Finds `#[cfg(test)]` followed by `mod name {` and records the token
+/// range of the brace-matched body (attribute included).
+fn find_test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let code: Vec<(usize, &Token)> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_comment())
+        .collect();
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 6 < code.len() {
+        // #[cfg(test)]  — seven tokens: # [ cfg ( test ) ]
+        let window = &code[i..i + 7];
+        let is_cfg_test = window[0].1.is_punct('#')
+            && window[1].1.is_punct('[')
+            && window[2].1.is_ident("cfg")
+            && window[3].1.is_punct('(')
+            && window[4].1.is_ident("test")
+            && window[5].1.is_punct(')')
+            && window[6].1.is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip any further attributes, then expect `mod name {`.
+        let mut j = i + 7;
+        while j + 1 < code.len() && code[j].1.is_punct('#') && code[j + 1].1.is_punct('[') {
+            let mut depth = 0usize;
+            j += 1; // at `[`
+            while j < code.len() {
+                if code[j].1.is_punct('[') {
+                    depth += 1;
+                } else if code[j].1.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        let is_mod = j + 2 < code.len()
+            && code[j].1.is_ident("mod")
+            && code[j + 1].1.kind == TokKind::Ident
+            && code[j + 2].1.is_punct('{');
+        if is_mod {
+            let mut depth = 0usize;
+            let mut k = j + 2;
+            let mut end = code[i].0;
+            while k < code.len() {
+                if code[k].1.is_punct('{') {
+                    depth += 1;
+                } else if code[k].1.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = code[k].0 + 1;
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            if depth != 0 {
+                end = tokens.len(); // unbalanced file: everything after is test
+            }
+            ranges.push((code[i].0, end));
+            i = code
+                .iter()
+                .position(|&(idx, _)| idx >= end)
+                .unwrap_or(code.len());
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+/// Extracts `dope-lint: allow(DLxxx): reason` waivers from comments.
+fn find_waivers(tokens: &[Token]) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for tok in tokens.iter().filter(|t| t.is_comment()) {
+        let Some(at) = tok.text.find("dope-lint:") else {
+            continue;
+        };
+        let rest = tok.text[at + "dope-lint:".len()..].trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            continue;
+        };
+        let Ok(code) = args[..close].trim().parse::<DlCode>() else {
+            continue;
+        };
+        let tail = args[close + 1..].trim_start();
+        let Some(reason) = tail.strip_prefix(':') else {
+            continue;
+        };
+        let reason = reason.trim().trim_end_matches("*/").trim();
+        if reason.is_empty() {
+            continue; // a reasonless waiver does not suppress anything
+        }
+        waivers.push(Waiver {
+            code,
+            line: tok.line,
+            reason: reason.to_string(),
+        });
+    }
+    waivers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(text: &str) -> SourceFile {
+        SourceFile::from_text("lib.rs".into(), text.into())
+    }
+
+    #[test]
+    fn cfg_test_mod_ranges_cover_the_body() {
+        let f = file(
+            "fn live() { x.lock(); }\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n\
+             fn also_live() {}\n",
+        );
+        let unwrap_idx = f.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        let lock_idx = f.tokens.iter().position(|t| t.is_ident("lock")).unwrap();
+        let live_idx = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("also_live"))
+            .unwrap();
+        assert!(f.in_test_code(unwrap_idx));
+        assert!(!f.in_test_code(lock_idx));
+        assert!(!f.in_test_code(live_idx));
+    }
+
+    #[test]
+    fn attributes_between_cfg_and_mod_are_skipped() {
+        let f = file("#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn t() {} }\n");
+        assert_eq!(f.test_ranges.len(), 1);
+    }
+
+    #[test]
+    fn waivers_parse_and_apply_to_both_lines() {
+        let f = file(
+            "// dope-lint: allow(DL005): startup only, cannot fail after validation\n\
+             let x = y.unwrap();\n",
+        );
+        assert_eq!(f.waivers.len(), 1);
+        assert_eq!(f.waivers[0].code, DlCode::ForbiddenApi);
+        assert!(f.is_waived(DlCode::ForbiddenApi, 1));
+        assert!(f.is_waived(DlCode::ForbiddenApi, 2));
+        assert!(!f.is_waived(DlCode::ForbiddenApi, 3));
+        assert!(!f.is_waived(DlCode::LockOrder, 2));
+    }
+
+    #[test]
+    fn reasonless_or_malformed_waivers_are_ignored() {
+        let f = file(
+            "// dope-lint: allow(DL005):\n\
+             // dope-lint: allow(DL005)\n\
+             // dope-lint: allow(DL999): nope\n\
+             // dope-lint: deny(DL005): nope\n",
+        );
+        assert!(f.waivers.is_empty());
+    }
+
+    #[test]
+    fn trailing_waiver_on_same_line_counts() {
+        let f = file("let x = y.unwrap(); // dope-lint: allow(DL005): checked above\n");
+        assert!(f.is_waived(DlCode::ForbiddenApi, 1));
+    }
+}

@@ -1,0 +1,6 @@
+/// Miniature trace event enum for the DL001 fixture.
+pub enum TraceEvent {
+    Launched { mechanism: String },
+    Finished { completed: u64 },
+}
+pub const KINDS: [&str; 2] = ["Launched", "Finished"];

@@ -1,0 +1,7 @@
+use crate::event::TraceEvent;
+pub fn handle(e: &TraceEvent) {
+    match e {
+        TraceEvent::Launched { .. } => {}
+        _ => {}
+    }
+}

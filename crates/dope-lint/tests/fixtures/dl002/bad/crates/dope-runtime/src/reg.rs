@@ -1,0 +1,5 @@
+use dope_metrics::names;
+pub fn install(registry: &Registry) {
+    registry.counter(names::UP_TOTAL, "ups");
+    registry.gauge(names::DOWN, "downs");
+}

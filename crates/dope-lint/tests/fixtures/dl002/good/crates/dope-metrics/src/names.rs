@@ -1,0 +1,4 @@
+/// Canonical metric names for the DL002 fixture.
+pub const UP_TOTAL: &str = "dope_up_total";
+pub const DOWN: &str = "dope_down";
+pub const ALL: &[&str] = &[UP_TOTAL, DOWN];

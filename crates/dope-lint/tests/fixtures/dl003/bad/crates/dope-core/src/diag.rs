@@ -1,0 +1,13 @@
+/// Diagnostic catalogue for the DL003 fixture.
+pub enum DiagCode {
+    BadShape,
+    BadBudget,
+}
+impl DiagCode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::BadShape => "DV001",
+            DiagCode::BadBudget => "DV002",
+        }
+    }
+}

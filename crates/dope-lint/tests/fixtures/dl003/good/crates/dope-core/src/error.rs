@@ -1,0 +1,13 @@
+use crate::diag::DiagCode;
+pub enum Error {
+    Shape,
+    Budget,
+}
+impl Error {
+    pub fn code(&self) -> DiagCode {
+        match self {
+            Error::Shape => DiagCode::BadShape,
+            Error::Budget => DiagCode::BadBudget,
+        }
+    }
+}

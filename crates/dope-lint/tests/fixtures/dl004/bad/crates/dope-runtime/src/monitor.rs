@@ -1,0 +1,13 @@
+use parking_lot::Mutex;
+pub struct Shared {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+impl Shared {
+    pub fn descending(&self) {
+        let held = self.beta.lock();
+        let inner = self.alpha.lock();
+        drop(inner);
+        drop(held);
+    }
+}

@@ -1,0 +1,22 @@
+use parking_lot::Mutex;
+pub struct Shared {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+impl Shared {
+    pub fn ascending(&self) {
+        let held = self.alpha.lock();
+        let inner = self.beta.lock();
+        drop(inner);
+        drop(held);
+    }
+    pub fn via_call(&self) {
+        let held = self.alpha.lock();
+        self.take_beta();
+        drop(held);
+    }
+    fn take_beta(&self) {
+        let b = self.beta.lock();
+        drop(b);
+    }
+}

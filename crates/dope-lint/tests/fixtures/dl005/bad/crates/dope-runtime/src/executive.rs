@@ -1,0 +1,6 @@
+pub fn run() {
+    let maybe: Option<u32> = None;
+    let _ = maybe.unwrap();
+    let (_tx, _rx) = mpsc::channel::<u32>();
+    let (_a, _b) = unbounded();
+}

@@ -1,0 +1,3 @@
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,8 @@
+pub fn run() {
+    let maybe: Option<u32> = None;
+    // dope-lint: allow(DL005): fixture waiver with a reason
+    let _ = maybe.unwrap();
+    // dope-lint: allow(DL005): depth bounded by the fixture's one send
+    let (_tx, _rx) = mpsc::channel::<u32>();
+    let (_a, _b) = unbounded(); // dope-lint: allow(DL005): trailing waiver
+}

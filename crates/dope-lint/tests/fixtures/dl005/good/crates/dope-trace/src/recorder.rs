@@ -1,0 +1,4 @@
+pub fn stamp() -> Instant {
+    // dope-lint: allow(DL005): the fixture's sanctioned clock anchor
+    Instant::now()
+}

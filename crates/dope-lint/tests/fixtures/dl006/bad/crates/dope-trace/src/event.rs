@@ -1,0 +1,8 @@
+pub struct TraceRecord {
+    pub seq: u64,
+    pub event: TraceEvent,
+}
+pub enum TraceEvent {
+    Launched { mechanism: String },
+    Finished { completed: u64 },
+}

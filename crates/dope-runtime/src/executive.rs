@@ -240,7 +240,11 @@ impl Dope {
     /// [`Error::Usage`] carrying the downcast panic payload so operators
     /// see *why* the executive died, not just that it did.
     pub fn wait(mut self) -> Result<RunReport> {
-        let handle = self.control.take().expect("wait called once");
+        let Some(handle) = self.control.take() else {
+            return Err(Error::Usage(
+                "wait() may only be called once per Dope instance".to_string(),
+            ));
+        };
         handle.join().map_err(|payload| {
             Error::Usage(format!(
                 "executive control thread panicked: {}",
@@ -350,7 +354,7 @@ impl Dope {
                     exec_metrics.as_ref(),
                 )
             })
-            .expect("spawning the executive thread");
+            .map_err(|err| Error::Usage(format!("spawning the executive thread failed: {err}")))?;
 
         Ok(Dope {
             control: Some(control),
@@ -493,6 +497,7 @@ fn run_control_loop(
         shared.suspend.store(false, Ordering::Release);
         let suspend = Arc::clone(&shared.suspend);
 
+        // dope-lint: allow(DL005): depth is bounded by the epoch's job count — every sender is one submitted job, and the epoch drains before the next one launches
         let (done_tx, done_rx) = mpsc::channel::<(TaskPath, TaskOutcome)>();
         let outstanding = epoch.jobs.len();
         // Replicas submitted per path, decremented as outcomes arrive:

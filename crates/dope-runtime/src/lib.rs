@@ -50,6 +50,7 @@
 
 pub mod executive;
 pub mod instance;
+mod lockrank;
 pub mod monitor;
 pub mod pool;
 

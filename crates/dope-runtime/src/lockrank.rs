@@ -1,0 +1,206 @@
+//! Debug-only lock-rank enforcement: the dynamic half of DL004.
+//!
+//! `crates/dope-lint/lock-order.txt` declares a total acquisition order
+//! over the runtime's locks, and `dope-lint` checks it statically. This
+//! module enforces the same order at runtime in debug builds: every
+//! runtime lock is a [`RankedMutex`] carrying its manifest rank, each
+//! acquisition pushes onto a thread-local stack of held ranks, and
+//! acquiring a rank less than or equal to the current top panics with
+//! both lock names. The static pass catches what it can see; this guard
+//! catches what it can't (acquisition paths through closures, trait
+//! objects, or callbacks the lexer-level call graph cannot follow).
+//!
+//! Release builds compile all bookkeeping out: a [`RankedMutex`] is a
+//! `parking_lot::Mutex` plus two words of identity, and `lock()` is a
+//! plain acquisition.
+
+use std::ops::{Deref, DerefMut};
+
+use parking_lot::{Mutex, MutexGuard};
+
+/// Lock ranks, mirroring `crates/dope-lint/lock-order.txt` — the
+/// manifest is the source of truth; these constants must match it.
+pub(crate) mod rank {
+    /// `MonitorShared::paths`.
+    pub const PATHS: u32 = 10;
+    /// `MonitorShared::load_cbs`.
+    pub const LOAD_CBS: u32 = 20;
+    /// `MonitorShared::extents`.
+    pub const EXTENTS: u32 = 30;
+    /// `MonitorShared::queue_probe`.
+    pub const QUEUE_PROBE: u32 = 40;
+    /// `MonitorShared::failed`.
+    pub const FAILED: u32 = 50;
+    /// `MonitorShared::recorder`.
+    pub const RECORDER: u32 = 60;
+    /// `PathStats::inner`.
+    pub const INNER: u32 = 70;
+    /// `MonitorShared::metrics`.
+    pub const METRICS: u32 = 80;
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Ranks (and names, for diagnostics) of the locks this thread
+    /// currently holds, in acquisition order.
+    static HELD: std::cell::RefCell<Vec<(u32, &'static str)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// A `parking_lot::Mutex` that knows its place in the lock order.
+pub(crate) struct RankedMutex<T> {
+    rank: u32,
+    name: &'static str,
+    raw: Mutex<T>,
+}
+
+impl<T> RankedMutex<T> {
+    /// Wraps `value` in a mutex of the given manifest rank and name.
+    pub(crate) fn new(rank: u32, name: &'static str, value: T) -> Self {
+        RankedMutex {
+            rank,
+            name,
+            raw: Mutex::new(value),
+        }
+    }
+
+    /// Acquires the mutex.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if this thread already holds a lock of
+    /// equal (re-entrant) or higher rank — the inversion a release
+    /// build would deadlock on some interleaving of.
+    pub(crate) fn lock(&self) -> RankedGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&(top_rank, top_name)) = held.last() {
+                assert!(
+                    self.rank > top_rank,
+                    "lock-order violation: acquiring `{}` (rank {}) while holding \
+                     `{top_name}` (rank {top_rank}) — ranks must strictly ascend; \
+                     see crates/dope-lint/lock-order.txt",
+                    self.name,
+                    self.rank,
+                );
+            }
+            held.push((self.rank, self.name));
+        });
+        RankedGuard {
+            guard: self.raw.lock(),
+            #[cfg(debug_assertions)]
+            mutex: self,
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RankedMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankedMutex")
+            .field("name", &self.name)
+            .field("rank", &self.rank)
+            .field("value", &self.raw)
+            .finish()
+    }
+}
+
+/// RAII guard of a [`RankedMutex`]; releasing pops the held-rank stack.
+pub(crate) struct RankedGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    mutex: &'a RankedMutex<T>,
+}
+
+impl<T> Deref for RankedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for RankedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for RankedGuard<'_, T> {
+    fn drop(&mut self) {
+        // Guards may be released out of LIFO order (ascending
+        // acquisition does not require nested release), so pop the
+        // matching entry wherever it sits.
+        #[cfg(debug_assertions)]
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held
+                .iter()
+                .rposition(|&(r, n)| r == self.mutex.rank && n == self.mutex.name)
+            {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_acquisition_is_fine() {
+        let a = RankedMutex::new(10, "a", 1u32);
+        let b = RankedMutex::new(20, "b", 2u32);
+        let ga = a.lock();
+        let gb = b.lock();
+        assert_eq!(*ga + *gb, 3);
+    }
+
+    #[test]
+    fn out_of_lifo_release_unwinds_correctly() {
+        let a = RankedMutex::new(10, "a", ());
+        let b = RankedMutex::new(20, "b", ());
+        let c = RankedMutex::new(30, "c", ());
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(ga); // release the outer lock first
+        let gc = c.lock(); // still ascending from `b`
+        drop(gb);
+        drop(gc);
+        // The stack is empty again: rank 10 is acquirable.
+        let _ga = a.lock();
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "rank checking is compiled out in release builds"
+    )]
+    #[should_panic(expected = "lock-order violation")]
+    fn descending_acquisition_panics_in_debug() {
+        let a = RankedMutex::new(10, "a", ());
+        let b = RankedMutex::new(20, "b", ());
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "rank checking is compiled out in release builds"
+    )]
+    #[should_panic(expected = "lock-order violation")]
+    fn reentrant_acquisition_panics_in_debug() {
+        let a = RankedMutex::new(10, "a", ());
+        let _first = a.lock();
+        let _second = a.lock();
+    }
+
+    #[test]
+    fn guards_deref_to_the_value() {
+        let m = RankedMutex::new(10, "a", vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(*m.lock(), vec![1, 2, 3]);
+        assert!(format!("{m:?}").contains("rank"));
+    }
+}

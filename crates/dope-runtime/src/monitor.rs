@@ -18,11 +18,11 @@
 //! [`MetricsRegistry`] exposes full `dope_task_exec_seconds` histograms
 //! to a Prometheus scrape.
 
+use crate::lockrank::{rank, RankedMutex};
 use dope_core::{Ewma, MonitorSnapshot, QueueStats, TaskPath, TaskStats};
 use dope_metrics::{names, Counter, Gauge, Histogram, MetricsRegistry};
 use dope_platform::FeatureRegistry;
 use dope_trace::{Recorder, TraceEvent};
-use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -31,7 +31,9 @@ use std::time::{Duration, Instant};
 /// Per-path measurement cell shared by every worker of a task.
 #[derive(Debug)]
 pub(crate) struct PathStats {
-    pub invocations: AtomicU64,
+    /// Completed invocations; a shared [`Counter`] so the same cell
+    /// backs the `dope_task_invocations_total` scrape series.
+    pub invocations: Arc<Counter>,
     pub busy_nanos: AtomicU64,
     /// Fine-grained latency distribution of every `begin`..`end`
     /// interval; the source of the snapshot percentiles and of the
@@ -42,7 +44,7 @@ pub(crate) struct PathStats {
     created: Instant,
     /// Shared monitoring-overhead accumulator (nanoseconds).
     overhead_nanos: Arc<AtomicU64>,
-    inner: Mutex<PathStatsInner>,
+    inner: RankedMutex<PathStatsInner>,
 }
 
 #[derive(Debug)]
@@ -54,15 +56,19 @@ struct PathStatsInner {
 impl PathStats {
     fn new(alpha: f64, overhead_nanos: Arc<AtomicU64>) -> Self {
         PathStats {
-            invocations: AtomicU64::new(0),
+            invocations: Arc::new(Counter::new()),
             busy_nanos: AtomicU64::new(0),
             exec_hist: Arc::new(Histogram::new()),
             created: Instant::now(),
             overhead_nanos,
-            inner: Mutex::new(PathStatsInner {
-                exec_ewma: Ewma::new(alpha),
-                completions: VecDeque::new(),
-            }),
+            inner: RankedMutex::new(
+                rank::INNER,
+                "inner",
+                PathStatsInner {
+                    exec_ewma: Ewma::new(alpha),
+                    completions: VecDeque::new(),
+                },
+            ),
         }
     }
 
@@ -72,7 +78,7 @@ impl PathStats {
     /// self-overhead meter.
     pub fn record(&self, exec: Duration, now: Instant, window: Duration) {
         let t0 = Instant::now();
-        self.invocations.fetch_add(1, Ordering::Relaxed);
+        self.invocations.inc();
         self.busy_nanos
             .fetch_add(exec.as_nanos() as u64, Ordering::Relaxed);
         self.exec_hist
@@ -176,6 +182,12 @@ impl MonitorMetrics {
             &[("path", &label)],
             Arc::clone(&stats.exec_hist),
         );
+        self.registry.register_counter(
+            names::TASK_INVOCATIONS_TOTAL,
+            "Completed task invocations",
+            &[("path", &label)],
+            Arc::clone(&stats.invocations),
+        );
     }
 }
 
@@ -183,21 +195,21 @@ struct MonitorShared {
     start: Instant,
     window: Duration,
     ewma_alpha: f64,
-    paths: Mutex<HashMap<TaskPath, Arc<PathStats>>>,
-    load_cbs: Mutex<Vec<(TaskPath, LoadCallback)>>,
-    extents: Mutex<HashMap<TaskPath, u32>>,
-    queue_probe: Mutex<Option<Arc<dyn Fn() -> QueueStats + Send + Sync>>>,
+    paths: RankedMutex<HashMap<TaskPath, Arc<PathStats>>>,
+    load_cbs: RankedMutex<Vec<(TaskPath, LoadCallback)>>,
+    extents: RankedMutex<HashMap<TaskPath, u32>>,
+    queue_probe: RankedMutex<Option<Arc<dyn Fn() -> QueueStats + Send + Sync>>>,
     /// Replicas that failed (panicked or vanished) in the running epoch,
     /// per path. Snapshots exclude them from per-task statistics so
     /// mechanisms don't steer toward ghosts; `install_epoch` clears the
     /// set when the next epoch (restarted or degraded) launches.
-    failed: Mutex<HashMap<TaskPath, u32>>,
+    failed: RankedMutex<HashMap<TaskPath, u32>>,
     features: FeatureRegistry,
     completed_at_reconfig: AtomicU64,
-    recorder: Mutex<Recorder>,
+    recorder: RankedMutex<Recorder>,
     /// Nanoseconds spent inside monitoring code, summed across threads.
     overhead_nanos: Arc<AtomicU64>,
-    metrics: Mutex<Option<MonitorMetrics>>,
+    metrics: RankedMutex<Option<MonitorMetrics>>,
 }
 
 impl std::fmt::Debug for Monitor {
@@ -218,16 +230,16 @@ impl Monitor {
                 start: Instant::now(),
                 window,
                 ewma_alpha,
-                paths: Mutex::new(HashMap::new()),
-                load_cbs: Mutex::new(Vec::new()),
-                extents: Mutex::new(HashMap::new()),
-                queue_probe: Mutex::new(None),
-                failed: Mutex::new(HashMap::new()),
+                paths: RankedMutex::new(rank::PATHS, "paths", HashMap::new()),
+                load_cbs: RankedMutex::new(rank::LOAD_CBS, "load_cbs", Vec::new()),
+                extents: RankedMutex::new(rank::EXTENTS, "extents", HashMap::new()),
+                queue_probe: RankedMutex::new(rank::QUEUE_PROBE, "queue_probe", None),
+                failed: RankedMutex::new(rank::FAILED, "failed", HashMap::new()),
                 features,
                 completed_at_reconfig: AtomicU64::new(0),
-                recorder: Mutex::new(Recorder::disabled()),
+                recorder: RankedMutex::new(rank::RECORDER, "recorder", Recorder::disabled()),
                 overhead_nanos: Arc::new(AtomicU64::new(0)),
-                metrics: Mutex::new(None),
+                metrics: RankedMutex::new(rank::METRICS, "metrics", None),
             }),
         }
     }
@@ -420,7 +432,7 @@ impl Monitor {
             snap.tasks.insert(
                 path.clone(),
                 TaskStats {
-                    invocations: stats.invocations.load(Ordering::Relaxed),
+                    invocations: stats.invocations.get(),
                     mean_exec_secs: mean_exec,
                     throughput,
                     load: loads.get(path).copied().unwrap_or(0.0),
@@ -452,6 +464,13 @@ impl Monitor {
             recorder.record(TraceEvent::QueueSample { queue: snap.queue });
         }
 
+        // Computed before acquiring `metrics`: monitoring_overhead_ratio
+        // takes `paths` (rank 10), which must never nest under `metrics`
+        // (rank 80) — see crates/dope-lint/lock-order.txt. stats_for
+        // nests the two the other way round, so reversing here would be
+        // a deadlock window, not just a style problem.
+        let overhead_secs = self.monitoring_overhead_secs();
+        let overhead_ratio = self.monitoring_overhead_ratio();
         if let Some(metrics) = shared.metrics.lock().as_ref() {
             metrics.snapshots.inc();
             metrics.queue_occupancy.set(snap.queue.occupancy);
@@ -461,10 +480,8 @@ impl Monitor {
             if let Some(watts) = snap.power_watts {
                 metrics.power_watts.set(watts);
             }
-            metrics
-                .overhead_seconds
-                .set(self.monitoring_overhead_secs());
-            metrics.overhead_ratio.set(self.monitoring_overhead_ratio());
+            metrics.overhead_seconds.set(overhead_secs);
+            metrics.overhead_ratio.set(overhead_ratio);
         }
         shared
             .overhead_nanos
@@ -678,7 +695,7 @@ mod tests {
             Instant::now(),
             Duration::from_secs(1),
         );
-        assert_eq!(b.invocations.load(Ordering::Relaxed), 1);
+        assert_eq!(b.invocations.get(), 1);
     }
 
     #[test]

@@ -92,6 +92,7 @@ impl Recorder {
     pub fn bounded(capacity: usize) -> Self {
         Recorder {
             inner: Some(Arc::new(Inner {
+                // dope-lint: allow(DL005): the recorder's single sanctioned clock anchor — every record path derives its time_secs from this instant
                 start: Instant::now(),
                 seq: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),

@@ -14,7 +14,9 @@
 //! * [`dope_sim`] — the discrete-event evaluation testbed;
 //! * [`dope_apps`] — the six benchmark applications;
 //! * [`dope_trace`] — the flight recorder: structured executive events,
-//!   the JSONL codec, deterministic replay, and the timeline CLI.
+//!   the JSONL codec, deterministic replay, and the timeline CLI;
+//! * [`dope_lint`] — the workspace static analyzer: six `DL0xx` passes
+//!   enforcing the cross-crate contracts the compiler cannot see.
 //!
 //! The prose documentation under `docs/` is embedded below (see
 //! [`docs`]) so that every example in the book compiles and runs as a
@@ -22,6 +24,7 @@
 
 pub use dope_apps as apps;
 pub use dope_core as core;
+pub use dope_lint as lint;
 pub use dope_mechanisms as mechanisms;
 pub use dope_platform as platform;
 pub use dope_runtime as runtime;
@@ -47,4 +50,9 @@ pub mod docs {
     /// `docs/operator-guide.md`: capturing and reading traces.
     #[doc = include_str!("../docs/operator-guide.md")]
     pub mod operator_guide {}
+
+    /// `docs/static-analysis.md`: the `dope-lint` DL catalogue, waiver
+    /// syntax, exit codes, and the lock-order manifest.
+    #[doc = include_str!("../docs/static-analysis.md")]
+    pub mod static_analysis {}
 }

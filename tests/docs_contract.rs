@@ -1,64 +1,50 @@
 //! Keeps the prose documentation in lock-step with the code.
 //!
 //! The Rust examples in `docs/` are already enforced as doctests of the
-//! umbrella crate (see `src/lib.rs`); these tests cover the parts
-//! doctests cannot see — the diagnostic-code catalogue and the event
-//! tables written as markdown prose.
+//! umbrella crate (see `src/lib.rs`). The markdown-prose contracts —
+//! the DV diagnostic catalogue and the metric naming table — are
+//! enforced by `dope-lint`'s DL003 and DL002 passes, invoked here as a
+//! library so plain `cargo test` catches drift with full `file:line`
+//! findings instead of ad-hoc string scans. What remains inline are the
+//! checks dope-lint does not model: per-event schema sections, the
+//! stated schema version, and the book's cross-references.
 
-use dope_core::DiagCode;
-use dope_metrics::names;
+use std::path::Path;
+
+use dope_lint::{DlCode, Report};
 use dope_trace::TraceEvent;
 
 const EVENT_SCHEMA: &str = include_str!("../docs/event-schema.md");
 const ARCHITECTURE: &str = include_str!("../docs/architecture.md");
 const OPERATOR_GUIDE: &str = include_str!("../docs/operator-guide.md");
+const STATIC_ANALYSIS: &str = include_str!("../docs/static-analysis.md");
 
-/// Every `DVnnn` token in `text`, in order of appearance.
-fn dv_codes(text: &str) -> Vec<String> {
-    let bytes = text.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i + 5 <= bytes.len() {
-        if bytes[i] == b'D'
-            && bytes[i + 1] == b'V'
-            && bytes[i + 2].is_ascii_digit()
-            && bytes[i + 3].is_ascii_digit()
-            && bytes[i + 4].is_ascii_digit()
-        {
-            out.push(text[i..i + 5].to_string());
-            i += 5;
-        } else {
-            i += 1;
-        }
-    }
-    out
+fn lint_workspace() -> Report {
+    dope_lint::check(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("lint the workspace")
 }
 
-#[test]
-fn every_documented_dv_code_is_catalogued() {
-    let codes = dv_codes(EVENT_SCHEMA);
+fn assert_no_findings(report: &Report, code: DlCode) {
+    let drift: Vec<_> = report.findings.iter().filter(|f| f.code == code).collect();
     assert!(
-        codes.len() >= DiagCode::ALL.len(),
-        "docs/event-schema.md must list the whole DV catalogue, found {codes:?}"
+        drift.is_empty(),
+        "{code} ({}) drift:\n{drift:#?}",
+        code.title()
     );
-    for code in &codes {
-        let parsed: DiagCode = code
-            .parse()
-            .unwrap_or_else(|_| panic!("docs/event-schema.md mentions unknown code {code}"));
-        assert_eq!(parsed.as_str(), code);
-    }
 }
 
 #[test]
-fn every_catalogued_dv_code_is_documented() {
-    let documented = dv_codes(EVENT_SCHEMA);
-    for code in DiagCode::ALL {
-        assert!(
-            documented.iter().any(|c| c == code.as_str()),
-            "docs/event-schema.md is missing {} ({code:?})",
-            code.as_str()
-        );
-    }
+fn metric_catalogue_registrations_and_guide_agree() {
+    // DL002 closes the loop ad-hoc scans here used to check one side
+    // of: names::ALL <-> declared consts <-> live registrations <-> the
+    // operator guide's naming table.
+    assert_no_findings(&lint_workspace(), DlCode::MetricNameDrift);
+}
+
+#[test]
+fn dv_catalogue_and_event_schema_book_agree() {
+    // DL003: every catalogued DV code documented, every documented code
+    // catalogued, every DiagCode reference declared.
+    assert_no_findings(&lint_workspace(), DlCode::DvCodeDrift);
 }
 
 #[test]
@@ -87,42 +73,6 @@ fn schema_doc_states_the_current_version() {
     );
 }
 
-/// Every metric name documented in the operator guide's naming table
-/// (rows of the form `| \`dope_...\` | ...`), in order of appearance.
-fn documented_metric_names(text: &str) -> Vec<String> {
-    text.lines()
-        .filter_map(|line| line.strip_prefix("| `dope_"))
-        .filter_map(|rest| rest.split('`').next())
-        .map(|name| format!("dope_{name}"))
-        .collect()
-}
-
-#[test]
-fn every_canonical_metric_name_is_documented() {
-    let documented = documented_metric_names(OPERATOR_GUIDE);
-    for &name in names::ALL {
-        assert!(
-            documented.iter().any(|d| d == name),
-            "docs/operator-guide.md metric table is missing {name}"
-        );
-    }
-}
-
-#[test]
-fn every_documented_metric_name_is_canonical() {
-    let documented = documented_metric_names(OPERATOR_GUIDE);
-    assert!(
-        !documented.is_empty(),
-        "operator guide must carry a metric naming table"
-    );
-    for name in &documented {
-        assert!(
-            names::ALL.contains(&name.as_str()),
-            "docs/operator-guide.md documents unknown metric {name}"
-        );
-    }
-}
-
 #[test]
 fn book_pages_cross_reference_each_other() {
     for (name, text) in [
@@ -132,6 +82,44 @@ fn book_pages_cross_reference_each_other() {
         assert!(
             text.contains("event-schema.md"),
             "docs/{name} must point readers at the schema contract"
+        );
+    }
+}
+
+#[test]
+fn static_analysis_doc_catalogues_every_dl_code() {
+    for code in DlCode::ALL {
+        assert!(
+            STATIC_ANALYSIS.contains(code.as_str()),
+            "docs/static-analysis.md is missing {}",
+            code.as_str()
+        );
+    }
+    assert!(
+        STATIC_ANALYSIS.contains("dope-lint: allow("),
+        "docs/static-analysis.md must document the waiver syntax"
+    );
+}
+
+#[test]
+fn lock_order_manifest_is_documented() {
+    // Every manifest lock name must appear in the static-analysis book's
+    // rank table, so the documented order cannot drift from the one the
+    // lint (and the debug rank guard) enforce.
+    let manifest = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/dope-lint/lock-order.txt"),
+    )
+    .expect("read lock-order manifest");
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (rank, name) = line.split_once(' ').expect("manifest line is `rank name`");
+        let row = format!("| {rank} | `{name}` |");
+        assert!(
+            STATIC_ANALYSIS.contains(&row),
+            "docs/static-analysis.md lock-order table is missing `{name}` (rank {rank})"
         );
     }
 }
