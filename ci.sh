@@ -82,6 +82,23 @@ if [[ "$QUICK" -eq 0 ]]; then
     stats "$FAULT_TRACE" | grep -q "2 failed replica(s)"
   cargo run -q --release --offline -p dope-trace --bin dope-trace -- \
     timeline "$FAULT_TRACE" | grep -q "FAILED"
+
+  step "perf smoke: record-path / snapshot / reconfigure / fig11 gates"
+  # Reduced-configuration run of the perf gate (docs/performance.md).
+  # The binary itself enforces the in-run invariant (sharded record path
+  # beats the in-process mutex reference) and diffs against the
+  # checked-in quick-mode baseline. The threshold is deliberately loose:
+  # shared CI machines jitter, and the gate is for gross regressions (a
+  # lock back on the hot path), not scheduler noise.
+  PERF_OUT="$TRACE_TMP/BENCH_perf.json"
+  cargo run -q --release --offline -p dope-bench --bin perf -- \
+    --quick --out="$PERF_OUT" \
+    --compare=results/perf-baseline.json --threshold=2.0
+  # The emitted report must survive the workspace's strict JSON codec
+  # and carry the expected schema tag — and so must the baseline itself.
+  cargo run -q --release --offline -p dope-bench --bin perf -- --check="$PERF_OUT"
+  cargo run -q --release --offline -p dope-bench --bin perf -- \
+    --check=results/perf-baseline.json
 fi
 
 step "ci.sh: all checks passed"

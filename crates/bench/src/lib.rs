@@ -17,6 +17,7 @@
 //! | [`ablations`] | sensitivity sweeps of the mechanisms' knobs (beyond the paper) |
 //! | [`trace`] | flight-recorder captures of representative fig11/fig15 runs |
 //! | [`metrics`] | `--metrics` Prometheus-text registry dumps for fig11/fig15 |
+//! | [`perf`] | perf gate: pinned microbenches emitting `BENCH_perf.json` (beyond the paper) |
 //!
 //! Run any artifact with `cargo run -p dope-bench --release --bin <id>`;
 //! `cargo bench` runs quick versions of all of them.
@@ -31,6 +32,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod metrics;
+pub mod perf;
 pub mod tables;
 pub mod trace;
 

@@ -1,0 +1,406 @@
+//! The perf gate: pinned microbenches emitting `BENCH_perf.json`.
+//!
+//! Four probes, each guarding one latency the DoPE stack promises to
+//! keep small (see `docs/performance.md`):
+//!
+//! 1. **record path** — ns/op of the sharded task-completion record,
+//!    single-threaded and contended, measured side by side with a
+//!    replica of the retired shared-mutex design
+//!    ([`dope_runtime::perf::bench_record_path`]) so every report
+//!    carries a same-machine before/after;
+//! 2. **snapshot** — `Monitor::snapshot` latency over a populated path
+//!    set ([`dope_runtime::perf::bench_snapshot`]);
+//! 3. **reconfigure** — pause/relaunch latency of a real suspend +
+//!    relaunch cycle, read back from a flight recording of a live
+//!    transcode run;
+//! 4. **fig11** — wall time of an end-to-end figure-11 sweep, the
+//!    macro-level canary.
+//!
+//! The report is strict-codec JSON (`dope_core::json`), diffable with
+//! [`compare`] against a checked-in baseline
+//! (`results/perf-baseline.json`); [`gate_failures`] additionally
+//! enforces the in-run invariant that the sharded record path beats the
+//! mutex reference.
+
+use dope_apps::transcode;
+use dope_core::json::{parse, Value};
+use dope_core::Goal;
+use dope_mechanisms::WqLinear;
+use dope_trace::{Recorder, TraceEvent};
+use std::time::{Duration, Instant};
+
+/// Schema tag carried by every report.
+pub const SCHEMA: &str = "dope-bench-perf/v1";
+
+/// Comparison threshold used when the caller does not pass one: a
+/// metric may grow by 75 % before the gate fails. Deliberately
+/// generous — the gate exists to catch gross regressions (a lock back
+/// on the hot path, an accidentally quadratic snapshot), not scheduler
+/// jitter.
+pub const DEFAULT_THRESHOLD: f64 = 0.75;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Runs every probe and assembles the `BENCH_perf.json` report.
+///
+/// `quick` shrinks iteration counts to CI-smoke size (about a second of
+/// wall time); the full configuration pins each probe long enough for
+/// stable numbers.
+#[must_use]
+pub fn run(quick: bool) -> Value {
+    let record_iters: u64 = if quick { 200_000 } else { 2_000_000 };
+    let threads: u32 = 8;
+    let snapshot_paths: u32 = 8;
+    let snapshot_records: u64 = if quick { 20_000 } else { 200_000 };
+    let snapshot_samples: u32 = if quick { 20 } else { 100 };
+
+    println!("perf: record path ({record_iters} iters, {threads} threads)");
+    let record = dope_runtime::perf::bench_record_path(record_iters, threads);
+
+    println!("perf: snapshot ({snapshot_paths} paths x {snapshot_records} records)");
+    let snapshot =
+        dope_runtime::perf::bench_snapshot(snapshot_paths, snapshot_records, snapshot_samples);
+
+    println!("perf: reconfigure pause (live transcode run)");
+    let reconfigure = bench_reconfigure(quick);
+
+    let fig11_loads = if quick {
+        vec![0.8]
+    } else {
+        crate::load_factors(true)
+    };
+    let fig11_requests = if quick {
+        200
+    } else {
+        crate::request_count(true)
+    };
+    println!(
+        "perf: fig11 sweep ({} load(s) x {fig11_requests} requests)",
+        fig11_loads.len()
+    );
+    let t0 = Instant::now();
+    let sweeps = crate::fig11::run(&fig11_loads, fig11_requests);
+    let fig11_wall = t0.elapsed().as_secs_f64();
+    let fig11_apps = sweeps.len() as u64;
+
+    obj(vec![
+        ("schema", Value::String(SCHEMA.to_string())),
+        ("quick", Value::Bool(quick)),
+        (
+            "record_path",
+            obj(vec![
+                ("iters_per_thread", Value::Number(record.iters_per_thread)),
+                ("threads", Value::Number(u64::from(record.threads))),
+                (
+                    "sharded_single_ns",
+                    Value::from_f64(record.sharded_single_ns),
+                ),
+                (
+                    "sharded_contended_ns",
+                    Value::from_f64(record.sharded_contended_ns),
+                ),
+                ("mutex_single_ns", Value::from_f64(record.mutex_single_ns)),
+                (
+                    "mutex_contended_ns",
+                    Value::from_f64(record.mutex_contended_ns),
+                ),
+            ]),
+        ),
+        (
+            "snapshot",
+            obj(vec![
+                ("paths", Value::Number(u64::from(snapshot.paths))),
+                ("records_per_path", Value::Number(snapshot.records_per_path)),
+                ("snapshot_micros", Value::from_f64(snapshot.snapshot_micros)),
+            ]),
+        ),
+        ("reconfigure", reconfigure),
+        (
+            "fig11",
+            obj(vec![
+                ("apps", Value::Number(fig11_apps)),
+                ("loads", Value::Number(fig11_loads.len() as u64)),
+                ("requests", Value::Number(fig11_requests as u64)),
+                ("wall_secs", Value::from_f64(fig11_wall)),
+            ]),
+        ),
+    ])
+}
+
+/// Runs a short live transcode under WQ-Linear with a flight recorder
+/// attached and reads the reconfiguration pause/relaunch latencies back
+/// out of the recording.
+fn bench_reconfigure(quick: bool) -> Value {
+    let videos: u64 = if quick { 24 } else { 96 };
+    let (service, descriptor) = transcode::live_service();
+    let recorder = Recorder::bounded(4096);
+    let launched = dope_runtime::Dope::builder(Goal::MinResponseTime { threads: 4 })
+        .mechanism(Box::new(WqLinear::new(1, 4, 8.0)))
+        .control_period(Duration::from_millis(10))
+        .queue_probe(service.queue_probe())
+        .recorder(recorder.clone())
+        .launch(descriptor);
+    let dope = match launched {
+        Ok(dope) => dope,
+        Err(err) => {
+            return obj(vec![(
+                "error",
+                Value::String(format!("launch failed: {err}")),
+            )])
+        }
+    };
+    let params = transcode::VideoParams {
+        frames: 4,
+        width: 32,
+        height: 32,
+    };
+    for id in 0..videos {
+        let _ = service.queue.enqueue(transcode::make_video(id, params));
+    }
+    service.queue.close();
+    let _ = dope.wait();
+
+    let mut pauses = Vec::new();
+    let mut relaunches = Vec::new();
+    for record in recorder.records() {
+        if let TraceEvent::ReconfigureEpoch {
+            pause_secs,
+            relaunch_secs,
+            ..
+        } = record.event
+        {
+            pauses.push(pause_secs);
+            relaunches.push(relaunch_secs);
+        }
+    }
+    let mean = |xs: &[f64]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
+    obj(vec![
+        ("videos", Value::Number(videos)),
+        ("epochs", Value::Number(pauses.len() as u64)),
+        ("mean_pause_ms", Value::from_f64(mean(&pauses) * 1e3)),
+        ("mean_relaunch_ms", Value::from_f64(mean(&relaunches) * 1e3)),
+    ])
+}
+
+fn metric(report: &Value, section: &str, key: &str) -> Option<f64> {
+    report.get(section)?.get(key)?.as_f64()
+}
+
+/// In-run invariants a report must satisfy regardless of any baseline:
+/// the sharded record path must beat the mutex reference measured in
+/// the same process on the same machine. Returns violation messages
+/// (empty = pass).
+#[must_use]
+pub fn gate_failures(report: &Value) -> Vec<String> {
+    let mut failures = Vec::new();
+    let pairs = [
+        ("sharded_single_ns", "mutex_single_ns"),
+        ("sharded_contended_ns", "mutex_contended_ns"),
+    ];
+    for (sharded_key, mutex_key) in pairs {
+        match (
+            metric(report, "record_path", sharded_key),
+            metric(report, "record_path", mutex_key),
+        ) {
+            (Some(sharded), Some(mutex)) => {
+                if sharded >= mutex {
+                    failures.push(format!(
+                        "record_path.{sharded_key} = {sharded:.1} ns does not beat \
+                         the in-run mutex reference {mutex_key} = {mutex:.1} ns"
+                    ));
+                }
+            }
+            _ => failures.push(format!(
+                "report is missing record_path.{sharded_key} / record_path.{mutex_key}"
+            )),
+        }
+    }
+    failures
+}
+
+/// The (section, key) pairs [`compare`] diffs; for each, larger is
+/// worse.
+pub const COMPARED_METRICS: &[(&str, &str)] = &[
+    ("record_path", "sharded_single_ns"),
+    ("record_path", "sharded_contended_ns"),
+    ("snapshot", "snapshot_micros"),
+    ("reconfigure", "mean_pause_ms"),
+    ("fig11", "wall_secs"),
+];
+
+/// Configuration keys per section: a section is only comparable when
+/// every one of these matches between the two reports (a 200-request
+/// sweep is not slower than a 500-request one just because it ran
+/// longer).
+const SECTION_CONFIG: &[(&str, &[&str])] = &[
+    ("record_path", &["iters_per_thread", "threads"]),
+    ("snapshot", &["paths", "records_per_path"]),
+    ("reconfigure", &["videos"]),
+    ("fig11", &["loads", "requests", "apps"]),
+];
+
+fn config_matches(current: &Value, baseline: &Value, section: &str) -> bool {
+    let keys = SECTION_CONFIG
+        .iter()
+        .find(|(s, _)| *s == section)
+        .map_or(&[][..], |(_, keys)| keys);
+    keys.iter().all(|key| {
+        metric(current, section, key).map(f64::to_bits)
+            == metric(baseline, section, key).map(f64::to_bits)
+    })
+}
+
+/// Diffs `current` against `baseline`: any [`COMPARED_METRICS`] entry
+/// that grew by more than `threshold` (fractional, e.g. 0.75 = +75 %)
+/// is a regression. Metrics absent or zero on either side are skipped —
+/// a missing probe is a schema problem, not a perf regression — as are
+/// sections whose run configuration (iteration counts, request counts)
+/// differs between the two reports. Returns regression messages (empty
+/// = pass).
+#[must_use]
+pub fn compare(current: &Value, baseline: &Value, threshold: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for &(section, key) in COMPARED_METRICS {
+        if !config_matches(current, baseline, section) {
+            continue;
+        }
+        let (Some(cur), Some(base)) = (
+            metric(current, section, key),
+            metric(baseline, section, key),
+        ) else {
+            continue;
+        };
+        if base <= 0.0 || cur <= 0.0 {
+            continue;
+        }
+        let growth = cur / base - 1.0;
+        if growth > threshold {
+            regressions.push(format!(
+                "{section}.{key}: {cur:.1} vs baseline {base:.1} \
+                 (+{:.0} %, threshold +{:.0} %)",
+                growth * 100.0,
+                threshold * 100.0
+            ));
+        }
+    }
+    regressions
+}
+
+/// Renders the report as a short human-readable summary.
+#[must_use]
+pub fn summary(report: &Value) -> String {
+    let mut out = String::from("== perf gate ==\n");
+    for &(section, key) in &[
+        ("record_path", "sharded_single_ns"),
+        ("record_path", "sharded_contended_ns"),
+        ("record_path", "mutex_single_ns"),
+        ("record_path", "mutex_contended_ns"),
+        ("snapshot", "snapshot_micros"),
+        ("reconfigure", "mean_pause_ms"),
+        ("reconfigure", "mean_relaunch_ms"),
+        ("fig11", "wall_secs"),
+    ] {
+        if let Some(v) = metric(report, section, key) {
+            out.push_str(&format!("{section:>12}.{key:<22} {v:>12.2}\n"));
+        }
+    }
+    out
+}
+
+/// Round-trips the report through the strict JSON codec, panicking on
+/// any asymmetry — run before every write so a malformed report can
+/// never become the checked-in baseline.
+#[must_use]
+pub fn to_validated_json(report: &Value) -> String {
+    let text = report.to_json();
+    let reparsed = parse(&text).expect("perf report must round-trip the strict codec");
+    assert_eq!(&reparsed, report, "perf report JSON round-trip drifted");
+    text + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report(sharded: f64, mutex: f64, snap: f64) -> Value {
+        obj(vec![
+            ("schema", Value::String(SCHEMA.to_string())),
+            (
+                "record_path",
+                obj(vec![
+                    ("sharded_single_ns", Value::from_f64(sharded)),
+                    ("sharded_contended_ns", Value::from_f64(sharded * 1.1)),
+                    ("mutex_single_ns", Value::from_f64(mutex)),
+                    ("mutex_contended_ns", Value::from_f64(mutex * 4.0)),
+                ]),
+            ),
+            (
+                "snapshot",
+                obj(vec![("snapshot_micros", Value::from_f64(snap))]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn gate_accepts_sharded_wins_and_rejects_losses() {
+        assert!(gate_failures(&tiny_report(12.0, 150.0, 80.0)).is_empty());
+        // sharded 700/770 ns vs mutex 150/600 ns: both comparisons lose.
+        let failures = gate_failures(&tiny_report(700.0, 150.0, 80.0));
+        assert_eq!(failures.len(), 2, "{failures:?}");
+    }
+
+    #[test]
+    fn compare_flags_only_gross_growth() {
+        let base = tiny_report(10.0, 150.0, 100.0);
+        let same = tiny_report(11.0, 150.0, 110.0);
+        assert!(compare(&same, &base, 0.5).is_empty());
+        let slow = tiny_report(40.0, 150.0, 400.0);
+        let regressions = compare(&slow, &base, 0.5);
+        assert_eq!(regressions.len(), 3, "{regressions:?}");
+        // Missing sections in the baseline are skipped, not errors.
+        let sparse = obj(vec![("schema", Value::String(SCHEMA.to_string()))]);
+        assert!(compare(&slow, &sparse, 0.5).is_empty());
+    }
+
+    #[test]
+    fn compare_skips_sections_with_mismatched_config() {
+        let snap = |records: u64, micros: f64| {
+            obj(vec![(
+                "snapshot",
+                obj(vec![
+                    ("paths", Value::Number(8)),
+                    ("records_per_path", Value::Number(records)),
+                    ("snapshot_micros", Value::from_f64(micros)),
+                ]),
+            )])
+        };
+        // 10x slower but over 10x the records: not comparable, skipped.
+        assert!(compare(&snap(200_000, 150.0), &snap(20_000, 15.0), 0.5).is_empty());
+        // Same config, 10x slower: flagged.
+        assert_eq!(
+            compare(&snap(20_000, 150.0), &snap(20_000, 15.0), 0.5).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn report_round_trips_the_strict_codec() {
+        let report = tiny_report(10.0, 150.0, 100.0);
+        let text = to_validated_json(&report);
+        assert_eq!(parse(text.trim()).expect("parse"), report);
+        assert!(summary(&report).contains("sharded_single_ns"));
+    }
+}

@@ -44,10 +44,23 @@ impl Ewma {
 
     /// Folds a new sample into the average.
     pub fn update(&mut self, sample: f64) {
-        self.value = Some(match self.value {
+        self.value = Some(Ewma::fold(self.alpha, self.value, sample));
+    }
+
+    /// One folding step without the struct: the value after observing
+    /// `sample` given the previous value (`None` before any sample).
+    ///
+    /// This is the same arithmetic [`update`](Ewma::update) applies,
+    /// exposed for accumulators that cannot hold an `Ewma` directly —
+    /// the runtime's per-worker monitoring shards keep the current value
+    /// as the bit pattern of an `f64` in an atomic cell and fold samples
+    /// in place with this function.
+    #[must_use]
+    pub fn fold(alpha: f64, prev: Option<f64>, sample: f64) -> f64 {
+        match prev {
             None => sample,
-            Some(v) => v + self.alpha * (sample - v),
-        });
+            Some(v) => v + alpha * (sample - v),
+        }
     }
 
     /// Current value, or `None` before the first sample.
@@ -109,6 +122,17 @@ mod tests {
             e.update(5.0);
         }
         assert!((e.value().unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fold_matches_update() {
+        let mut e = Ewma::new(0.3);
+        let mut folded = None;
+        for sample in [10.0, 4.0, 7.5, 0.25] {
+            e.update(sample);
+            folded = Some(Ewma::fold(0.3, folded, sample));
+        }
+        assert_eq!(e.value(), folded);
     }
 
     #[test]

@@ -19,7 +19,7 @@ const NAMES_RS: &str = "crates/dope-metrics/src/names.rs";
 const GUIDE_MD: &str = "docs/operator-guide.md";
 
 /// Registry methods whose first argument is a metric name.
-const REG_METHODS: [&str; 9] = [
+const REG_METHODS: [&str; 11] = [
     "counter",
     "gauge",
     "histogram",
@@ -29,6 +29,8 @@ const REG_METHODS: [&str; 9] = [
     "register_counter",
     "register_gauge",
     "register_histogram",
+    "register_counter_source",
+    "register_histogram_source",
 ];
 
 pub(crate) fn run(ctx: &mut Ctx<'_>) {

@@ -294,6 +294,15 @@ impl Histogram {
         }
     }
 
+    /// Alias of [`Histogram::snapshot`] for callers whose surrounding
+    /// codebase gives `snapshot` a heavier meaning (the runtime's
+    /// monitor aggregates per-worker shard histograms under a lock, and
+    /// its static lock-order pass resolves method calls by name).
+    #[must_use]
+    pub fn to_local(&self) -> LocalHistogram {
+        self.snapshot()
+    }
+
     /// A point-in-time single-threaded copy of this histogram.
     #[must_use]
     pub fn snapshot(&self) -> LocalHistogram {

@@ -29,5 +29,7 @@ pub mod server;
 pub use histogram::{
     bucket_bounds, bucket_index, Histogram, LocalHistogram, BUCKET_COUNT, QUANTILE_RELATIVE_ERROR,
 };
-pub use registry::{Counter, Gauge, MetricsRegistry, EXPOSITION_BOUNDS_SECS};
+pub use registry::{
+    Counter, CounterSource, Gauge, HistogramSource, MetricsRegistry, EXPOSITION_BOUNDS_SECS,
+};
 pub use server::{scrape, MetricsServer};

@@ -12,6 +12,9 @@ pub const TASK_EXEC_SECONDS: &str = "dope_task_exec_seconds";
 pub const TASK_INVOCATIONS_TOTAL: &str = "dope_task_invocations_total";
 /// Monitor snapshots taken so far.
 pub const MONITOR_SNAPSHOTS_TOTAL: &str = "dope_monitor_snapshots_total";
+/// Per-worker recorder shards the monitor merged while aggregating
+/// snapshots and scrapes.
+pub const MONITOR_SHARD_MERGES_TOTAL: &str = "dope_monitor_shard_merges_total";
 /// Seconds the monitor spent measuring (its self-accounted overhead).
 pub const MONITORING_OVERHEAD_SECONDS: &str = "dope_monitoring_overhead_seconds";
 /// Monitoring overhead as a fraction of total application work
@@ -64,6 +67,7 @@ pub const ALL: &[&str] = &[
     TASK_EXEC_SECONDS,
     TASK_INVOCATIONS_TOTAL,
     MONITOR_SNAPSHOTS_TOTAL,
+    MONITOR_SHARD_MERGES_TOTAL,
     MONITORING_OVERHEAD_SECONDS,
     MONITORING_OVERHEAD_RATIO,
     RECONFIGURE_EPOCHS_TOTAL,

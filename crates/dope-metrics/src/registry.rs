@@ -21,7 +21,16 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use crate::histogram::Histogram;
+use crate::histogram::{Histogram, LocalHistogram};
+
+/// A render-time producer of a [`LocalHistogram`] — the scrape-side of a
+/// sharded histogram, merged on demand (see
+/// [`MetricsRegistry::register_histogram_source`]).
+pub type HistogramSource = Arc<dyn Fn() -> LocalHistogram + Send + Sync>;
+
+/// A render-time producer of a monotone counter value (see
+/// [`MetricsRegistry::register_counter_source`]).
+pub type CounterSource = Arc<dyn Fn() -> u64 + Send + Sync>;
 
 /// A monotonically increasing integer metric.
 #[derive(Debug, Default)]
@@ -126,6 +135,12 @@ enum Series {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    /// Evaluated at render time: the source merges whatever sharded or
+    /// externally owned state backs the series into a point-in-time
+    /// [`LocalHistogram`].
+    HistogramSource(HistogramSource),
+    /// Evaluated at render time; must be monotone for counter semantics.
+    CounterSource(CounterSource),
 }
 
 struct Family {
@@ -313,19 +328,9 @@ impl MetricsRegistry {
         labels: &[(&str, &str)],
         histogram: Arc<Histogram>,
     ) {
-        let key = label_block(labels);
-        let mut families = self.families.write().unwrap_or_else(|e| e.into_inner());
-        let family = families.entry(name.to_string()).or_insert_with(|| Family {
-            help: help.to_string(),
-            kind: Kind::Histogram,
-            series: BTreeMap::new(),
+        self.replace_series(name, help, Kind::Histogram, labels, || {
+            Series::Histogram(histogram)
         });
-        assert_eq!(
-            family.kind,
-            Kind::Histogram,
-            "metric `{name}` re-registered with a different type"
-        );
-        family.series.insert(key, Series::Histogram(histogram));
     }
 
     /// Registers an externally owned counter under `name{labels}`,
@@ -337,19 +342,66 @@ impl MetricsRegistry {
         labels: &[(&str, &str)],
         counter: Arc<Counter>,
     ) {
+        self.replace_series(name, help, Kind::Counter, labels, || {
+            Series::Counter(counter)
+        });
+    }
+
+    /// Registers a render-time histogram source under `name{labels}`,
+    /// replacing any series previously registered there.
+    ///
+    /// Where [`register_histogram`](MetricsRegistry::register_histogram)
+    /// exposes one shared atomic histogram, a *source* is a closure the
+    /// registry calls on every render — the scrape hook for state that
+    /// is sharded across writers (the monitor's per-worker recorder
+    /// shards) and only merged on demand.
+    pub fn register_histogram_source(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        source: HistogramSource,
+    ) {
+        self.replace_series(name, help, Kind::Histogram, labels, || {
+            Series::HistogramSource(source)
+        });
+    }
+
+    /// Registers a render-time counter source under `name{labels}`,
+    /// replacing any series previously registered there. The closure
+    /// must return a monotonically non-decreasing value.
+    pub fn register_counter_source(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        source: CounterSource,
+    ) {
+        self.replace_series(name, help, Kind::Counter, labels, || {
+            Series::CounterSource(source)
+        });
+    }
+
+    fn replace_series(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Series,
+    ) {
         let key = label_block(labels);
         let mut families = self.families.write().unwrap_or_else(|e| e.into_inner());
         let family = families.entry(name.to_string()).or_insert_with(|| Family {
             help: help.to_string(),
-            kind: Kind::Counter,
+            kind,
             series: BTreeMap::new(),
         });
         assert_eq!(
-            family.kind,
-            Kind::Counter,
+            family.kind, kind,
             "metric `{name}` re-registered with a different type"
         );
-        family.series.insert(key, Series::Counter(counter));
+        family.series.insert(key, make());
     }
 
     /// All registered family names, sorted.
@@ -381,6 +433,12 @@ impl MetricsRegistry {
                     Series::Histogram(h) => {
                         render_histogram(&mut out, name, labels, h);
                     }
+                    Series::HistogramSource(source) => {
+                        render_local_histogram(&mut out, name, labels, &source());
+                    }
+                    Series::CounterSource(source) => {
+                        out.push_str(&format!("{name}{labels} {}\n", source()));
+                    }
                 }
             }
         }
@@ -399,10 +457,28 @@ fn labels_with_le(labels: &str, le: &str) -> String {
 }
 
 fn render_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
-    let count = h.count();
+    render_histogram_parts(out, name, labels, h.count(), h.sum_secs(), |bound| {
+        h.cumulative_le_secs(bound)
+    });
+}
+
+fn render_local_histogram(out: &mut String, name: &str, labels: &str, h: &LocalHistogram) {
+    render_histogram_parts(out, name, labels, h.count(), h.sum_secs(), |bound| {
+        h.cumulative_le_secs(bound)
+    });
+}
+
+fn render_histogram_parts(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    count: u64,
+    sum_secs: f64,
+    cumulative_le: impl Fn(f64) -> u64,
+) {
     for &bound in &EXPOSITION_BOUNDS_SECS {
         let le = fmt_f64(bound);
-        let cum = h.cumulative_le_secs(bound);
+        let cum = cumulative_le(bound);
         out.push_str(&format!(
             "{name}_bucket{} {cum}\n",
             labels_with_le(labels, &le)
@@ -412,7 +488,7 @@ fn render_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
         "{name}_bucket{} {count}\n",
         labels_with_le(labels, "+Inf")
     ));
-    out.push_str(&format!("{name}_sum{labels} {}\n", fmt_f64(h.sum_secs())));
+    out.push_str(&format!("{name}_sum{labels} {}\n", fmt_f64(sum_secs)));
     out.push_str(&format!("{name}_count{labels} {count}\n"));
 }
 
@@ -526,6 +602,71 @@ mod tests {
             text.contains("dope_ext_seconds_count{path=\"0\"} 1\n"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn histogram_source_is_merged_at_render_time() {
+        use std::sync::Mutex;
+        let r = MetricsRegistry::new();
+        // Two "shards" merged on every render — the scrape always sees
+        // the freshest union, with no shared cell between the writers.
+        let shards = Arc::new(Mutex::new(vec![
+            LocalHistogram::new(),
+            LocalHistogram::new(),
+        ]));
+        let source = Arc::clone(&shards);
+        r.register_histogram_source(
+            "dope_src_seconds",
+            "sharded",
+            &[("path", "0")],
+            Arc::new(move || {
+                let mut merged = LocalHistogram::new();
+                for shard in source.lock().unwrap().iter() {
+                    merged.merge(shard);
+                }
+                merged
+            }),
+        );
+        shards.lock().unwrap()[0].record_secs(0.003);
+        shards.lock().unwrap()[1].record_secs(0.040);
+        let text = r.render();
+        assert!(
+            text.contains("dope_src_seconds_count{path=\"0\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dope_src_seconds_bucket{path=\"0\",le=\"0.005\"} 1\n"),
+            "{text}"
+        );
+        // A later record is visible on the next render: nothing cached.
+        shards.lock().unwrap()[0].record_secs(0.001);
+        assert!(r
+            .render()
+            .contains("dope_src_seconds_count{path=\"0\"} 3\n"));
+    }
+
+    #[test]
+    fn counter_source_is_read_at_render_time() {
+        let r = MetricsRegistry::new();
+        let value = Arc::new(AtomicU64::new(7));
+        let source = Arc::clone(&value);
+        r.register_counter_source(
+            "dope_src_total",
+            "sourced",
+            &[],
+            Arc::new(move || source.load(Ordering::Relaxed)),
+        );
+        assert!(r.render().contains("dope_src_total 7\n"));
+        value.store(9, Ordering::Relaxed);
+        assert!(r.render().contains("dope_src_total 9\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn source_kind_conflict_panics() {
+        let r = MetricsRegistry::new();
+        let _ = r.gauge("dope_src_conflict", "g");
+        r.register_counter_source("dope_src_conflict", "c", &[], Arc::new(|| 0));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Instantiation of a task nest under a concrete configuration, and the
 //! live task context workers run with.
 
-use crate::monitor::{Monitor, PathStats};
+use crate::monitor::Monitor;
+use crate::shard::RecorderShard;
 use dope_core::{
     Config, Directive, Error, Result, TaskBody, TaskConfig, TaskCx, TaskPath, TaskSpec, Work,
     WorkerSlot,
@@ -199,15 +200,23 @@ fn instantiate_replica(
 
 /// The live [`TaskCx`]: timers into the monitor plus the epoch's suspend
 /// flag.
+///
+/// Construction resolves the calling worker thread's private
+/// [`RecorderShard`] once (the only locking step); every `begin`..`end`
+/// interval afterwards is recorded straight into the shard with zero
+/// lock acquisitions.
 pub(crate) struct LiveCx {
     suspend: Arc<AtomicBool>,
-    stats: Arc<PathStats>,
+    shard: Arc<RecorderShard>,
     window: Duration,
     slot: WorkerSlot,
     began: Option<Instant>,
 }
 
 impl LiveCx {
+    /// Must be called on the worker thread that will run the task body:
+    /// the resolved shard is keyed by the calling thread's id, and its
+    /// single-writer contract assumes that thread does the recording.
     pub fn new(
         monitor: &Monitor,
         suspend: Arc<AtomicBool>,
@@ -217,7 +226,7 @@ impl LiveCx {
     ) -> Self {
         LiveCx {
             suspend,
-            stats: monitor.stats_for(path),
+            shard: monitor.stats_for(path).shard(),
             window,
             slot,
             began: None,
@@ -242,7 +251,7 @@ impl TaskCx for LiveCx {
     fn end(&mut self) -> Directive {
         if let Some(t0) = self.began.take() {
             let now = Instant::now();
-            self.stats.record(now - t0, now, self.window);
+            self.shard.record(now - t0, now, self.window);
         }
         self.current_directive()
     }

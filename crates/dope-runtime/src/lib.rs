@@ -52,7 +52,9 @@ pub mod executive;
 pub mod instance;
 mod lockrank;
 pub mod monitor;
+pub mod perf;
 pub mod pool;
+mod shard;
 
 pub use executive::{Dope, DopeBuilder, RunReport};
 pub use monitor::Monitor;

@@ -23,18 +23,16 @@ use parking_lot::{Mutex, MutexGuard};
 pub(crate) mod rank {
     /// `MonitorShared::paths`.
     pub const PATHS: u32 = 10;
-    /// `MonitorShared::load_cbs`.
-    pub const LOAD_CBS: u32 = 20;
-    /// `MonitorShared::extents`.
-    pub const EXTENTS: u32 = 30;
+    /// `MonitorShared::epoch` (load callbacks, extents, failure marks —
+    /// installed and read together).
+    pub const EPOCH: u32 = 20;
     /// `MonitorShared::queue_probe`.
     pub const QUEUE_PROBE: u32 = 40;
-    /// `MonitorShared::failed`.
-    pub const FAILED: u32 = 50;
     /// `MonitorShared::recorder`.
     pub const RECORDER: u32 = 60;
-    /// `PathStats::inner`.
-    pub const INNER: u32 = 70;
+    /// `PathStats::shards` (the per-path shard list; the shards
+    /// themselves are lock-free).
+    pub const SHARDS: u32 = 70;
     /// `MonitorShared::metrics`.
     pub const METRICS: u32 = 80;
 }
@@ -45,6 +43,27 @@ thread_local! {
     /// currently holds, in acquisition order.
     static HELD: std::cell::RefCell<Vec<(u32, &'static str)>> =
         const { std::cell::RefCell::new(Vec::new()) };
+
+    /// Ranked-lock acquisitions this thread has ever performed. Lets
+    /// tests assert a code path is lock-free (the sharded record path's
+    /// zero-acquisition contract) instead of trusting a comment.
+    static ACQUISITIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Total [`RankedMutex`] acquisitions performed by the calling thread so
+/// far (debug builds only; always 0 in release builds, where the
+/// bookkeeping is compiled out). Lets tests assert a code path is
+/// lock-free instead of trusting a comment.
+#[cfg(test)]
+pub(crate) fn acquisitions_on_this_thread() -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        ACQUISITIONS.with(std::cell::Cell::get)
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
 }
 
 /// A `parking_lot::Mutex` that knows its place in the lock order.
@@ -72,6 +91,8 @@ impl<T> RankedMutex<T> {
     /// equal (re-entrant) or higher rank — the inversion a release
     /// build would deadlock on some interleaving of.
     pub(crate) fn lock(&self) -> RankedGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        ACQUISITIONS.with(|count| count.set(count.get() + 1));
         #[cfg(debug_assertions)]
         HELD.with(|held| {
             let mut held = held.borrow_mut();
@@ -194,6 +215,19 @@ mod tests {
         let a = RankedMutex::new(10, "a", ());
         let _first = a.lock();
         let _second = a.lock();
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "the acquisition counter is compiled out in release builds"
+    )]
+    fn acquisition_counter_advances_per_lock() {
+        let m = RankedMutex::new(10, "a", ());
+        let before = acquisitions_on_this_thread();
+        drop(m.lock());
+        drop(m.lock());
+        assert_eq!(acquisitions_on_this_thread(), before + 2);
     }
 
     #[test]

@@ -5,117 +5,201 @@
 //! (per-thread timers), per-task load through `LoadCB`, and platform
 //! features through registered callbacks (Figure 9). The
 //! [`Monitor`] aggregates those measurements per task path and freezes
-//! them into [`MonitorSnapshot`]s for mechanisms. Its overhead is a
-//! handful of atomic operations per task invocation (the paper reports
-//! less than 1%) — and, unlike the paper, this monitor *proves* it: all
-//! time spent inside `PathStats::record` and [`Monitor::snapshot`] is
-//! self-accounted, and [`Monitor::monitoring_overhead_ratio`] reports it
-//! as a fraction of application work.
+//! them into [`MonitorSnapshot`]s for mechanisms.
+//!
+//! # Sharded recording
+//!
+//! Task completion is the monitor's hot path, and it is contention-free
+//! by construction: every worker thread records into a private
+//! `RecorderShard` (per `(path, thread)` pair) using plain relaxed
+//! atomic arithmetic — **zero lock acquisitions**, enforced by the
+//! `record_path_acquires_no_locks` test via
+//! `lockrank::acquisitions_on_this_thread`. Locks appear only on cold
+//! paths: shard lookup when a context is created at epoch launch, and
+//! shard aggregation when [`Monitor::snapshot`] or a metrics scrape
+//! merges per-worker state into one per-path view. See
+//! `docs/performance.md` for the design and the memory-ordering
+//! argument.
+//!
+//! The monitor's overhead is a handful of atomic operations per task
+//! invocation (the paper reports less than 1%) — and, unlike the paper,
+//! this monitor *proves* it: the record path charges a sampled estimate
+//! of its own cost, [`Monitor::snapshot`] self-times exactly, and
+//! [`Monitor::monitoring_overhead_ratio`] reports the total as a
+//! fraction of application work.
 //!
 //! Beyond the paper's mean execution times, every invocation latency is
-//! recorded into a lock-free log-linear histogram (`dope-metrics`), so
+//! recorded into a per-shard log-linear histogram (`dope-metrics`), so
 //! snapshots carry `p50/p95/p99_exec_secs` per task and an attached
 //! [`MetricsRegistry`] exposes full `dope_task_exec_seconds` histograms
-//! to a Prometheus scrape.
+//! to a Prometheus scrape, merged from the shards at render time.
 
 use crate::lockrank::{rank, RankedMutex};
-use dope_core::{Ewma, MonitorSnapshot, QueueStats, TaskPath, TaskStats};
-use dope_metrics::{names, Counter, Gauge, Histogram, MetricsRegistry};
+use crate::shard::RecorderShard;
+use dope_core::{MonitorSnapshot, QueueStats, TaskPath, TaskStats};
+use dope_metrics::{names, Counter, Gauge, LocalHistogram, MetricsRegistry};
 use dope_platform::FeatureRegistry;
 use dope_trace::{Recorder, TraceEvent};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::ThreadId;
 use std::time::{Duration, Instant};
 
 /// Per-path measurement cell shared by every worker of a task.
+///
+/// The cell itself holds no measurements — only the list of per-worker
+/// [`RecorderShard`]s that do. Workers obtain their shard once (at
+/// context creation, the only locking step) and record into it without
+/// synchronization; readers merge all shards on demand.
 #[derive(Debug)]
 pub(crate) struct PathStats {
-    /// Completed invocations; a shared [`Counter`] so the same cell
-    /// backs the `dope_task_invocations_total` scrape series.
-    pub invocations: Arc<Counter>,
-    pub busy_nanos: AtomicU64,
-    /// Fine-grained latency distribution of every `begin`..`end`
-    /// interval; the source of the snapshot percentiles and of the
-    /// `dope_task_exec_seconds` scrape series.
-    exec_hist: Arc<Histogram>,
     /// When this cell was created — bounds the throughput window right
-    /// after launch (see [`PathStats::sample`]).
+    /// after launch (see [`PathStats::aggregate`]) and anchors every
+    /// shard's completion-ring ticks to one shared epoch.
     created: Instant,
+    /// EWMA smoothing factor handed to each shard.
+    alpha: f64,
     /// Shared monitoring-overhead accumulator (nanoseconds).
     overhead_nanos: Arc<AtomicU64>,
-    inner: RankedMutex<PathStatsInner>,
+    /// One recorder shard per worker thread that ever executed this
+    /// path. Locked only on cold paths (shard lookup, aggregation); the
+    /// record hot path holds an `Arc<RecorderShard>` and takes no locks.
+    shards: RankedMutex<Vec<(ThreadId, Arc<RecorderShard>)>>,
 }
 
-#[derive(Debug)]
-struct PathStatsInner {
-    exec_ewma: Ewma,
-    completions: VecDeque<Instant>,
+/// One path's shards merged into a single view, as of some instant.
+struct PathAggregate {
+    invocations: u64,
+    busy_nanos: u64,
+    /// Invocation-weighted mean of the per-shard execution EWMAs.
+    mean_exec_secs: f64,
+    /// Ring-counted completions in the window over the effective
+    /// (elapsed-bounded) window length.
+    throughput: f64,
+    hist: LocalHistogram,
+    shards_merged: u64,
 }
 
 impl PathStats {
     fn new(alpha: f64, overhead_nanos: Arc<AtomicU64>) -> Self {
         PathStats {
-            invocations: Arc::new(Counter::new()),
-            busy_nanos: AtomicU64::new(0),
-            exec_hist: Arc::new(Histogram::new()),
             created: Instant::now(),
+            alpha,
             overhead_nanos,
-            inner: RankedMutex::new(
-                rank::INNER,
-                "inner",
-                PathStatsInner {
-                    exec_ewma: Ewma::new(alpha),
-                    completions: VecDeque::new(),
-                },
-            ),
+            shards: RankedMutex::new(rank::SHARDS, "shards", Vec::new()),
         }
     }
 
-    /// Records one completed `begin`..`end` interval.
+    /// The calling thread's private recorder shard, created on first
+    /// use. This is the one locking step of the record pipeline; task
+    /// contexts call it once at creation and keep the `Arc`.
+    pub(crate) fn shard(&self) -> Arc<RecorderShard> {
+        let id = std::thread::current().id();
+        let mut shards = self.shards.lock();
+        if let Some((_, shard)) = shards.iter().find(|(tid, _)| *tid == id) {
+            return Arc::clone(shard);
+        }
+        let shard = Arc::new(RecorderShard::new(
+            self.alpha,
+            self.created,
+            Arc::clone(&self.overhead_nanos),
+        ));
+        shards.push((id, Arc::clone(&shard)));
+        shard
+    }
+
+    /// Records one completed `begin`..`end` interval through the calling
+    /// thread's shard.
     ///
-    /// The cost of this very call is charged to the monitor's
-    /// self-overhead meter.
+    /// Convenience for tests without a cached shard handle; it pays the
+    /// shard lookup every call. Hot paths hold the
+    /// [`shard`](PathStats::shard) handle and record directly.
+    #[cfg(test)]
     pub fn record(&self, exec: Duration, now: Instant, window: Duration) {
-        let t0 = Instant::now();
-        self.invocations.inc();
-        self.busy_nanos
-            .fetch_add(exec.as_nanos() as u64, Ordering::Relaxed);
-        self.exec_hist
-            .record_nanos(u64::try_from(exec.as_nanos()).unwrap_or(u64::MAX));
-        {
-            let mut inner = self.inner.lock();
-            inner.exec_ewma.update(exec.as_secs_f64());
-            inner.completions.push_back(now);
-            let horizon = now.checked_sub(window).unwrap_or(now);
-            while inner.completions.front().is_some_and(|&t| t < horizon) {
-                inner.completions.pop_front();
-            }
-        }
-        self.overhead_nanos
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.shard().record(exec, now, window);
     }
 
-    /// Mean execution time and recent throughput.
+    /// Merges every worker's shard into one per-path view.
     ///
     /// The throughput denominator is `min(window, elapsed-since-cell-
     /// creation)`: right after launch (or after a reconfiguration
     /// creates a fresh path) the monitor has observed less than a full
     /// window, and dividing by the whole window would underreport
     /// throughput until the window fills.
-    fn sample(&self, now: Instant, window: Duration) -> (f64, f64) {
-        let inner = self.inner.lock();
-        let horizon = now.checked_sub(window).unwrap_or(now);
-        let recent = inner.completions.iter().filter(|&&t| t >= horizon).count();
+    fn aggregate(&self, now: Instant, window: Duration) -> PathAggregate {
+        let mut invocations = 0u64;
+        let mut busy_nanos = 0u64;
+        let mut recent = 0u64;
+        let mut ewma_weighted = 0.0f64;
+        let mut ewma_weight = 0u64;
+        let mut hist = LocalHistogram::new();
+        let mut shards_merged = 0u64;
+        {
+            let shards = self.shards.lock();
+            for (_, shard) in shards.iter() {
+                let inv = shard.invocations();
+                invocations += inv;
+                busy_nanos += shard.busy_nanos();
+                recent += shard.recent_completions(now, window);
+                if let Some(mean) = shard.ewma_secs() {
+                    ewma_weighted += mean * inv as f64;
+                    ewma_weight += inv;
+                }
+                hist.merge(&shard.local_hist());
+                shards_merged += 1;
+            }
+        }
+        let mean_exec_secs = if ewma_weight > 0 {
+            ewma_weighted / ewma_weight as f64
+        } else {
+            0.0
+        };
         let elapsed = now.saturating_duration_since(self.created);
         let effective = window.min(elapsed);
         let throughput = recent as f64 / effective.as_secs_f64().max(1e-9);
-        (inner.exec_ewma.value_or(0.0), throughput)
+        PathAggregate {
+            invocations,
+            busy_nanos,
+            mean_exec_secs,
+            throughput,
+            hist,
+            shards_merged,
+        }
     }
 
-    /// Execution-latency percentile in seconds (0.0 before any record).
-    fn exec_quantile(&self, q: f64) -> f64 {
-        self.exec_hist.quantile_secs(q).unwrap_or(0.0)
+    /// Completed invocations summed across all shards.
+    pub(crate) fn total_invocations(&self) -> u64 {
+        self.shards
+            .lock()
+            .iter()
+            .map(|(_, s)| s.invocations())
+            .sum()
+    }
+
+    /// Accumulated `begin`..`end` work nanoseconds across all shards.
+    fn total_busy_nanos(&self) -> u64 {
+        self.shards.lock().iter().map(|(_, s)| s.busy_nanos()).sum()
+    }
+
+    /// All shards' latency histograms merged, plus how many were merged
+    /// (feeds `dope_monitor_shard_merges_total`).
+    fn merged_hist(&self) -> (LocalHistogram, u64) {
+        let mut hist = LocalHistogram::new();
+        let mut merged = 0u64;
+        let shards = self.shards.lock();
+        for (_, shard) in shards.iter() {
+            hist.merge(&shard.local_hist());
+            merged += 1;
+        }
+        (hist, merged)
+    }
+
+    /// Mean execution time and recent throughput (test probe).
+    #[cfg(test)]
+    fn sample(&self, now: Instant, window: Duration) -> (f64, f64) {
+        let agg = self.aggregate(now, window);
+        (agg.mean_exec_secs, agg.throughput)
     }
 }
 
@@ -135,6 +219,7 @@ type LoadCallback = Arc<dyn Fn() -> f64 + Send + Sync>;
 struct MonitorMetrics {
     registry: MetricsRegistry,
     snapshots: Arc<Counter>,
+    shard_merges: Arc<Counter>,
     overhead_seconds: Arc<Gauge>,
     overhead_ratio: Arc<Gauge>,
     queue_occupancy: Arc<Gauge>,
@@ -146,9 +231,16 @@ struct MonitorMetrics {
 }
 
 impl MonitorMetrics {
-    fn new(registry: MetricsRegistry) -> Self {
+    fn new(registry: MetricsRegistry, shard_merges: Arc<Counter>) -> Self {
+        registry.register_counter(
+            names::MONITOR_SHARD_MERGES_TOTAL,
+            "Recorder shards merged while aggregating snapshots and scrapes",
+            &[],
+            Arc::clone(&shard_merges),
+        );
         MonitorMetrics {
             snapshots: registry.counter(names::MONITOR_SNAPSHOTS_TOTAL, "Monitor snapshots taken"),
+            shard_merges,
             overhead_seconds: registry.gauge(
                 names::MONITORING_OVERHEAD_SECONDS,
                 "Seconds spent inside monitoring code (self-measured)",
@@ -173,22 +265,58 @@ impl MonitorMetrics {
         }
     }
 
-    /// Exposes one task path's cells as labelled scrape series.
-    fn register_path(&self, path: &TaskPath, stats: &PathStats) {
-        let label = path.to_string();
-        self.registry.register_histogram(
-            names::TASK_EXEC_SECONDS,
-            "Per-invocation task execution latency",
-            &[("path", &label)],
-            Arc::clone(&stats.exec_hist),
-        );
-        self.registry.register_counter(
-            names::TASK_INVOCATIONS_TOTAL,
-            "Completed task invocations",
-            &[("path", &label)],
-            Arc::clone(&stats.invocations),
-        );
+    /// Exposes one task path's cell as labelled scrape series.
+    fn register_path(&self, path: &TaskPath, stats: &Arc<PathStats>) {
+        register_path_series(&self.registry, &self.shard_merges, path, stats);
     }
+}
+
+/// Registers one task path's scrape series on `registry`.
+///
+/// Both series are render-time *sources*: each scrape merges the path's
+/// live shards on demand (and counts the merges into `shard_merges`),
+/// so the record path stays free of shared scrape state. A free
+/// function so callers can register without holding the monitor's
+/// `metrics` lock — the closures acquire `shards` (rank 70) when a
+/// render runs them, which must never be declared under `metrics`
+/// (rank 80).
+fn register_path_series(
+    registry: &MetricsRegistry,
+    shard_merges: &Arc<Counter>,
+    path: &TaskPath,
+    stats: &Arc<PathStats>,
+) {
+    let label = path.to_string();
+    let hist_stats = Arc::clone(stats);
+    let merges = Arc::clone(shard_merges);
+    registry.register_histogram_source(
+        names::TASK_EXEC_SECONDS,
+        "Per-invocation task execution latency",
+        &[("path", &label)],
+        Arc::new(move || {
+            let (hist, merged) = hist_stats.merged_hist();
+            merges.add(merged);
+            hist
+        }),
+    );
+    let count_stats = Arc::clone(stats);
+    registry.register_counter_source(
+        names::TASK_INVOCATIONS_TOTAL,
+        "Completed task invocations",
+        &[("path", &label)],
+        Arc::new(move || count_stats.total_invocations()),
+    );
+}
+
+/// Per-epoch registrations, installed and read as one unit.
+struct EpochState {
+    load_cbs: Vec<(TaskPath, LoadCallback)>,
+    extents: HashMap<TaskPath, u32>,
+    /// Replicas that failed (panicked or vanished) in the running epoch,
+    /// per path. Snapshots exclude them from per-task statistics so
+    /// mechanisms don't steer toward ghosts; `install_epoch` clears the
+    /// set when the next epoch (restarted or degraded) launches.
+    failed: HashMap<TaskPath, u32>,
 }
 
 struct MonitorShared {
@@ -196,19 +324,17 @@ struct MonitorShared {
     window: Duration,
     ewma_alpha: f64,
     paths: RankedMutex<HashMap<TaskPath, Arc<PathStats>>>,
-    load_cbs: RankedMutex<Vec<(TaskPath, LoadCallback)>>,
-    extents: RankedMutex<HashMap<TaskPath, u32>>,
+    epoch: RankedMutex<EpochState>,
     queue_probe: RankedMutex<Option<Arc<dyn Fn() -> QueueStats + Send + Sync>>>,
-    /// Replicas that failed (panicked or vanished) in the running epoch,
-    /// per path. Snapshots exclude them from per-task statistics so
-    /// mechanisms don't steer toward ghosts; `install_epoch` clears the
-    /// set when the next epoch (restarted or degraded) launches.
-    failed: RankedMutex<HashMap<TaskPath, u32>>,
     features: FeatureRegistry,
     completed_at_reconfig: AtomicU64,
     recorder: RankedMutex<Recorder>,
     /// Nanoseconds spent inside monitoring code, summed across threads.
     overhead_nanos: Arc<AtomicU64>,
+    /// Shards merged by snapshots and scrapes (`dope_monitor_shard_
+    /// merges_total`); monitor-owned so it counts even with no registry
+    /// attached.
+    shard_merges: Arc<Counter>,
     metrics: RankedMutex<Option<MonitorMetrics>>,
 }
 
@@ -231,14 +357,21 @@ impl Monitor {
                 window,
                 ewma_alpha,
                 paths: RankedMutex::new(rank::PATHS, "paths", HashMap::new()),
-                load_cbs: RankedMutex::new(rank::LOAD_CBS, "load_cbs", Vec::new()),
-                extents: RankedMutex::new(rank::EXTENTS, "extents", HashMap::new()),
+                epoch: RankedMutex::new(
+                    rank::EPOCH,
+                    "epoch",
+                    EpochState {
+                        load_cbs: Vec::new(),
+                        extents: HashMap::new(),
+                        failed: HashMap::new(),
+                    },
+                ),
                 queue_probe: RankedMutex::new(rank::QUEUE_PROBE, "queue_probe", None),
-                failed: RankedMutex::new(rank::FAILED, "failed", HashMap::new()),
                 features,
                 completed_at_reconfig: AtomicU64::new(0),
                 recorder: RankedMutex::new(rank::RECORDER, "recorder", Recorder::disabled()),
                 overhead_nanos: Arc::new(AtomicU64::new(0)),
+                shard_merges: Arc::new(Counter::new()),
                 metrics: RankedMutex::new(rank::METRICS, "metrics", None),
             }),
         }
@@ -253,13 +386,14 @@ impl Monitor {
 
     /// Attaches a live metrics registry.
     ///
-    /// Registers monitor-level series (snapshot counter, overhead
-    /// gauges, queue gauges/counters, power gauge) immediately, plus one
-    /// `dope_task_exec_seconds{path=...}` histogram per task path —
-    /// existing paths now, future paths as they are created. Every
-    /// subsequent [`snapshot`](Monitor::snapshot) refreshes the gauges.
+    /// Registers monitor-level series (snapshot and shard-merge
+    /// counters, overhead gauges, queue gauges/counters, power gauge)
+    /// immediately, plus one `dope_task_exec_seconds{path=...}`
+    /// histogram source per task path — existing paths now, future paths
+    /// as they are created. Every subsequent
+    /// [`snapshot`](Monitor::snapshot) refreshes the gauges.
     pub fn set_metrics(&self, registry: MetricsRegistry) {
-        let metrics = MonitorMetrics::new(registry);
+        let metrics = MonitorMetrics::new(registry, Arc::clone(&self.shared.shard_merges));
         for (path, stats) in self.shared.paths.lock().iter() {
             metrics.register_path(path, stats);
         }
@@ -286,8 +420,18 @@ impl Monitor {
             self.shared.ewma_alpha,
             Arc::clone(&self.shared.overhead_nanos),
         ));
-        if let Some(metrics) = self.shared.metrics.lock().as_ref() {
-            metrics.register_path(path, &stats);
+        // Clone the registration handles out of the `metrics` guard
+        // before registering: the scrape closures acquire `shards`
+        // (rank 70), which must not be declared under `metrics`
+        // (rank 80).
+        let scrape = self
+            .shared
+            .metrics
+            .lock()
+            .as_ref()
+            .map(|m| (m.registry.clone(), Arc::clone(&m.shard_merges)));
+        if let Some((registry, shard_merges)) = scrape {
+            register_path_series(&registry, &shard_merges, path, &stats);
         }
         paths.insert(path.clone(), Arc::clone(&stats));
         stats
@@ -302,9 +446,12 @@ impl Monitor {
         load_cbs: Vec<(TaskPath, Arc<dyn Fn() -> f64 + Send + Sync>)>,
         extents: HashMap<TaskPath, u32>,
     ) {
-        *self.shared.load_cbs.lock() = load_cbs;
-        *self.shared.extents.lock() = extents;
-        self.shared.failed.lock().clear();
+        {
+            let mut epoch = self.shared.epoch.lock();
+            epoch.load_cbs = load_cbs;
+            epoch.extents = extents;
+            epoch.failed.clear();
+        }
         if let Some(metrics) = self.shared.metrics.lock().as_ref() {
             metrics.failed_replicas.set(0.0);
         }
@@ -318,9 +465,9 @@ impl Monitor {
     /// so mechanisms don't steer threads toward ghosts.
     pub(crate) fn mark_failed(&self, path: &TaskPath) {
         let total: u32 = {
-            let mut failed = self.shared.failed.lock();
-            *failed.entry(path.clone()).or_insert(0) += 1;
-            failed.values().sum()
+            let mut epoch = self.shared.epoch.lock();
+            *epoch.failed.entry(path.clone()).or_insert(0) += 1;
+            epoch.failed.values().sum()
         };
         if let Some(metrics) = self.shared.metrics.lock().as_ref() {
             metrics.failed_replicas.set(f64::from(total));
@@ -330,7 +477,7 @@ impl Monitor {
     /// Replicas currently marked dead in the running epoch.
     #[must_use]
     pub fn failed_replicas(&self) -> u32 {
-        self.shared.failed.lock().values().sum()
+        self.shared.epoch.lock().failed.values().sum()
     }
 
     /// Installs the work-queue probe feeding `snapshot().queue`.
@@ -368,8 +515,8 @@ impl Monitor {
     }
 
     /// Seconds spent inside monitoring code so far (self-measured across
-    /// all worker threads: every `PathStats::record` and every
-    /// [`snapshot`](Monitor::snapshot)).
+    /// all worker threads: a sampled estimate of every shard record plus
+    /// every [`snapshot`](Monitor::snapshot), timed exactly).
     #[must_use]
     pub fn monitoring_overhead_secs(&self) -> f64 {
         self.shared.overhead_nanos.load(Ordering::Relaxed) as f64 / 1e9
@@ -390,7 +537,7 @@ impl Monitor {
             .paths
             .lock()
             .values()
-            .map(|s| s.busy_nanos.load(Ordering::Relaxed))
+            .map(|s| s.total_busy_nanos())
             .sum();
         let busy_secs = busy as f64 / 1e9;
         overhead / busy_secs.max(self.elapsed_secs()).max(1e-9)
@@ -398,26 +545,34 @@ impl Monitor {
 
     /// Freezes the current measurements into a snapshot.
     ///
-    /// The cost of taking the snapshot itself is charged to the
-    /// monitoring-overhead meter.
+    /// Aggregation happens here, on the monitor's thread: every path's
+    /// worker shards are merged into one view (counted by
+    /// `dope_monitor_shard_merges_total`), so workers never pay for the
+    /// snapshot. The cost of taking the snapshot itself is charged to
+    /// the monitoring-overhead meter.
     #[must_use]
     pub fn snapshot(&self) -> MonitorSnapshot {
         let t0 = Instant::now();
-        let now = Instant::now();
+        let now = t0;
         let shared = &self.shared;
         let mut snap = MonitorSnapshot::at(self.elapsed_secs());
 
-        // Per-task loads, aggregated (summed) across replicas.
-        let mut loads: HashMap<TaskPath, f64> = HashMap::new();
-        for (path, cb) in shared.load_cbs.lock().iter() {
-            *loads.entry(path.clone()).or_insert(0.0) += cb();
-        }
+        // Per-task loads (summed across replicas), extents, and failure
+        // marks are installed together and read together.
+        let (loads, extents, failed) = {
+            let epoch = shared.epoch.lock();
+            let mut loads: HashMap<TaskPath, f64> = HashMap::new();
+            for (path, cb) in &epoch.load_cbs {
+                *loads.entry(path.clone()).or_insert(0.0) += cb();
+            }
+            (loads, epoch.extents.clone(), epoch.failed.clone())
+        };
 
-        let extents = shared.extents.lock().clone();
-        let failed = shared.failed.lock().clone();
         let elapsed = self.elapsed_secs().max(1e-9);
+        let mut merged = 0u64;
         for (path, stats) in shared.paths.lock().iter() {
-            let (mean_exec, throughput) = stats.sample(now, shared.window);
+            let agg = stats.aggregate(now, shared.window);
+            merged += agg.shards_merged;
             let extent = extents.get(path).copied().unwrap_or(1).max(1);
             // Dead replicas leave the statistics: a fully failed path is
             // a ghost no mechanism should feed threads to, and a partly
@@ -428,21 +583,22 @@ impl Monitor {
             if dead > 0 && alive == 0 {
                 continue;
             }
-            let busy_secs = stats.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+            let busy_secs = agg.busy_nanos as f64 / 1e9;
             snap.tasks.insert(
                 path.clone(),
                 TaskStats {
-                    invocations: stats.invocations.get(),
-                    mean_exec_secs: mean_exec,
-                    throughput,
+                    invocations: agg.invocations,
+                    mean_exec_secs: agg.mean_exec_secs,
+                    throughput: agg.throughput,
                     load: loads.get(path).copied().unwrap_or(0.0),
                     utilization: (busy_secs / (elapsed * f64::from(alive.max(1)))).min(1.0),
-                    p50_exec_secs: stats.exec_quantile(0.50),
-                    p95_exec_secs: stats.exec_quantile(0.95),
-                    p99_exec_secs: stats.exec_quantile(0.99),
+                    p50_exec_secs: agg.hist.quantile_secs(0.50).unwrap_or(0.0),
+                    p95_exec_secs: agg.hist.quantile_secs(0.95).unwrap_or(0.0),
+                    p99_exec_secs: agg.hist.quantile_secs(0.99).unwrap_or(0.0),
                 },
             );
         }
+        shared.shard_merges.add(merged);
 
         if let Some(probe) = shared.queue_probe.lock().as_ref() {
             snap.queue = probe();
@@ -493,6 +649,7 @@ impl Monitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dope_metrics::Histogram;
 
     fn monitor() -> Monitor {
         Monitor::new(Duration::from_secs(10), 0.25, FeatureRegistry::new())
@@ -549,8 +706,8 @@ mod tests {
         let path: TaskPath = "0".parse().unwrap();
         let stats = m.stats_for(&path);
         // 50 completions within ~1 s of cell creation, sampled with a
-        // 10 s window: the old code divided by the full 10 s and
-        // reported ~5/s; the fix divides by elapsed (~1 s) → ~50/s.
+        // 10 s window: dividing by the full 10 s would report ~5/s; the
+        // elapsed-bounded divisor (~1 s) reports ~50/s.
         let now = stats.created + Duration::from_secs(1);
         for _ in 0..50 {
             stats.record(Duration::from_micros(10), now, Duration::from_secs(10));
@@ -695,7 +852,7 @@ mod tests {
             Instant::now(),
             Duration::from_secs(1),
         );
-        assert_eq!(b.invocations.get(), 1);
+        assert_eq!(b.total_invocations(), 1);
     }
 
     #[test]
@@ -728,7 +885,13 @@ mod tests {
             text.contains("dope_task_exec_seconds_count{path=\"1\"} 1"),
             "{text}"
         );
+        assert!(
+            text.contains("dope_task_invocations_total{path=\"0\"} 1"),
+            "{text}"
+        );
         assert!(text.contains("dope_monitor_snapshots_total 1"), "{text}");
+        // The snapshot above merged one shard per path.
+        assert!(text.contains("dope_monitor_shard_merges_total 2"), "{text}");
         assert!(text.contains("dope_queue_arrival_rate 8.5"), "{text}");
         assert!(text.contains("dope_queue_completed_total 15"), "{text}");
         assert!(text.contains("dope_monitoring_overhead_ratio "), "{text}");
@@ -750,5 +913,83 @@ mod tests {
         assert!(overhead > 0.0, "overhead meter never advanced");
         let ratio = m.monitoring_overhead_ratio();
         assert!(ratio >= 0.0 && ratio.is_finite());
+    }
+
+    #[test]
+    fn record_path_acquires_no_locks() {
+        let m = monitor();
+        let path: TaskPath = "0".parse().unwrap();
+        let shard = m.stats_for(&path).shard();
+        let now = Instant::now();
+        let before = crate::lockrank::acquisitions_on_this_thread();
+        for _ in 0..1000 {
+            shard.record(Duration::from_micros(5), now, Duration::from_secs(10));
+        }
+        assert_eq!(
+            crate::lockrank::acquisitions_on_this_thread(),
+            before,
+            "the record hot path must not acquire any ranked lock"
+        );
+    }
+
+    #[test]
+    fn concurrent_records_are_neither_lost_nor_double_counted() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 5_000;
+        // Deterministic per-thread durations so an exact serial
+        // reference can be rebuilt after the fact.
+        fn exec_nanos(thread: u64, i: u64) -> u64 {
+            1_000 + (thread * 31 + i) % 997
+        }
+
+        let m = monitor();
+        let path: TaskPath = "0".parse().unwrap();
+        let window = Duration::from_secs(600); // nothing ages out mid-test
+        m.install_epoch(Vec::new(), HashMap::from([(path.clone(), THREADS as u32)]));
+        let stats = m.stats_for(&path);
+
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let m = m.clone();
+            let path = path.clone();
+            handles.push(std::thread::spawn(move || {
+                let shard = m.stats_for(&path).shard();
+                let now = Instant::now();
+                for i in 0..PER_THREAD {
+                    shard.record(Duration::from_nanos(exec_nanos(t, i)), now, window);
+                }
+            }));
+        }
+        // Snapshot concurrently with the writers: aggregation must never
+        // tear, and every intermediate count must stay plausible.
+        let deadline = Instant::now() + Duration::from_millis(50);
+        while Instant::now() < deadline {
+            let snap = m.snapshot();
+            if let Some(ts) = snap.task(&path) {
+                assert!(ts.invocations <= THREADS * PER_THREAD);
+            }
+        }
+        for handle in handles {
+            handle.join().expect("writer thread panicked");
+        }
+
+        let agg = stats.aggregate(Instant::now(), window);
+        assert_eq!(agg.shards_merged, THREADS, "one shard per writer thread");
+        assert_eq!(agg.invocations, THREADS * PER_THREAD, "no lost records");
+
+        // The merged histogram and busy time must equal a serial
+        // reference of the very same durations: nothing lost, nothing
+        // double-counted, bucket by bucket.
+        let reference = Histogram::new();
+        let mut busy = 0u64;
+        for t in 0..THREADS {
+            for i in 0..PER_THREAD {
+                let nanos = exec_nanos(t, i);
+                reference.record_nanos(nanos);
+                busy += nanos;
+            }
+        }
+        assert_eq!(agg.busy_nanos, busy);
+        assert_eq!(agg.hist, reference.to_local());
     }
 }

@@ -12,6 +12,13 @@
 //! every contained panic. Jobs that must *report* their panic (the
 //! executive's task loops) catch the unwind themselves first; the pool's
 //! net is the last line of defence.
+//!
+//! Worker threads are long-lived: a pool spawns its threads once and
+//! they survive until `shutdown`, running many jobs each. The monitor's
+//! sharded recorders (`docs/performance.md`) lean on this — shards are
+//! keyed by `ThreadId`, so stable worker threads keep the per-path
+//! shard count bounded by the pool size instead of growing with the
+//! job count.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dope_core::Error;

@@ -1,0 +1,278 @@
+//! Per-worker monitoring shards: the contention-free task-completion
+//! record path.
+//!
+//! Every pool worker that executes a task path owns a private
+//! [`RecorderShard`]. Recording a completed `begin`..`end` interval
+//! touches only that shard — a handful of arithmetic operations on
+//! cache lines no other writer shares, and **zero lock acquisitions**
+//! (enforced by `lockrank::acquisitions_on_this_thread` in the
+//! `record_path_acquires_no_locks` test). The monitor thread merges all
+//! of a path's shards into one view at snapshot or scrape time.
+//!
+//! # Single-writer discipline and memory ordering
+//!
+//! A shard has exactly one writer: shards are keyed by `ThreadId`, a
+//! pool worker runs one job at a time, and a job drives one `LiveCx`.
+//! Every field is therefore written by one thread and read by another
+//! (the monitor), which is why plain `Relaxed` loads and stores are
+//! enough:
+//!
+//! * **Writer side** — each store is a private read-modify-write; there
+//!   is no competing writer to order against, so no compare-and-swap
+//!   and no `Release` fences are needed on the per-record path.
+//! * **Reader side** — the monitor discovers a shard by locking the
+//!   path's shard list; the lock acquisition that *published* the shard
+//!   synchronizes-with the monitor's acquisition, so the shard's
+//!   initialized state is visible. Counts read afterwards are `Relaxed`
+//!   and may trail the writer by a few operations — the same
+//!   approximately-consistent contract Prometheus scrapes already have.
+//!   Nothing is ever torn: every cell is a single `AtomicU64`, and the
+//!   completion ring packs `(tick, count)` into one word so a slot is
+//!   read atomically.
+//!
+//! The EWMA and the completion ring *rely* on the single-writer
+//! invariant (their load-then-store sequences would lose updates under
+//! concurrent writers); the counters and the histogram are `fetch_add`
+//! based and merely become contention-free under it.
+
+use dope_core::Ewma;
+use dope_metrics::{Histogram, LocalHistogram};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Slots in the completion ring. One ring spans one throughput window,
+/// so each slot covers `window / RING_SLOTS` — the quantization error of
+/// the recent-completions count is bounded by one slot (~3 % of the
+/// window).
+pub(crate) const RING_SLOTS: u64 = 32;
+
+/// Self-accounting sample rate: every `OVERHEAD_SAMPLE`-th record call
+/// is timed (one extra clock read) and charged at `OVERHEAD_SAMPLE`
+/// times its cost. Timing every call would cost more than the call.
+const OVERHEAD_SAMPLE: u64 = 64;
+
+/// `f64` bit pattern marking "no EWMA sample yet" (NaN never appears as
+/// a real EWMA value: samples are finite durations).
+const EWMA_EMPTY: u64 = f64::NAN.to_bits();
+
+/// One worker's private measurement state for one task path.
+#[derive(Debug)]
+pub(crate) struct RecorderShard {
+    /// Smoothing factor of the per-shard execution-time EWMA.
+    alpha: f64,
+    /// The owning `PathStats` cell's creation instant — the shared
+    /// anchor all shards of a path quantize ring ticks against.
+    created: Instant,
+    invocations: AtomicU64,
+    busy_nanos: AtomicU64,
+    /// Current EWMA of execution seconds as `f64` bits ([`EWMA_EMPTY`]
+    /// before the first sample). Single-writer: load/modify/store.
+    ewma_bits: AtomicU64,
+    /// Completion ring: slot `tick % RING_SLOTS` packs
+    /// `(tick as u32) << 32 | count`. Single-writer: load/modify/store.
+    ring: [AtomicU64; RING_SLOTS as usize],
+    /// Per-shard execution-latency histogram; uncontended `fetch_add`s.
+    exec_hist: Histogram,
+    /// The monitor-wide self-overhead accumulator (nanoseconds), shared
+    /// across every shard and the snapshot path.
+    overhead_nanos: Arc<AtomicU64>,
+}
+
+/// Nanoseconds per ring slot for `window` (at least 1 to avoid division
+/// by zero on degenerate windows).
+fn slot_width_nanos(window: Duration) -> u64 {
+    ((window.as_nanos() / u128::from(RING_SLOTS)) as u64).max(1)
+}
+
+fn pack(tick: u64, count: u64) -> u64 {
+    ((tick & 0xffff_ffff) << 32) | (count & 0xffff_ffff)
+}
+
+fn unpack(word: u64) -> (u64, u64) {
+    (word >> 32, word & 0xffff_ffff)
+}
+
+impl RecorderShard {
+    pub(crate) fn new(alpha: f64, created: Instant, overhead_nanos: Arc<AtomicU64>) -> Self {
+        RecorderShard {
+            alpha,
+            created,
+            invocations: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            ewma_bits: AtomicU64::new(EWMA_EMPTY),
+            ring: std::array::from_fn(|_| AtomicU64::new(0)),
+            exec_hist: Histogram::new(),
+            overhead_nanos,
+        }
+    }
+
+    fn elapsed_nanos(&self, now: Instant) -> u64 {
+        u64::try_from(now.saturating_duration_since(self.created).as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Records one completed `begin`..`end` interval. Lock-free: plain
+    /// relaxed atomic arithmetic on this shard's private cache lines.
+    ///
+    /// Every [`OVERHEAD_SAMPLE`]-th call additionally charges the
+    /// monitor's self-overhead meter with a sampled estimate of the
+    /// record cost.
+    pub(crate) fn record(&self, exec: Duration, now: Instant, window: Duration) {
+        let nanos = u64::try_from(exec.as_nanos()).unwrap_or(u64::MAX);
+        let sampled = self
+            .invocations
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(OVERHEAD_SAMPLE);
+        self.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.exec_hist.record_nanos(nanos);
+
+        // EWMA fold: single-writer load/modify/store.
+        let prev = f64::from_bits(self.ewma_bits.load(Ordering::Relaxed));
+        let prev = if prev.is_nan() { None } else { Some(prev) };
+        let next = Ewma::fold(self.alpha, prev, exec.as_secs_f64());
+        self.ewma_bits.store(next.to_bits(), Ordering::Relaxed);
+
+        // Completion ring: bump the current tick's slot, or claim it if
+        // it still holds a tick from a previous lap.
+        let tick = self.elapsed_nanos(now) / slot_width_nanos(window);
+        let slot = &self.ring[(tick % RING_SLOTS) as usize];
+        let (stored_tick, count) = unpack(slot.load(Ordering::Relaxed));
+        let count = if stored_tick == (tick & 0xffff_ffff) {
+            (count + 1).min(0xffff_ffff)
+        } else {
+            1
+        };
+        slot.store(pack(tick, count), Ordering::Relaxed);
+
+        if sampled {
+            let spent = Instant::now().saturating_duration_since(now);
+            let charge = u64::try_from(spent.as_nanos()).unwrap_or(u64::MAX);
+            self.overhead_nanos
+                .fetch_add(charge.saturating_mul(OVERHEAD_SAMPLE), Ordering::Relaxed);
+        }
+    }
+
+    /// Completions recorded within the trailing `window` ending at
+    /// `now`, quantized to ring slots (error at most one slot width).
+    pub(crate) fn recent_completions(&self, now: Instant, window: Duration) -> u64 {
+        let slot_w = slot_width_nanos(window);
+        let now_tick = self.elapsed_nanos(now) / slot_w;
+        let oldest = now_tick.saturating_sub(RING_SLOTS - 1);
+        let mut total = 0;
+        for (i, slot) in self.ring.iter().enumerate() {
+            let (stored_lo, count) = unpack(slot.load(Ordering::Relaxed));
+            if count == 0 {
+                continue;
+            }
+            // The only tick in [oldest, now_tick] mapping to slot `i`.
+            let lag = (now_tick % RING_SLOTS + RING_SLOTS - i as u64) % RING_SLOTS;
+            let candidate = now_tick.saturating_sub(lag);
+            if candidate >= oldest && (candidate & 0xffff_ffff) == stored_lo {
+                total += count;
+            }
+        }
+        total
+    }
+
+    /// Completed invocations recorded into this shard.
+    pub(crate) fn invocations(&self) -> u64 {
+        self.invocations.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated `begin`..`end` work nanoseconds.
+    pub(crate) fn busy_nanos(&self) -> u64 {
+        self.busy_nanos.load(Ordering::Relaxed)
+    }
+
+    /// This shard's execution-time EWMA, `None` before any record.
+    pub(crate) fn ewma_secs(&self) -> Option<f64> {
+        let bits = self.ewma_bits.load(Ordering::Relaxed);
+        let value = f64::from_bits(bits);
+        if value.is_nan() {
+            None
+        } else {
+            Some(value)
+        }
+    }
+
+    /// A point-in-time copy of this shard's latency histogram.
+    pub(crate) fn local_hist(&self) -> LocalHistogram {
+        self.exec_hist.to_local()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard() -> RecorderShard {
+        RecorderShard::new(0.25, Instant::now(), Arc::new(AtomicU64::new(0)))
+    }
+
+    fn record(s: &RecorderShard, exec: Duration, now: Instant, window: Duration) {
+        s.record(exec, now, window);
+    }
+
+    #[test]
+    fn counts_and_busy_accumulate() {
+        let s = shard();
+        let now = Instant::now();
+        let w = Duration::from_secs(10);
+        record(&s, Duration::from_millis(2), now, w);
+        record(&s, Duration::from_millis(3), now, w);
+        assert_eq!(s.invocations(), 2);
+        assert_eq!(s.busy_nanos(), 5_000_000);
+        assert_eq!(s.local_hist().count(), 2);
+    }
+
+    #[test]
+    fn ewma_matches_the_struct_fold() {
+        let s = shard();
+        let now = Instant::now();
+        let w = Duration::from_secs(10);
+        let mut reference = Ewma::new(0.25);
+        for ms in [10u64, 30, 20, 5] {
+            record(&s, Duration::from_millis(ms), now, w);
+            reference.update(ms as f64 / 1e3);
+        }
+        assert_eq!(s.ewma_secs(), reference.value());
+    }
+
+    #[test]
+    fn ring_counts_recent_and_ages_out() {
+        let s = shard();
+        let w = Duration::from_secs(10);
+        let recording = s.created + Duration::from_secs(1);
+        for _ in 0..50 {
+            record(&s, Duration::from_micros(10), recording, w);
+        }
+        assert_eq!(s.recent_completions(recording, w), 50);
+        // Two windows later every completion has aged out — including
+        // the slot the stale tick still physically occupies.
+        let later = s.created + Duration::from_secs(20);
+        assert_eq!(s.recent_completions(later, w), 0);
+    }
+
+    #[test]
+    fn ring_laps_reclaim_stale_slots() {
+        let s = shard();
+        let w = Duration::from_secs(32); // 1 s slots
+        let early = s.created + Duration::from_secs(1);
+        record(&s, Duration::from_micros(1), early, w);
+        // One full lap later the same slot index is reused: the stale
+        // count must be replaced, not added to.
+        let lap = s.created + Duration::from_secs(33);
+        record(&s, Duration::from_micros(1), lap, w);
+        assert_eq!(s.recent_completions(lap, w), 1);
+    }
+
+    #[test]
+    fn overhead_sampling_charges_the_meter() {
+        let overhead = Arc::new(AtomicU64::new(0));
+        let s = RecorderShard::new(0.25, Instant::now(), Arc::clone(&overhead));
+        let w = Duration::from_secs(10);
+        // The very first record is sampled (invocation count 0).
+        s.record(Duration::from_millis(1), Instant::now(), w);
+        assert!(overhead.load(Ordering::Relaxed) > 0);
+    }
+}

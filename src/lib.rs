@@ -16,13 +16,16 @@
 //! * [`dope_trace`] — the flight recorder: structured executive events,
 //!   the JSONL codec, deterministic replay, and the timeline CLI;
 //! * [`dope_lint`] — the workspace static analyzer: six `DL0xx` passes
-//!   enforcing the cross-crate contracts the compiler cannot see.
+//!   enforcing the cross-crate contracts the compiler cannot see;
+//! * [`dope_bench`] — the figure/table harness and the perf gate
+//!   (`BENCH_perf.json` microbench reports and baseline diffing).
 //!
 //! The prose documentation under `docs/` is embedded below (see
 //! [`docs`]) so that every example in the book compiles and runs as a
 //! doctest of this crate.
 
 pub use dope_apps as apps;
+pub use dope_bench as bench;
 pub use dope_core as core;
 pub use dope_lint as lint;
 pub use dope_mechanisms as mechanisms;
@@ -50,6 +53,11 @@ pub mod docs {
     /// `docs/operator-guide.md`: capturing and reading traces.
     #[doc = include_str!("../docs/operator-guide.md")]
     pub mod operator_guide {}
+
+    /// `docs/performance.md`: the sharded monitor record path, its
+    /// memory-ordering argument, and the perf-gate workflow.
+    #[doc = include_str!("../docs/performance.md")]
+    pub mod performance {}
 
     /// `docs/static-analysis.md`: the `dope-lint` DL catalogue, waiver
     /// syntax, exit codes, and the lock-order manifest.
