@@ -83,6 +83,24 @@ if [[ "$QUICK" -eq 0 ]]; then
   cargo run -q --release --offline -p dope-trace --bin dope-trace -- \
     timeline "$FAULT_TRACE" | grep -q "FAILED"
 
+  step "explain smoke: traced fig11 run -> decision audit (text + strict JSON)"
+  # A short traced fig11 config must yield a non-empty decision audit:
+  # the recording carries DecisionTraced events, `explain` renders them,
+  # and `explain --json` re-emits strict JSONL that parses back through
+  # the codec (piping it into a second `explain -` proves exactly that —
+  # a loose re-encoding would be rejected on the way back in).
+  FIG11_TRACE="$TRACE_TMP/fig11.jsonl"
+  cargo run -q --release --offline -p dope-bench --bin fig11 -- \
+    --quick "--trace=$FIG11_TRACE" > /dev/null
+  cargo run -q --release --offline -p dope-trace --bin dope-trace -- \
+    explain "$FIG11_TRACE" > "$TRACE_TMP/audit.txt"
+  grep -q "decision audit:" "$TRACE_TMP/audit.txt"
+  cargo run -q --release --offline -p dope-trace --bin dope-trace -- \
+    explain "$FIG11_TRACE" --json > "$TRACE_TMP/decisions.jsonl"
+  cargo run -q --release --offline -p dope-trace --bin dope-trace -- \
+    explain "$TRACE_TMP/decisions.jsonl" > "$TRACE_TMP/audit-rt.txt"
+  grep -q "decision audit:" "$TRACE_TMP/audit-rt.txt"
+
   step "perf smoke: record-path / snapshot / reconfigure / fig11 gates"
   # Reduced-configuration run of the perf gate (docs/performance.md).
   # The binary itself enforces the in-run invariant (sharded record path

@@ -47,6 +47,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod decision;
 pub mod diag;
 pub mod error;
 pub mod ewma;
@@ -63,6 +64,7 @@ pub mod status;
 pub mod task;
 
 pub use config::{Config, NestConfig, TaskConfig};
+pub use decision::{realized_throughput, DecisionCandidate, DecisionTrace, Rationale};
 pub use diag::{DiagCode, Diagnostic, Severity};
 pub use error::{Error, Result};
 pub use ewma::Ewma;
@@ -79,8 +81,9 @@ pub use task::{body_fn, FnBody, TaskBody, TaskCx};
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::{
-        body_fn, Config, Directive, FailurePolicy, FailureVerdict, Goal, Mechanism,
-        MonitorSnapshot, ParKind, ProgramShape, Resources, ShapeNode, TaskBody, TaskConfig, TaskCx,
-        TaskKind, TaskOutcome, TaskPath, TaskSpec, TaskStats, TaskStatus, Work, WorkerSlot,
+        body_fn, Config, DecisionTrace, Directive, FailurePolicy, FailureVerdict, Goal, Mechanism,
+        MonitorSnapshot, ParKind, ProgramShape, Rationale, Resources, ShapeNode, TaskBody,
+        TaskConfig, TaskCx, TaskKind, TaskOutcome, TaskPath, TaskSpec, TaskStats, TaskStatus, Work,
+        WorkerSlot,
     };
 }

@@ -7,6 +7,7 @@
 //! `Mechanism::reconfigureParallelism(pd, nthreads)` (Figure 10).
 
 use crate::config::Config;
+use crate::decision::{DecisionTrace, Rationale};
 use crate::metrics::MonitorSnapshot;
 use crate::shape::ProgramShape;
 
@@ -115,6 +116,21 @@ pub trait Mechanism: Send {
         let _ = (shape, res);
         None
     }
+
+    /// The mechanism's account of its most recent [`reconfigure`]
+    /// call — what it observed, what candidates it weighed, what it
+    /// chose and why (see [`DecisionTrace`]).
+    ///
+    /// The default returns `None` (no audit trail). Mechanisms that
+    /// implement it rebuild the trace on every `reconfigure` call,
+    /// including "hold" decisions where no configuration was proposed;
+    /// the executive records whatever this returns as a `DecisionTraced`
+    /// trace event and scores `predicted_throughput` one epoch later.
+    ///
+    /// [`reconfigure`]: Mechanism::reconfigure
+    fn explain(&self) -> Option<DecisionTrace> {
+        None
+    }
 }
 
 /// A mechanism that never reconfigures: a fixed static parallelization.
@@ -135,6 +151,7 @@ pub trait Mechanism: Send {
 pub struct StaticMechanism {
     config: Config,
     name: &'static str,
+    last_decision: Option<DecisionTrace>,
 }
 
 impl StaticMechanism {
@@ -144,6 +161,7 @@ impl StaticMechanism {
         StaticMechanism {
             config,
             name: "Static",
+            last_decision: None,
         }
     }
 
@@ -173,11 +191,21 @@ impl Mechanism for StaticMechanism {
         _shape: &ProgramShape,
         _res: &Resources,
     ) -> Option<Config> {
-        (*current != self.config).then(|| self.config.clone())
+        let drifted = *current != self.config;
+        let chosen = if drifted { "restore-pinned" } else { "hold" };
+        self.last_decision = Some(
+            DecisionTrace::new(Rationale::Pinned, chosen)
+                .observing("pinned_threads", f64::from(self.config.total_threads())),
+        );
+        drifted.then(|| self.config.clone())
     }
 
     fn initial(&mut self, _shape: &ProgramShape, _res: &Resources) -> Option<Config> {
         Some(self.config.clone())
+    }
+
+    fn explain(&self) -> Option<DecisionTrace> {
+        self.last_decision.clone()
     }
 }
 
@@ -223,5 +251,27 @@ mod tests {
     fn mechanism_is_object_safe() {
         let mech: Box<dyn Mechanism> = Box::new(StaticMechanism::new(Config::default()));
         assert_eq!(mech.name(), "Static");
+        // The default explain() hook is callable through the vtable.
+        assert_eq!(mech.explain(), None);
+    }
+
+    #[test]
+    fn static_mechanism_explains_both_hold_and_restore() {
+        let pinned = Config::new(vec![TaskConfig::leaf("t", 4)]);
+        let mut mech = StaticMechanism::new(pinned.clone());
+        let shape = ProgramShape::new(vec![]);
+        let res = Resources::threads(8);
+        let snap = MonitorSnapshot::at(0.0);
+
+        assert_eq!(mech.explain(), None, "no decision before reconfigure");
+        let other = Config::new(vec![TaskConfig::leaf("t", 2)]);
+        mech.reconfigure(&snap, &other, &shape, &res);
+        let trace = mech.explain().expect("restore decision is explained");
+        assert_eq!(trace.rationale, Rationale::Pinned);
+        assert_eq!(trace.chosen, "restore-pinned");
+
+        mech.reconfigure(&snap, &pinned, &shape, &res);
+        let trace = mech.explain().expect("hold decision is explained");
+        assert_eq!(trace.chosen, "hold");
     }
 }

@@ -60,6 +60,16 @@ fn dl001_fires_on_inexhaustive_consumer() {
         "only the consumer hiding behind `_ =>` should be flagged: {:?}",
         report.findings
     );
+    // The wildcard hides both Finished and the DecisionTraced kind; a
+    // regression that stops tracking DecisionTraced must keep firing.
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("DecisionTraced")),
+        "the hidden DecisionTraced kind should be named: {:?}",
+        report.findings
+    );
 }
 
 #[test]
@@ -141,6 +151,16 @@ fn dl006_fires_on_removed_baseline_field() {
     assert!(
         report.findings.iter().any(|f| f.message.contains("goal")),
         "the removed field should be named: {:?}",
+        report.findings
+    );
+    // The bad flavor also drops `rationale` from DecisionTraced: the
+    // additive-field contract must cover the decision-audit kind too.
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("rationale")),
+        "the removed DecisionTraced field should be named: {:?}",
         report.findings
     );
 }

@@ -3,5 +3,6 @@ pub fn handle(e: &TraceEvent) {
     match e {
         TraceEvent::Launched { .. } => {}
         TraceEvent::Finished { .. } => {}
+        TraceEvent::DecisionTraced { .. } => {}
     }
 }

@@ -2,5 +2,6 @@
 pub enum TraceEvent {
     Launched { mechanism: String },
     Finished { completed: u64 },
+    DecisionTraced { mechanism: String, chosen: String },
 }
-pub const KINDS: [&str; 2] = ["Launched", "Finished"];
+pub const KINDS: [&str; 3] = ["Launched", "Finished", "DecisionTraced"];

@@ -5,4 +5,5 @@ pub struct TraceRecord {
 pub enum TraceEvent {
     Launched { mechanism: String },
     Finished { completed: u64 },
+    DecisionTraced { mechanism: String, rationale: String, chosen: String },
 }

@@ -2,7 +2,10 @@
 //! mechanism.
 
 use crate::pipeline_util::{self, StageView};
-use dope_core::{Config, Mechanism, MonitorSnapshot, ProgramShape, Resources};
+use dope_core::{
+    Config, DecisionCandidate, DecisionTrace, Mechanism, MonitorSnapshot, ProgramShape, Rationale,
+    Resources,
+};
 
 /// Phase of the hill climber.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +46,7 @@ pub struct Fdp {
     failed_moves: u32,
     max_failed_moves: u32,
     phase: Phase,
+    last_decision: Option<DecisionTrace>,
 }
 
 impl Fdp {
@@ -59,6 +63,7 @@ impl Fdp {
             failed_moves: 0,
             max_failed_moves: max_failed_moves.max(1),
             phase: Phase::Measure,
+            last_decision: None,
         }
     }
 
@@ -145,15 +150,48 @@ impl Mechanism for Fdp {
         }
         let throughput = Self::sink_throughput(&views);
 
+        // Audit trail: every arm of the state machine records what it saw
+        // and why it moved (or held); the executive scores the prediction
+        // one epoch later. `failed_moves` is the count going *into* this
+        // decision.
+        let failed_moves = self.failed_moves;
+        let improvement_eps = self.improvement_eps;
+        let base_trace = move |rationale, chosen: String| {
+            DecisionTrace::new(rationale, chosen)
+                .observing("sink_throughput", throughput)
+                .observing("failed_moves", f64::from(failed_moves))
+                .observing("improvement_eps", improvement_eps)
+        };
+
         match std::mem::replace(&mut self.phase, Phase::Measure) {
             Phase::Measure => {
                 let Some(extents) = Self::propose_move(&views, res.threads) else {
+                    self.last_decision = Some(
+                        base_trace(Rationale::Converged, "hold".to_string())
+                            .candidate(DecisionCandidate::new("probe", 0.0))
+                            .candidate(DecisionCandidate::new("hold", 1.0)),
+                    );
                     self.phase = Phase::Converged {
                         ticks_left: self.cooldown_ticks,
                     };
                     return None;
                 };
                 let saved: Vec<u32> = views.iter().map(|v| v.extent).collect();
+                let chosen = pipeline_util::extents_label(&extents);
+                let mut probe = DecisionCandidate::new(chosen.clone(), 1.0);
+                if let Some(rate) = pipeline_util::bottleneck_rate(&views, &extents) {
+                    probe = probe.predicting(rate);
+                }
+                let mut trace = base_trace(Rationale::HillClimbProbe, chosen)
+                    .candidate(probe)
+                    .candidate(
+                        DecisionCandidate::new(pipeline_util::extents_label(&saved), 0.0)
+                            .predicting(throughput),
+                    );
+                if let Some(rate) = pipeline_util::bottleneck_rate(&views, &extents) {
+                    trace = trace.predicting(rate);
+                }
+                self.last_decision = Some(trace);
                 self.phase = Phase::Settle {
                     saved,
                     baseline: throughput,
@@ -163,17 +201,45 @@ impl Mechanism for Fdp {
             Phase::Settle { saved, baseline } => {
                 // The window that just ended straddles the reconfiguration;
                 // judge the move on the next full window.
+                self.last_decision = Some(
+                    base_trace(Rationale::SettleWait, "hold".to_string())
+                        .observing("baseline_throughput", baseline),
+                );
                 self.phase = Phase::Trial { saved, baseline };
                 None
             }
             Phase::Trial { saved, baseline } => {
-                if throughput > baseline * (1.0 + self.improvement_eps) {
+                let bar = baseline * (1.0 + self.improvement_eps);
+                let keep = DecisionCandidate::new("keep", throughput).predicting(throughput);
+                let revert = DecisionCandidate::new(
+                    format!("revert: {}", pipeline_util::extents_label(&saved)),
+                    bar,
+                )
+                .predicting(baseline);
+                if throughput > bar {
                     // Keep the move; continue climbing from here.
                     self.failed_moves = 0;
+                    self.last_decision = Some(
+                        base_trace(Rationale::KeepBetterMove, "keep".to_string())
+                            .observing("baseline_throughput", baseline)
+                            .candidate(keep)
+                            .candidate(revert)
+                            .predicting(throughput),
+                    );
                     self.phase = Phase::Measure;
                     None
                 } else {
                     self.failed_moves += 1;
+                    self.last_decision = Some(
+                        base_trace(
+                            Rationale::RevertWorseMove,
+                            format!("revert: {}", pipeline_util::extents_label(&saved)),
+                        )
+                        .observing("baseline_throughput", baseline)
+                        .candidate(keep)
+                        .candidate(revert)
+                        .predicting(baseline),
+                    );
                     if self.failed_moves >= self.max_failed_moves {
                         self.failed_moves = 0;
                         self.phase = Phase::Converged {
@@ -186,6 +252,10 @@ impl Mechanism for Fdp {
                 }
             }
             Phase::Converged { ticks_left } => {
+                self.last_decision = Some(
+                    base_trace(Rationale::Converged, "hold".to_string())
+                        .observing("cooldown_ticks_left", f64::from(ticks_left)),
+                );
                 if ticks_left > 0 {
                     self.phase = Phase::Converged {
                         ticks_left: ticks_left - 1,
@@ -196,6 +266,10 @@ impl Mechanism for Fdp {
                 None
             }
         }
+    }
+
+    fn explain(&self) -> Option<DecisionTrace> {
+        self.last_decision.clone()
     }
 }
 

@@ -173,6 +173,34 @@ pub mod pipeline_util {
         )]))
     }
 
+    /// The bottleneck law's steady-state throughput prediction for
+    /// per-stage `extents`: the minimum stage service rate
+    /// `extent / mean_exec` over stages with a measured execution time.
+    ///
+    /// Returns `None` when no stage has been observed yet — there is no
+    /// model to predict from. Mechanisms use this to fill
+    /// [`DecisionTrace::predicted_throughput`](dope_core::DecisionTrace),
+    /// which the executive scores against the realized bottleneck one
+    /// epoch later.
+    #[must_use]
+    pub fn bottleneck_rate(nodes: &[StageView], extents: &[u32]) -> Option<f64> {
+        nodes
+            .iter()
+            .zip(extents)
+            .filter(|(v, _)| v.mean_exec > 0.0)
+            .map(|(v, &e)| f64::from(e.max(1)) / v.mean_exec)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Renders per-stage extents as a compact action label
+    /// (`"extents=1/3/2/1"`), for [`DecisionTrace`](dope_core::DecisionTrace)
+    /// candidate and chosen-action fields.
+    #[must_use]
+    pub fn extents_label(extents: &[u32]) -> String {
+        let parts: Vec<String> = extents.iter().map(u32::to_string).collect();
+        format!("extents={}", parts.join("/"))
+    }
+
     /// Distributes `budget` workers over stages proportionally to their
     /// execution times (sequential stages pinned to one worker), always
     /// giving every stage at least one worker and respecting caps.

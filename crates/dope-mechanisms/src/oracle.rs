@@ -2,7 +2,10 @@
 //! observed load.
 
 use dope_core::nest::{self, TwoLevelNest};
-use dope_core::{Config, Mechanism, MonitorSnapshot, ProgramShape, Resources};
+use dope_core::{
+    realized_throughput, Config, DecisionCandidate, DecisionTrace, Mechanism, MonitorSnapshot,
+    ProgramShape, Rationale, Resources,
+};
 
 /// An oracle that maps work-queue occupancy directly to the best
 /// transaction width, using a table computed offline (e.g. by sweeping
@@ -30,6 +33,7 @@ pub struct Oracle {
     table: Vec<(f64, u32)>,
     fallback: u32,
     nest: Option<TwoLevelNest>,
+    last_decision: Option<DecisionTrace>,
 }
 
 impl Oracle {
@@ -56,6 +60,7 @@ impl Oracle {
             table,
             fallback,
             nest: None,
+            last_decision: None,
         }
     }
 
@@ -94,11 +99,52 @@ impl Mechanism for Oracle {
             self.nest = nest::find_two_level(shape);
         }
         let nest = self.nest.clone()?;
-        let width = self.width_for_occupancy(snap.queue.occupancy);
-        if nest::width_of(current, &nest) == width {
+        let occ = snap.queue.occupancy;
+        let width = self.width_for_occupancy(occ);
+        let cur_width = nest::width_of(current, &nest);
+        let changed = cur_width != width;
+
+        // Audit trail: one candidate per table row (plus the fallback),
+        // scored 1.0 for the matching row and 0.0 otherwise.
+        let base = realized_throughput(snap).filter(|_| cur_width > 0);
+        let predict = |w: u32| base.map(|t| t * f64::from(w) / f64::from(cur_width));
+        let chosen = if changed {
+            format!("width={width}")
+        } else {
+            "hold".to_string()
+        };
+        let mut trace = DecisionTrace::new(Rationale::OracleLookup, chosen)
+            .observing("queue_occupancy", occ)
+            .observing("current_width", f64::from(cur_width))
+            .observing("target_width", f64::from(width));
+        let rows = self
+            .table
+            .iter()
+            .map(|&(bound, w)| (format!("occ<={bound}: width={w}"), w))
+            .chain(std::iter::once((
+                format!("fallback: width={}", self.fallback),
+                self.fallback,
+            )));
+        for (action, w) in rows {
+            let mut candidate = DecisionCandidate::new(action, if w == width { 1.0 } else { 0.0 });
+            if let Some(t) = predict(w) {
+                candidate = candidate.predicting(t);
+            }
+            trace = trace.candidate(candidate);
+        }
+        if let Some(t) = predict(width) {
+            trace = trace.predicting(t);
+        }
+        self.last_decision = Some(trace);
+
+        if !changed {
             return None;
         }
         Some(nest::config_for_width(shape, &nest, res.threads, width))
+    }
+
+    fn explain(&self) -> Option<DecisionTrace> {
+        self.last_decision.clone()
     }
 }
 

@@ -1,7 +1,10 @@
 //! The throughput-maximizing mechanism of paper Figure 10.
 
 use crate::pipeline_util;
-use dope_core::{Config, Mechanism, MonitorSnapshot, ProgramShape, Resources};
+use dope_core::{
+    Config, DecisionCandidate, DecisionTrace, Mechanism, MonitorSnapshot, ProgramShape, Rationale,
+    Resources,
+};
 
 /// Assigns each task a DoP extent proportional to its execution time —
 /// the paper's example mechanism (Figure 10): "tasks that take longer to
@@ -21,7 +24,7 @@ use dope_core::{Config, Mechanism, MonitorSnapshot, ProgramShape, Resources};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Proportional {
-    _priv: (),
+    last_decision: Option<DecisionTrace>,
 }
 
 impl Proportional {
@@ -52,7 +55,40 @@ impl Mechanism for Proportional {
         let extents =
             pipeline_util::proportional_extents(&views, res.threads, |v| v.mean_exec.max(1e-9));
         let proposal = pipeline_util::config_from_extents(current, alt, shape, &extents)?;
-        (proposal != *current).then_some(proposal)
+        let changed = proposal != *current;
+
+        // Audit trail: one candidate per stage, scored by its share of
+        // the total service time (the quantity the split follows).
+        let total_exec: f64 = views.iter().map(|v| v.mean_exec.max(0.0)).sum();
+        let chosen = if changed {
+            pipeline_util::extents_label(&extents)
+        } else {
+            "hold".to_string()
+        };
+        let mut trace = DecisionTrace::new(Rationale::ThroughputBalance, chosen)
+            .observing("total_mean_exec_secs", total_exec);
+        for (view, &extent) in views.iter().zip(&extents) {
+            trace = trace
+                .observing(format!("{}_mean_exec_secs", view.name), view.mean_exec)
+                .candidate(DecisionCandidate::new(
+                    format!("{}: extent={extent}", view.name),
+                    if total_exec > 0.0 {
+                        view.mean_exec.max(0.0) / total_exec
+                    } else {
+                        0.0
+                    },
+                ));
+        }
+        if let Some(rate) = pipeline_util::bottleneck_rate(&views, &extents) {
+            trace = trace.predicting(rate);
+        }
+        self.last_decision = Some(trace);
+
+        changed.then_some(proposal)
+    }
+
+    fn explain(&self) -> Option<DecisionTrace> {
+        self.last_decision.clone()
     }
 }
 

@@ -1,7 +1,10 @@
 //! The SEDA controller (Welsh et al., SOSP 2001), as a DoPE mechanism.
 
 use crate::pipeline_util;
-use dope_core::{Config, Mechanism, MonitorSnapshot, ProgramShape, Resources};
+use dope_core::{
+    Config, DecisionCandidate, DecisionTrace, Mechanism, MonitorSnapshot, ProgramShape, Rationale,
+    Resources,
+};
 
 /// The *Staged Event-Driven Architecture* controller: each stage resizes
 /// its thread pool **locally**, adding a worker when its input queue grows
@@ -25,6 +28,7 @@ pub struct Seda {
     high_watermark: f64,
     low_watermark: f64,
     per_stage_cap: u32,
+    last_decision: Option<DecisionTrace>,
 }
 
 impl Seda {
@@ -46,6 +50,7 @@ impl Seda {
             high_watermark,
             low_watermark,
             per_stage_cap,
+            last_decision: None,
         }
     }
 }
@@ -75,6 +80,9 @@ impl Mechanism for Seda {
         }
         let mut extents: Vec<u32> = views.iter().map(|v| v.extent).collect();
         let mut changed = false;
+        let mut grew = false;
+        let mut shrank = false;
+        let mut candidates = Vec::new();
         for (i, view) in views.iter().enumerate() {
             if !view.parallel {
                 continue;
@@ -87,15 +95,58 @@ impl Mechanism for Seda {
             if view.load > self.high_watermark && extents[i] < cap {
                 extents[i] += 1;
                 changed = true;
+                grew = true;
+                candidates.push(DecisionCandidate::new(
+                    format!("{}: grow {} -> {}", view.name, view.extent, extents[i]),
+                    view.load - self.high_watermark,
+                ));
             } else if view.load < self.low_watermark && extents[i] > 1 && view.utilization < 0.5 {
                 extents[i] -= 1;
                 changed = true;
+                shrank = true;
+                candidates.push(DecisionCandidate::new(
+                    format!("{}: shrink {} -> {}", view.name, view.extent, extents[i]),
+                    self.low_watermark - view.load,
+                ));
+            } else {
+                candidates.push(DecisionCandidate::new(format!("{}: hold", view.name), 0.0));
             }
         }
+
+        // Audit trail: the dominant clause is growth (backlog) when any
+        // stage grew; otherwise shrink (idleness); otherwise hold.
+        let rationale = match (grew, shrank) {
+            (true, _) => Rationale::QueueAboveHighWater,
+            (false, true) => Rationale::QueueBelowLowWater,
+            (false, false) => Rationale::Hold,
+        };
+        let chosen = if changed {
+            pipeline_util::extents_label(&extents)
+        } else {
+            "hold".to_string()
+        };
+        let mut trace = DecisionTrace::new(rationale, chosen)
+            .observing("high_watermark", self.high_watermark)
+            .observing("low_watermark", self.low_watermark);
+        for view in &views {
+            trace = trace.observing(format!("{}_load", view.name), view.load);
+        }
+        for candidate in candidates {
+            trace = trace.candidate(candidate);
+        }
+        if let Some(rate) = pipeline_util::bottleneck_rate(&views, &extents) {
+            trace = trace.predicting(rate);
+        }
+        self.last_decision = Some(trace);
+
         if !changed {
             return None;
         }
         pipeline_util::config_from_extents(current, alt, shape, &extents)
+    }
+
+    fn explain(&self) -> Option<DecisionTrace> {
+        self.last_decision.clone()
     }
 }
 

@@ -1,7 +1,10 @@
 //! Throughput Balance with Fusion (paper §7.2).
 
 use crate::pipeline_util::{self, StageView};
-use dope_core::{Config, Mechanism, MonitorSnapshot, ProgramShape, Resources};
+use dope_core::{
+    Config, DecisionCandidate, DecisionTrace, Mechanism, MonitorSnapshot, ProgramShape, Rationale,
+    Resources,
+};
 
 /// *Throughput Balance with Fusion*: assigns each task a DoP extent
 /// inversely proportional to its moving-average throughput (i.e.
@@ -28,6 +31,7 @@ use dope_core::{Config, Mechanism, MonitorSnapshot, ProgramShape, Resources};
 pub struct Tbf {
     imbalance_threshold: f64,
     fusion: bool,
+    last_decision: Option<DecisionTrace>,
 }
 
 impl Tbf {
@@ -37,6 +41,7 @@ impl Tbf {
         Tbf {
             imbalance_threshold: 0.5,
             fusion: true,
+            last_decision: None,
         }
     }
 
@@ -116,6 +121,33 @@ impl Mechanism for Tbf {
         // i.e. proportional to execution time.
         let extents =
             pipeline_util::proportional_extents(&views, res.threads, |v| v.mean_exec.max(1e-9));
+        let imbalance = Self::imbalance(&views, &extents);
+
+        // Audit trail: TBF always weighs the same two candidates — keep
+        // rebalancing, or switch to the fused descriptor. Fusion wins once
+        // the residual imbalance of the *best* balance exceeds the
+        // threshold.
+        let threshold = self.imbalance_threshold;
+        let fusion_enabled = self.fusion;
+        let mut balance_candidate = DecisionCandidate::new(
+            format!("balance: {}", pipeline_util::extents_label(&extents)),
+            1.0 - imbalance,
+        );
+        if let Some(rate) = pipeline_util::bottleneck_rate(&views, &extents) {
+            balance_candidate = balance_candidate.predicting(rate);
+        }
+        let trace = |rationale, chosen: String, predicted: Option<f64>| {
+            let mut t = DecisionTrace::new(rationale, chosen)
+                .observing("imbalance", imbalance)
+                .observing("imbalance_threshold", threshold)
+                .observing("fusion_enabled", if fusion_enabled { 1.0 } else { 0.0 })
+                .candidate(balance_candidate.clone())
+                .candidate(DecisionCandidate::new("fuse", imbalance));
+            if let Some(p) = predicted {
+                t = t.predicting(p);
+            }
+            t
+        };
 
         // Fusion check: if the best achievable balance is still worse than
         // the threshold and a fused descriptor exists, use it.
@@ -123,7 +155,6 @@ impl Mechanism for Tbf {
         let fused_alt = outer.alternatives.len().checked_sub(1).filter(|&a| a > 0);
         if self.fusion && alt == 0 {
             if let Some(fused) = fused_alt {
-                let imbalance = Self::imbalance(&views, &extents);
                 if imbalance > self.imbalance_threshold {
                     // Build the fused configuration: re-balance over the
                     // fused descriptor's stages (unobserved fused stages
@@ -146,14 +177,48 @@ impl Mechanism for Tbf {
                         });
                     let proposal =
                         pipeline_util::config_from_extents(current, fused, shape, &fused_extents)?;
-                    return (proposal != *current).then_some(proposal);
+                    let changed = proposal != *current;
+                    let chosen = if changed {
+                        format!(
+                            "fuse alt={fused} {}",
+                            pipeline_util::extents_label(&fused_extents)
+                        )
+                    } else {
+                        "hold".to_string()
+                    };
+                    self.last_decision = Some(trace(
+                        Rationale::ImbalanceFusion,
+                        chosen,
+                        pipeline_util::bottleneck_rate(&fused_views, &fused_extents),
+                    ));
+                    return changed.then_some(proposal);
                 }
             }
         }
 
         // Already fused: keep balancing inside the fused descriptor.
         let proposal = pipeline_util::config_from_extents(current, alt, shape, &extents)?;
-        (proposal != *current).then_some(proposal)
+        let changed = proposal != *current;
+        let chosen = if changed {
+            pipeline_util::extents_label(&extents)
+        } else {
+            "hold".to_string()
+        };
+        let rationale = if changed {
+            Rationale::ThroughputBalance
+        } else {
+            Rationale::Hold
+        };
+        self.last_decision = Some(trace(
+            rationale,
+            chosen,
+            pipeline_util::bottleneck_rate(&views, &extents),
+        ));
+        changed.then_some(proposal)
+    }
+
+    fn explain(&self) -> Option<DecisionTrace> {
+        self.last_decision.clone()
     }
 }
 

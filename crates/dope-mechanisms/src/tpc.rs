@@ -1,7 +1,10 @@
 //! The Throughput Power Controller (paper §7.3).
 
 use crate::pipeline_util::{self, StageView};
-use dope_core::{Config, Mechanism, MonitorSnapshot, ProgramShape, Resources};
+use dope_core::{
+    Config, DecisionCandidate, DecisionTrace, Mechanism, MonitorSnapshot, ProgramShape, Rationale,
+    Resources,
+};
 
 /// Controller phase.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +49,7 @@ pub struct Tpc {
     /// Best (throughput, extents) seen under the power budget.
     best: Option<(f64, Vec<u32>)>,
     last_power: Option<f64>,
+    last_decision: Option<DecisionTrace>,
 }
 
 impl Tpc {
@@ -61,6 +65,7 @@ impl Tpc {
             extent_cap: None,
             best: None,
             last_power: None,
+            last_decision: None,
         }
     }
 
@@ -100,6 +105,11 @@ impl Mechanism for Tpc {
         let power = snap.power_watts?;
         // A stale meter reading carries no new information: hold state.
         if self.last_power == Some(power) {
+            self.last_decision = Some(
+                DecisionTrace::new(Rationale::PowerSignalStale, "hold".to_string())
+                    .observing("power_watts", power)
+                    .observing("budget_watts", budget_watts),
+            );
             return None;
         }
         self.last_power = Some(power);
@@ -120,18 +130,39 @@ impl Mechanism for Tpc {
             }
         }
 
+        // Audit trail: every branch below records power, budget, and the
+        // throughput it was weighing.
+        let base_trace = move |rationale, chosen: String| {
+            DecisionTrace::new(rationale, chosen)
+                .observing("power_watts", power)
+                .observing("budget_watts", budget_watts)
+                .observing("sink_throughput", throughput)
+                .observing("total_extent", f64::from(total))
+        };
+        let predicted = |extents: &[u32]| pipeline_util::bottleneck_rate(&views, extents);
+
         match std::mem::replace(&mut self.phase, Phase::Ramp) {
             Phase::Ramp => {
                 if over {
                     // Power overshoot: cap the total extent below the
                     // current configuration and fall back to the best
                     // recorded configuration under budget.
-                    self.extent_cap = Some(total.saturating_sub(1).max(views.len() as u32));
+                    let cap = total.saturating_sub(1).max(views.len() as u32);
+                    self.extent_cap = Some(cap);
                     let fallback = self
                         .best
                         .as_ref()
                         .map(|(_, e)| e.clone())
                         .unwrap_or_else(|| vec![1; views.len()]);
+                    let chosen = format!("fallback: {}", pipeline_util::extents_label(&fallback));
+                    let mut trace = base_trace(Rationale::PowerCapBinding, chosen.clone())
+                        .observing("extent_cap", f64::from(cap))
+                        .candidate(DecisionCandidate::new("stay over budget", 0.0))
+                        .candidate(DecisionCandidate::new(chosen, 1.0));
+                    if let Some(rate) = predicted(&fallback) {
+                        trace = trace.predicting(rate);
+                    }
+                    self.last_decision = Some(trace);
                     self.phase = Phase::Explore {
                         saved: fallback.clone(),
                         baseline: 0.0,
@@ -142,36 +173,90 @@ impl Mechanism for Tpc {
                 if headroom && !at_cap && total < res.threads {
                     // Grow the slowest task's DoP.
                     if let Some(extents) = grow_bottleneck(&views) {
+                        let chosen = pipeline_util::extents_label(&extents);
+                        let mut trace = base_trace(Rationale::PowerHeadroomGrow, chosen.clone())
+                            .observing("headroom_watts", budget_watts - self.margin_watts - power)
+                            .candidate(DecisionCandidate::new(chosen, 1.0))
+                            .candidate(DecisionCandidate::new("hold", 0.0).predicting(throughput));
+                        if let Some(rate) = predicted(&extents) {
+                            trace = trace.predicting(rate);
+                        }
+                        self.last_decision = Some(trace);
                         self.phase = Phase::Ramp;
                         return pipeline_util::config_from_extents(current, alt, shape, &extents);
                     }
                 }
                 // At the boundary: explore same-size moves.
                 if let Some(extents) = swap_move(&views) {
+                    let chosen = format!("swap: {}", pipeline_util::extents_label(&extents));
+                    let mut trace = base_trace(Rationale::HillClimbProbe, chosen.clone())
+                        .candidate(DecisionCandidate::new(chosen, 1.0))
+                        .candidate(DecisionCandidate::new("hold", 0.0).predicting(throughput));
+                    if let Some(rate) = predicted(&extents) {
+                        trace = trace.predicting(rate);
+                    }
+                    self.last_decision = Some(trace);
                     self.phase = Phase::Explore {
                         saved: Self::extents(&views),
                         baseline: throughput,
                     };
                     return pipeline_util::config_from_extents(current, alt, shape, &extents);
                 }
+                self.last_decision =
+                    Some(base_trace(Rationale::Hold, "hold".to_string()).predicting(throughput));
                 self.phase = Phase::Ramp;
                 None
             }
             Phase::Explore { saved, baseline } => {
                 if over {
-                    self.extent_cap = Some(total.saturating_sub(1).max(views.len() as u32));
+                    let cap = total.saturating_sub(1).max(views.len() as u32);
+                    self.extent_cap = Some(cap);
+                    let chosen = format!("revert: {}", pipeline_util::extents_label(&saved));
+                    let mut trace = base_trace(Rationale::PowerCapBinding, chosen)
+                        .observing("extent_cap", f64::from(cap));
+                    if let Some(rate) = predicted(&saved) {
+                        trace = trace.predicting(rate);
+                    }
+                    self.last_decision = Some(trace);
                     self.phase = Phase::Ramp;
                     return pipeline_util::config_from_extents(current, alt, shape, &saved);
                 }
+                let keep = DecisionCandidate::new("keep", throughput).predicting(throughput);
+                let revert = DecisionCandidate::new(
+                    format!("revert: {}", pipeline_util::extents_label(&saved)),
+                    baseline * (1.0 + self.improvement_eps),
+                )
+                .predicting(baseline);
                 if throughput > baseline * (1.0 + self.improvement_eps) {
+                    self.last_decision = Some(
+                        base_trace(Rationale::KeepBetterMove, "keep".to_string())
+                            .observing("baseline_throughput", baseline)
+                            .candidate(keep)
+                            .candidate(revert)
+                            .predicting(throughput),
+                    );
                     self.phase = Phase::Ramp;
                     None
                 } else {
+                    self.last_decision = Some(
+                        base_trace(
+                            Rationale::RevertWorseMove,
+                            format!("revert: {}", pipeline_util::extents_label(&saved)),
+                        )
+                        .observing("baseline_throughput", baseline)
+                        .candidate(keep)
+                        .candidate(revert)
+                        .predicting(baseline),
+                    );
                     self.phase = Phase::Ramp;
                     pipeline_util::config_from_extents(current, alt, shape, &saved)
                 }
             }
         }
+    }
+
+    fn explain(&self) -> Option<DecisionTrace> {
+        self.last_decision.clone()
     }
 }
 

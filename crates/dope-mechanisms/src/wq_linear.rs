@@ -1,7 +1,10 @@
 //! Work Queue Linear (paper §7.1, Equation 2).
 
 use dope_core::nest::{self, TwoLevelNest};
-use dope_core::{Config, Mechanism, MonitorSnapshot, ProgramShape, Resources};
+use dope_core::{
+    realized_throughput, Config, DecisionCandidate, DecisionTrace, Mechanism, MonitorSnapshot,
+    ProgramShape, Rationale, Resources,
+};
 
 /// *Work Queue Linear*: varies the inner DoP extent continuously with
 /// work-queue occupancy instead of toggling between two values,
@@ -31,6 +34,7 @@ pub struct WqLinear {
     m_max: u32,
     q_max: f64,
     nest: Option<TwoLevelNest>,
+    last_decision: Option<DecisionTrace>,
 }
 
 impl WqLinear {
@@ -51,6 +55,7 @@ impl WqLinear {
             m_max,
             q_max,
             nest: None,
+            last_decision: None,
         }
     }
 
@@ -98,11 +103,47 @@ impl Mechanism for WqLinear {
             self.nest = nest::find_two_level(shape);
         }
         let nest = self.nest.clone()?;
-        let width = self.width_for_occupancy(snap.queue.occupancy);
-        if nest::width_of(current, &nest) == width {
+        let occ = snap.queue.occupancy;
+        let width = self.width_for_occupancy(occ);
+        let cur_width = nest::width_of(current, &nest);
+        let changed = cur_width != width;
+
+        // Audit trail: every width on the Eq.-2 segment is a candidate,
+        // scored by its (negative) distance to the unclamped target.
+        // Predictions scale the measured bottleneck linearly with width.
+        let raw_target = f64::from(self.m_max) - self.k() * occ.max(0.0);
+        let base = realized_throughput(snap).filter(|_| cur_width > 0);
+        let predict = |w: u32| base.map(|t| t * f64::from(w) / f64::from(cur_width));
+        let chosen = if changed {
+            format!("width={width}")
+        } else {
+            "hold".to_string()
+        };
+        let mut trace = DecisionTrace::new(Rationale::OccupancyLinear, chosen)
+            .observing("queue_occupancy", occ)
+            .observing("current_width", f64::from(cur_width))
+            .observing("target_width", f64::from(width));
+        for w in self.m_min..=self.m_max {
+            let mut candidate =
+                DecisionCandidate::new(format!("width={w}"), -(raw_target - f64::from(w)).abs());
+            if let Some(t) = predict(w) {
+                candidate = candidate.predicting(t);
+            }
+            trace = trace.candidate(candidate);
+        }
+        if let Some(t) = predict(width) {
+            trace = trace.predicting(t);
+        }
+        self.last_decision = Some(trace);
+
+        if !changed {
             return None;
         }
         Some(nest::config_for_width(shape, &nest, res.threads, width))
+    }
+
+    fn explain(&self) -> Option<DecisionTrace> {
+        self.last_decision.clone()
     }
 }
 

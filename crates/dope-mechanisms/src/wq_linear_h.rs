@@ -4,7 +4,10 @@
 
 use crate::wq_linear::WqLinear;
 use dope_core::nest::{self, TwoLevelNest};
-use dope_core::{Config, Mechanism, MonitorSnapshot, ProgramShape, Resources};
+use dope_core::{
+    realized_throughput, Config, DecisionCandidate, DecisionTrace, Mechanism, MonitorSnapshot,
+    ProgramShape, Rationale, Resources,
+};
 
 /// WQ-Linear whose width changes are gated by hysteresis: Equation 2's
 /// target must persist for `persistence` consecutive observations before
@@ -25,6 +28,7 @@ pub struct WqLinearH {
     persistence: u64,
     pending: Option<(u32, u64)>,
     nest: Option<TwoLevelNest>,
+    last_decision: Option<DecisionTrace>,
 }
 
 impl WqLinearH {
@@ -42,6 +46,7 @@ impl WqLinearH {
             persistence: persistence.max(1),
             pending: None,
             nest: None,
+            last_decision: None,
         }
     }
 
@@ -80,10 +85,41 @@ impl Mechanism for WqLinearH {
             self.nest = nest::find_two_level(shape);
         }
         let nest = self.nest.clone()?;
-        let target = self.inner.width_for_occupancy(snap.queue.occupancy);
+        let occ = snap.queue.occupancy;
+        let target = self.inner.width_for_occupancy(occ);
         let current_width = nest::width_of(current, &nest);
+        let base = realized_throughput(snap).filter(|_| current_width > 0);
+        let predict = |w: u32| base.map(|t| t * f64::from(w) / f64::from(current_width));
+        let persistence = self.persistence;
+        // Two candidates every consult: move to Equation 2's target now
+        // (scored by how far the persistence streak has run) vs hold at
+        // the current width until the target proves stable.
+        let observe = |trace: DecisionTrace, streak: u64| {
+            let streak_ratio = streak as f64 / persistence as f64;
+            let mut moving = DecisionCandidate::new(format!("width={target}"), streak_ratio);
+            if let Some(t) = predict(target) {
+                moving = moving.predicting(t);
+            }
+            let mut holding = DecisionCandidate::new("hold", 1.0 - streak_ratio);
+            if let Some(t) = predict(current_width) {
+                holding = holding.predicting(t);
+            }
+            trace
+                .observing("queue_occupancy", occ)
+                .observing("current_width", f64::from(current_width))
+                .observing("target_width", f64::from(target))
+                .observing("persistence_streak", streak as f64)
+                .candidate(moving)
+                .candidate(holding)
+        };
+
         if target == current_width {
             self.pending = None;
+            let mut trace = observe(DecisionTrace::new(Rationale::Hold, "hold"), 0);
+            if let Some(t) = predict(current_width) {
+                trace = trace.predicting(t);
+            }
+            self.last_decision = Some(trace);
             return None;
         }
         let streak = match self.pending {
@@ -92,10 +128,30 @@ impl Mechanism for WqLinearH {
         };
         if streak < self.persistence {
             self.pending = Some((target, streak));
+            let mut trace = observe(
+                DecisionTrace::new(Rationale::HysteresisPending, "hold"),
+                streak,
+            );
+            if let Some(t) = predict(current_width) {
+                trace = trace.predicting(t);
+            }
+            self.last_decision = Some(trace);
             return None;
         }
         self.pending = None;
+        let mut trace = observe(
+            DecisionTrace::new(Rationale::OccupancyLinear, format!("width={target}")),
+            streak,
+        );
+        if let Some(t) = predict(target) {
+            trace = trace.predicting(t);
+        }
+        self.last_decision = Some(trace);
         Some(nest::config_for_width(shape, &nest, res.threads, target))
+    }
+
+    fn explain(&self) -> Option<DecisionTrace> {
+        self.last_decision.clone()
     }
 }
 

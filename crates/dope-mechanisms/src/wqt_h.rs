@@ -1,7 +1,10 @@
 //! Work Queue Threshold with Hysteresis (paper §7.1).
 
 use dope_core::nest::{self, TwoLevelNest};
-use dope_core::{Config, Mechanism, MonitorSnapshot, ProgramShape, Resources};
+use dope_core::{
+    realized_throughput, Config, DecisionCandidate, DecisionTrace, Mechanism, MonitorSnapshot,
+    ProgramShape, Rationale, Resources,
+};
 
 /// The two states of the WQT-H machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +44,7 @@ pub struct WqtH {
     streak: u64,
     last_dispatches: u64,
     nest: Option<TwoLevelNest>,
+    last_decision: Option<DecisionTrace>,
 }
 
 impl WqtH {
@@ -64,6 +68,7 @@ impl WqtH {
             streak: 0,
             last_dispatches: 0,
             nest: None,
+            last_decision: None,
         }
     }
 
@@ -130,6 +135,7 @@ impl Mechanism for WqtH {
         self.last_dispatches = snap.dispatches_since_reconfig;
 
         let occ = snap.queue.occupancy;
+        let mode_before = self.mode;
         match self.mode {
             Mode::Seq if occ < self.threshold => {
                 self.streak += observed;
@@ -149,7 +155,43 @@ impl Mechanism for WqtH {
         }
 
         let width = self.target_width();
-        if nest::width_of(current, &nest) == width {
+        let cur_width = nest::width_of(current, &nest);
+        let changed = cur_width != width;
+
+        // Audit trail: the machine only ever weighs its two states.
+        let flipped = self.mode != mode_before;
+        let rationale = match (flipped, self.streak) {
+            (true, _) => Rationale::ThresholdCrossed,
+            (false, s) if s > 0 => Rationale::HysteresisPending,
+            _ => Rationale::Hold,
+        };
+        let base = realized_throughput(snap).filter(|_| cur_width > 0);
+        let predict = |w: u32| base.map(|t| t * f64::from(w) / f64::from(cur_width));
+        let chosen = if changed {
+            format!("width={width}")
+        } else {
+            "hold".to_string()
+        };
+        let mut trace = DecisionTrace::new(rationale, chosen)
+            .observing("queue_occupancy", occ)
+            .observing("threshold", self.threshold)
+            .observing("streak", self.streak as f64)
+            .observing("current_width", f64::from(cur_width));
+        for w in [1, self.m_max] {
+            let on_side = (w == 1) == (occ > self.threshold);
+            let mut candidate =
+                DecisionCandidate::new(format!("width={w}"), if on_side { 1.0 } else { 0.0 });
+            if let Some(t) = predict(w) {
+                candidate = candidate.predicting(t);
+            }
+            trace = trace.candidate(candidate);
+        }
+        if let Some(t) = predict(width) {
+            trace = trace.predicting(t);
+        }
+        self.last_decision = Some(trace);
+
+        if !changed {
             return None;
         }
         Some(nest::config_for_width(shape, &nest, res.threads, width))
@@ -157,6 +199,10 @@ impl Mechanism for WqtH {
 
     fn applied(&mut self, _config: &Config) {
         self.last_dispatches = 0;
+    }
+
+    fn explain(&self) -> Option<DecisionTrace> {
+        self.last_decision.clone()
     }
 }
 

@@ -61,6 +61,13 @@ pub const TASK_RESTARTS_TOTAL: &str = "dope_task_restarts_total";
 /// Replicas currently dead in the running epoch (excluded from
 /// monitor snapshots until restart or degrade clears them).
 pub const TASK_FAILED_REPLICAS: &str = "dope_task_failed_replicas";
+/// Magnitude of the mechanism's signed relative throughput-prediction
+/// error, labelled `sign` (`over` = promised more than realized,
+/// `under` = promised less).
+pub const MECHANISM_PREDICTION_ERROR: &str = "dope_mechanism_prediction_error";
+/// Decisions explained by the mechanism, labelled `rationale` with the
+/// stable rationale code of each decision.
+pub const DECISION_RATIONALE_TOTAL: &str = "dope_decision_rationale_total";
 
 /// Every canonical metric name, for docs/tests cross-checks.
 pub const ALL: &[&str] = &[
@@ -88,6 +95,8 @@ pub const ALL: &[&str] = &[
     TASK_FAILURES_TOTAL,
     TASK_RESTARTS_TOTAL,
     TASK_FAILED_REPLICAS,
+    MECHANISM_PREDICTION_ERROR,
+    DECISION_RATIONALE_TOTAL,
 ];
 
 #[cfg(test)]

@@ -4,8 +4,9 @@ use crate::instance::{instantiate, LiveCx};
 use crate::monitor::Monitor;
 use crate::pool::WorkerPool;
 use dope_core::{
-    Config, Error, FailurePolicy, FailureVerdict, Goal, Mechanism, ProgramShape, QueueStats,
-    Resources, Result, StaticMechanism, TaskOutcome, TaskPath, TaskSpec, TaskStatus,
+    realized_throughput, Config, DecisionTrace, Error, FailurePolicy, FailureVerdict, Goal,
+    Mechanism, ProgramShape, QueueStats, Resources, Result, StaticMechanism, TaskOutcome, TaskPath,
+    TaskSpec, TaskStatus,
 };
 use dope_metrics::{names, Counter, Histogram, MetricsRegistry};
 use dope_platform::{FeatureObserver, FeatureRegistry};
@@ -388,6 +389,13 @@ struct ExecMetrics {
     proposals_rejected: Arc<Counter>,
     task_failures: Arc<Counter>,
     task_restarts: Arc<Counter>,
+    prediction_over: Arc<Histogram>,
+    prediction_under: Arc<Histogram>,
+    /// Kept for the per-rationale decision counters: the label value is
+    /// the decision's rationale code, which is only known when the
+    /// decision happens, so the series is created (or re-fetched) on
+    /// first use per code.
+    registry: MetricsRegistry,
 }
 
 impl ExecMetrics {
@@ -423,8 +431,77 @@ impl ExecMetrics {
                 names::TASK_RESTARTS_TOTAL,
                 "Failed replicas re-instantiated by the Restart failure policy",
             ),
+            prediction_over: registry.histogram_with_labels(
+                names::MECHANISM_PREDICTION_ERROR,
+                "Magnitude of the mechanism's relative throughput-prediction error, by sign",
+                &[("sign", "over")],
+            ),
+            prediction_under: registry.histogram_with_labels(
+                names::MECHANISM_PREDICTION_ERROR,
+                "Magnitude of the mechanism's relative throughput-prediction error, by sign",
+                &[("sign", "under")],
+            ),
+            registry: registry.clone(),
         }
     }
+
+    /// Accounts one explained decision: bumps the rationale counter and,
+    /// when the decision was scored, records the prediction-error
+    /// magnitude under its sign (`over` = the mechanism promised more
+    /// throughput than the next snapshot realized).
+    fn record_decision(&self, rationale_code: &str, prediction_error: Option<f64>) {
+        self.registry
+            .counter_with_labels(
+                names::DECISION_RATIONALE_TOTAL,
+                "Decisions explained by the mechanism, by rationale code",
+                &[("rationale", rationale_code)],
+            )
+            .inc();
+        if let Some(error) = prediction_error {
+            let histogram = if error >= 0.0 {
+                &self.prediction_over
+            } else {
+                &self.prediction_under
+            };
+            histogram.record_secs(error.abs());
+        }
+    }
+}
+
+/// Emits one held decision, scored against `realized` (the bottleneck
+/// throughput of the snapshot that followed it), stamped at the
+/// decision's own time. Mirrors `RecordingObserver::emit_decision` in
+/// `dope-trace` so live and simulated traces agree on semantics.
+fn emit_decision(
+    recorder: &Recorder,
+    metrics: Option<&ExecMetrics>,
+    time_secs: f64,
+    mechanism: String,
+    trace: DecisionTrace,
+    realized: Option<f64>,
+) {
+    let prediction_error = match (trace.predicted_throughput, realized) {
+        (Some(predicted), Some(realized)) if realized > 0.0 => {
+            Some((predicted - realized) / realized)
+        }
+        _ => None,
+    };
+    if let Some(m) = metrics {
+        m.record_decision(trace.rationale.code(), prediction_error);
+    }
+    recorder.record_at(
+        time_secs,
+        TraceEvent::DecisionTraced {
+            mechanism,
+            rationale: trace.rationale,
+            observed: trace.observed,
+            candidates: trace.candidates,
+            chosen: trace.chosen,
+            predicted_throughput: trace.predicted_throughput,
+            realized_throughput: realized,
+            prediction_error,
+        },
+    );
 }
 
 /// Debug-build verification gate.
@@ -480,6 +557,12 @@ fn run_control_loop(
     // Pause latency of a completed drain, waiting for the relaunch half
     // of its `ReconfigureEpoch` event.
     let mut pending_pause: Option<f64> = None;
+    // The last explained decision, held for one control period so its
+    // throughput prediction can be scored against the *next* snapshot's
+    // realized bottleneck throughput before the `DecisionTraced` event
+    // goes out.
+    let mut pending_decision: Option<(f64, String, DecisionTrace)> = None;
+    let audit_decisions = recorder.is_enabled() || metrics.is_some();
     // Failure accounting for the honest RunReport.
     let mut task_failures: u64 = 0;
     let mut task_restarts: u64 = 0;
@@ -620,7 +703,26 @@ fn run_control_loop(
                     recorder.record_with(|| TraceEvent::SnapshotTaken {
                         snapshot: snap.clone(),
                     });
-                    if let Some(proposal) = mechanism.reconfigure(&snap, &config, shape, &res) {
+                    // Score the previous control period's decision
+                    // against what this snapshot actually realized,
+                    // then emit it.
+                    if let Some((at, mech, trace)) = pending_decision.take() {
+                        let realized = realized_throughput(&snap);
+                        emit_decision(recorder, metrics, at, mech, trace, realized);
+                    }
+                    let proposal = mechanism.reconfigure(&snap, &config, shape, &res);
+                    // Hold the mechanism's explanation — hold decisions
+                    // included — for scoring at the next snapshot.
+                    if audit_decisions {
+                        if let Some(trace) = mechanism.explain() {
+                            pending_decision = Some((
+                                recorder.elapsed_secs(),
+                                mechanism.name().to_string(),
+                                trace,
+                            ));
+                        }
+                    }
+                    if let Some(proposal) = proposal {
                         if proposal == config {
                             recorder.record_with(|| TraceEvent::ProposalEvaluated {
                                 mechanism: mechanism.name().to_string(),
@@ -798,6 +900,11 @@ fn run_control_loop(
         // Mixed suspension without a target (stop raced): relaunch as-is.
     }
 
+    // The run is over: the last decision has no follow-up snapshot to
+    // score against, so it goes out unscored.
+    if let Some((at, mech, trace)) = pending_decision.take() {
+        emit_decision(recorder, metrics, at, mech, trace, None);
+    }
     if recorder.is_enabled() {
         let completed = shared.monitor.queue_completed();
         recorder.record(TraceEvent::Finished {

@@ -30,7 +30,7 @@
 //! # let _ = &mut counter;
 //! ```
 
-use dope_core::{Config, DiagCode, MonitorSnapshot, ProgramShape};
+use dope_core::{Config, DecisionTrace, DiagCode, MonitorSnapshot, ProgramShape};
 
 /// What happened to one mechanism proposal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +79,15 @@ pub trait SimObserver {
     /// An accepted configuration took effect at `time_secs`.
     fn config_applied(&mut self, time_secs: f64, config: &Config) {
         let _ = (time_secs, config);
+    }
+
+    /// The mechanism explained the decision it just took (its
+    /// [`Mechanism::explain()`](dope_core::Mechanism::explain) trace).
+    /// Called after every consult that produced an explanation — holds
+    /// included, so observers see *why* nothing changed. Additive with a
+    /// no-op default.
+    fn decision_explained(&mut self, time_secs: f64, mechanism: &str, trace: &DecisionTrace) {
+        let _ = (time_secs, mechanism, trace);
     }
 }
 

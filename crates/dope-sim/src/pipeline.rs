@@ -809,6 +809,9 @@ pub fn run_pipeline_observed(
                         }
                     }
                 }
+                if let Some(trace) = mechanism.explain() {
+                    observer.decision_explained(sim.now, mechanism.name(), &trace);
+                }
                 for st in &mut sim.stages {
                     st.completions_at_tick = st.completions;
                 }

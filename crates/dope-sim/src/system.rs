@@ -387,6 +387,9 @@ pub fn run_system_observed(
                         }
                     }
                 }
+                if let Some(trace) = mechanism.explain() {
+                    observer.decision_explained(now, mechanism.name(), &trace);
+                }
             }
         } else {
             let Reverse(job) = in_flight.pop().expect("departure event exists");

@@ -5,6 +5,7 @@
 //! dope-trace replay <TRACE>          replay a JSONL trace into dope-sim
 //! dope-trace timeline <TRACE>        render a JSONL trace as ASCII
 //! dope-trace stats <TRACE>           histogram summaries of a trace
+//! dope-trace explain <TRACE> [--json]  decision audit of a trace
 //! ```
 //!
 //! `TRACE` may be `-` to read JSONL from standard input; `record` writes
@@ -21,17 +22,19 @@ use dope_mechanisms::WqLinear;
 use dope_sim::profile::AmdahlProfile;
 use dope_sim::system::{run_system_observed, SystemParams, TwoLevelModel};
 use dope_trace::{
-    parse_jsonl, render_timeline, replay_into_sim, summarize, Recorder, RecordingObserver,
-    TraceRecord,
+    explain as explain_trace, parse_jsonl, render_timeline, replay_into_sim, summarize, Recorder,
+    RecordingObserver, TraceRecord,
 };
 use dope_workload::ArrivalSchedule;
 
 const USAGE: &str =
-    "usage: dope-trace <record [OUT] | replay <TRACE> | timeline <TRACE> | stats <TRACE>>
+    "usage: dope-trace <record [OUT] | replay <TRACE> | timeline <TRACE> | stats <TRACE> | explain <TRACE> [--json]>
   record [OUT]       record a built-in adaptive scenario as JSONL (stdout when OUT omitted)
   replay <TRACE>     replay a JSONL trace into dope-sim; exit 0 iff the decision sequence matches
   timeline <TRACE>   render a JSONL trace as an ASCII timeline
   stats <TRACE>      histogram summaries (counts, mean, p50/p95/p99, max) of a trace
+  explain <TRACE>    decision audit: rationale, candidate table, predicted-vs-realized error
+                     per decision; --json re-emits the decisions as strict JSONL
   TRACE may be '-' for standard input";
 
 fn main() -> ExitCode {
@@ -41,6 +44,8 @@ fn main() -> ExitCode {
         Some("replay") if args.len() == 2 => replay(&args[1]),
         Some("timeline") if args.len() == 2 => timeline(&args[1]),
         Some("stats") if args.len() == 2 => stats(&args[1]),
+        Some("explain") if args.len() == 2 => explain(&args[1], false),
+        Some("explain") if args.len() == 3 && args[2] == "--json" => explain(&args[1], true),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
@@ -124,6 +129,24 @@ fn stats(path: &str) -> ExitCode {
     match load(path) {
         Ok(records) => {
             print!("{}", summarize(&records).render());
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("dope-trace: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn explain(path: &str, json: bool) -> ExitCode {
+    match load(path) {
+        Ok(records) => {
+            let report = explain_trace(&records);
+            if json {
+                print!("{}", report.to_jsonl());
+            } else {
+                print!("{}", report.render());
+            }
             ExitCode::SUCCESS
         }
         Err(err) => {

@@ -34,7 +34,9 @@ use crate::event::{TraceEvent, TraceRecord, Verdict, SCHEMA_VERSION};
 use dope_core::json::{
     config_from_value, config_to_value, parse, shape_from_value, shape_to_value, JsonError, Value,
 };
-use dope_core::{DiagCode, MonitorSnapshot, QueueStats, TaskPath, TaskStats};
+use dope_core::{
+    DecisionCandidate, DiagCode, MonitorSnapshot, QueueStats, Rationale, TaskPath, TaskStats,
+};
 
 // ---------------------------------------------------------------------------
 // Encoding
@@ -188,6 +190,67 @@ pub fn record_to_value(record: &TraceRecord) -> Value {
             fields.push(("reason".to_string(), Value::String(reason.clone())));
             fields.push(("policy".to_string(), Value::String(policy.clone())));
         }
+        TraceEvent::DecisionTraced {
+            mechanism,
+            rationale,
+            observed,
+            candidates,
+            chosen,
+            predicted_throughput,
+            realized_throughput,
+            prediction_error,
+        } => {
+            fields.push(("mechanism".to_string(), Value::String(mechanism.clone())));
+            fields.push((
+                "rationale".to_string(),
+                Value::String(rationale.code().to_string()),
+            ));
+            fields.push((
+                "observed".to_string(),
+                Value::Array(
+                    observed
+                        .iter()
+                        .map(|(signal, value)| {
+                            Value::Object(vec![
+                                ("signal".to_string(), Value::String(signal.clone())),
+                                ("value".to_string(), Value::from_f64(*value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+            fields.push((
+                "candidates".to_string(),
+                Value::Array(
+                    candidates
+                        .iter()
+                        .map(|c| {
+                            Value::Object(vec![
+                                ("action".to_string(), Value::String(c.action.clone())),
+                                ("score".to_string(), Value::from_f64(c.score)),
+                                (
+                                    "predicted_throughput".to_string(),
+                                    c.predicted_throughput.map_or(Value::Null, Value::from_f64),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+            fields.push(("chosen".to_string(), Value::String(chosen.clone())));
+            fields.push((
+                "predicted_throughput".to_string(),
+                predicted_throughput.map_or(Value::Null, Value::from_f64),
+            ));
+            fields.push((
+                "realized_throughput".to_string(),
+                realized_throughput.map_or(Value::Null, Value::from_f64),
+            ));
+            fields.push((
+                "prediction_error".to_string(),
+                prediction_error.map_or(Value::Null, Value::from_f64),
+            ));
+        }
         TraceEvent::Finished {
             completed,
             reconfigurations,
@@ -271,6 +334,18 @@ fn opt_f64(value: &Value, key: &str, default: f64) -> Result<f64, JsonError> {
         None | Some(Value::Null) => Ok(default),
         Some(v) => v
             .as_f64()
+            .ok_or_else(|| JsonError::decode(format!("`{key}` must be a number or null"))),
+    }
+}
+
+/// Reads an optional numeric field where absence is meaningful: absent or
+/// `null` decodes as `None` ("not measured"); mistyped is an error.
+fn opt_f64_or_none(value: &Value, key: &str) -> Result<Option<f64>, JsonError> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
             .ok_or_else(|| JsonError::decode(format!("`{key}` must be a number or null"))),
     }
 }
@@ -381,6 +456,42 @@ pub fn record_from_value(value: &Value) -> Result<TraceRecord, JsonError> {
             reason: req_str(value, "reason")?.to_string(),
             policy: req_str(value, "policy")?.to_string(),
         },
+        "DecisionTraced" => {
+            let rationale_code = req_str(value, "rationale")?;
+            let rationale = Rationale::from_code(rationale_code).ok_or_else(|| {
+                JsonError::decode(format!(
+                    "`rationale` {rationale_code:?} is not a catalogued rationale code"
+                ))
+            })?;
+            let observed = req(value, "observed")?
+                .as_array()
+                .ok_or_else(|| JsonError::decode("`observed` must be an array"))?
+                .iter()
+                .map(|o| Ok((req_str(o, "signal")?.to_string(), req_f64(o, "value")?)))
+                .collect::<Result<Vec<_>, JsonError>>()?;
+            let candidates = req(value, "candidates")?
+                .as_array()
+                .ok_or_else(|| JsonError::decode("`candidates` must be an array"))?
+                .iter()
+                .map(|c| {
+                    Ok(DecisionCandidate {
+                        action: req_str(c, "action")?.to_string(),
+                        score: req_f64(c, "score")?,
+                        predicted_throughput: opt_f64_or_none(c, "predicted_throughput")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, JsonError>>()?;
+            TraceEvent::DecisionTraced {
+                mechanism: req_str(value, "mechanism")?.to_string(),
+                rationale,
+                observed,
+                candidates,
+                chosen: req_str(value, "chosen")?.to_string(),
+                predicted_throughput: opt_f64_or_none(value, "predicted_throughput")?,
+                realized_throughput: opt_f64_or_none(value, "realized_throughput")?,
+                prediction_error: opt_f64_or_none(value, "prediction_error")?,
+            }
+        }
         "Finished" => TraceEvent::Finished {
             completed: req_u64(value, "completed")?,
             reconfigurations: req_u64(value, "reconfigurations")?,
@@ -543,6 +654,40 @@ mod tests {
                 path: "0.1".parse().unwrap(),
                 reason: "index out of bounds: the len is 4 but the index is 7".to_string(),
                 policy: "restart".to_string(),
+            },
+            TraceEvent::DecisionTraced {
+                mechanism: "WQ-Linear".to_string(),
+                rationale: Rationale::OccupancyLinear,
+                observed: vec![
+                    ("queue_occupancy".to_string(), 3.0),
+                    ("current_width".to_string(), 4.0),
+                ],
+                candidates: vec![
+                    DecisionCandidate {
+                        action: "width=4".to_string(),
+                        score: -2.0,
+                        predicted_throughput: Some(33.5),
+                    },
+                    DecisionCandidate {
+                        action: "width=6".to_string(),
+                        score: 0.0,
+                        predicted_throughput: Some(50.25),
+                    },
+                ],
+                chosen: "width=6".to_string(),
+                predicted_throughput: Some(50.25),
+                realized_throughput: Some(48.0),
+                prediction_error: Some((50.25 - 48.0) / 48.0),
+            },
+            TraceEvent::DecisionTraced {
+                mechanism: "TBF".to_string(),
+                rationale: Rationale::Hold,
+                observed: vec![],
+                candidates: vec![],
+                chosen: "hold".to_string(),
+                predicted_throughput: None,
+                realized_throughput: None,
+                prediction_error: None,
             },
             TraceEvent::Finished {
                 completed: 48,

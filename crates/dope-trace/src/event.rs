@@ -23,7 +23,10 @@
 //! assert_eq!(record.event.kind(), "FeatureRead");
 //! ```
 
-use dope_core::{Config, DiagCode, MonitorSnapshot, ProgramShape, QueueStats, TaskPath, TaskStats};
+use dope_core::{
+    Config, DecisionCandidate, DiagCode, MonitorSnapshot, ProgramShape, QueueStats, Rationale,
+    TaskPath, TaskStats,
+};
 
 /// Version of the event schema emitted by this build.
 ///
@@ -141,6 +144,35 @@ pub enum TraceEvent {
         /// (`"abort"` / `"restart"` / `"degrade"`).
         policy: String,
     },
+    /// A mechanism explained one decision (a `DecisionTrace` from
+    /// `Mechanism::explain()`), flattened to stable fields. Additive in
+    /// schema v1. The decision is usually emitted one epoch *after* it
+    /// was taken, once the executive has scored the mechanism's
+    /// throughput prediction against the realized monitor snapshot;
+    /// unscored decisions (the final one of a run, or decisions whose
+    /// proposal was rejected) omit the realized fields.
+    DecisionTraced {
+        /// `Mechanism::name()` of the deciding mechanism.
+        mechanism: String,
+        /// Stable rationale code, e.g. `"QueueAboveHighWater"`.
+        rationale: Rationale,
+        /// The `(signal, value)` pairs the mechanism read.
+        observed: Vec<(String, f64)>,
+        /// The candidate actions it weighed, with scores and optional
+        /// per-candidate throughput predictions.
+        candidates: Vec<DecisionCandidate>,
+        /// The action it chose (`"hold"` when it kept the status quo).
+        chosen: String,
+        /// Its throughput prediction for the chosen action, items/s.
+        predicted_throughput: Option<f64>,
+        /// The bottleneck throughput the monitor realized one epoch
+        /// later, items/s. Absent on unscored decisions.
+        realized_throughput: Option<f64>,
+        /// Signed relative error `(predicted - realized) / realized`.
+        /// Positive means the mechanism over-promised. Absent unless
+        /// both prediction and realization are present.
+        prediction_error: Option<f64>,
+    },
     /// The run ended.
     Finished {
         /// Requests completed over the whole run.
@@ -165,13 +197,14 @@ impl TraceEvent {
             TraceEvent::FeatureRead { .. } => "FeatureRead",
             TraceEvent::QueueSample { .. } => "QueueSample",
             TraceEvent::TaskFailed { .. } => "TaskFailed",
+            TraceEvent::DecisionTraced { .. } => "DecisionTraced",
             TraceEvent::Finished { .. } => "Finished",
         }
     }
 
     /// All `"kind"` discriminators of schema version [`SCHEMA_VERSION`],
     /// in documentation order.
-    pub const KINDS: [&'static str; 9] = [
+    pub const KINDS: [&'static str; 10] = [
         "Launched",
         "SnapshotTaken",
         "TaskStatsSample",
@@ -180,6 +213,7 @@ impl TraceEvent {
         "FeatureRead",
         "QueueSample",
         "TaskFailed",
+        "DecisionTraced",
         "Finished",
     ];
 }

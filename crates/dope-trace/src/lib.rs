@@ -23,7 +23,11 @@
 //! * [`summarize`] — offline histogram summaries (latency percentiles
 //!   for exec/pause/relaunch, queue and feature distributions) of a
 //!   parsed trace, also available as the `dope-trace` CLI's `stats`
-//!   subcommand (alongside `record` / `replay` / `timeline`).
+//!   subcommand (alongside `record` / `replay` / `timeline`);
+//! * [`explain()`] — the decision audit: every `DecisionTraced` event
+//!   rendered with its rationale code, candidate table, and
+//!   predicted-vs-realized throughput error, also the CLI's `explain`
+//!   subcommand (`--json` re-emits the decisions as strict JSONL).
 //!
 //! The prose book lives in `docs/`: `docs/architecture.md` (how the
 //! recorder, instrumentation, and replay fit together),
@@ -67,6 +71,7 @@
 
 pub mod codec;
 pub mod event;
+pub mod explain;
 pub mod observer;
 pub mod recorder;
 pub mod replay;
@@ -75,6 +80,7 @@ pub mod timeline;
 
 pub use codec::{parse_jsonl, parse_line, to_jsonl, to_jsonl_line};
 pub use event::{TraceEvent, TraceRecord, Verdict, SCHEMA_VERSION};
+pub use explain::{explain, ExplainReport};
 pub use observer::RecordingObserver;
 pub use recorder::Recorder;
 pub use replay::{accepted_configs, replay_into_sim, ReplayMechanism, ReplayOutcome};

@@ -33,18 +33,27 @@
 //! assert_eq!(recorder.records().last().unwrap().event.kind(), "Finished");
 //! ```
 
-use dope_core::{Config, MonitorSnapshot, ProgramShape};
+use dope_core::{realized_throughput, Config, DecisionTrace, MonitorSnapshot, ProgramShape};
 use dope_sim::{ProposalOutcome, SimObserver};
 
 use crate::event::{TraceEvent, Verdict};
 use crate::recorder::Recorder;
 
 /// A [`SimObserver`] that records the decision loop into a [`Recorder`].
+///
+/// Decisions ([`decision_explained`](SimObserver::decision_explained))
+/// are *held for one epoch*: the observer scores the mechanism's
+/// throughput prediction against the next monitor snapshot's realized
+/// bottleneck throughput, then emits a `DecisionTraced` event carrying
+/// both sides and the signed relative error. The final decision of a run
+/// has no next snapshot and is flushed unscored by
+/// [`finished`](RecordingObserver::finished).
 #[derive(Debug, Clone)]
 pub struct RecordingObserver {
     recorder: Recorder,
     goal: String,
     last_time_secs: f64,
+    pending_decision: Option<(f64, String, DecisionTrace)>,
 }
 
 impl RecordingObserver {
@@ -55,7 +64,40 @@ impl RecordingObserver {
             recorder,
             goal: String::new(),
             last_time_secs: 0.0,
+            pending_decision: None,
         }
+    }
+
+    /// Emits one pending decision, scored against `realized` (the
+    /// bottleneck throughput of the snapshot that followed it), stamped
+    /// at the decision's own time.
+    fn emit_decision(
+        &mut self,
+        time_secs: f64,
+        mechanism: String,
+        trace: DecisionTrace,
+        realized: Option<f64>,
+    ) {
+        let prediction_error = match (trace.predicted_throughput, realized) {
+            (Some(predicted), Some(realized)) if realized > 0.0 => {
+                Some((predicted - realized) / realized)
+            }
+            _ => None,
+        };
+        self.last_time_secs = self.last_time_secs.max(time_secs);
+        self.recorder.record_at(
+            time_secs,
+            TraceEvent::DecisionTraced {
+                mechanism,
+                rationale: trace.rationale,
+                observed: trace.observed,
+                candidates: trace.candidates,
+                chosen: trace.chosen,
+                predicted_throughput: trace.predicted_throughput,
+                realized_throughput: realized,
+                prediction_error,
+            },
+        );
     }
 
     /// Sets the goal string stamped into the `Launched` event.
@@ -75,6 +117,11 @@ impl RecordingObserver {
     /// explicit shutdown hook, so callers invoke this once the run
     /// returns.
     pub fn finished(&mut self, completed: u64, reconfigurations: u64) {
+        // The run is over: the last decision has no follow-up snapshot
+        // to score against, so it goes out unscored.
+        if let Some((at, mechanism, trace)) = self.pending_decision.take() {
+            self.emit_decision(at, mechanism, trace, None);
+        }
         let dropped = self.recorder.dropped();
         self.recorder.record_at(
             self.last_time_secs,
@@ -103,6 +150,12 @@ impl SimObserver for RecordingObserver {
 
     fn snapshot_taken(&mut self, snapshot: &MonitorSnapshot) {
         self.last_time_secs = self.last_time_secs.max(snapshot.time_secs);
+        // Score the previous epoch's decision against what this snapshot
+        // actually realized, then emit it.
+        if let Some((at, mechanism, trace)) = self.pending_decision.take() {
+            let realized = realized_throughput(snapshot);
+            self.emit_decision(at, mechanism, trace, realized);
+        }
         if !self.recorder.is_enabled() {
             return;
         }
@@ -172,6 +225,17 @@ impl SimObserver for RecordingObserver {
                 config: config.clone(),
             },
         );
+    }
+
+    fn decision_explained(&mut self, time_secs: f64, mechanism: &str, trace: &DecisionTrace) {
+        self.last_time_secs = self.last_time_secs.max(time_secs);
+        // A decision arriving before the previous one was scored (the
+        // simulator consulted twice between snapshots) flushes the older
+        // one unscored rather than losing it.
+        if let Some((at, mech, pending)) = self.pending_decision.take() {
+            self.emit_decision(at, mech, pending, None);
+        }
+        self.pending_decision = Some((time_secs, mechanism.to_string(), trace.clone()));
     }
 }
 

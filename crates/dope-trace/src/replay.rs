@@ -84,6 +84,7 @@ impl ReplayMechanism {
                 | TraceEvent::FeatureRead { .. }
                 | TraceEvent::QueueSample { .. }
                 | TraceEvent::TaskFailed { .. }
+                | TraceEvent::DecisionTraced { .. }
                 | TraceEvent::Finished { .. } => {}
             }
         }

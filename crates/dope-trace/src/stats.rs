@@ -68,6 +68,13 @@ pub struct TraceSummary {
     /// Failed replicas per task path (empty for traces predating the
     /// `TaskFailed` event kind).
     pub task_failures: BTreeMap<String, u64>,
+    /// Decisions per `mechanism/rationale` pair (empty for traces
+    /// predating the `DecisionTraced` event kind).
+    pub decision_rationales: BTreeMap<String, u64>,
+    /// Absolute relative prediction error over scored decisions
+    /// (dimensionless; `0.1` means the mechanism's throughput prediction
+    /// was 10 % off the realized bottleneck).
+    pub prediction_error_abs: LocalHistogram,
     /// Requests completed, from the final `Finished` event (if any).
     pub completed: Option<u64>,
     /// Applied reconfigurations, from the final `Finished` event.
@@ -121,6 +128,19 @@ pub fn summarize(records: &[TraceRecord]) -> TraceSummary {
             TraceEvent::TaskFailed { path, .. } => {
                 *out.task_failures.entry(path.to_string()).or_insert(0) += 1;
             }
+            TraceEvent::DecisionTraced {
+                mechanism,
+                rationale,
+                prediction_error,
+                ..
+            } => {
+                *out.decision_rationales
+                    .entry(format!("{mechanism}/{}", rationale.code()))
+                    .or_insert(0) += 1;
+                if let Some(error) = prediction_error {
+                    out.prediction_error_abs.record_secs(error.abs());
+                }
+            }
             TraceEvent::Finished {
                 completed,
                 reconfigurations,
@@ -161,6 +181,12 @@ impl TraceSummary {
         for (feature, hist) in &self.feature_values {
             rows.push((format!("feature[{feature}]"), hist));
         }
+        if self.prediction_error_abs.count() > 0 {
+            rows.push((
+                "decision.abs_prediction_error".to_string(),
+                &self.prediction_error_abs,
+            ));
+        }
         let width = rows.iter().map(|(name, _)| name.len()).max().unwrap_or(0);
         let _ = writeln!(
             out,
@@ -178,6 +204,12 @@ impl TraceSummary {
                 fmt_value(hist.quantile_secs(0.99)),
                 fmt_value(hist.max_secs()),
             );
+        }
+        if !self.decision_rationales.is_empty() {
+            let _ = writeln!(out, "\ndecisions:");
+            for (key, n) in &self.decision_rationales {
+                let _ = writeln!(out, "  {key:<40} {n}");
+            }
         }
         if !self.task_failures.is_empty() {
             let _ = writeln!(out, "\nfailures:");

@@ -109,6 +109,32 @@ fn describe(event: &TraceEvent) -> String {
             reason,
             policy,
         } => format!("FAILED   {path} policy={policy} reason=\"{reason}\""),
+        TraceEvent::DecisionTraced {
+            mechanism,
+            rationale,
+            candidates,
+            chosen,
+            predicted_throughput,
+            realized_throughput,
+            prediction_error,
+            ..
+        } => {
+            let mut line = format!(
+                "DECIDE   {mechanism} rationale={} chosen=\"{chosen}\" candidates={}",
+                rationale.code(),
+                candidates.len()
+            );
+            if let Some(p) = predicted_throughput {
+                let _ = write!(line, " predicted={p:.2}/s");
+            }
+            if let Some(r) = realized_throughput {
+                let _ = write!(line, " realized={r:.2}/s");
+            }
+            if let Some(e) = prediction_error {
+                let _ = write!(line, " error={:+.1}%", e * 100.0);
+            }
+            line
+        }
         TraceEvent::Finished {
             completed,
             reconfigurations,

@@ -7,8 +7,8 @@
 //! NaN/infinity round-trips are covered by the codec's own unit tests.
 
 use dope_core::{
-    Config, DiagCode, MonitorSnapshot, NestConfig, ProgramShape, QueueStats, ShapeNode, TaskConfig,
-    TaskKind, TaskPath, TaskStats,
+    Config, DecisionCandidate, DiagCode, MonitorSnapshot, NestConfig, ProgramShape, QueueStats,
+    Rationale, ShapeNode, TaskConfig, TaskKind, TaskPath, TaskStats,
 };
 use dope_trace::{
     parse_jsonl, parse_line, to_jsonl, to_jsonl_line, TraceEvent, TraceRecord, Verdict,
@@ -179,6 +179,24 @@ fn build_event(
             reason: format!("panicked: {}", name(idx)),
             policy: ["abort", "restart", "degrade"][verdict_sel % 3].to_string(),
         },
+        8 => TraceEvent::DecisionTraced {
+            mechanism: mechanism(idx),
+            rationale: Rationale::ALL[code_idx % Rationale::ALL.len()],
+            observed: (0..(n_small % 4) as usize)
+                .map(|i| (format!("{}_{i}", name(i)), f_big * (i as f64 + 1.0)))
+                .collect(),
+            candidates: (0..=verdict_sel)
+                .map(|i| DecisionCandidate {
+                    action: format!("{}: width={i}", name(i)),
+                    score: f_small * i as f64 - 1.0,
+                    predicted_throughput: (i % 2 == 0).then_some(f_big),
+                })
+                .collect(),
+            chosen: name(idx),
+            predicted_throughput: power.map(|p| p + f_big),
+            realized_throughput: power,
+            prediction_error: power.map(|p| (f_big - p) / p.max(1.0)),
+        },
         _ => TraceEvent::Finished {
             completed: n_big,
             reconfigurations: n_small,
@@ -192,7 +210,7 @@ proptest! {
     /// JSONL line without loss.
     #[test]
     fn any_record_roundtrips_through_a_jsonl_line(
-        kind in 0usize..9,
+        kind in 0usize..10,
         idx in 0usize..16,
         seq in any::<u64>(),
         t in 0.0f64..1.0e9,
@@ -230,7 +248,7 @@ proptest! {
     /// document, preserving order, count, and every field.
     #[test]
     fn any_sequence_roundtrips_through_jsonl(
-        kinds in prop::collection::vec(0usize..9, 0..12),
+        kinds in prop::collection::vec(0usize..10, 0..12),
         extents in prop::collection::vec(1u32..12, 1..3),
         alt in 0usize..2,
         power in prop::option::of(1.0f64..400.0),

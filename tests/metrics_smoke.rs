@@ -109,6 +109,111 @@ fn live_scrape_is_well_formed_and_canonical() {
 }
 
 #[test]
+fn concurrent_scrapes_never_observe_a_torn_exposition() {
+    let (service, descriptor) = transcode::live_service();
+    let registry = MetricsRegistry::new();
+    let server = MetricsServer::serve("127.0.0.1:0", registry.clone()).expect("bind endpoint");
+    let addr = server.local_addr().to_string();
+    let dope = Dope::builder(Goal::MinResponseTime { threads: 4 })
+        .mechanism(Box::new(WqLinear::new(1, 4, 8.0)))
+        .control_period(Duration::from_millis(5))
+        .queue_probe(service.queue_probe())
+        .metrics(registry.clone())
+        .launch(descriptor)
+        .expect("launch");
+
+    let params = transcode::VideoParams {
+        frames: 6,
+        width: 48,
+        height: 48,
+    };
+    for id in 0..48u64 {
+        service
+            .queue
+            .enqueue(transcode::make_video(id, params))
+            .unwrap();
+    }
+
+    // N scraper threads hammer the endpoint while the executive keeps
+    // reconfiguring (a 5 ms control period over 48 videos guarantees
+    // live registry churn: counters incrementing, histograms filling,
+    // per-rationale series appearing for the first time). Every scrape
+    // must be a complete, well-formed exposition — a torn render would
+    // show a sample line whose family has no TYPE header, a HELP-less
+    // family, or an unparseable value.
+    const SCRAPERS: usize = 8;
+    let scrapes: Vec<std::thread::JoinHandle<Vec<String>>> = (0..SCRAPERS)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                (0..25)
+                    .map(|_| scrape(&addr).expect("concurrent scrape"))
+                    .collect()
+            })
+        })
+        .collect();
+    let bodies: Vec<String> = scrapes
+        .into_iter()
+        .flat_map(|handle| handle.join().expect("scraper thread must not panic"))
+        .collect();
+
+    service.queue.close();
+    dope.wait().expect("drains");
+    server.shutdown();
+
+    assert_eq!(bodies.len(), SCRAPERS * 25);
+    for body in &bodies {
+        let families = exposed_families(body);
+        for family in &families {
+            assert!(
+                body.contains(&format!("# HELP {family} ")),
+                "family {family} lost its HELP header mid-reconfiguration"
+            );
+            assert!(
+                names::ALL.contains(&family.as_str()),
+                "torn scrape exposes {family}, which is not in names::ALL"
+            );
+        }
+        for line in body
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+        {
+            let (series, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("torn sample line {line:?}"));
+            let name = series.split('{').next().unwrap();
+            assert!(
+                families.iter().any(|f| name.starts_with(f.as_str())),
+                "sample {name} appeared without its # TYPE header"
+            );
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "unparseable value {value:?} in {line:?}"
+            );
+        }
+    }
+
+    // Monotone reads: a counter observed across the scrape sequence of
+    // one thread never goes backwards (the registry is live, so values
+    // only grow). Torn renders classically show up as a counter reset.
+    let dispatched = format!("{} ", names::POOL_JOBS_DISPATCHED_TOTAL);
+    let mut last = 0.0f64;
+    for body in bodies.iter().take(25) {
+        if let Some(line) = body
+            .lines()
+            .find(|l| l.starts_with(&dispatched) || *l == dispatched.trim())
+        {
+            let value: f64 = line.rsplit(' ').next().unwrap().parse().expect("counter");
+            assert!(
+                value >= last,
+                "counter went backwards under concurrent scraping: {value} < {last}"
+            );
+            last = value;
+        }
+    }
+}
+
+#[test]
 fn monitoring_overhead_stays_below_regression_ceiling() {
     let (service, descriptor) = transcode::live_service();
     let registry = MetricsRegistry::new();
