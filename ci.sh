@@ -67,6 +67,16 @@ if [[ "$QUICK" -eq 0 ]]; then
   # panicking replicas are contained, accounted, and handled per policy.
   cargo test -q --release --offline --test failure_injection
 
+  step "fault smoke: failure racing a partial drain (release)"
+  # The nastiest interleaving the delta path adds: a replica detonates
+  # while a partial drain is in flight. The accepted target must be
+  # retired as superseded and the failure policy's full drain must win.
+  # (The suite above already covers it; this filtered run makes the
+  # interleaving visible by name in the CI log.)
+  cargo test -q --release --offline --test failure_injection \
+    failure_during_partial_drain_supersedes_the_target
+  cargo test -q --release --offline --test partial_reconfig
+
   step "fault smoke: dope-trace record -> stats round trip with TaskFailed"
   # The record CLI cannot inject panics, so a fixture trace carrying
   # TaskFailed events checks the consumer half: stats must count the

@@ -1,6 +1,6 @@
 //! The perf gate: pinned microbenches emitting `BENCH_perf.json`.
 //!
-//! Four probes, each guarding one latency the DoPE stack promises to
+//! Five probes, each guarding one latency the DoPE stack promises to
 //! keep small (see `docs/performance.md`):
 //!
 //! 1. **record path** — ns/op of the sharded task-completion record,
@@ -13,20 +13,28 @@
 //! 3. **reconfigure** — pause/relaunch latency of a real suspend +
 //!    relaunch cycle, read back from a flight recording of a live
 //!    transcode run;
-//! 4. **fig11** — wall time of an end-to-end figure-11 sweep, the
+//! 4. **partial reconfig pause** — the same single-leaf extent change
+//!    applied as a partial (delta) drain versus a forced full drain on a
+//!    wide program with slow sibling tasks; the gate demands the delta
+//!    path pause at least 4x less than the full drain;
+//! 5. **fig11** — wall time of an end-to-end figure-11 sweep, the
 //!    macro-level canary.
 //!
 //! The report is strict-codec JSON (`dope_core::json`), diffable with
 //! [`compare`] against a checked-in baseline
 //! (`results/perf-baseline.json`); [`gate_failures`] additionally
-//! enforces the in-run invariant that the sharded record path beats the
-//! mutex reference.
+//! enforces the in-run invariants that the sharded record path beats the
+//! mutex reference and that the delta drain beats the full drain.
 
 use dope_apps::transcode;
 use dope_core::json::{parse, Value};
-use dope_core::Goal;
+use dope_core::{
+    body_fn, Config, Goal, Mechanism, MonitorSnapshot, ProgramShape, Resources, TaskBody,
+    TaskConfig, TaskKind, TaskSpec, TaskStatus, WorkerSlot,
+};
 use dope_mechanisms::WqLinear;
 use dope_trace::{Recorder, TraceEvent};
+use dope_workload::{DequeueOutcome, WorkQueue};
 use std::time::{Duration, Instant};
 
 /// Schema tag carried by every report.
@@ -70,6 +78,9 @@ pub fn run(quick: bool) -> Value {
 
     println!("perf: reconfigure pause (live transcode run)");
     let reconfigure = bench_reconfigure(quick);
+
+    println!("perf: partial reconfig pause (delta vs full drain)");
+    let partial_reconfig = bench_partial_reconfig(quick);
 
     let fig11_loads = if quick {
         vec![0.8]
@@ -122,6 +133,7 @@ pub fn run(quick: bool) -> Value {
             ]),
         ),
         ("reconfigure", reconfigure),
+        ("partial_reconfig_pause", partial_reconfig),
         (
             "fig11",
             obj(vec![
@@ -195,6 +207,161 @@ fn bench_reconfigure(quick: bool) -> Value {
     ])
 }
 
+/// Proposes a pinned starting configuration, then one target
+/// configuration at the first consult, then holds.
+struct OneBump {
+    fired: bool,
+    start: Config,
+    target: Config,
+}
+
+impl Mechanism for OneBump {
+    fn name(&self) -> &'static str {
+        "OneBump"
+    }
+    fn initial(&mut self, _shape: &ProgramShape, _res: &Resources) -> Option<Config> {
+        Some(self.start.clone())
+    }
+    fn reconfigure(
+        &mut self,
+        _snap: &MonitorSnapshot,
+        _current: &Config,
+        _shape: &ProgramShape,
+        _res: &Resources,
+    ) -> Option<Config> {
+        if self.fired {
+            None
+        } else {
+            self.fired = true;
+            Some(self.target.clone())
+        }
+    }
+}
+
+/// A leaf that drains its own queue at a fixed per-item cost, honoring
+/// the suspend directive after every item — each item boundary is a
+/// consistent point.
+fn paced_drain_spec(name: &'static str, queue: WorkQueue<u64>, work: Duration) -> TaskSpec {
+    TaskSpec::leaf(name, TaskKind::Par, move |_slot: WorkerSlot| {
+        let queue = queue.clone();
+        Box::new(body_fn(move |cx| {
+            cx.begin();
+            let item = queue.dequeue_timeout(Duration::from_millis(2));
+            cx.end();
+            match item {
+                DequeueOutcome::Item(_) => {
+                    std::thread::sleep(work);
+                    if cx.directive().wants_suspend() {
+                        TaskStatus::Suspended
+                    } else {
+                        TaskStatus::Executing
+                    }
+                }
+                DequeueOutcome::Drained => TaskStatus::Finished,
+                DequeueOutcome::TimedOut => {
+                    if cx.directive().wants_suspend() {
+                        TaskStatus::Suspended
+                    } else {
+                        TaskStatus::Executing
+                    }
+                }
+            }
+        })) as Box<dyn TaskBody>
+    })
+}
+
+/// Measures the pause cost of the same single-leaf extent change taken
+/// as a partial (delta) drain versus a forced full drain.
+///
+/// The program is one fine-grained leaf (1 ms items — the path whose
+/// extent changes) next to seven coarse leaves (30 ms items). A full
+/// drain must wait for the slowest in-flight coarse item before the
+/// boundary, so its pause is dominated by work that has nothing to do
+/// with the change; the delta path drains only the fine leaf. The gate
+/// requires the partial pause to be at least 4x smaller.
+fn bench_partial_reconfig(quick: bool) -> Value {
+    const COARSE_PATHS: u64 = 7;
+    let fine_items: u64 = if quick { 150 } else { 400 };
+    let coarse_items: u64 = if quick { 8 } else { 16 };
+    let fine_work = Duration::from_millis(1);
+    let coarse_work = Duration::from_millis(30);
+
+    let run_once = |delta: bool| -> (f64, u64) {
+        let mut specs = Vec::new();
+        let mut start_tasks = Vec::new();
+        let fine_queue = WorkQueue::new();
+        for i in 0..fine_items {
+            let _ = fine_queue.enqueue(i);
+        }
+        fine_queue.close();
+        specs.push(paced_drain_spec("fine", fine_queue, fine_work));
+        start_tasks.push(TaskConfig::leaf("fine", 1));
+        let coarse_names: [&'static str; COARSE_PATHS as usize] =
+            ["c1", "c2", "c3", "c4", "c5", "c6", "c7"];
+        for name in coarse_names {
+            let queue = WorkQueue::new();
+            for i in 0..coarse_items {
+                let _ = queue.enqueue(i);
+            }
+            queue.close();
+            specs.push(paced_drain_spec(name, queue, coarse_work));
+            start_tasks.push(TaskConfig::leaf(name, 1));
+        }
+        let start = Config::new(start_tasks);
+        let mut target = start.clone();
+        if let Some(task) = target.tasks.first_mut() {
+            task.extent = 2;
+        }
+        let recorder = Recorder::bounded(4096);
+        let launched = dope_runtime::Dope::builder(Goal::MaxThroughput { threads: 9 })
+            .mechanism(Box::new(OneBump {
+                fired: false,
+                start,
+                target,
+            }))
+            .control_period(Duration::from_millis(10))
+            .delta_reconfig(delta)
+            .recorder(recorder.clone())
+            .launch(specs);
+        let Ok(dope) = launched else {
+            return (0.0, 0);
+        };
+        let _ = dope.wait();
+        let pauses: Vec<f64> = recorder
+            .records()
+            .iter()
+            .filter_map(|record| match &record.event {
+                TraceEvent::ReconfigureEpoch { pause_secs, .. } => Some(*pause_secs),
+                _ => None,
+            })
+            .collect();
+        if pauses.is_empty() {
+            (0.0, 0)
+        } else {
+            let mean = pauses.iter().sum::<f64>() / pauses.len() as f64;
+            (mean * 1e3, pauses.len() as u64)
+        }
+    };
+
+    let (partial_pause_ms, partial_epochs) = run_once(true);
+    let (full_pause_ms, full_epochs) = run_once(false);
+    let pause_ratio = if partial_pause_ms > 0.0 {
+        full_pause_ms / partial_pause_ms
+    } else {
+        0.0
+    };
+    obj(vec![
+        ("paths", Value::Number(1 + COARSE_PATHS)),
+        ("fine_items", Value::Number(fine_items)),
+        ("coarse_items", Value::Number(coarse_items)),
+        ("partial_pause_ms", Value::from_f64(partial_pause_ms)),
+        ("partial_epochs", Value::Number(partial_epochs)),
+        ("full_pause_ms", Value::from_f64(full_pause_ms)),
+        ("full_epochs", Value::Number(full_epochs)),
+        ("pause_ratio", Value::from_f64(pause_ratio)),
+    ])
+}
+
 fn metric(report: &Value, section: &str, key: &str) -> Option<f64> {
     report.get(section)?.get(key)?.as_f64()
 }
@@ -228,6 +395,28 @@ pub fn gate_failures(report: &Value) -> Vec<String> {
             )),
         }
     }
+    if report.get("partial_reconfig_pause").is_some() {
+        match (
+            metric(report, "partial_reconfig_pause", "partial_pause_ms"),
+            metric(report, "partial_reconfig_pause", "full_pause_ms"),
+        ) {
+            (Some(partial), Some(full)) if partial > 0.0 => {
+                let ratio = full / partial;
+                if ratio < 4.0 {
+                    failures.push(format!(
+                        "partial_reconfig_pause: partial pause {partial:.2} ms is only \
+                         {ratio:.1}x better than the full drain's {full:.2} ms \
+                         (the delta path must pause at least 4x less)"
+                    ));
+                }
+            }
+            _ => failures.push(
+                "report is missing or zeroed partial_reconfig_pause.partial_pause_ms / \
+                 partial_reconfig_pause.full_pause_ms"
+                    .to_string(),
+            ),
+        }
+    }
     failures
 }
 
@@ -238,6 +427,7 @@ pub const COMPARED_METRICS: &[(&str, &str)] = &[
     ("record_path", "sharded_contended_ns"),
     ("snapshot", "snapshot_micros"),
     ("reconfigure", "mean_pause_ms"),
+    ("partial_reconfig_pause", "full_pause_ms"),
     ("fig11", "wall_secs"),
 ];
 
@@ -249,6 +439,10 @@ const SECTION_CONFIG: &[(&str, &[&str])] = &[
     ("record_path", &["iters_per_thread", "threads"]),
     ("snapshot", &["paths", "records_per_path"]),
     ("reconfigure", &["videos"]),
+    (
+        "partial_reconfig_pause",
+        &["paths", "fine_items", "coarse_items"],
+    ),
     ("fig11", &["loads", "requests", "apps"]),
 ];
 
@@ -311,6 +505,9 @@ pub fn summary(report: &Value) -> String {
         ("snapshot", "snapshot_micros"),
         ("reconfigure", "mean_pause_ms"),
         ("reconfigure", "mean_relaunch_ms"),
+        ("partial_reconfig_pause", "partial_pause_ms"),
+        ("partial_reconfig_pause", "full_pause_ms"),
+        ("partial_reconfig_pause", "pause_ratio"),
         ("fig11", "wall_secs"),
     ] {
         if let Some(v) = metric(report, section, key) {
@@ -373,6 +570,39 @@ mod tests {
         // Missing sections in the baseline are skipped, not errors.
         let sparse = obj(vec![("schema", Value::String(SCHEMA.to_string()))]);
         assert!(compare(&slow, &sparse, 0.5).is_empty());
+    }
+
+    #[test]
+    fn gate_enforces_the_partial_pause_ratio() {
+        let with_ratio = |partial: f64, full: f64| {
+            obj(vec![
+                ("schema", Value::String(SCHEMA.to_string())),
+                (
+                    "record_path",
+                    obj(vec![
+                        ("sharded_single_ns", Value::from_f64(12.0)),
+                        ("sharded_contended_ns", Value::from_f64(14.0)),
+                        ("mutex_single_ns", Value::from_f64(150.0)),
+                        ("mutex_contended_ns", Value::from_f64(600.0)),
+                    ]),
+                ),
+                (
+                    "partial_reconfig_pause",
+                    obj(vec![
+                        ("partial_pause_ms", Value::from_f64(partial)),
+                        ("full_pause_ms", Value::from_f64(full)),
+                    ]),
+                ),
+            ])
+        };
+        assert!(gate_failures(&with_ratio(2.0, 20.0)).is_empty());
+        let weak = gate_failures(&with_ratio(8.0, 20.0));
+        assert_eq!(weak.len(), 1, "{weak:?}");
+        // A probe that never saw a reconfiguration is a failure, not a pass.
+        let empty = gate_failures(&with_ratio(0.0, 20.0));
+        assert_eq!(empty.len(), 1, "{empty:?}");
+        // Reports without the section (pre-probe baselines) are not judged.
+        assert!(gate_failures(&tiny_report(12.0, 150.0, 80.0)).is_empty());
     }
 
     #[test]

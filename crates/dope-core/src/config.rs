@@ -110,6 +110,24 @@ impl std::fmt::Display for TaskConfig {
     }
 }
 
+/// How two configurations differ, as computed by [`Config::diff`].
+///
+/// The distinction drives the runtime's two-tier reconfiguration
+/// protocol: extent-only differences are candidates for a *delta*
+/// reconfiguration (drain only the changed paths), while structural
+/// differences always take the full-drain path of the paper protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigDiff {
+    /// The configurations are equal.
+    Identical,
+    /// Same task tree (names, nesting, alternatives, arities), but the
+    /// listed paths carry different extents. Depth-first order.
+    Extents(Vec<TaskPath>),
+    /// The task trees differ structurally: a name, nesting shape,
+    /// chosen alternative, or level arity changed somewhere.
+    Structural,
+}
+
 /// A complete parallelism configuration for a program.
 ///
 /// # Example
@@ -229,6 +247,82 @@ impl Config {
             .filter(|(_, c)| c.nested.is_none())
             .map(|(p, _)| p)
             .collect()
+    }
+
+    /// Compares this configuration against `other`.
+    ///
+    /// Returns [`ConfigDiff::Structural`] as soon as the task trees
+    /// disagree on anything other than extents (names, nesting,
+    /// alternatives, or level arity), otherwise the depth-first list of
+    /// paths whose extents changed — or [`ConfigDiff::Identical`].
+    #[must_use]
+    pub fn diff(&self, other: &Config) -> ConfigDiff {
+        fn walk(
+            a: &[TaskConfig],
+            b: &[TaskConfig],
+            prefix: &TaskPath,
+            out: &mut Vec<TaskPath>,
+        ) -> bool {
+            if a.len() != b.len() {
+                return false;
+            }
+            for (i, (ta, tb)) in a.iter().zip(b).enumerate() {
+                let path = prefix.child(i as u16);
+                if ta.name != tb.name {
+                    return false;
+                }
+                if ta.extent != tb.extent {
+                    out.push(path.clone());
+                }
+                match (&ta.nested, &tb.nested) {
+                    (None, None) => {}
+                    (Some(na), Some(nb)) => {
+                        if na.alternative != nb.alternative
+                            || !walk(&na.tasks, &nb.tasks, &path, out)
+                        {
+                            return false;
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+            true
+        }
+        let mut changed = Vec::new();
+        if !walk(&self.tasks, &other.tasks, &TaskPath::root(), &mut changed) {
+            return ConfigDiff::Structural;
+        }
+        if changed.is_empty() {
+            ConfigDiff::Identical
+        } else {
+            ConfigDiff::Extents(changed)
+        }
+    }
+
+    /// The changed-path set of a *delta-eligible* transition from this
+    /// configuration to `other`, or `None` when the transition must take
+    /// the full-drain path.
+    ///
+    /// A transition is delta-eligible when the diff is extents-only
+    /// **and** every changed path is a top-level leaf task: nested
+    /// replicas are instantiated as a unit (`TaskFactory::make_nest`),
+    /// so changing anything inside a nest means rebuilding the replica —
+    /// a full drain. Centralizing the rule here keeps the live executive
+    /// and the simulator's trace observer agreeing on which epochs are
+    /// partial.
+    #[must_use]
+    pub fn delta_paths(&self, other: &Config) -> Option<Vec<TaskPath>> {
+        match self.diff(other) {
+            ConfigDiff::Extents(changed) => {
+                let top_level_leaf = |path: &TaskPath| {
+                    path.depth() == 1
+                        && self.node(path).is_some_and(|n| n.nested.is_none())
+                        && other.node(path).is_some_and(|n| n.nested.is_none())
+                };
+                changed.iter().all(top_level_leaf).then_some(changed)
+            }
+            ConfigDiff::Identical | ConfigDiff::Structural => None,
+        }
     }
 
     /// Validates the configuration against a program shape and a thread
@@ -579,6 +673,79 @@ mod tests {
         assert_eq!(paths, vec!["0", "0.0", "0.1", "0.2"]);
         let leaves: Vec<String> = config.leaf_paths().iter().map(|p| p.to_string()).collect();
         assert_eq!(leaves, vec!["0.0", "0.1", "0.2"]);
+    }
+
+    #[test]
+    fn diff_identical_configs() {
+        let a = transcode_config(2, 4);
+        assert_eq!(a.diff(&a.clone()), ConfigDiff::Identical);
+        assert_eq!(a.delta_paths(&a.clone()), None);
+    }
+
+    #[test]
+    fn diff_reports_changed_extent_paths_depth_first() {
+        let a = transcode_config(2, 4);
+        let mut b = a.clone();
+        b.set_extent(&"0".parse().unwrap(), 3).unwrap();
+        b.set_extent(&"0.1".parse().unwrap(), 8).unwrap();
+        let ConfigDiff::Extents(paths) = a.diff(&b) else {
+            panic!("extents-only change misclassified");
+        };
+        let paths: Vec<String> = paths.iter().map(ToString::to_string).collect();
+        assert_eq!(paths, vec!["0", "0.1"]);
+    }
+
+    #[test]
+    fn diff_flags_structural_changes() {
+        let a = transcode_config(1, 1);
+        let mut renamed = a.clone();
+        renamed.tasks[0].name = "transmogrify".into();
+        assert_eq!(a.diff(&renamed), ConfigDiff::Structural);
+
+        let mut realt = a.clone();
+        realt.tasks[0].nested.as_mut().unwrap().alternative = 1;
+        assert_eq!(a.diff(&realt), ConfigDiff::Structural);
+
+        let mut fewer = a.clone();
+        fewer.tasks[0].nested.as_mut().unwrap().tasks.pop();
+        assert_eq!(a.diff(&fewer), ConfigDiff::Structural);
+
+        let flat = Config::new(vec![TaskConfig::leaf("transcode", 1)]);
+        assert_eq!(a.diff(&flat), ConfigDiff::Structural);
+    }
+
+    #[test]
+    fn delta_paths_accepts_only_top_level_leaf_changes() {
+        // Flat pipeline of top-level leaves: any extent nudge is a delta.
+        let flat = Config::new(vec![
+            TaskConfig::leaf("read", 1),
+            TaskConfig::leaf("work", 4),
+            TaskConfig::leaf("write", 1),
+        ]);
+        let mut widened = flat.clone();
+        widened.set_extent(&"1".parse().unwrap(), 6).unwrap();
+        let delta = flat.delta_paths(&widened).expect("top-level leaf change");
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].to_string(), "1");
+
+        // The same extent change inside a nest is not delta-eligible:
+        // nested replicas relaunch as a unit.
+        let nested = transcode_config(2, 4);
+        let mut inner = nested.clone();
+        inner.set_extent(&"0.1".parse().unwrap(), 8).unwrap();
+        assert_eq!(
+            nested.diff(&inner),
+            ConfigDiff::Extents(vec!["0.1".parse().unwrap()])
+        );
+        assert_eq!(nested.delta_paths(&inner), None);
+
+        // Nor is changing a top-level *nest*'s replica count.
+        let mut outer = nested.clone();
+        outer.set_extent(&"0".parse().unwrap(), 3).unwrap();
+        assert_eq!(nested.delta_paths(&outer), None);
+
+        // Structural changes never qualify.
+        assert_eq!(flat.delta_paths(&nested), None);
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod spec;
 pub mod status;
 pub mod task;
 
-pub use config::{Config, NestConfig, TaskConfig};
+pub use config::{Config, ConfigDiff, NestConfig, TaskConfig};
 pub use decision::{realized_throughput, DecisionCandidate, DecisionTrace, Rationale};
 pub use diag::{DiagCode, Diagnostic, Severity};
 pub use error::{Error, Result};

@@ -26,6 +26,12 @@ pub const RECONFIGURE_EPOCHS_TOTAL: &str = "dope_reconfigure_epochs_total";
 pub const RECONFIGURE_PAUSE_SECONDS: &str = "dope_reconfigure_pause_seconds";
 /// Measured relaunch latency per reconfiguration.
 pub const RECONFIGURE_RELAUNCH_SECONDS: &str = "dope_reconfigure_relaunch_seconds";
+/// Reconfiguration epochs applied as *partial* (delta) reconfigurations:
+/// only the changed paths drained, everything else kept running.
+pub const RECONFIG_PARTIAL_TOTAL: &str = "dope_reconfig_partial_total";
+/// Replica-carrying paths drained per reconfiguration boundary (1 for a
+/// typical delta, the whole path set for a full drain).
+pub const RECONFIG_PATHS_DRAINED: &str = "dope_reconfig_paths_drained";
 /// Mechanism proposals evaluated, labelled `verdict`
 /// (`accepted` / `unchanged` / `rejected`).
 pub const PROPOSALS_TOTAL: &str = "dope_proposals_total";
@@ -80,6 +86,8 @@ pub const ALL: &[&str] = &[
     RECONFIGURE_EPOCHS_TOTAL,
     RECONFIGURE_PAUSE_SECONDS,
     RECONFIGURE_RELAUNCH_SECONDS,
+    RECONFIG_PARTIAL_TOTAL,
+    RECONFIG_PATHS_DRAINED,
     PROPOSALS_TOTAL,
     POOL_JOBS_DISPATCHED_TOTAL,
     POOL_WORKER_PARKS_TOTAL,

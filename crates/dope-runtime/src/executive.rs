@@ -1,6 +1,6 @@
 //! The DoPE-Executive: launch, monitor, reconfigure, finish.
 
-use crate::instance::{instantiate, LiveCx};
+use crate::instance::{instantiate, instantiate_paths, LiveCx, WorkerJob};
 use crate::monitor::Monitor;
 use crate::pool::WorkerPool;
 use dope_core::{
@@ -58,6 +58,7 @@ pub struct DopeBuilder {
     recorder: Recorder,
     metrics: Option<MetricsRegistry>,
     failure_policy: FailurePolicy,
+    delta_reconfig: bool,
 }
 
 impl std::fmt::Debug for DopeBuilder {
@@ -82,6 +83,7 @@ impl DopeBuilder {
             recorder: Recorder::disabled(),
             metrics: None,
             failure_policy: FailurePolicy::default(),
+            delta_reconfig: true,
         }
     }
 
@@ -174,6 +176,21 @@ impl DopeBuilder {
     #[must_use]
     pub fn failure_policy(mut self, policy: FailurePolicy) -> Self {
         self.failure_policy = policy;
+        self
+    }
+
+    /// Enables or disables partial (delta) reconfigurations (enabled by
+    /// default). When enabled, an accepted proposal that only changes
+    /// the extent of top-level leaf tasks drains *just those paths* to a
+    /// consistent point and splices the relaunched replicas into the
+    /// running epoch — every other replica keeps executing across the
+    /// boundary. Structural changes (and every drain triggered by stop
+    /// or a failure policy) always take the full-drain path. Disable to
+    /// force the paper's original drain-the-world protocol, e.g. for
+    /// A/B latency measurements.
+    #[must_use]
+    pub fn delta_reconfig(mut self, enabled: bool) -> Self {
+        self.delta_reconfig = enabled;
         self
     }
 
@@ -335,6 +352,7 @@ impl Dope {
         let control_period = builder.control_period;
         let window = builder.throughput_window;
         let failure_policy = builder.failure_policy;
+        let delta_enabled = builder.delta_reconfig;
         let shared_for_thread = Arc::clone(&shared);
 
         let control = std::thread::Builder::new()
@@ -351,6 +369,7 @@ impl Dope {
                     control_period,
                     window,
                     failure_policy,
+                    delta_enabled,
                     &recorder,
                     exec_metrics.as_ref(),
                 )
@@ -384,6 +403,8 @@ struct ExecMetrics {
     epochs: Arc<Counter>,
     pause: Arc<Histogram>,
     relaunch: Arc<Histogram>,
+    reconfig_partial: Arc<Counter>,
+    paths_drained: Arc<Histogram>,
     proposals_accepted: Arc<Counter>,
     proposals_unchanged: Arc<Counter>,
     proposals_rejected: Arc<Counter>,
@@ -419,6 +440,14 @@ impl ExecMetrics {
             relaunch: registry.histogram(
                 names::RECONFIGURE_RELAUNCH_SECONDS,
                 "Measured relaunch latency per reconfiguration",
+            ),
+            reconfig_partial: registry.counter(
+                names::RECONFIG_PARTIAL_TOTAL,
+                "Reconfiguration epochs applied as partial (delta) drains",
+            ),
+            paths_drained: registry.histogram(
+                names::RECONFIG_PATHS_DRAINED,
+                "Replica-carrying paths drained per reconfiguration boundary",
             ),
             proposals_accepted: proposals("accepted"),
             proposals_unchanged: proposals("unchanged"),
@@ -532,6 +561,100 @@ fn debug_verify_gate(stage: &str, shape: &ProgramShape, config: &Config, threads
     }
 }
 
+/// An in-flight partial (delta) reconfiguration: the accepted target
+/// configuration, the paths being steered to a consistent point, and
+/// when the drain started (for the measured pause latency).
+struct PartialDrain {
+    target: Config,
+    changed: Vec<TaskPath>,
+    started: Instant,
+}
+
+/// Traces an accepted-but-discarded reconfiguration target: a failure
+/// or stop raced the drain and the epoch the target was meant for no
+/// longer exists, so the proposal is retired as `superseded` instead of
+/// being dropped without a trace.
+fn record_superseded(recorder: &Recorder, mechanism: &str, proposal: Config) {
+    recorder.record_with(|| TraceEvent::ProposalEvaluated {
+        mechanism: mechanism.to_string(),
+        proposal,
+        verdict: Verdict::Superseded,
+    });
+}
+
+/// Submits one batch of worker jobs — a full epoch or a partial
+/// relaunch — wiring each body to the global and per-path suspend flags
+/// and the epoch's done channel, and folding the batch into the epoch's
+/// accounting maps under `generation`.
+#[allow(clippy::too_many_arguments)]
+fn submit_epoch_jobs(
+    jobs: Vec<WorkerJob>,
+    generation: u64,
+    pool: &WorkerPool,
+    shared: &Shared,
+    path_flags: &HashMap<TaskPath, Arc<AtomicBool>>,
+    window: Duration,
+    done_tx: &mpsc::Sender<(TaskPath, u64, TaskOutcome)>,
+    unreported: &mut HashMap<(TaskPath, u64), u32>,
+    per_path_outstanding: &mut HashMap<TaskPath, usize>,
+    submitted_by_path: &mut HashMap<TaskPath, usize>,
+    remaining: &mut usize,
+) -> Result<()> {
+    for job in jobs {
+        *unreported
+            .entry((job.path.clone(), generation))
+            .or_insert(0) += 1;
+        *per_path_outstanding.entry(job.path.clone()).or_insert(0) += 1;
+        *submitted_by_path.entry(job.path.clone()).or_insert(0) += 1;
+        *remaining += 1;
+        let monitor = shared.monitor.clone();
+        let suspend = Arc::clone(&shared.suspend);
+        let path_suspend = path_flags.get(&job.path).cloned().unwrap_or_default();
+        let done = done_tx.clone();
+        pool.try_submit(move || {
+            let mut cx = LiveCx::new(&monitor, suspend, path_suspend, &job.path, job.slot, window);
+            let mut body = job.body;
+            // The paper's TaskExecutor (Figure 4a): re-invoke while the
+            // body reports EXECUTING. The suspend directive reaches the
+            // body through begin/end; the *body* decides when it has
+            // steered into a globally consistent state (drained its
+            // queues) and yields — the executor must not cut it short.
+            //
+            // Supervision: a panic anywhere in init/invoke is caught
+            // here so it can be *reported* as a first-class outcome;
+            // the pool's own net only sees panics this wrapper
+            // cannot express (and keeps the thread alive either way).
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                body.init();
+                loop {
+                    let status = body.invoke(&mut cx);
+                    if status.is_terminal() {
+                        break status;
+                    }
+                }
+            }));
+            let outcome = match result {
+                Ok(status) => {
+                    body.fini(status);
+                    TaskOutcome::Completed(status)
+                }
+                Err(payload) => {
+                    let reason = panic_reason(payload.as_ref());
+                    // The executive's contract is that `fini` always
+                    // runs; a `fini` that panics in turn is contained
+                    // rather than allowed to mask the original reason.
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        body.fini(TaskStatus::Suspended);
+                    }));
+                    TaskOutcome::Failed { reason }
+                }
+            };
+            let _ = done.send((job.path, generation, outcome));
+        })?;
+    }
+    Ok(())
+}
+
 #[allow(clippy::too_many_arguments)]
 #[allow(clippy::too_many_lines)]
 fn run_control_loop(
@@ -545,6 +668,7 @@ fn run_control_loop(
     control_period: Duration,
     window: Duration,
     policy: FailurePolicy,
+    delta_enabled: bool,
     recorder: &Recorder,
     metrics: Option<&ExecMetrics>,
 ) -> Result<RunReport> {
@@ -578,127 +702,93 @@ fn run_control_loop(
             .monitor
             .install_epoch(epoch.load_cbs, epoch.extents.clone());
         shared.suspend.store(false, Ordering::Release);
-        let suspend = Arc::clone(&shared.suspend);
 
-        // dope-lint: allow(DL005): depth is bounded by the epoch's job count — every sender is one submitted job, and the epoch drains before the next one launches
-        let (done_tx, done_rx) = mpsc::channel::<(TaskPath, TaskOutcome)>();
-        let outstanding = epoch.jobs.len();
-        // Replicas submitted per path, decremented as outcomes arrive:
-        // whatever is left after a channel disconnect is lost work.
-        let mut unreported: HashMap<TaskPath, u32> = HashMap::new();
+        // One suspend flag per live path: a partial (delta) drain flips
+        // only the changed paths' flags, while stop and full drains keep
+        // using the global flag. Workers suspend on the union.
+        let mut path_flags: HashMap<TaskPath, Arc<AtomicBool>> = HashMap::new();
         for job in &epoch.jobs {
-            *unreported.entry(job.path.clone()).or_insert(0) += 1;
+            path_flags.entry(job.path.clone()).or_default();
         }
-        for job in epoch.jobs {
-            let monitor = shared.monitor.clone();
-            let suspend = Arc::clone(&suspend);
-            let done = done_tx.clone();
-            pool.try_submit(move || {
-                let mut cx = LiveCx::new(&monitor, suspend, &job.path, job.slot, window);
-                let mut body = job.body;
-                // The paper's TaskExecutor (Figure 4a): re-invoke while the
-                // body reports EXECUTING. The suspend directive reaches the
-                // body through begin/end; the *body* decides when it has
-                // steered into a globally consistent state (drained its
-                // queues) and yields — the executor must not cut it short.
-                //
-                // Supervision: a panic anywhere in init/invoke is caught
-                // here so it can be *reported* as a first-class outcome;
-                // the pool's own net only sees panics this wrapper
-                // cannot express (and keeps the thread alive either way).
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    body.init();
-                    loop {
-                        let status = body.invoke(&mut cx);
-                        if status.is_terminal() {
-                            break status;
-                        }
-                    }
-                }));
-                let outcome = match result {
-                    Ok(status) => {
-                        body.fini(status);
-                        TaskOutcome::Completed(status)
-                    }
-                    Err(payload) => {
-                        let reason = panic_reason(payload.as_ref());
-                        // The executive's contract is that `fini` always
-                        // runs; a `fini` that panics in turn is contained
-                        // rather than allowed to mask the original reason.
-                        let _ = catch_unwind(AssertUnwindSafe(|| {
-                            body.fini(TaskStatus::Suspended);
-                        }));
-                        TaskOutcome::Failed { reason }
-                    }
-                };
-                let _ = done.send((job.path, outcome));
-            })?;
-        }
-        drop(done_tx);
+
+        // dope-lint: allow(DL005): depth is bounded by the epoch's job count — every sender is one submitted job (plus the executive's handle kept for partial relaunches), and the epoch drains before the next one launches
+        let (done_tx, done_rx) = mpsc::channel::<(TaskPath, u64, TaskOutcome)>();
+        // Replicas submitted per (path, generation), decremented as
+        // outcomes arrive: whatever is left when the epoch breaks early
+        // is lost work. The generation counts partial relaunches, so a
+        // relaunched path's old and new replicas stay distinct.
+        let mut unreported: HashMap<(TaskPath, u64), u32> = HashMap::new();
+        let mut per_path_outstanding: HashMap<TaskPath, usize> = HashMap::new();
+        let mut submitted_by_path: HashMap<TaskPath, usize> = HashMap::new();
+        let mut finished_by_path: HashMap<TaskPath, usize> = HashMap::new();
+        let mut generation: u64 = 0;
+        let mut remaining: usize = 0;
+        // Finished outcomes the program needs to count as complete; a
+        // partial relaunch retires the drained paths' share and adds the
+        // relaunched replicas'.
+        let mut expected_finishes = epoch.jobs.len();
+        submit_epoch_jobs(
+            epoch.jobs,
+            generation,
+            pool,
+            shared,
+            &path_flags,
+            window,
+            &done_tx,
+            &mut unreported,
+            &mut per_path_outstanding,
+            &mut submitted_by_path,
+            &mut remaining,
+        )?;
         if let Some(pause_secs) = pending_pause.take() {
             let relaunch_secs = relaunch_started.elapsed().as_secs_f64();
-            let jobs = outstanding as u64;
+            let jobs = remaining as u64;
+            let paths_drained = config.paths().len() as u64;
             let config_now = &config;
             recorder.record_with(|| TraceEvent::ReconfigureEpoch {
                 pause_secs,
                 relaunch_secs,
                 jobs,
                 config: config_now.clone(),
+                scope: "full".to_string(),
+                paths_drained,
             });
             if let Some(m) = metrics {
                 m.epochs.inc();
                 m.pause.record_secs(pause_secs);
                 m.relaunch.record_secs(relaunch_secs);
+                m.paths_drained.record_secs(paths_drained as f64);
             }
         }
 
         // Monitor until the epoch ends or a reconfiguration triggers.
-        let mut remaining = outstanding;
         let mut finished = 0usize;
         let mut failures: Vec<(TaskPath, String)> = Vec::new();
         let mut reconfig_target: Option<Config> = None;
         let mut suspend_started: Option<Instant> = None;
-        while remaining > 0 {
-            match done_rx.recv_timeout(control_period) {
-                Ok((path, outcome)) => {
-                    remaining -= 1;
-                    if let Some(left) = unreported.get_mut(&path) {
-                        *left = left.saturating_sub(1);
-                    }
-                    match outcome {
-                        TaskOutcome::Completed(status) => {
-                            if status == TaskStatus::Finished {
-                                finished += 1;
-                            }
-                        }
-                        TaskOutcome::Failed { reason } => {
-                            task_failures += 1;
-                            shared.monitor.mark_failed(&path);
-                            if let Some(m) = metrics {
-                                m.task_failures.inc();
-                            }
-                            let event_path = path.clone();
-                            let event_reason = reason.clone();
-                            recorder.record_with(|| TraceEvent::TaskFailed {
-                                path: event_path,
-                                reason: event_reason,
-                                policy: policy.kind().to_string(),
-                            });
-                            failures.push((path, reason));
-                            // Drain the epoch so the failure policy acts
-                            // at a globally consistent point.
-                            shared.suspend.store(true, Ordering::Release);
-                        }
-                    }
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    if shared.stop.load(Ordering::Acquire) {
-                        shared.suspend.store(true, Ordering::Release);
-                        continue;
-                    }
-                    if reconfig_target.is_some() || !failures.is_empty() {
-                        continue; // already draining
-                    }
+        let mut partial: Option<PartialDrain> = None;
+        // Control ticks run off an absolute deadline: driving the timer
+        // from `recv_timeout` alone reset it on every completion, so a
+        // flood of completions starved the mechanism of consults.
+        let mut next_tick = Instant::now() + control_period;
+        // The executive's own `done_tx` (kept for partial relaunches)
+        // prevents the channel from ever disconnecting, so vanished jobs
+        // are detected via pool quiescence instead — two consecutive
+        // idle timeouts with every submitted job parked.
+        let mut pool_idle_seen = false;
+        // A pending partial keeps the loop alive past `remaining == 0`:
+        // when the drained paths were the only ones left, the boundary
+        // check below still has to run to splice in the relaunch.
+        while remaining > 0 || partial.is_some() {
+            let stopping = shared.stop.load(Ordering::Acquire);
+            if stopping {
+                shared.suspend.store(true, Ordering::Release);
+            }
+            if Instant::now() >= next_tick {
+                next_tick = Instant::now() + control_period;
+                let draining =
+                    reconfig_target.is_some() || !failures.is_empty() || partial.is_some();
+                if !stopping && !draining {
                     let snap = shared.monitor.snapshot();
                     recorder.record_with(|| TraceEvent::SnapshotTaken {
                         snapshot: snap.clone(),
@@ -732,36 +822,200 @@ fn run_control_loop(
                             if let Some(m) = metrics {
                                 m.proposals_unchanged.inc();
                             }
-                            continue;
-                        }
-                        match proposal.validate(shape, budget) {
-                            Ok(()) => {
-                                debug_verify_gate("reconfigure", shape, &proposal, budget);
-                                recorder.record_with(|| TraceEvent::ProposalEvaluated {
-                                    mechanism: mechanism.name().to_string(),
-                                    proposal: proposal.clone(),
-                                    verdict: Verdict::Accepted,
-                                });
-                                if let Some(m) = metrics {
-                                    m.proposals_accepted.inc();
+                        } else {
+                            match proposal.validate(shape, budget) {
+                                Ok(()) => {
+                                    debug_verify_gate("reconfigure", shape, &proposal, budget);
+                                    recorder.record_with(|| TraceEvent::ProposalEvaluated {
+                                        mechanism: mechanism.name().to_string(),
+                                        proposal: proposal.clone(),
+                                        verdict: Verdict::Accepted,
+                                    });
+                                    if let Some(m) = metrics {
+                                        m.proposals_accepted.inc();
+                                    }
+                                    let delta = if delta_enabled {
+                                        config.delta_paths(&proposal)
+                                    } else {
+                                        None
+                                    };
+                                    if let Some(changed) = delta {
+                                        // Steer only the changed paths to
+                                        // a consistent point; every other
+                                        // replica keeps running across
+                                        // the boundary.
+                                        for path in &changed {
+                                            if let Some(flag) = path_flags.get(path) {
+                                                flag.store(true, Ordering::Release);
+                                            }
+                                        }
+                                        partial = Some(PartialDrain {
+                                            target: proposal,
+                                            changed,
+                                            started: Instant::now(),
+                                        });
+                                    } else {
+                                        reconfig_target = Some(proposal);
+                                        suspend_started = Some(Instant::now());
+                                        shared.suspend.store(true, Ordering::Release);
+                                    }
                                 }
-                                reconfig_target = Some(proposal);
-                                suspend_started = Some(Instant::now());
-                                shared.suspend.store(true, Ordering::Release);
-                            }
-                            Err(err) => {
-                                rejected += 1;
-                                recorder.record_with(|| TraceEvent::ProposalEvaluated {
-                                    mechanism: mechanism.name().to_string(),
-                                    proposal: proposal.clone(),
-                                    verdict: Verdict::Rejected { code: err.code() },
-                                });
-                                if let Some(m) = metrics {
-                                    m.proposals_rejected.inc();
+                                Err(err) => {
+                                    rejected += 1;
+                                    recorder.record_with(|| TraceEvent::ProposalEvaluated {
+                                        mechanism: mechanism.name().to_string(),
+                                        proposal: proposal.clone(),
+                                        verdict: Verdict::Rejected { code: err.code() },
+                                    });
+                                    if let Some(m) = metrics {
+                                        m.proposals_rejected.inc();
+                                    }
                                 }
                             }
                         }
                     }
+                }
+            }
+            // Partial boundary: every changed path's replicas have
+            // reported while the rest of the nest keeps running. Splice
+            // the relaunched replicas into the live epoch. A stop takes
+            // precedence: the global drain is already in flight and the
+            // target is retired as superseded at epoch end.
+            if !stopping {
+                if let Some(p) = partial.take() {
+                    let drained_now = p
+                        .changed
+                        .iter()
+                        .all(|path| per_path_outstanding.get(path).copied().unwrap_or(0) == 0);
+                    if drained_now {
+                        let PartialDrain {
+                            target,
+                            changed,
+                            started,
+                        } = p;
+                        let pause_secs = started.elapsed().as_secs_f64();
+                        let relaunch_started = Instant::now();
+                        config = target;
+                        let relaunched = instantiate_paths(descriptor, &config, &changed)?;
+                        // The drained paths' share of the completion
+                        // target is retired with them; the relaunched
+                        // replicas take their place.
+                        for path in &changed {
+                            expected_finishes -= submitted_by_path.remove(path).unwrap_or(0);
+                            finished -= finished_by_path.remove(path).unwrap_or(0);
+                        }
+                        expected_finishes += relaunched.jobs.len();
+                        shared.monitor.merge_epoch_paths(
+                            relaunched.load_cbs,
+                            relaunched.extents,
+                            &changed,
+                        );
+                        // Resume the relaunched paths *before* submitting
+                        // so the new replicas never observe a stale
+                        // suspend flag.
+                        for path in &changed {
+                            if let Some(flag) = path_flags.get(path) {
+                                flag.store(false, Ordering::Release);
+                            }
+                        }
+                        generation += 1;
+                        submit_epoch_jobs(
+                            relaunched.jobs,
+                            generation,
+                            pool,
+                            shared,
+                            &path_flags,
+                            window,
+                            &done_tx,
+                            &mut unreported,
+                            &mut per_path_outstanding,
+                            &mut submitted_by_path,
+                            &mut remaining,
+                        )?;
+                        let relaunch_secs = relaunch_started.elapsed().as_secs_f64();
+                        let jobs = remaining as u64;
+                        let paths_drained = changed.len() as u64;
+                        let config_now = &config;
+                        recorder.record_with(|| TraceEvent::ReconfigureEpoch {
+                            pause_secs,
+                            relaunch_secs,
+                            jobs,
+                            config: config_now.clone(),
+                            scope: "partial".to_string(),
+                            paths_drained,
+                        });
+                        if let Some(m) = metrics {
+                            m.epochs.inc();
+                            m.pause.record_secs(pause_secs);
+                            m.relaunch.record_secs(relaunch_secs);
+                            m.reconfig_partial.inc();
+                            m.paths_drained.record_secs(paths_drained as f64);
+                        }
+                        reconfigurations += 1;
+                        history.push((start.elapsed().as_secs_f64(), config.clone()));
+                        shared.monitor.mark_reconfig();
+                        mechanism.applied(&config);
+                    } else {
+                        partial = Some(p);
+                    }
+                }
+            }
+            match done_rx.recv_timeout(next_tick.saturating_duration_since(Instant::now())) {
+                Ok((path, job_generation, outcome)) => {
+                    pool_idle_seen = false;
+                    remaining -= 1;
+                    if let Some(left) = unreported.get_mut(&(path.clone(), job_generation)) {
+                        *left = left.saturating_sub(1);
+                    }
+                    if let Some(out) = per_path_outstanding.get_mut(&path) {
+                        *out = out.saturating_sub(1);
+                    }
+                    match outcome {
+                        TaskOutcome::Completed(status) => {
+                            if status == TaskStatus::Finished {
+                                finished += 1;
+                                *finished_by_path.entry(path).or_insert(0) += 1;
+                            }
+                        }
+                        TaskOutcome::Failed { reason } => {
+                            task_failures += 1;
+                            shared.monitor.mark_failed(&path);
+                            if let Some(m) = metrics {
+                                m.task_failures.inc();
+                            }
+                            let event_path = path.clone();
+                            let event_reason = reason.clone();
+                            recorder.record_with(|| TraceEvent::TaskFailed {
+                                path: event_path,
+                                reason: event_reason,
+                                policy: policy.kind().to_string(),
+                            });
+                            failures.push((path, reason));
+                            // Drain the epoch so the failure policy acts
+                            // at a globally consistent point. A partial
+                            // drain in flight escalates to a full one:
+                            // its accepted target is retired as
+                            // superseded rather than dropped silently.
+                            if let Some(p) = partial.take() {
+                                record_superseded(recorder, mechanism.name(), p.target);
+                            }
+                            shared.suspend.store(true, Ordering::Release);
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Vanished-job detection: every send happens before
+                    // its worker parks, so once submitted == dispatched
+                    // == parks the channel holds all outcomes that will
+                    // ever arrive. One more recv attempt (the next loop
+                    // iteration) drains any straggler; a second idle
+                    // timeout means the missing replicas are lost work.
+                    let idle =
+                        pool.submitted() == pool.dispatched() && pool.dispatched() == pool.parks();
+                    if idle && pool_idle_seen {
+                        break;
+                    }
+                    pool_idle_seen = idle;
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
@@ -773,7 +1027,7 @@ fn run_control_loop(
         // work used to get lost without a trace — count every missing
         // replica as a failure and poison the verdict.
         if remaining > 0 {
-            for (path, left) in &unreported {
+            for ((path, _generation), left) in &unreported {
                 for _ in 0..*left {
                     task_failures += 1;
                     lost_jobs += 1;
@@ -822,11 +1076,27 @@ fn run_control_loop(
                         m.task_restarts.add(needed);
                     }
                     verdict = verdict.worsen(FailureVerdict::Recovered);
+                    // A restart rebuilds the epoch from the live config,
+                    // so an accepted-but-unapplied proposal dies here —
+                    // say so in the trace rather than dropping it.
+                    if let Some(target) = reconfig_target.take() {
+                        record_superseded(recorder, mechanism.name(), target);
+                    }
                     if shared.stop.load(Ordering::Acquire) {
                         break 'epochs;
                     }
-                    if !backoff.is_zero() {
-                        std::thread::sleep(backoff);
+                    // Sleep in slices so a stop request interrupts the
+                    // backoff instead of blocking shutdown through it.
+                    let deadline = Instant::now() + backoff;
+                    loop {
+                        if shared.stop.load(Ordering::Acquire) {
+                            break 'epochs;
+                        }
+                        let left = deadline.saturating_duration_since(Instant::now());
+                        if left.is_zero() {
+                            break;
+                        }
+                        std::thread::sleep(left.min(Duration::from_millis(5)));
                     }
                     continue 'epochs;
                 }
@@ -864,6 +1134,12 @@ fn run_control_loop(
                     shared.monitor.mark_reconfig();
                     mechanism.applied(&config);
                     verdict = verdict.worsen(FailureVerdict::Degraded);
+                    // The degraded config replaces whatever the
+                    // mechanism had accepted; retire the stale target
+                    // as superseded instead of discarding it silently.
+                    if let Some(target) = reconfig_target.take() {
+                        record_superseded(recorder, mechanism.name(), target);
+                    }
                     if shared.stop.load(Ordering::Acquire) {
                         break 'epochs;
                     }
@@ -881,7 +1157,24 @@ fn run_control_loop(
 
         // Epoch fully drained.
         if shared.stop.load(Ordering::Acquire) {
+            // Stop wins over any accepted-but-unapplied target, partial
+            // or full — retire both as superseded so the trace closes
+            // the accepted proposal's story.
+            if let Some(p) = partial.take() {
+                record_superseded(recorder, mechanism.name(), p.target);
+            }
+            if let Some(target) = reconfig_target.take() {
+                record_superseded(recorder, mechanism.name(), target);
+            }
             break 'epochs;
+        }
+        // A partial drain that outran the epoch (every replica finished
+        // before the boundary check applied it) degenerates into a full
+        // reconfiguration: the epoch is empty anyway, so apply the
+        // target on relaunch.
+        if let Some(p) = partial.take() {
+            suspend_started = Some(p.started);
+            reconfig_target = Some(p.target);
         }
         if let Some(new_config) = reconfig_target {
             config = new_config;
@@ -894,16 +1187,18 @@ fn run_control_loop(
             continue 'epochs;
         }
         // No reconfiguration pending: did the program finish?
-        if finished == outstanding {
+        if finished == expected_finishes {
             break 'epochs;
         }
         // Mixed suspension without a target (stop raced): relaunch as-is.
     }
 
-    // The run is over: the last decision has no follow-up snapshot to
-    // score against, so it goes out unscored.
+    // The run is over: score the last decision against a final
+    // snapshot instead of dropping its outcome — every consult the
+    // audit holds must reach the trace, scored when a reading exists.
     if let Some((at, mech, trace)) = pending_decision.take() {
-        emit_decision(recorder, metrics, at, mech, trace, None);
+        let realized = realized_throughput(&shared.monitor.snapshot());
+        emit_decision(recorder, metrics, at, mech, trace, realized);
     }
     if recorder.is_enabled() {
         let completed = shared.monitor.queue_completed();
@@ -1024,7 +1319,15 @@ mod tests {
                         dope_workload::DequeueOutcome::Item(_) => {
                             std::thread::sleep(Duration::from_millis(1));
                             hits.fetch_add(1, Ordering::Relaxed);
-                            TaskStatus::Executing
+                            // Each item is a consistent point: honoring
+                            // the directive here lets the drain finish
+                            // while the queue still holds work, which is
+                            // what makes the delta path observable.
+                            if cx.directive().wants_suspend() {
+                                TaskStatus::Suspended
+                            } else {
+                                TaskStatus::Executing
+                            }
                         }
                         dope_workload::DequeueOutcome::Drained => TaskStatus::Finished,
                         dope_workload::DequeueOutcome::TimedOut => {
@@ -1087,13 +1390,27 @@ mod tests {
                     relaunch_secs,
                     jobs,
                     config,
-                } => Some((*pause_secs, *relaunch_secs, *jobs, config.clone())),
+                    scope,
+                    paths_drained,
+                } => Some((
+                    *pause_secs,
+                    *relaunch_secs,
+                    *jobs,
+                    config.clone(),
+                    scope.clone(),
+                    *paths_drained,
+                )),
                 _ => None,
             })
             .expect("a ReconfigureEpoch event");
         assert!(epoch.0 >= 0.0 && epoch.1 >= 0.0);
         assert_eq!(epoch.2, 2, "new epoch runs the pinned extent-2 jobs");
         assert_eq!(epoch.3, pinned);
+        assert_eq!(
+            epoch.4, "partial",
+            "a single-leaf extent change takes the delta path"
+        );
+        assert_eq!(epoch.5, 1, "exactly the changed path drained");
     }
 
     /// A clean run reports a clean verdict and zero failure counters —

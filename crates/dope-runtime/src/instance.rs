@@ -129,6 +129,64 @@ fn instantiate_level(
     Ok(())
 }
 
+/// Builds worker jobs for *only* the top-level leaf tasks named by
+/// `paths` — the relaunch half of a partial (delta) reconfiguration.
+///
+/// Delta eligibility is decided by `Config::delta_paths` before this is
+/// called, but the invariant is re-checked here: every path must be a
+/// depth-one leaf in both the descriptor and the configuration, because
+/// nested replicas are instantiated as a unit (`make_nest`) and cannot
+/// be relaunched piecemeal.
+pub(crate) fn instantiate_paths(
+    specs: &[TaskSpec],
+    config: &Config,
+    paths: &[TaskPath],
+) -> Result<Epoch> {
+    let mut epoch = Epoch::default();
+    for path in paths {
+        let mut indices = path.indices();
+        let (Some(index), None) = (indices.next(), indices.next()) else {
+            return Err(Error::ShapeMismatch {
+                path: path.clone(),
+                detail: "partial relaunch supports top-level leaf tasks only".to_string(),
+            });
+        };
+        let (Some(spec), Some(cfg)) = (specs.get(index as usize), config.tasks.get(index as usize))
+        else {
+            return Err(Error::UnknownPath { path: path.clone() });
+        };
+        if spec.name() != cfg.name {
+            return Err(Error::ShapeMismatch {
+                path: path.clone(),
+                detail: format!("expected `{}`, found `{}`", spec.name(), cfg.name),
+            });
+        }
+        let (Work::Leaf(factory), None) = (spec.work(), &cfg.nested) else {
+            return Err(Error::ShapeMismatch {
+                path: path.clone(),
+                detail: "partial relaunch supports top-level leaf tasks only".to_string(),
+            });
+        };
+        epoch.extents.insert(path.clone(), cfg.extent);
+        if let Some(cb) = spec.load_cb() {
+            epoch.load_cbs.push((path.clone(), Arc::clone(cb)));
+        }
+        for worker in 0..cfg.extent {
+            let slot = WorkerSlot {
+                replica: 0,
+                worker,
+                extent: cfg.extent,
+            };
+            epoch.jobs.push(WorkerJob {
+                path: path.clone(),
+                slot,
+                body: factory.make_body(slot),
+            });
+        }
+    }
+    Ok(epoch)
+}
+
 /// Like [`instantiate_level`] but tags jobs with the replica index.
 fn instantiate_replica(
     specs: &[TaskSpec],
@@ -199,7 +257,12 @@ fn instantiate_replica(
 }
 
 /// The live [`TaskCx`]: timers into the monitor plus the epoch's suspend
-/// flag.
+/// flags.
+///
+/// Suspension is the union of two signals: the *global* flag (stop and
+/// full-drain reconfigurations park every replica) and this job's
+/// *per-path* flag (a partial reconfiguration parks only the paths whose
+/// extent changed, leaving the rest of the nest running).
 ///
 /// Construction resolves the calling worker thread's private
 /// [`RecorderShard`] once (the only locking step); every `begin`..`end`
@@ -207,6 +270,7 @@ fn instantiate_replica(
 /// lock acquisitions.
 pub(crate) struct LiveCx {
     suspend: Arc<AtomicBool>,
+    path_suspend: Arc<AtomicBool>,
     shard: Arc<RecorderShard>,
     window: Duration,
     slot: WorkerSlot,
@@ -220,12 +284,14 @@ impl LiveCx {
     pub fn new(
         monitor: &Monitor,
         suspend: Arc<AtomicBool>,
+        path_suspend: Arc<AtomicBool>,
         path: &TaskPath,
         slot: WorkerSlot,
         window: Duration,
     ) -> Self {
         LiveCx {
             suspend,
+            path_suspend,
             shard: monitor.stats_for(path).shard(),
             window,
             slot,
@@ -234,7 +300,7 @@ impl LiveCx {
     }
 
     fn current_directive(&self) -> Directive {
-        if self.suspend.load(Ordering::Acquire) {
+        if self.suspend.load(Ordering::Acquire) || self.path_suspend.load(Ordering::Acquire) {
             Directive::Suspend
         } else {
             Directive::Continue
@@ -351,6 +417,7 @@ mod tests {
     fn live_cx_records_and_suspends() {
         let monitor = Monitor::new(Duration::from_secs(5), 0.25, FeatureRegistry::new());
         let suspend = Arc::new(AtomicBool::new(false));
+        let path_suspend = Arc::new(AtomicBool::new(false));
         let path: TaskPath = "0".parse().unwrap();
         let slot = WorkerSlot {
             replica: 0,
@@ -360,6 +427,7 @@ mod tests {
         let mut cx = LiveCx::new(
             &monitor,
             Arc::clone(&suspend),
+            Arc::clone(&path_suspend),
             &path,
             slot,
             Duration::from_secs(5),
@@ -375,5 +443,78 @@ mod tests {
             monitor.snapshot()
         };
         assert_eq!(snap.task(&path).unwrap().invocations, 1);
+    }
+
+    #[test]
+    fn live_cx_path_flag_suspends_independently_of_the_global_flag() {
+        let monitor = Monitor::new(Duration::from_secs(5), 0.25, FeatureRegistry::new());
+        let suspend = Arc::new(AtomicBool::new(false));
+        let path_suspend = Arc::new(AtomicBool::new(false));
+        let path: TaskPath = "0".parse().unwrap();
+        let slot = WorkerSlot {
+            replica: 0,
+            worker: 0,
+            extent: 1,
+        };
+        let cx = LiveCx::new(
+            &monitor,
+            Arc::clone(&suspend),
+            Arc::clone(&path_suspend),
+            &path,
+            slot,
+            Duration::from_secs(5),
+        );
+        assert_eq!(cx.directive(), Directive::Continue);
+        path_suspend.store(true, Ordering::Release);
+        assert_eq!(
+            cx.directive(),
+            Directive::Suspend,
+            "per-path flag must suspend without the global flag"
+        );
+        path_suspend.store(false, Ordering::Release);
+        assert_eq!(
+            cx.directive(),
+            Directive::Continue,
+            "clearing the per-path flag must resume the replica"
+        );
+    }
+
+    #[test]
+    fn instantiate_paths_builds_only_the_named_leaves() {
+        let specs = vec![leaf("a", TaskKind::Par), leaf("b", TaskKind::Par)];
+        let config = Config::new(vec![TaskConfig::leaf("a", 3), TaskConfig::leaf("b", 2)]);
+        let target: TaskPath = "1".parse().unwrap();
+        let epoch = instantiate_paths(&specs, &config, std::slice::from_ref(&target)).unwrap();
+        assert_eq!(epoch.jobs.len(), 2, "only path 1's workers");
+        assert!(epoch.jobs.iter().all(|j| j.path == target));
+        assert_eq!(epoch.extents.get(&target), Some(&2));
+        assert!(!epoch
+            .extents
+            .contains_key(&"0".parse::<TaskPath>().unwrap()));
+    }
+
+    #[test]
+    fn instantiate_paths_rejects_nested_and_unknown_paths() {
+        let nest = TaskSpec::nest("o", TaskKind::Par, |_r: u32| vec![leaf("i", TaskKind::Seq)]);
+        let specs = vec![leaf("a", TaskKind::Par), nest];
+        let config = Config::new(vec![
+            TaskConfig::leaf("a", 1),
+            TaskConfig::nest("o", 1, 0, vec![TaskConfig::leaf("i", 1)]),
+        ]);
+        // A nested path is not a top-level leaf.
+        assert!(matches!(
+            instantiate_paths(&specs, &config, &["1.0".parse().unwrap()]),
+            Err(Error::ShapeMismatch { .. })
+        ));
+        // A top-level nest is not a leaf either.
+        assert!(matches!(
+            instantiate_paths(&specs, &config, &["1".parse().unwrap()]),
+            Err(Error::ShapeMismatch { .. })
+        ));
+        // An out-of-range index is unknown.
+        assert!(matches!(
+            instantiate_paths(&specs, &config, &["7".parse().unwrap()]),
+            Err(Error::UnknownPath { .. })
+        ));
     }
 }

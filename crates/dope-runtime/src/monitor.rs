@@ -457,6 +457,36 @@ impl Monitor {
         }
     }
 
+    /// Splices a partially relaunched epoch into the running one: only
+    /// the `drained` paths' registrations are replaced, everything else
+    /// keeps its live callbacks, extents, and failure marks.
+    ///
+    /// The drained paths start their new generation with every replica
+    /// alive, so their failure marks are cleared and the failed-replicas
+    /// gauge is recomputed from what remains.
+    pub(crate) fn merge_epoch_paths(
+        &self,
+        load_cbs: Vec<(TaskPath, Arc<dyn Fn() -> f64 + Send + Sync>)>,
+        extents: HashMap<TaskPath, u32>,
+        drained: &[TaskPath],
+    ) {
+        let total: u32 = {
+            let mut epoch = self.shared.epoch.lock();
+            epoch.load_cbs.retain(|(path, _)| !drained.contains(path));
+            epoch.load_cbs.extend(load_cbs);
+            for (path, extent) in extents {
+                epoch.extents.insert(path, extent);
+            }
+            for path in drained {
+                epoch.failed.remove(path);
+            }
+            epoch.failed.values().sum()
+        };
+        if let Some(metrics) = self.shared.metrics.lock().as_ref() {
+            metrics.failed_replicas.set(f64::from(total));
+        }
+    }
+
     /// Marks one replica of `path` as dead in the running epoch.
     ///
     /// Snapshots taken afterwards exclude the dead replica: the path's
@@ -817,6 +847,43 @@ mod tests {
         m.install_epoch(Vec::new(), HashMap::from([(doomed.clone(), 1)]));
         assert_eq!(m.failed_replicas(), 0);
         assert!(m.snapshot().task(&doomed).is_some());
+    }
+
+    #[test]
+    fn merge_epoch_paths_replaces_only_the_drained_paths() {
+        let m = monitor();
+        let kept: TaskPath = "0".parse().unwrap();
+        let drained: TaskPath = "1".parse().unwrap();
+        let _ = m.stats_for(&kept);
+        let _ = m.stats_for(&drained);
+        m.install_epoch(
+            vec![
+                (kept.clone(), Arc::new(|| 1.0)),
+                (drained.clone(), Arc::new(|| 2.0)),
+            ],
+            HashMap::from([(kept.clone(), 2), (drained.clone(), 1)]),
+        );
+        // One failure on each path before the partial boundary.
+        m.mark_failed(&kept);
+        m.mark_failed(&drained);
+        assert_eq!(m.failed_replicas(), 2);
+
+        // The partial relaunch widens `drained` to 3 workers with a new
+        // load callback; `kept` must keep its registrations and its
+        // failure mark.
+        m.merge_epoch_paths(
+            vec![(drained.clone(), Arc::new(|| 5.0))],
+            HashMap::from([(drained.clone(), 3)]),
+            std::slice::from_ref(&drained),
+        );
+        assert_eq!(
+            m.failed_replicas(),
+            1,
+            "drained path's marks cleared, kept path's retained"
+        );
+        let snap = m.snapshot();
+        assert!((snap.task(&kept).unwrap().load - 1.0).abs() < 1e-9);
+        assert!((snap.task(&drained).unwrap().load - 5.0).abs() < 1e-9);
     }
 
     #[test]

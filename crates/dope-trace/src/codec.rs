@@ -154,6 +154,7 @@ pub fn record_to_value(record: &TraceRecord) -> Value {
                 Verdict::Accepted => ("accepted", None),
                 Verdict::Unchanged => ("unchanged", None),
                 Verdict::Rejected { code } => ("rejected", Some(*code)),
+                Verdict::Superseded => ("superseded", None),
             };
             fields.push((
                 "verdict".to_string(),
@@ -168,11 +169,15 @@ pub fn record_to_value(record: &TraceRecord) -> Value {
             relaunch_secs,
             jobs,
             config,
+            scope,
+            paths_drained,
         } => {
             fields.push(("pause_secs".to_string(), Value::from_f64(*pause_secs)));
             fields.push(("relaunch_secs".to_string(), Value::from_f64(*relaunch_secs)));
             fields.push(("jobs".to_string(), Value::Number(*jobs)));
             fields.push(("config".to_string(), config_to_value(config)));
+            fields.push(("scope".to_string(), Value::String(scope.clone())));
+            fields.push(("paths_drained".to_string(), Value::Number(*paths_drained)));
         }
         TraceEvent::FeatureRead { feature, value } => {
             fields.push(("feature".to_string(), Value::String(feature.clone())));
@@ -350,6 +355,30 @@ fn opt_f64_or_none(value: &Value, key: &str) -> Result<Option<f64>, JsonError> {
     }
 }
 
+/// Reads an *optional* string field: absent or `null` (old traces)
+/// decodes as `default`; present-but-mistyped is still an error.
+fn opt_str(value: &Value, key: &str, default: &str) -> Result<String, JsonError> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(default.to_string()),
+        Some(v) => v
+            .as_str()
+            .map(ToString::to_string)
+            .ok_or_else(|| JsonError::decode(format!("`{key}` must be a string or null"))),
+    }
+}
+
+/// Reads an *optional* non-negative integer field: absent or `null`
+/// (old traces) decodes as `default`; present-but-mistyped is still an
+/// error.
+fn opt_u64(value: &Value, key: &str, default: u64) -> Result<u64, JsonError> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(v) => v.as_u64().ok_or_else(|| {
+            JsonError::decode(format!("`{key}` must be a non-negative integer or null"))
+        }),
+    }
+}
+
 fn task_stats_from_value(value: &Value) -> Result<TaskStats, JsonError> {
     Ok(TaskStats {
         invocations: req_u64(value, "invocations")?,
@@ -396,8 +425,10 @@ fn verdict_from_value(value: &Value) -> Result<Verdict, JsonError> {
                 .map_err(|_| JsonError::decode("`code` is not a catalogued DV code"))?;
             Ok(Verdict::Rejected { code })
         }
+        "superseded" => Ok(Verdict::Superseded),
         other => Err(JsonError::decode(format!(
-            "`verdict` must be \"accepted\", \"unchanged\" or \"rejected\", got {other:?}"
+            "`verdict` must be \"accepted\", \"unchanged\", \"rejected\" or \"superseded\", \
+             got {other:?}"
         ))),
     }
 }
@@ -443,6 +474,11 @@ pub fn record_from_value(value: &Value) -> Result<TraceRecord, JsonError> {
             relaunch_secs: req_f64(value, "relaunch_secs")?,
             jobs: req_u64(value, "jobs")?,
             config: config_from_value(req(value, "config")?)?,
+            // Additive since delta reconfiguration landed: every
+            // pre-delta epoch was a full drain, so absence decodes as
+            // "full"; 0 drained paths means "not measured".
+            scope: opt_str(value, "scope", "full")?,
+            paths_drained: opt_u64(value, "paths_drained", 0)?,
         },
         "FeatureRead" => TraceEvent::FeatureRead {
             feature: req_str(value, "feature")?.to_string(),
@@ -632,11 +668,26 @@ mod tests {
                     code: DiagCode::BudgetExceeded,
                 },
             },
+            TraceEvent::ProposalEvaluated {
+                mechanism: "WQT-H".to_string(),
+                proposal: sample_config(),
+                verdict: Verdict::Superseded,
+            },
             TraceEvent::ReconfigureEpoch {
                 pause_secs: 0.00125,
                 relaunch_secs: 0.0005,
                 jobs: 6,
                 config: sample_config(),
+                scope: "full".to_string(),
+                paths_drained: 5,
+            },
+            TraceEvent::ReconfigureEpoch {
+                pause_secs: 0.0002,
+                relaunch_secs: 0.0001,
+                jobs: 7,
+                config: sample_config(),
+                scope: "partial".to_string(),
+                paths_drained: 1,
             },
             TraceEvent::FeatureRead {
                 feature: "SystemPower".to_string(),
@@ -753,6 +804,47 @@ mod tests {
         // Present-but-mistyped still errors: additive, not lax.
         let line = r#"{"v": 1, "seq": 5, "t": 0.5, "kind": "TaskStatsSample", "path": "0.1", "stats": {"invocations": 1, "mean_exec_secs": 0.02, "throughput": 45.0, "load": 1.0, "utilization": 0.9, "p99_exec_secs": "fast"}}"#;
         assert!(parse_line(line).is_err());
+    }
+
+    #[test]
+    fn old_traces_without_reconfigure_scope_still_parse() {
+        // A pre-delta v1 line: no `scope` / `paths_drained`. They must
+        // decode to "full" / 0 — every old epoch was a full drain.
+        let line = r#"{"v": 1, "seq": 5, "t": 0.5, "kind": "ReconfigureEpoch", "pause_secs": 0.004, "relaunch_secs": 0.001, "jobs": 4, "config": {"tasks": [{"name": "t", "extent": 1}]}}"#;
+        let record = parse_line(line).unwrap();
+        let TraceEvent::ReconfigureEpoch {
+            scope,
+            paths_drained,
+            ..
+        } = record.event
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!(scope, "full");
+        assert_eq!(paths_drained, 0);
+
+        // Explicit null is also accepted.
+        let line = r#"{"v": 1, "seq": 6, "t": 0.5, "kind": "ReconfigureEpoch", "pause_secs": 0.004, "relaunch_secs": 0.001, "jobs": 4, "config": {"tasks": [{"name": "t", "extent": 1}]}, "scope": null, "paths_drained": null}"#;
+        let record = parse_line(line).unwrap();
+        let TraceEvent::ReconfigureEpoch { scope, .. } = record.event else {
+            panic!("wrong kind");
+        };
+        assert_eq!(scope, "full");
+
+        // Present-but-mistyped still errors: additive, not lax.
+        let line = r#"{"v": 1, "seq": 7, "t": 0.5, "kind": "ReconfigureEpoch", "pause_secs": 0.004, "relaunch_secs": 0.001, "jobs": 4, "config": {"tasks": [{"name": "t", "extent": 1}]}, "scope": 3}"#;
+        assert!(parse_line(line).is_err());
+        let line = r#"{"v": 1, "seq": 8, "t": 0.5, "kind": "ReconfigureEpoch", "pause_secs": 0.004, "relaunch_secs": 0.001, "jobs": 4, "config": {"tasks": [{"name": "t", "extent": 1}]}, "paths_drained": "one"}"#;
+        assert!(parse_line(line).is_err());
+    }
+
+    #[test]
+    fn superseded_verdict_round_trips_and_unknowns_reject() {
+        let line = r#"{"v": 1, "seq": 2, "t": 0.5, "kind": "ProposalEvaluated", "mechanism": "WQT-H", "proposal": {"tasks": [{"name": "t", "extent": 1}]}, "verdict": "superseded"}"#;
+        let record = parse_line(line).unwrap();
+        assert_eq!(to_jsonl_line(&record), line);
+        let bad = line.replace("superseded", "retracted");
+        assert!(parse_line(&bad).is_err());
     }
 
     #[test]

@@ -62,6 +62,12 @@ pub enum Verdict {
         /// The diagnostic code explaining the rejection.
         code: DiagCode,
     },
+    /// A previously accepted proposal was discarded before it could be
+    /// applied — a task failure raced the drain and the recovery path
+    /// (restart or degrade) took precedence. Emitted so the audit trail
+    /// never shows an accepted-but-vanished decision. Additive in
+    /// schema v1.
+    Superseded,
 }
 
 /// A structured executive event.
@@ -105,18 +111,28 @@ pub enum TraceEvent {
         /// Accept / unchanged / reject-with-DV-code.
         verdict: Verdict,
     },
-    /// A reconfiguration epoch completed: the old epoch drained
+    /// A reconfiguration epoch completed: the old epoch (or, for a
+    /// partial reconfiguration, only its changed paths) drained
     /// (`pause_secs`) and the new one launched (`relaunch_secs`).
     ReconfigureEpoch {
-        /// Seconds from the suspend decision until the old epoch drained
-        /// to a consistent state.
+        /// Seconds from the suspend decision until the drained set
+        /// reached a consistent state.
         pause_secs: f64,
-        /// Seconds to instantiate and submit the new epoch.
+        /// Seconds to instantiate and submit the new epoch (for partial
+        /// reconfigurations, the relaunched paths).
         relaunch_secs: f64,
-        /// Worker jobs in the new epoch.
+        /// Worker jobs live after the reconfiguration.
         jobs: u64,
         /// The configuration now in force.
         config: Config,
+        /// `"full"` (the paper protocol: every replica drained) or
+        /// `"partial"` (delta reconfiguration: only changed paths
+        /// drained). Additive in schema v1; absent decodes as `"full"`,
+        /// which every pre-delta trace was.
+        scope: String,
+        /// Replica-carrying paths drained at this boundary. Additive in
+        /// schema v1; absent decodes as 0 ("not measured").
+        paths_drained: u64,
     },
     /// A platform feature callback was read (paper Figure 9).
     FeatureRead {

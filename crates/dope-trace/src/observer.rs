@@ -54,6 +54,11 @@ pub struct RecordingObserver {
     goal: String,
     last_time_secs: f64,
     pending_decision: Option<(f64, String, DecisionTrace)>,
+    // The configuration last seen in force (launch or applied), used to
+    // classify each applied config as a full or partial (delta)
+    // reconfiguration with the same `Config::delta_paths` rule the live
+    // executive uses — so sim and live traces stay comparable.
+    last_config: Option<Config>,
 }
 
 impl RecordingObserver {
@@ -65,6 +70,7 @@ impl RecordingObserver {
             goal: String::new(),
             last_time_secs: 0.0,
             pending_decision: None,
+            last_config: None,
         }
     }
 
@@ -146,6 +152,7 @@ impl SimObserver for RecordingObserver {
                 config: config.clone(),
             },
         );
+        self.last_config = Some(config.clone());
     }
 
     fn snapshot_taken(&mut self, snapshot: &MonitorSnapshot) {
@@ -216,6 +223,18 @@ impl SimObserver for RecordingObserver {
 
     fn config_applied(&mut self, time_secs: f64, config: &Config) {
         self.last_time_secs = self.last_time_secs.max(time_secs);
+        // Mirror the live executive's delta-eligibility rule: an
+        // extent-only change confined to top-level leaves is a partial
+        // reconfiguration; everything else (and the first application,
+        // with no prior config to diff) is a full drain.
+        let delta = self
+            .last_config
+            .as_ref()
+            .and_then(|prev| prev.delta_paths(config));
+        let (scope, paths_drained) = match delta {
+            Some(changed) => ("partial".to_string(), changed.len() as u64),
+            None => ("full".to_string(), config.paths().len() as u64),
+        };
         self.recorder.record_at(
             time_secs,
             TraceEvent::ReconfigureEpoch {
@@ -223,8 +242,11 @@ impl SimObserver for RecordingObserver {
                 relaunch_secs: 0.0,
                 jobs: 0,
                 config: config.clone(),
+                scope,
+                paths_drained,
             },
         );
+        self.last_config = Some(config.clone());
     }
 
     fn decision_explained(&mut self, time_secs: f64, mechanism: &str, trace: &DecisionTrace) {
@@ -273,6 +295,41 @@ mod tests {
         } else {
             panic!("first event must be Launched");
         }
+    }
+
+    #[test]
+    fn config_applied_classifies_partial_and_full_scopes() {
+        let recorder = Recorder::bounded(16);
+        let mut obs = RecordingObserver::new(recorder.clone());
+        let shape = ProgramShape::new(vec![]);
+        let initial = Config::new(vec![TaskConfig::leaf("a", 1), TaskConfig::leaf("b", 2)]);
+        obs.launched("WQ-Linear", 8, &shape, &initial);
+
+        // Extent nudge on one top-level leaf: partial, one path drained.
+        let mut widened = initial.clone();
+        widened.set_extent(&"1".parse().unwrap(), 4).unwrap();
+        obs.config_applied(1.0, &widened);
+
+        // Structural change: full, every path drained.
+        let restructured = Config::new(vec![TaskConfig::leaf("a", 1)]);
+        obs.config_applied(2.0, &restructured);
+
+        let epochs: Vec<(String, u64)> = recorder
+            .records()
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::ReconfigureEpoch {
+                    scope,
+                    paths_drained,
+                    ..
+                } => Some((scope.clone(), *paths_drained)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            epochs,
+            vec![("partial".to_string(), 1), ("full".to_string(), 1)]
+        );
     }
 
     #[test]

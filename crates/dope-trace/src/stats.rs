@@ -32,6 +32,8 @@
 //!         relaunch_secs: 0.001,
 //!         jobs: 8,
 //!         config: dope_core::Config::default(),
+//!         scope: "full".to_string(),
+//!         paths_drained: 3,
 //!     },
 //! }];
 //! let summary = summarize(&records);
@@ -75,6 +77,9 @@ pub struct TraceSummary {
     /// (dimensionless; `0.1` means the mechanism's throughput prediction
     /// was 10 % off the realized bottleneck).
     pub prediction_error_abs: LocalHistogram,
+    /// Reconfiguration epochs with `scope == "partial"` (delta
+    /// reconfigurations; zero for traces predating the field).
+    pub partial_reconfigs: u64,
     /// Requests completed, from the final `Finished` event (if any).
     pub completed: Option<u64>,
     /// Applied reconfigurations, from the final `Finished` event.
@@ -110,10 +115,14 @@ pub fn summarize(records: &[TraceRecord]) -> TraceSummary {
             TraceEvent::ReconfigureEpoch {
                 pause_secs,
                 relaunch_secs,
+                scope,
                 ..
             } => {
                 out.pause_secs.record_secs(*pause_secs);
                 out.relaunch_secs.record_secs(*relaunch_secs);
+                if scope == "partial" {
+                    out.partial_reconfigs += 1;
+                }
             }
             TraceEvent::QueueSample { queue } => {
                 out.queue_occupancy.record_secs(queue.occupancy);
@@ -219,9 +228,14 @@ impl TraceSummary {
         }
         if let (Some(completed), Some(reconfigs)) = (self.completed, self.reconfigurations) {
             let dropped = self.dropped_events.unwrap_or(0);
+            let partial = if self.partial_reconfigs > 0 {
+                format!(" ({} partial)", self.partial_reconfigs)
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "\nfinished: {completed} completed, {reconfigs} reconfiguration(s), \
+                "\nfinished: {completed} completed, {reconfigs} reconfiguration(s){partial}, \
                  {dropped} dropped event(s)"
             );
         }
@@ -289,6 +303,19 @@ mod tests {
                     relaunch_secs: 0.001,
                     jobs: 8,
                     config: dope_core::Config::default(),
+                    scope: "full".to_string(),
+                    paths_drained: 3,
+                },
+            ),
+            record(
+                3,
+                TraceEvent::ReconfigureEpoch {
+                    pause_secs: 0.0004,
+                    relaunch_secs: 0.0001,
+                    jobs: 9,
+                    config: dope_core::Config::default(),
+                    scope: "partial".to_string(),
+                    paths_drained: 1,
                 },
             ),
             record(
@@ -312,13 +339,18 @@ mod tests {
             ),
         ];
         let summary = summarize(&records);
-        assert_eq!(summary.pause_secs.count(), 1);
-        assert_eq!(summary.relaunch_secs.count(), 1);
+        assert_eq!(summary.pause_secs.count(), 2);
+        assert_eq!(summary.relaunch_secs.count(), 2);
+        assert_eq!(summary.partial_reconfigs, 1);
         assert_eq!(summary.queue_occupancy.count(), 1);
         let occ = summary.queue_occupancy.quantile_secs(0.5).unwrap();
         assert!((occ - 12.0).abs() / 12.0 < 0.04, "occupancy {occ}");
         assert_eq!(summary.completed, Some(88));
         assert_eq!(summary.reconfigurations, Some(1));
+        // The finish line calls out the partial share; full-only traces
+        // (see render_lists_every_series_and_the_finish_line) omit it.
+        let text = summary.render();
+        assert!(text.contains("1 reconfiguration(s) (1 partial)"), "{text}");
     }
 
     #[test]

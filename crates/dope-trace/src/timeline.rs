@@ -86,6 +86,7 @@ fn describe(event: &TraceEvent) -> String {
                 Verdict::Accepted => "ACCEPTED".to_string(),
                 Verdict::Unchanged => "unchanged".to_string(),
                 Verdict::Rejected { code } => format!("REJECTED {}", code.as_str()),
+                Verdict::Superseded => "SUPERSEDED".to_string(),
             };
             format!("PROPOSE  {mechanism} -> {judged} proposal={proposal}")
         }
@@ -94,8 +95,11 @@ fn describe(event: &TraceEvent) -> String {
             relaunch_secs,
             jobs,
             config,
+            scope,
+            paths_drained,
         } => format!(
-            "EPOCH    pause={:.1}ms relaunch={:.1}ms jobs={jobs} config={config}",
+            "EPOCH    {scope} pause={:.1}ms relaunch={:.1}ms drained={paths_drained} \
+             jobs={jobs} config={config}",
             pause_secs * 1e3,
             relaunch_secs * 1e3
         ),
@@ -175,18 +179,43 @@ mod tests {
             ),
             record(
                 1,
+                TraceEvent::ProposalEvaluated {
+                    mechanism: "WQ-Linear".to_string(),
+                    proposal: config.clone(),
+                    verdict: Verdict::Superseded,
+                },
+            ),
+            record(
+                2,
                 TraceEvent::ReconfigureEpoch {
                     pause_secs: 0.0012,
                     relaunch_secs: 0.0008,
                     jobs: 8,
+                    config: config.clone(),
+                    scope: "full".to_string(),
+                    paths_drained: 3,
+                },
+            ),
+            record(
+                3,
+                TraceEvent::ReconfigureEpoch {
+                    pause_secs: 0.0002,
+                    relaunch_secs: 0.0001,
+                    jobs: 9,
                     config,
+                    scope: "partial".to_string(),
+                    paths_drained: 1,
                 },
             ),
         ]);
         assert!(lines.contains("PROPOSE"), "{lines}");
         assert!(lines.contains("REJECTED DV001"), "{lines}");
+        assert!(lines.contains("SUPERSEDED"), "{lines}");
         assert!(lines.contains("EPOCH"), "{lines}");
-        assert!(lines.contains("pause=1.2ms"), "{lines}");
+        assert!(lines.contains("full pause=1.2ms"), "{lines}");
+        assert!(lines.contains("drained=3"), "{lines}");
+        assert!(lines.contains("partial pause=0.2ms"), "{lines}");
+        assert!(lines.contains("drained=1"), "{lines}");
     }
 
     #[test]

@@ -152,9 +152,10 @@ fn build_event(
         3 => TraceEvent::ProposalEvaluated {
             mechanism: mechanism(idx),
             proposal: config(extents, alt, nested),
-            verdict: match verdict_sel % 3 {
+            verdict: match verdict_sel % 4 {
                 0 => Verdict::Accepted,
                 1 => Verdict::Unchanged,
+                2 => Verdict::Superseded,
                 _ => Verdict::Rejected {
                     code: DiagCode::ALL[code_idx % DiagCode::ALL.len()],
                 },
@@ -165,6 +166,13 @@ fn build_event(
             relaunch_secs: f_big,
             jobs: n_small,
             config: config(extents, alt, nested),
+            scope: if verdict_sel.is_multiple_of(2) {
+                "full"
+            } else {
+                "partial"
+            }
+            .to_string(),
+            paths_drained: n_small % 9,
         },
         5 => TraceEvent::FeatureRead {
             feature: name(idx),
@@ -224,7 +232,7 @@ proptest! {
         f_big in 0.0f64..1.0e6,
         n_small in 0u64..1_000,
         n_big in any::<u64>(),
-        verdict_sel in 0usize..3,
+        verdict_sel in 0usize..4,
         code_idx in 0usize..16,
         threads in 1u32..256,
     ) {

@@ -1,0 +1,174 @@
+//! Control-loop regression tests for bugs the full-epoch drain used to
+//! hide: tick starvation under completion floods, restart backoff
+//! blocking shutdown, and the final decision audit going missing.
+
+use dope_core::{
+    body_fn, Config, DecisionTrace, FailurePolicy, FailureVerdict, Goal, Mechanism,
+    MonitorSnapshot, ProgramShape, Rationale, Resources, TaskBody, TaskCx, TaskKind, TaskSpec,
+    TaskStatus, WorkerSlot,
+};
+use dope_runtime::Dope;
+use dope_trace::{Recorder, TraceEvent};
+use dope_workload::{DequeueOutcome, WorkQueue};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Counts consults; never proposes, always explains.
+struct Auditor {
+    consults: Arc<AtomicU64>,
+}
+
+impl Mechanism for Auditor {
+    fn name(&self) -> &'static str {
+        "Auditor"
+    }
+    fn reconfigure(
+        &mut self,
+        _snap: &MonitorSnapshot,
+        _current: &Config,
+        _shape: &ProgramShape,
+        _res: &Resources,
+    ) -> Option<Config> {
+        self.consults.fetch_add(1, Ordering::SeqCst);
+        None
+    }
+    fn explain(&self) -> Option<DecisionTrace> {
+        Some(DecisionTrace::new(Rationale::Hold, "hold"))
+    }
+}
+
+/// Replica completions arriving faster than the control period must not
+/// starve the mechanism: the tick deadline is absolute, not reset by
+/// every message. Sixteen replicas finish 6 ms apart — every gap is
+/// shorter than the 10 ms control period, so a timer that restarts on
+/// each completion would never fire.
+#[test]
+fn control_ticks_survive_completion_floods() {
+    let consults = Arc::new(AtomicU64::new(0));
+    let spec = TaskSpec::leaf("stagger", TaskKind::Par, move |slot: WorkerSlot| {
+        let delay = Duration::from_millis(6 * (u64::from(slot.worker) + 1));
+        Box::new(body_fn(move |cx: &mut dyn TaskCx| {
+            cx.begin();
+            std::thread::sleep(delay);
+            cx.end();
+            TaskStatus::Finished
+        })) as Box<dyn TaskBody>
+    });
+    let dope = Dope::builder(Goal::MaxThroughput { threads: 16 })
+        .mechanism(Box::new(Auditor {
+            consults: Arc::clone(&consults),
+        }))
+        .control_period(Duration::from_millis(10))
+        .launch(vec![spec])
+        .expect("launch");
+    dope.wait().expect("completes");
+    assert!(
+        consults.load(Ordering::SeqCst) >= 2,
+        "a ~96 ms run with a 10 ms control period must consult the \
+         mechanism several times even while completions flood in \
+         (got {})",
+        consults.load(Ordering::SeqCst)
+    );
+}
+
+/// A stop request must interrupt the restart policy's backoff sleep —
+/// shutdown cannot block behind a multi-second backoff.
+#[test]
+fn restart_backoff_yields_to_stop() {
+    let started = Instant::now();
+    let spec = TaskSpec::leaf("bomb", TaskKind::Par, move |_slot: WorkerSlot| {
+        Box::new(body_fn(move |_cx: &mut dyn TaskCx| -> TaskStatus {
+            panic!("always detonates");
+        })) as Box<dyn TaskBody>
+    });
+    let dope = Dope::builder(Goal::MaxThroughput { threads: 1 })
+        .control_period(Duration::from_millis(5))
+        .failure_policy(FailurePolicy::Restart {
+            max_retries: 1_000,
+            backoff: Duration::from_secs(5),
+        })
+        .launch(vec![spec])
+        .expect("launch");
+    std::thread::sleep(Duration::from_millis(200));
+    dope.stop();
+    let report = dope.wait().expect("stop lands cleanly mid-backoff");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(2_500),
+        "stop must interrupt the 5 s backoff, took {elapsed:?}"
+    );
+    assert!(report.task_failures >= 1);
+    assert!(report.failure_verdict >= FailureVerdict::Recovered);
+}
+
+/// Every consult the audit holds must reach the trace: the decision
+/// pending when the run ends is flushed — scored against a final
+/// snapshot — instead of being dropped.
+#[test]
+fn every_consult_reaches_the_decision_trace() {
+    let consults = Arc::new(AtomicU64::new(0));
+    let queue = WorkQueue::new();
+    for i in 0..120u64 {
+        queue.enqueue(i).unwrap();
+    }
+    queue.close();
+    let spec = {
+        let queue = queue.clone();
+        TaskSpec::leaf("drain", TaskKind::Par, move |_slot: WorkerSlot| {
+            let queue = queue.clone();
+            Box::new(body_fn(move |cx: &mut dyn TaskCx| {
+                cx.begin();
+                let outcome = queue.dequeue_timeout(Duration::from_millis(2));
+                cx.end();
+                match outcome {
+                    DequeueOutcome::Item(_) => {
+                        std::thread::sleep(Duration::from_millis(1));
+                        TaskStatus::Executing
+                    }
+                    DequeueOutcome::Drained => TaskStatus::Finished,
+                    DequeueOutcome::TimedOut => {
+                        if cx.directive().wants_suspend() {
+                            TaskStatus::Suspended
+                        } else {
+                            TaskStatus::Executing
+                        }
+                    }
+                }
+            })) as Box<dyn TaskBody>
+        })
+    };
+    let recorder = Recorder::bounded(8192);
+    let dope = Dope::builder(Goal::MaxThroughput { threads: 2 })
+        .mechanism(Box::new(Auditor {
+            consults: Arc::clone(&consults),
+        }))
+        .control_period(Duration::from_millis(10))
+        .recorder(recorder.clone())
+        .launch(vec![spec])
+        .expect("launch");
+    dope.wait().expect("completes");
+
+    let decisions: Vec<Option<f64>> = recorder
+        .records()
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::DecisionTraced {
+                realized_throughput,
+                ..
+            } => Some(*realized_throughput),
+            _ => None,
+        })
+        .collect();
+    let consulted = consults.load(Ordering::SeqCst);
+    assert!(consulted >= 2, "run too short to exercise the flush");
+    assert_eq!(
+        decisions.len() as u64,
+        consulted,
+        "every consult must produce exactly one DecisionTraced event"
+    );
+    assert!(
+        decisions.last().is_some_and(Option::is_some),
+        "the final flushed decision is scored against a last snapshot"
+    );
+}

@@ -443,8 +443,9 @@ fn degrade_with_no_survivors_aborts() {
 /// A panic racing a reconfiguration drain: the proposal is accepted and
 /// the suspend directive goes out, but a replica detonates instead of
 /// suspending. The failure policy must win the race — handled first,
-/// with the stale reconfiguration target discarded — and the run still
-/// completes with nothing lost.
+/// with the stale reconfiguration target retired as `superseded` in the
+/// trace rather than silently discarded — and the run still completes
+/// with nothing lost.
 #[test]
 fn panic_during_reconfiguration_drain_is_handled_first() {
     struct Widen {
@@ -536,6 +537,128 @@ fn panic_during_reconfiguration_drain_is_handled_first() {
         assert_eq!(report.failure_verdict, FailureVerdict::Clean);
     }
     assert_eq!(report.lost_jobs, 0);
+}
+
+/// The partial-drain interleaving: a single-leaf extent change is
+/// accepted and takes the delta path, but the replica it steers to a
+/// consistent point detonates the moment it observes the per-path
+/// suspend directive. The failure must escalate to a full drain, the
+/// accepted-but-unapplied target must be retired as `superseded` in the
+/// trace (not dropped silently), and the degrade policy then shrinks
+/// the failed path — all without losing a single item.
+#[test]
+fn failure_during_partial_drain_supersedes_the_target() {
+    struct Narrow {
+        fired: bool,
+        target: Config,
+    }
+    impl Mechanism for Narrow {
+        fn name(&self) -> &'static str {
+            "Narrow"
+        }
+        fn reconfigure(
+            &mut self,
+            _snap: &MonitorSnapshot,
+            _current: &Config,
+            _shape: &ProgramShape,
+            _res: &Resources,
+        ) -> Option<Config> {
+            if self.fired {
+                None
+            } else {
+                self.fired = true;
+                Some(self.target.clone())
+            }
+        }
+    }
+
+    let queue = WorkQueue::new();
+    for i in 0..400u64 {
+        queue.enqueue(i).unwrap();
+    }
+    queue.close();
+    let hits = Arc::new(AtomicU64::new(0));
+    let exploded = Arc::new(AtomicU64::new(0));
+    let spec = {
+        let queue = queue.clone();
+        let hits = Arc::clone(&hits);
+        let exploded = Arc::clone(&exploded);
+        TaskSpec::leaf("drain", TaskKind::Par, move |slot: WorkerSlot| {
+            let queue = queue.clone();
+            let hits = Arc::clone(&hits);
+            let exploded = Arc::clone(&exploded);
+            Box::new(body_fn(move |cx: &mut dyn TaskCx| {
+                let directive = cx.begin();
+                // Detonate exactly at the partial drain's suspension
+                // point (once per run): the per-path flag is the only
+                // suspend source until the failure escalates it.
+                if directive.wants_suspend()
+                    && slot.worker == 0
+                    && exploded
+                        .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    cx.end();
+                    panic!("panicked during the partial drain");
+                }
+                let outcome = queue.dequeue_timeout(Duration::from_millis(2));
+                cx.end();
+                match outcome {
+                    DequeueOutcome::Item(_) => {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_micros(200));
+                        TaskStatus::Executing
+                    }
+                    DequeueOutcome::Drained => TaskStatus::Finished,
+                    DequeueOutcome::TimedOut => {
+                        if directive.wants_suspend() {
+                            TaskStatus::Suspended
+                        } else {
+                            TaskStatus::Executing
+                        }
+                    }
+                }
+            })) as Box<dyn TaskBody>
+        })
+    };
+    let recorder = Recorder::bounded(8192);
+    let dope = Dope::builder(Goal::MaxThroughput { threads: 4 })
+        .mechanism(Box::new(Narrow {
+            fired: false,
+            target: Config::new(vec![TaskConfig::leaf("drain", 2)]),
+        }))
+        .control_period(Duration::from_millis(5))
+        .failure_policy(FailurePolicy::Degrade)
+        .recorder(recorder.clone())
+        .launch(vec![spec])
+        .expect("launch");
+    let report = dope.wait().expect("degrade absorbs the race");
+
+    assert_eq!(hits.load(Ordering::Relaxed), 400, "no items lost");
+    assert_eq!(exploded.load(Ordering::SeqCst), 1, "the bomb armed");
+    assert_eq!(report.task_failures, 1);
+    assert_eq!(report.failure_verdict, FailureVerdict::Degraded);
+    assert_eq!(report.lost_jobs, 0);
+    // Degrade shrank the live (pre-target) extent 4 by the one dead
+    // replica; the superseded target was never applied.
+    assert_eq!(report.final_config.total_threads(), 3);
+
+    let verdicts: Vec<String> = recorder
+        .records()
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::ProposalEvaluated { verdict, .. } => Some(format!("{verdict:?}")),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        verdicts.iter().any(|v| v.contains("Accepted")),
+        "the proposal was accepted first: {verdicts:?}"
+    );
+    assert!(
+        verdicts.iter().any(|v| v.contains("Superseded")),
+        "the discarded target must be traced as superseded: {verdicts:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,270 @@
+//! End-to-end partial (delta) reconfiguration: an extents-only change
+//! on a top-level leaf drains *only* that path — replicas of untouched
+//! paths run straight through the epoch boundary — while structural or
+//! disabled-delta transitions still take the classic full drain.
+
+use dope_core::{
+    body_fn, Config, Goal, Mechanism, MonitorSnapshot, ProgramShape, Resources, TaskBody,
+    TaskConfig, TaskCx, TaskKind, TaskSpec, TaskStatus, WorkerSlot,
+};
+use dope_metrics::MetricsRegistry;
+use dope_runtime::Dope;
+use dope_trace::{Recorder, TraceEvent};
+use dope_workload::{DequeueOutcome, WorkQueue};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Pins a starting configuration, proposes one target at the first
+/// consult, then holds.
+struct OneBump {
+    fired: bool,
+    start: Config,
+    target: Config,
+}
+
+impl Mechanism for OneBump {
+    fn name(&self) -> &'static str {
+        "OneBump"
+    }
+    fn initial(&mut self, _shape: &ProgramShape, _res: &Resources) -> Option<Config> {
+        Some(self.start.clone())
+    }
+    fn reconfigure(
+        &mut self,
+        _snap: &MonitorSnapshot,
+        _current: &Config,
+        _shape: &ProgramShape,
+        _res: &Resources,
+    ) -> Option<Config> {
+        if self.fired {
+            None
+        } else {
+            self.fired = true;
+            Some(self.target.clone())
+        }
+    }
+}
+
+/// A leaf draining its own queue at a fixed per-item cost, honoring the
+/// suspend directive after every item, counting factory invocations so
+/// the test can tell which paths were relaunched.
+fn counted_drain_spec(
+    name: &'static str,
+    queue: WorkQueue<u64>,
+    work: Duration,
+    factory_calls: Arc<AtomicU64>,
+    hits: Arc<AtomicU64>,
+) -> TaskSpec {
+    TaskSpec::leaf(name, TaskKind::Par, move |_slot: WorkerSlot| {
+        factory_calls.fetch_add(1, Ordering::SeqCst);
+        let queue = queue.clone();
+        let hits = Arc::clone(&hits);
+        Box::new(body_fn(move |cx: &mut dyn TaskCx| {
+            cx.begin();
+            let outcome = queue.dequeue_timeout(Duration::from_millis(2));
+            cx.end();
+            match outcome {
+                DequeueOutcome::Item(_) => {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(work);
+                    if cx.directive().wants_suspend() {
+                        TaskStatus::Suspended
+                    } else {
+                        TaskStatus::Executing
+                    }
+                }
+                DequeueOutcome::Drained => TaskStatus::Finished,
+                DequeueOutcome::TimedOut => {
+                    if cx.directive().wants_suspend() {
+                        TaskStatus::Suspended
+                    } else {
+                        TaskStatus::Executing
+                    }
+                }
+            }
+        })) as Box<dyn TaskBody>
+    })
+}
+
+fn counter_value(render: &str, metric: &str) -> Option<f64> {
+    render
+        .lines()
+        .find(|l| l.starts_with(metric) && !l.starts_with('#'))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+}
+
+fn closed_queue(items: u64) -> WorkQueue<u64> {
+    let queue = WorkQueue::new();
+    for i in 0..items {
+        queue.enqueue(i).unwrap();
+    }
+    queue.close();
+    queue
+}
+
+/// Tentpole acceptance: bumping the fast leaf's extent drains only that
+/// path. The slow leaf's replica is instantiated exactly once — it runs
+/// across the boundary — while the fast leaf is rebuilt at the new
+/// extent; the `ReconfigureEpoch` record says `scope: "partial"` with
+/// one path drained, and the partial counter metric fires.
+#[test]
+fn partial_reconfig_keeps_untouched_paths_running() {
+    let fast_queue = closed_queue(200);
+    let slow_queue = closed_queue(25);
+    let fast_factory = Arc::new(AtomicU64::new(0));
+    let slow_factory = Arc::new(AtomicU64::new(0));
+    let fast_hits = Arc::new(AtomicU64::new(0));
+    let slow_hits = Arc::new(AtomicU64::new(0));
+    let specs = vec![
+        counted_drain_spec(
+            "fast",
+            fast_queue,
+            Duration::from_millis(1),
+            Arc::clone(&fast_factory),
+            Arc::clone(&fast_hits),
+        ),
+        counted_drain_spec(
+            "slow",
+            slow_queue,
+            Duration::from_millis(10),
+            Arc::clone(&slow_factory),
+            Arc::clone(&slow_hits),
+        ),
+    ];
+    let start = Config::new(vec![
+        TaskConfig::leaf("fast", 1),
+        TaskConfig::leaf("slow", 1),
+    ]);
+    let target = Config::new(vec![
+        TaskConfig::leaf("fast", 2),
+        TaskConfig::leaf("slow", 1),
+    ]);
+    let registry = MetricsRegistry::new();
+    let recorder = Recorder::bounded(8192);
+    let dope = Dope::builder(Goal::MaxThroughput { threads: 3 })
+        .mechanism(Box::new(OneBump {
+            fired: false,
+            start,
+            target: target.clone(),
+        }))
+        .control_period(Duration::from_millis(10))
+        .metrics(registry.clone())
+        .recorder(recorder.clone())
+        .launch(specs)
+        .expect("launch");
+    let report = dope.wait().expect("completes");
+
+    assert_eq!(fast_hits.load(Ordering::Relaxed), 200, "fast items drained");
+    assert_eq!(slow_hits.load(Ordering::Relaxed), 25, "slow items drained");
+    assert_eq!(report.reconfigurations, 1);
+    assert_eq!(report.final_config, target);
+    assert_eq!(
+        slow_factory.load(Ordering::SeqCst),
+        1,
+        "the untouched path's replica must run through the boundary, not relaunch"
+    );
+    assert_eq!(
+        fast_factory.load(Ordering::SeqCst),
+        3,
+        "the changed path relaunches at the new extent (1 initial + 2 relaunched)"
+    );
+
+    let epochs: Vec<(String, u64)> = recorder
+        .records()
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::ReconfigureEpoch {
+                scope,
+                paths_drained,
+                ..
+            } => Some((scope.clone(), *paths_drained)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        epochs,
+        vec![("partial".to_string(), 1)],
+        "exactly one boundary, delta-scoped, one path drained"
+    );
+
+    let render = registry.render();
+    assert_eq!(
+        counter_value(&render, "dope_reconfig_partial_total"),
+        Some(1.0),
+        "partial counter fires once:\n{render}"
+    );
+    assert!(
+        render.contains("dope_reconfig_paths_drained"),
+        "paths-drained histogram registered:\n{render}"
+    );
+}
+
+/// The same transition with delta reconfiguration disabled takes the
+/// classic full drain: every path pauses and relaunches, and the trace
+/// says so.
+#[test]
+fn disabling_delta_falls_back_to_the_full_drain() {
+    let fast_queue = closed_queue(120);
+    let slow_queue = closed_queue(15);
+    let fast_factory = Arc::new(AtomicU64::new(0));
+    let slow_factory = Arc::new(AtomicU64::new(0));
+    let fast_hits = Arc::new(AtomicU64::new(0));
+    let slow_hits = Arc::new(AtomicU64::new(0));
+    let specs = vec![
+        counted_drain_spec(
+            "fast",
+            fast_queue,
+            Duration::from_millis(1),
+            Arc::clone(&fast_factory),
+            Arc::clone(&fast_hits),
+        ),
+        counted_drain_spec(
+            "slow",
+            slow_queue,
+            Duration::from_millis(8),
+            Arc::clone(&slow_factory),
+            Arc::clone(&slow_hits),
+        ),
+    ];
+    let start = Config::new(vec![
+        TaskConfig::leaf("fast", 1),
+        TaskConfig::leaf("slow", 1),
+    ]);
+    let target = Config::new(vec![
+        TaskConfig::leaf("fast", 2),
+        TaskConfig::leaf("slow", 1),
+    ]);
+    let recorder = Recorder::bounded(8192);
+    let dope = Dope::builder(Goal::MaxThroughput { threads: 3 })
+        .mechanism(Box::new(OneBump {
+            fired: false,
+            start,
+            target: target.clone(),
+        }))
+        .control_period(Duration::from_millis(10))
+        .delta_reconfig(false)
+        .recorder(recorder.clone())
+        .launch(specs)
+        .expect("launch");
+    let report = dope.wait().expect("completes");
+
+    assert_eq!(fast_hits.load(Ordering::Relaxed), 120);
+    assert_eq!(slow_hits.load(Ordering::Relaxed), 15);
+    assert_eq!(report.reconfigurations, 1);
+    assert_eq!(report.final_config, target);
+    assert!(
+        slow_factory.load(Ordering::SeqCst) >= 2,
+        "a full drain rebuilds the untouched path too"
+    );
+    let scopes: Vec<String> = recorder
+        .records()
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::ReconfigureEpoch { scope, .. } => Some(scope.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(scopes, vec!["full".to_string()]);
+}
