@@ -111,6 +111,22 @@ if [[ "$QUICK" -eq 0 ]]; then
     explain "$TRACE_TMP/decisions.jsonl" > "$TRACE_TMP/audit-rt.txt"
   grep -q "decision audit:" "$TRACE_TMP/audit-rt.txt"
 
+  step "overload smoke: shedding gate storm -> admission stats -> decision audit"
+  # The live overload example (docs/overload.md) storms a Shed-gated
+  # two-stage service, asserting conservation and a non-zero shed count
+  # in-process; the trace it writes must carry AdmissionDecision events
+  # (stats renders the admission section with the gate's totals) and a
+  # non-empty decision audit from the ShedAware-wrapped mechanism.
+  OVERLOAD_TRACE="$TRACE_TMP/overload.jsonl"
+  cargo run -q --release --offline --example overload -- "$OVERLOAD_TRACE" > /dev/null
+  cargo run -q --release --offline -p dope-trace --bin dope-trace -- \
+    stats "$OVERLOAD_TRACE" > "$TRACE_TMP/overload-stats.txt"
+  grep -q "admission:" "$TRACE_TMP/overload-stats.txt"
+  grep -q "totals: 20000 offered" "$TRACE_TMP/overload-stats.txt"
+  cargo run -q --release --offline -p dope-trace --bin dope-trace -- \
+    explain "$OVERLOAD_TRACE" | grep -q "decision audit:"
+  cargo test -q --release --offline --test admission_overload
+
   step "perf smoke: record-path / snapshot / reconfigure / fig11 gates"
   # Reduced-configuration run of the perf gate (docs/performance.md).
   # The binary itself enforces the in-run invariant (sharded record path

@@ -18,6 +18,7 @@
 //! | [`trace`] | flight-recorder captures of representative fig11/fig15 runs |
 //! | [`metrics`] | `--metrics` Prometheus-text registry dumps for fig11/fig15 |
 //! | [`perf`] | perf gate: pinned microbenches emitting `BENCH_perf.json` (beyond the paper) |
+//! | [`overload`] | overload probe: admission policies under 10x offered load (beyond the paper) |
 //!
 //! Run any artifact with `cargo run -p dope-bench --release --bin <id>`;
 //! `cargo bench` runs quick versions of all of them.
@@ -32,6 +33,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod metrics;
+pub mod overload;
 pub mod perf;
 pub mod tables;
 pub mod trace;

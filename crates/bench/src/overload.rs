@@ -1,0 +1,152 @@
+//! The overload probe: admission policies under 10x offered load.
+//!
+//! Four deterministic simulations of the same application
+//! (`docs/overload.md` walks through the equivalent live capture):
+//!
+//! 1. **saturation** — offered load 1.0 under `Open` admission; its
+//!    system throughput is the goodput yardstick;
+//! 2. **open overload** — offered load 10x under `Open`: the unbounded
+//!    queue grows for the whole run and the p99 response time grows
+//!    with it (the disease);
+//! 3. **shed overload** — the same 10x storm through
+//!    `Shed { high_water }`: the gate drops what the system cannot
+//!    serve, so the p99 of *admitted* requests stays bounded while
+//!    goodput holds near saturation (the cure, paid in dropped
+//!    requests);
+//! 4. **block overload** — the same storm through
+//!    `Block { capacity }`: nothing is dropped, the arrival process is
+//!    throttled instead, and the blocking delay shows up in response
+//!    time (the closed-loop alternative).
+//!
+//! [`crate::perf::gate_failures`] enforces the frontier in-run: the
+//! shed p99 must stay at least [`P99_RATIO_FLOOR`]x under the open p99,
+//! shed goodput must reach [`GOODPUT_FLOOR`] of saturation throughput,
+//! and the block run must complete every offered request.
+
+use dope_core::json::Value;
+use dope_core::{AdmissionPolicy, Resources, StaticMechanism};
+use dope_sim::profile::AmdahlProfile;
+use dope_sim::system::{run_system, SystemOutcome, SystemParams, TwoLevelModel};
+use dope_workload::ArrivalSchedule;
+
+/// The shed run's p99 must be at least this many times smaller than the
+/// open run's p99 at the same offered load.
+pub const P99_RATIO_FLOOR: f64 = 4.0;
+
+/// The shed run's system throughput must reach this fraction of the
+/// saturation run's ("goodput >= 90 % of saturation").
+pub const GOODPUT_FLOOR: f64 = 0.9;
+
+/// The overload factor: offered load as a multiple of the saturation
+/// arrival rate.
+pub const OVERLOAD_FACTOR: f64 = 10.0;
+
+fn model() -> TwoLevelModel {
+    TwoLevelModel::pipeline("serve", AmdahlProfile::new(10.0, 0.97, 0.1, 0.05))
+}
+
+fn run_once(admission: AdmissionPolicy, load: f64, requests: usize) -> SystemOutcome {
+    let m = model();
+    let max_thr = m.max_throughput(24, 1);
+    let schedule = ArrivalSchedule::for_load_factor(load, max_thr, requests, 7);
+    let mut mech = StaticMechanism::new(m.config_for_width(24, 1));
+    run_system(
+        &m,
+        &schedule,
+        &mut mech,
+        Resources::threads(24),
+        &SystemParams {
+            admission,
+            ..SystemParams::default()
+        },
+    )
+}
+
+fn p99(outcome: &SystemOutcome) -> f64 {
+    outcome.response.percentile(0.99).unwrap_or(0.0)
+}
+
+/// Runs the four simulations and assembles the report section.
+#[must_use]
+pub fn run(quick: bool) -> Value {
+    // Goodput is measured over the full makespan, drain tail included,
+    // so the storm must be long enough that steady state dominates the
+    // tail — the simulations are analytic and cheap, so even quick mode
+    // affords a long storm.
+    let requests: usize = if quick { 2000 } else { 10_000 };
+    let high_water: u32 = 8;
+    let capacity: u32 = 8;
+
+    let saturation = run_once(AdmissionPolicy::Open, 1.0, requests);
+    let open = run_once(AdmissionPolicy::Open, OVERLOAD_FACTOR, requests);
+    let shed = run_once(
+        AdmissionPolicy::Shed { high_water },
+        OVERLOAD_FACTOR,
+        requests,
+    );
+    let block = run_once(
+        AdmissionPolicy::Block { capacity },
+        OVERLOAD_FACTOR,
+        requests,
+    );
+
+    let fields = vec![
+        ("requests", Value::Number(requests as u64)),
+        ("load_factor", Value::from_f64(OVERLOAD_FACTOR)),
+        ("high_water", Value::Number(u64::from(high_water))),
+        ("capacity", Value::Number(u64::from(capacity))),
+        (
+            "saturation_throughput",
+            Value::from_f64(saturation.system_throughput()),
+        ),
+        ("open_p99_secs", Value::from_f64(p99(&open))),
+        ("shed_p99_secs", Value::from_f64(p99(&shed))),
+        ("block_p99_secs", Value::from_f64(p99(&block))),
+        (
+            "shed_goodput_throughput",
+            Value::from_f64(shed.system_throughput()),
+        ),
+        ("shed_completed", Value::Number(shed.completed)),
+        ("shed_dropped", Value::Number(shed.admission.shed())),
+        (
+            "shed_fraction",
+            Value::from_f64(shed.admission.shed_fraction()),
+        ),
+        ("block_completed", Value::Number(block.completed)),
+        (
+            "block_lost",
+            Value::Number(block.admission.offered.saturating_sub(block.completed)),
+        ),
+    ];
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_probe_satisfies_its_own_gates() {
+        let section = run(true);
+        let get = |key: &str| section.get(key).and_then(Value::as_f64).unwrap();
+        let open_p99 = get("open_p99_secs");
+        let shed_p99 = get("shed_p99_secs");
+        assert!(
+            open_p99 / shed_p99 >= P99_RATIO_FLOOR,
+            "open {open_p99} vs shed {shed_p99}"
+        );
+        let saturation = get("saturation_throughput");
+        let goodput = get("shed_goodput_throughput");
+        assert!(
+            goodput >= GOODPUT_FLOOR * saturation,
+            "goodput {goodput} vs saturation {saturation}"
+        );
+        assert_eq!(get("block_lost"), 0.0, "block must lose nothing");
+        assert!(get("shed_dropped") > 0.0, "10x load must shed");
+    }
+}

@@ -18,7 +18,12 @@
 //!    wide program with slow sibling tasks; the gate demands the delta
 //!    path pause at least 4x less than the full drain;
 //! 5. **fig11** — wall time of an end-to-end figure-11 sweep, the
-//!    macro-level canary.
+//!    macro-level canary;
+//! 6. **overload** — admission policies under 10x offered load
+//!    ([`crate::overload`]): with `Shed`, the p99 of admitted requests
+//!    must stay bounded (at least 4x under the open queue's p99) while
+//!    goodput holds at >= 90 % of saturation throughput, and `Block`
+//!    must complete every offered request.
 //!
 //! The report is strict-codec JSON (`dope_core::json`), diffable with
 //! [`compare`] against a checked-in baseline
@@ -82,6 +87,9 @@ pub fn run(quick: bool) -> Value {
     println!("perf: partial reconfig pause (delta vs full drain)");
     let partial_reconfig = bench_partial_reconfig(quick);
 
+    println!("perf: overload (admission policies at 10x offered load)");
+    let overload = crate::overload::run(quick);
+
     let fig11_loads = if quick {
         vec![0.8]
     } else {
@@ -134,6 +142,7 @@ pub fn run(quick: bool) -> Value {
         ),
         ("reconfigure", reconfigure),
         ("partial_reconfig_pause", partial_reconfig),
+        ("overload", overload),
         (
             "fig11",
             obj(vec![
@@ -417,6 +426,60 @@ pub fn gate_failures(report: &Value) -> Vec<String> {
             ),
         }
     }
+    if report.get("overload").is_some() {
+        match (
+            metric(report, "overload", "open_p99_secs"),
+            metric(report, "overload", "shed_p99_secs"),
+        ) {
+            (Some(open), Some(shed)) if shed > 0.0 => {
+                let ratio = open / shed;
+                if ratio < crate::overload::P99_RATIO_FLOOR {
+                    failures.push(format!(
+                        "overload: shed p99 {shed:.2} s is only {ratio:.1}x under the \
+                         open queue's {open:.2} s (the gate must bound admitted-request \
+                         latency at least {:.0}x below open admission)",
+                        crate::overload::P99_RATIO_FLOOR
+                    ));
+                }
+            }
+            _ => failures.push(
+                "report is missing or zeroed overload.open_p99_secs / overload.shed_p99_secs"
+                    .to_string(),
+            ),
+        }
+        match (
+            metric(report, "overload", "saturation_throughput"),
+            metric(report, "overload", "shed_goodput_throughput"),
+        ) {
+            (Some(saturation), Some(goodput)) if saturation > 0.0 => {
+                let fraction = goodput / saturation;
+                if fraction < crate::overload::GOODPUT_FLOOR {
+                    failures.push(format!(
+                        "overload: shed goodput {goodput:.2}/s is only {:.0} % of the \
+                         saturation throughput {saturation:.2}/s (must hold >= {:.0} %)",
+                        fraction * 100.0,
+                        crate::overload::GOODPUT_FLOOR * 100.0
+                    ));
+                }
+            }
+            _ => failures.push(
+                "report is missing or zeroed overload.saturation_throughput / \
+                 overload.shed_goodput_throughput"
+                    .to_string(),
+            ),
+        }
+        match metric(report, "overload", "block_lost") {
+            Some(lost) => {
+                if lost != 0.0 {
+                    failures.push(format!(
+                        "overload: Block admission lost {lost:.0} request(s) — closed-loop \
+                         backpressure must complete every offer"
+                    ));
+                }
+            }
+            None => failures.push("report is missing overload.block_lost".to_string()),
+        }
+    }
     failures
 }
 
@@ -428,6 +491,7 @@ pub const COMPARED_METRICS: &[(&str, &str)] = &[
     ("snapshot", "snapshot_micros"),
     ("reconfigure", "mean_pause_ms"),
     ("partial_reconfig_pause", "full_pause_ms"),
+    ("overload", "shed_p99_secs"),
     ("fig11", "wall_secs"),
 ];
 
@@ -442,6 +506,10 @@ const SECTION_CONFIG: &[(&str, &[&str])] = &[
     (
         "partial_reconfig_pause",
         &["paths", "fine_items", "coarse_items"],
+    ),
+    (
+        "overload",
+        &["requests", "load_factor", "high_water", "capacity"],
     ),
     ("fig11", &["loads", "requests", "apps"]),
 ];
@@ -508,6 +576,11 @@ pub fn summary(report: &Value) -> String {
         ("partial_reconfig_pause", "partial_pause_ms"),
         ("partial_reconfig_pause", "full_pause_ms"),
         ("partial_reconfig_pause", "pause_ratio"),
+        ("overload", "saturation_throughput"),
+        ("overload", "open_p99_secs"),
+        ("overload", "shed_p99_secs"),
+        ("overload", "shed_goodput_throughput"),
+        ("overload", "shed_fraction"),
         ("fig11", "wall_secs"),
     ] {
         if let Some(v) = metric(report, section, key) {
@@ -603,6 +676,42 @@ mod tests {
         assert_eq!(empty.len(), 1, "{empty:?}");
         // Reports without the section (pre-probe baselines) are not judged.
         assert!(gate_failures(&tiny_report(12.0, 150.0, 80.0)).is_empty());
+    }
+
+    #[test]
+    fn gate_enforces_the_overload_frontier() {
+        let with_overload = |shed_p99: f64, goodput: f64, lost: f64| {
+            obj(vec![
+                ("schema", Value::String(SCHEMA.to_string())),
+                (
+                    "record_path",
+                    obj(vec![
+                        ("sharded_single_ns", Value::from_f64(12.0)),
+                        ("sharded_contended_ns", Value::from_f64(14.0)),
+                        ("mutex_single_ns", Value::from_f64(150.0)),
+                        ("mutex_contended_ns", Value::from_f64(600.0)),
+                    ]),
+                ),
+                (
+                    "overload",
+                    obj(vec![
+                        ("open_p99_secs", Value::from_f64(40.0)),
+                        ("shed_p99_secs", Value::from_f64(shed_p99)),
+                        ("saturation_throughput", Value::from_f64(10.0)),
+                        ("shed_goodput_throughput", Value::from_f64(goodput)),
+                        ("block_lost", Value::from_f64(lost)),
+                    ]),
+                ),
+            ])
+        };
+        // Bounded p99, healthy goodput, lossless block: pass.
+        assert!(gate_failures(&with_overload(2.0, 9.5, 0.0)).is_empty());
+        // p99 only 2x under open: the latency bound fails.
+        assert_eq!(gate_failures(&with_overload(20.0, 9.5, 0.0)).len(), 1);
+        // Goodput collapsed to 50 % of saturation: the goodput floor fails.
+        assert_eq!(gate_failures(&with_overload(2.0, 5.0, 0.0)).len(), 1);
+        // Block lost requests: closed-loop backpressure is broken.
+        assert_eq!(gate_failures(&with_overload(2.0, 9.5, 3.0)).len(), 1);
     }
 
     #[test]

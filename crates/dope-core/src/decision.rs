@@ -62,13 +62,17 @@ pub enum Rationale {
     SettleWait,
     /// A static mechanism restoring its pinned configuration.
     Pinned,
+    /// The admission gate is shedding offers; steering capacity toward
+    /// goodput for the admitted requests rather than chasing an
+    /// unserviceable backlog.
+    AdmissionShedding,
     /// No clause fired; holding the current configuration.
     Hold,
 }
 
 impl Rationale {
     /// Every rationale code, for docs/tests cross-checks.
-    pub const ALL: [Rationale; 18] = [
+    pub const ALL: [Rationale; 19] = [
         Rationale::OccupancyLinear,
         Rationale::HysteresisPending,
         Rationale::ThresholdCrossed,
@@ -86,6 +90,7 @@ impl Rationale {
         Rationale::PowerSignalStale,
         Rationale::SettleWait,
         Rationale::Pinned,
+        Rationale::AdmissionShedding,
         Rationale::Hold,
     ];
 
@@ -110,6 +115,7 @@ impl Rationale {
             Rationale::PowerSignalStale => "PowerSignalStale",
             Rationale::SettleWait => "SettleWait",
             Rationale::Pinned => "Pinned",
+            Rationale::AdmissionShedding => "AdmissionShedding",
             Rationale::Hold => "Hold",
         }
     }

@@ -24,6 +24,7 @@
 //! | DV014 | API misuse                                                  |
 //! | DV015 | duplicate task name among siblings (warning)                |
 //! | DV016 | task body failed (panicked) at run time                     |
+//! | DV017 | admission policy misconfigured                              |
 
 use std::fmt;
 use std::str::FromStr;
@@ -82,11 +83,15 @@ pub enum DiagCode {
     /// emitted by the runtime's supervision layer, never by the static
     /// analyzer — no configuration can predict a panic.
     TaskFailed,
+    /// DV017: an admission policy carries degenerate parameters (zero
+    /// capacity / high watermark, or a non-positive deadline budget):
+    /// the gate would admit nothing.
+    AdmissionPolicy,
 }
 
 impl DiagCode {
     /// All catalogued codes, in numeric order.
-    pub const ALL: [DiagCode; 16] = [
+    pub const ALL: [DiagCode; 17] = [
         DiagCode::BudgetExceeded,
         DiagCode::UnderSubscription,
         DiagCode::SequentialExtent,
@@ -103,6 +108,7 @@ impl DiagCode {
         DiagCode::Usage,
         DiagCode::DuplicateTaskName,
         DiagCode::TaskFailed,
+        DiagCode::AdmissionPolicy,
     ];
 
     /// The stable textual form, e.g. `"DV001"`.
@@ -125,6 +131,7 @@ impl DiagCode {
             DiagCode::Usage => "DV014",
             DiagCode::DuplicateTaskName => "DV015",
             DiagCode::TaskFailed => "DV016",
+            DiagCode::AdmissionPolicy => "DV017",
         }
     }
 

@@ -77,6 +77,12 @@ pub enum Error {
         /// The panic payload (or a description of how the task was lost).
         reason: String,
     },
+    /// An admission policy carries degenerate parameters (zero capacity
+    /// or high watermark, non-positive deadline budget).
+    AdmissionPolicy {
+        /// Human-readable description of the misconfiguration.
+        detail: String,
+    },
 }
 
 impl Error {
@@ -111,6 +117,7 @@ impl Error {
             Error::UnknownPath { .. } => DiagCode::UnknownPath,
             Error::Usage(_) => DiagCode::Usage,
             Error::TaskFailed { .. } => DiagCode::TaskFailed,
+            Error::AdmissionPolicy { .. } => DiagCode::AdmissionPolicy,
         }
     }
 }
@@ -147,6 +154,9 @@ impl std::fmt::Display for Error {
             Error::Usage(detail) => write!(f, "usage error: {detail}"),
             Error::TaskFailed { path, reason } => {
                 write!(f, "task at {path} failed: {reason}")
+            }
+            Error::AdmissionPolicy { detail } => {
+                write!(f, "admission policy misconfigured: {detail}")
             }
         }
     }
@@ -188,6 +198,9 @@ mod tests {
             Error::TaskFailed {
                 path: TaskPath::root_child(0),
                 reason: "worker panicked: boom".into(),
+            },
+            Error::AdmissionPolicy {
+                detail: "Shed admission with high_water 0 would shed everything".into(),
             },
         ];
         for e in errors {
@@ -256,6 +269,12 @@ mod tests {
                     reason: "worker panicked: boom".into(),
                 },
                 "DV016",
+            ),
+            (
+                Error::AdmissionPolicy {
+                    detail: "zero capacity".into(),
+                },
+                "DV017",
             ),
         ];
         for (err, expected) in cases {

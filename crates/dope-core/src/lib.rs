@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
 pub mod config;
 pub mod decision;
 pub mod diag;
@@ -63,6 +64,7 @@ pub mod spec;
 pub mod status;
 pub mod task;
 
+pub use admission::{AdmissionPolicy, AdmissionStats};
 pub use config::{Config, ConfigDiff, NestConfig, TaskConfig};
 pub use decision::{realized_throughput, DecisionCandidate, DecisionTrace, Rationale};
 pub use diag::{DiagCode, Diagnostic, Severity};
@@ -81,9 +83,9 @@ pub use task::{body_fn, FnBody, TaskBody, TaskCx};
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::{
-        body_fn, Config, DecisionTrace, Directive, FailurePolicy, FailureVerdict, Goal, Mechanism,
-        MonitorSnapshot, ParKind, ProgramShape, Rationale, Resources, ShapeNode, TaskBody,
-        TaskConfig, TaskCx, TaskKind, TaskOutcome, TaskPath, TaskSpec, TaskStats, TaskStatus, Work,
-        WorkerSlot,
+        body_fn, AdmissionPolicy, AdmissionStats, Config, DecisionTrace, Directive, FailurePolicy,
+        FailureVerdict, Goal, Mechanism, MonitorSnapshot, ParKind, ProgramShape, Rationale,
+        Resources, ShapeNode, TaskBody, TaskConfig, TaskCx, TaskKind, TaskOutcome, TaskPath,
+        TaskSpec, TaskStats, TaskStatus, Work, WorkerSlot,
     };
 }

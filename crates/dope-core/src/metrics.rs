@@ -7,6 +7,7 @@
 //! opportunity. The same type is produced by the live monitor in
 //! `dope-runtime` and the simulated monitor in `dope-sim`.
 
+use crate::admission::AdmissionStats;
 use crate::path::TaskPath;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -90,6 +91,10 @@ pub struct MonitorSnapshot {
     /// Work items dispatched since the last reconfiguration (drives the
     /// paper's hysteresis counts `N_on`/`N_off`).
     pub dispatches_since_reconfig: u64,
+    /// Admission-gate counters. All-zero (the default) when no gate is
+    /// installed — the additive-schema value pre-admission producers
+    /// imply by omission.
+    pub admission: AdmissionStats,
 }
 
 impl MonitorSnapshot {

@@ -44,17 +44,22 @@ pub enum DlCode {
     /// DL006: the JSONL schema lost a field or variant relative to the
     /// committed baseline (the additive-field contract).
     AdditiveField,
+    /// DL007: a relative Markdown link in `README.md` or `docs/*.md`
+    /// resolves to no file, or its `#fragment` matches no heading in
+    /// the target document.
+    DocsLink,
 }
 
 impl DlCode {
     /// All catalogued codes, in numeric order.
-    pub const ALL: [DlCode; 6] = [
+    pub const ALL: [DlCode; 7] = [
         DlCode::EventKindExhaustiveness,
         DlCode::MetricNameDrift,
         DlCode::DvCodeDrift,
         DlCode::LockOrder,
         DlCode::ForbiddenApi,
         DlCode::AdditiveField,
+        DlCode::DocsLink,
     ];
 
     /// The stable textual form, e.g. `"DL001"`.
@@ -67,6 +72,7 @@ impl DlCode {
             DlCode::LockOrder => "DL004",
             DlCode::ForbiddenApi => "DL005",
             DlCode::AdditiveField => "DL006",
+            DlCode::DocsLink => "DL007",
         }
     }
 
@@ -80,6 +86,7 @@ impl DlCode {
             DlCode::LockOrder => "lock-order discipline against the declared manifest",
             DlCode::ForbiddenApi => "forbidden APIs in hot paths",
             DlCode::AdditiveField => "additive-field contract against the schema baseline",
+            DlCode::DocsLink => "relative-link integrity across the documentation book",
         }
     }
 }

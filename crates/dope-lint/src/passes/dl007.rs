@@ -1,0 +1,288 @@
+//! DL007 — docs-link integrity.
+//!
+//! The documentation book (`docs/README.md` and the chapters it indexes)
+//! cross-references files by relative Markdown links. A link that stops
+//! resolving — because a chapter was renamed, a heading reworded, or a
+//! source file moved — rots silently until a reader hits the 404. This
+//! pass resolves every relative link in `README.md` and `docs/*.md`
+//! against the workspace tree: the path must name a real file or
+//! directory, and a `#fragment` must match a heading slug in the target
+//! Markdown file. External links (`http://`, `https://`, `mailto:`) are
+//! out of static reach and skipped, as are links inside fenced code
+//! blocks and inline code spans.
+
+use std::fs;
+
+use crate::findings::DlCode;
+
+use super::Ctx;
+
+/// The book index: the anchor that tells the pass a documentation book
+/// exists to check. Fixture corpora without it skip the pass.
+const BOOK_INDEX: &str = "docs/README.md";
+
+pub(crate) fn run(ctx: &mut Ctx<'_>) {
+    if !matches!(ctx.ws().raw(BOOK_INDEX), Ok(Some(_))) {
+        ctx.missing(BOOK_INDEX);
+        return;
+    }
+
+    let mut pages: Vec<String> = Vec::new();
+    if matches!(ctx.ws().raw("README.md"), Ok(Some(_))) {
+        pages.push("README.md".to_string());
+    }
+    let docs_dir = ctx.ws().root().join("docs");
+    let mut chapters: Vec<String> = match fs::read_dir(&docs_dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "md"))
+            .filter_map(|p| {
+                p.file_name()
+                    .map(|n| format!("docs/{}", n.to_string_lossy()))
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    chapters.sort();
+    pages.extend(chapters);
+
+    for page in pages {
+        let Ok(Some(text)) = ctx.ws().raw(&page) else {
+            continue;
+        };
+        check_page(ctx, &page, &text);
+    }
+}
+
+fn check_page(ctx: &mut Ctx<'_>, page: &str, text: &str) {
+    let base_dir = page.rsplit_once('/').map_or("", |(dir, _)| dir);
+    for (target, line) in links(text) {
+        if target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with("mailto:")
+        {
+            continue;
+        }
+        let (path_part, fragment) = match target.split_once('#') {
+            Some((p, f)) => (p, Some(f)),
+            None => (target.as_str(), None),
+        };
+
+        // Same-page fragment: check against this page's own headings.
+        if path_part.is_empty() {
+            if let Some(frag) = fragment {
+                if !has_anchor(text, frag) {
+                    ctx.emit(
+                        DlCode::DocsLink,
+                        page,
+                        line,
+                        format!("link `{target}` names no heading in this file"),
+                    );
+                }
+            }
+            continue;
+        }
+
+        let Some(resolved) = resolve(base_dir, path_part) else {
+            ctx.emit(
+                DlCode::DocsLink,
+                page,
+                line,
+                format!("link `{target}` escapes the workspace root"),
+            );
+            continue;
+        };
+        let on_disk = ctx.ws().root().join(&resolved);
+        if !on_disk.exists() {
+            ctx.emit(
+                DlCode::DocsLink,
+                page,
+                line,
+                format!("link `{target}` does not resolve: no `{resolved}` in the workspace"),
+            );
+            continue;
+        }
+        if let Some(frag) = fragment {
+            if resolved.ends_with(".md") {
+                if let Ok(body) = fs::read_to_string(&on_disk) {
+                    if !has_anchor(&body, frag) {
+                        ctx.emit(
+                            DlCode::DocsLink,
+                            page,
+                            line,
+                            format!("link `{target}` names no heading `#{frag}` in `{resolved}`"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Extracts `(target, line)` for every inline Markdown link outside
+/// fenced code blocks and inline code spans.
+fn links(text: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        // Blank out inline code spans so `[idx](...)`-shaped code is not
+        // mistaken for a link.
+        let visible: String = line
+            .split('`')
+            .enumerate()
+            .map(|(k, seg)| {
+                if k % 2 == 0 {
+                    seg.to_string()
+                } else {
+                    " ".repeat(seg.len())
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        let line_no = u32::try_from(i + 1).unwrap_or(u32::MAX);
+        let mut rest = visible.as_str();
+        while let Some(open) = rest.find("](") {
+            let after = &rest[open + 2..];
+            match after.find(')') {
+                Some(close) => {
+                    let target = after[..close].trim();
+                    // Strip an optional `"title"` suffix.
+                    let target = target
+                        .split_once(' ')
+                        .map_or(target, |(t, _)| t)
+                        .to_string();
+                    if !target.is_empty() {
+                        out.push((target, line_no));
+                    }
+                    rest = &after[close + 1..];
+                }
+                None => break,
+            }
+        }
+    }
+    out
+}
+
+/// Normalizes `target` against `base_dir` (both `/`-separated,
+/// workspace-relative). `None` when `..` escapes the root.
+fn resolve(base_dir: &str, target: &str) -> Option<String> {
+    let mut parts: Vec<&str> = if target.starts_with('/') {
+        Vec::new()
+    } else {
+        base_dir.split('/').filter(|s| !s.is_empty()).collect()
+    };
+    for comp in target.trim_start_matches('/').split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                parts.pop()?;
+            }
+            c => parts.push(c),
+        }
+    }
+    Some(parts.join("/"))
+}
+
+/// True when `fragment` matches a heading slug in `markdown`
+/// (GitHub-style: lowercase, punctuation dropped, spaces to hyphens;
+/// `-N` duplicate suffixes accepted).
+fn has_anchor(markdown: &str, fragment: &str) -> bool {
+    let want = fragment.to_ascii_lowercase();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || !line.starts_with('#') {
+            continue;
+        }
+        let heading = line.trim_start_matches('#').trim();
+        let s = slug(heading);
+        if s == want {
+            return true;
+        }
+        // GitHub dedupes repeated headings as `slug-1`, `slug-2`, ...
+        if let Some(suffix) = want.strip_prefix(&s) {
+            if suffix.starts_with('-') && suffix[1..].chars().all(|c| c.is_ascii_digit()) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn slug(heading: &str) -> String {
+    heading
+        .chars()
+        .filter_map(|c| {
+            let c = c.to_ascii_lowercase();
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                Some(c)
+            } else if c == ' ' {
+                Some('-')
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn links_skip_fences_and_code_spans() {
+        let text = "see [a](x.md) here\n```\n[b](y.md)\n```\nand `[c](z.md)` too\n";
+        let found = links(text);
+        assert_eq!(found, vec![("x.md".to_string(), 1)]);
+    }
+
+    #[test]
+    fn resolve_normalizes_dots_and_rejects_escapes() {
+        assert_eq!(
+            resolve("docs", "overload.md").as_deref(),
+            Some("docs/overload.md")
+        );
+        assert_eq!(
+            resolve("docs", "../README.md").as_deref(),
+            Some("README.md")
+        );
+        assert_eq!(
+            resolve("", "./docs/overload.md").as_deref(),
+            Some("docs/overload.md")
+        );
+        assert_eq!(resolve("docs", "../../etc/passwd"), None);
+    }
+
+    #[test]
+    fn anchors_match_github_slugs() {
+        let md = "# Big Title\n\n## The `Shed` policy: drop, don't wait\n";
+        assert!(has_anchor(md, "big-title"));
+        assert!(has_anchor(md, "the-shed-policy-drop-dont-wait"));
+        assert!(!has_anchor(md, "missing"));
+    }
+
+    #[test]
+    fn duplicate_heading_suffixes_are_accepted() {
+        let md = "## Setup\n## Setup\n";
+        assert!(has_anchor(md, "setup"));
+        assert!(has_anchor(md, "setup-1"));
+        assert!(!has_anchor(md, "setup-x"));
+    }
+
+    #[test]
+    fn headings_inside_fences_are_not_anchors() {
+        let md = "```\n# not a heading\n```\n";
+        assert!(!has_anchor(md, "not-a-heading"));
+    }
+}

@@ -1,4 +1,4 @@
-//! The six analysis passes behind the `DL0xx` catalogue.
+//! The seven analysis passes behind the `DL0xx` catalogue.
 //!
 //! Each pass reads its anchors (the files it analyzes) out of the
 //! loaded [`Workspace`]. A pass whose anchors are absent records them
@@ -15,6 +15,7 @@ pub mod dl003;
 pub mod dl004;
 pub mod dl005;
 pub mod dl006;
+pub mod dl007;
 
 /// Shared pass context: the workspace plus the report under
 /// construction, with waiver-aware emission.
@@ -70,6 +71,7 @@ pub fn run_all(ws: &Workspace) -> Report {
         dl004::run(&mut ctx);
         dl005::run(&mut ctx);
         dl006::run(&mut ctx);
+        dl007::run(&mut ctx);
     }
     report.sort();
     report

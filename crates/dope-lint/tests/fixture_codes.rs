@@ -171,6 +171,35 @@ fn dl006_silent_when_baseline_matches() {
 }
 
 #[test]
+fn dl007_fires_on_broken_docs_links() {
+    assert_fires("dl007", DlCode::DocsLink);
+    let report = run("dl007", "bad");
+    // A dangling file, a dead fragment, and a root escape: three sites.
+    assert_eq!(report.findings.len(), 3, "{:?}", report.findings);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("ghost.md")),
+        "the dangling target should be named: {:?}",
+        report.findings
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("no-such-heading")),
+        "the dead fragment should be named: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn dl007_silent_when_every_link_resolves() {
+    assert_silent("dl007");
+}
+
+#[test]
 fn missing_anchors_are_fatal_only_under_strict() {
     // Every fixture omits some other pass's anchors, so non-strict runs
     // are clean-able while strict runs are not.
@@ -182,7 +211,9 @@ fn missing_anchors_are_fatal_only_under_strict() {
 
 #[test]
 fn reports_round_trip_through_json_for_every_fixture() {
-    for code in ["dl001", "dl002", "dl003", "dl004", "dl005", "dl006"] {
+    for code in [
+        "dl001", "dl002", "dl003", "dl004", "dl005", "dl006", "dl007",
+    ] {
         for flavor in ["bad", "good"] {
             let report = run(code, flavor);
             let back = Report::from_json(&report.to_json())

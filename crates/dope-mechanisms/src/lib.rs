@@ -32,6 +32,7 @@ pub mod fdp;
 pub mod oracle;
 pub mod proportional;
 pub mod seda;
+pub mod shed_aware;
 pub mod tbf;
 pub mod tpc;
 pub mod wq_linear;
@@ -42,6 +43,7 @@ pub use fdp::Fdp;
 pub use oracle::Oracle;
 pub use proportional::Proportional;
 pub use seda::Seda;
+pub use shed_aware::ShedAware;
 pub use tbf::Tbf;
 pub use tpc::Tpc;
 pub use wq_linear::WqLinear;

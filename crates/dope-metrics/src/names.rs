@@ -74,6 +74,13 @@ pub const MECHANISM_PREDICTION_ERROR: &str = "dope_mechanism_prediction_error";
 /// Decisions explained by the mechanism, labelled `rationale` with the
 /// stable rationale code of each decision.
 pub const DECISION_RATIONALE_TOTAL: &str = "dope_decision_rationale_total";
+/// Offers the admission gate admitted into the work queue.
+pub const ADMITTED_TOTAL: &str = "dope_admitted_total";
+/// Offers the admission gate dropped, labelled `reason`
+/// (`high_water` / `deadline`).
+pub const SHED_TOTAL: &str = "dope_shed_total";
+/// Queue delay (offer to dispatch) of admitted requests, in seconds.
+pub const ADMISSION_QUEUE_DELAY: &str = "dope_admission_queue_delay";
 
 /// Every canonical metric name, for docs/tests cross-checks.
 pub const ALL: &[&str] = &[
@@ -105,6 +112,9 @@ pub const ALL: &[&str] = &[
     TASK_FAILED_REPLICAS,
     MECHANISM_PREDICTION_ERROR,
     DECISION_RATIONALE_TOTAL,
+    ADMITTED_TOTAL,
+    SHED_TOTAL,
+    ADMISSION_QUEUE_DELAY,
 ];
 
 #[cfg(test)]

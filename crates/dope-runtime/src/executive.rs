@@ -4,9 +4,9 @@ use crate::instance::{instantiate, instantiate_paths, LiveCx, WorkerJob};
 use crate::monitor::Monitor;
 use crate::pool::WorkerPool;
 use dope_core::{
-    realized_throughput, Config, DecisionTrace, Error, FailurePolicy, FailureVerdict, Goal,
-    Mechanism, ProgramShape, QueueStats, Resources, Result, StaticMechanism, TaskOutcome, TaskPath,
-    TaskSpec, TaskStatus,
+    realized_throughput, AdmissionPolicy, AdmissionStats, Config, DecisionTrace, Error,
+    FailurePolicy, FailureVerdict, Goal, Mechanism, ProgramShape, QueueStats, Resources, Result,
+    StaticMechanism, TaskOutcome, TaskPath, TaskSpec, TaskStatus,
 };
 use dope_metrics::{names, Counter, Histogram, MetricsRegistry};
 use dope_platform::{FeatureObserver, FeatureRegistry};
@@ -54,6 +54,8 @@ pub struct DopeBuilder {
     throughput_window: Duration,
     features: FeatureRegistry,
     queue_probe: Option<Arc<dyn Fn() -> QueueStats + Send + Sync>>,
+    admission: AdmissionPolicy,
+    admission_probe: Option<Arc<dyn Fn() -> AdmissionStats + Send + Sync>>,
     pool_threads: Option<u32>,
     recorder: Recorder,
     metrics: Option<MetricsRegistry>,
@@ -79,6 +81,8 @@ impl DopeBuilder {
             throughput_window: Duration::from_secs(5),
             features: FeatureRegistry::new(),
             queue_probe: None,
+            admission: AdmissionPolicy::Open,
+            admission_probe: None,
             pool_threads: None,
             recorder: Recorder::disabled(),
             metrics: None,
@@ -125,6 +129,38 @@ impl DopeBuilder {
         F: Fn() -> QueueStats + Send + Sync + 'static,
     {
         self.queue_probe = Some(Arc::new(probe));
+        self
+    }
+
+    /// Declares the run's admission policy — how the front door treats
+    /// offered requests past saturation (see
+    /// [`AdmissionPolicy`]). Validated at [`launch`](Self::launch)
+    /// (diagnostic `DV017`). The executive does not gate requests
+    /// itself — the application routes its producers through a
+    /// `dope_workload::admission::AdmissionQueue` built with the same
+    /// policy — but declaring it here makes the launch fail fast on a
+    /// degenerate policy and tags the admission samples the monitor
+    /// records with the policy kind.
+    #[must_use]
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Installs the admission-gate probe behind `snapshot().admission`
+    /// (pass `AdmissionQueue::stats_probe()`): the monitor then polls
+    /// the gate's cumulative counters into every snapshot — so
+    /// mechanisms see admission pressure as a monitored signal — and,
+    /// when a recorder or metrics registry is attached, emits one
+    /// `AdmissionDecision` trace event per pressured control period and
+    /// exports `dope_admitted_total` / `dope_shed_total` /
+    /// `dope_admission_queue_delay`.
+    #[must_use]
+    pub fn admission_probe<F>(mut self, probe: F) -> Self
+    where
+        F: Fn() -> AdmissionStats + Send + Sync + 'static,
+    {
+        self.admission_probe = Some(Arc::new(probe));
         self
     }
 
@@ -272,6 +308,7 @@ impl Dope {
     }
 
     fn launch(builder: DopeBuilder, descriptor: Vec<TaskSpec>) -> Result<Dope> {
+        builder.admission.validate()?;
         let goal = builder.goal;
         let budget = goal.threads().max(1);
         let shape = ProgramShape::of_specs(&descriptor);
@@ -305,6 +342,10 @@ impl Dope {
         if let Some(probe) = &builder.queue_probe {
             let probe = Arc::clone(probe);
             monitor.set_queue_probe(move || probe());
+        }
+        if let Some(probe) = &builder.admission_probe {
+            let probe = Arc::clone(probe);
+            monitor.set_admission_probe(builder.admission.kind(), move || probe());
         }
         if recorder.is_enabled() {
             monitor.set_recorder(recorder.clone());
@@ -1524,6 +1565,94 @@ mod tests {
         dope.stop();
         let report = dope.wait().unwrap();
         assert!(report.elapsed >= Duration::from_millis(30));
+    }
+
+    /// A degenerate admission policy must die at `launch`, not at the
+    /// first offer: the builder validates and surfaces `DV017`.
+    #[test]
+    fn degenerate_admission_policy_fails_launch() {
+        let queue = WorkQueue::new();
+        queue.close();
+        let hits = Arc::new(AtomicU64::new(0));
+        let spec = drain_spec("drain", queue, Arc::clone(&hits));
+        let err = Dope::builder(Goal::MaxThroughput { threads: 2 })
+            .admission(AdmissionPolicy::Shed { high_water: 0 })
+            .launch(vec![spec])
+            .unwrap_err();
+        assert_eq!(err.code().to_string(), "DV017");
+    }
+
+    /// End-to-end admission wiring: producers offer through a shedding
+    /// `AdmissionQueue`, workers drain it, and the builder-installed
+    /// probe makes the pressure visible — in the monitor's snapshots
+    /// and as `AdmissionDecision` events in the trace.
+    #[test]
+    fn admission_gate_pressure_reaches_snapshots_and_trace() {
+        let gate: dope_workload::AdmissionQueue<u64> =
+            dope_workload::AdmissionQueue::new(AdmissionPolicy::Shed { high_water: 4 });
+        let hits = Arc::new(AtomicU64::new(0));
+        let q = gate.clone();
+        let h = Arc::clone(&hits);
+        let spec = TaskSpec::leaf("serve", TaskKind::Par, move |_slot: WorkerSlot| {
+            let gate = q.clone();
+            let hits = Arc::clone(&h);
+            Box::new(body_fn(move |cx| {
+                cx.begin();
+                let item = gate.take(Duration::from_millis(2));
+                cx.end();
+                match item {
+                    dope_workload::DequeueOutcome::Item(_) => {
+                        std::thread::sleep(Duration::from_millis(1));
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        TaskStatus::Executing
+                    }
+                    dope_workload::DequeueOutcome::Drained => TaskStatus::Finished,
+                    dope_workload::DequeueOutcome::TimedOut => {
+                        if cx.directive().wants_suspend() {
+                            TaskStatus::Suspended
+                        } else {
+                            TaskStatus::Executing
+                        }
+                    }
+                }
+            })) as Box<dyn TaskBody>
+        });
+        let recorder = dope_trace::Recorder::bounded(4096);
+        let dope = Dope::builder(Goal::MaxThroughput { threads: 2 })
+            .admission(gate.policy())
+            .admission_probe(gate.stats_probe())
+            .control_period(Duration::from_millis(5))
+            .recorder(recorder.clone())
+            .launch(vec![spec])
+            .unwrap();
+        // An offer storm against slow workers: the watermark guarantees
+        // sheds, the drain guarantees completions.
+        for i in 0..400u64 {
+            let _ = gate.offer(i);
+        }
+        // Let at least one pressured control period elapse, then close
+        // the gate so the epoch drains.
+        std::thread::sleep(Duration::from_millis(40));
+        gate.close();
+        dope.wait().unwrap();
+
+        let stats = gate.stats();
+        assert_eq!(stats.offered, 400);
+        assert!(stats.shed_high_water > 0, "the storm must overflow");
+        assert_eq!(stats.offered, stats.admitted + stats.shed_high_water);
+        assert_eq!(hits.load(Ordering::Relaxed), stats.admitted);
+        let decision = recorder
+            .records()
+            .into_iter()
+            .find_map(|r| match r.event {
+                TraceEvent::AdmissionDecision {
+                    policy, verdict, ..
+                } => Some((policy, verdict)),
+                _ => None,
+            })
+            .expect("a pressured period must emit an AdmissionDecision");
+        assert_eq!(decision.0, "shed");
+        assert_eq!(decision.1, "shed");
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub(crate) mod rank {
     pub const EPOCH: u32 = 20;
     /// `MonitorShared::queue_probe`.
     pub const QUEUE_PROBE: u32 = 40;
+    /// `MonitorShared::admission_probe`.
+    pub const ADMISSION_PROBE: u32 = 50;
     /// `MonitorShared::recorder`.
     pub const RECORDER: u32 = 60;
     /// `PathStats::shards` (the per-path shard list; the shards

@@ -36,10 +36,10 @@
 
 use crate::lockrank::{rank, RankedMutex};
 use crate::shard::RecorderShard;
-use dope_core::{MonitorSnapshot, QueueStats, TaskPath, TaskStats};
+use dope_core::{AdmissionStats, MonitorSnapshot, QueueStats, TaskPath, TaskStats};
 use dope_metrics::{names, Counter, Gauge, LocalHistogram, MetricsRegistry};
 use dope_platform::FeatureRegistry;
-use dope_trace::{Recorder, TraceEvent};
+use dope_trace::{AdmissionSampler, Recorder, TraceEvent};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -215,6 +215,13 @@ pub struct Monitor {
 /// A registered per-task load probe (queue occupancy, pending work, ...).
 type LoadCallback = Arc<dyn Fn() -> f64 + Send + Sync>;
 
+/// An installed admission gate: the stats probe plus the window sampler
+/// that turns its cumulative counters into `AdmissionDecision` events.
+type AdmissionProbe = (
+    Arc<dyn Fn() -> AdmissionStats + Send + Sync>,
+    AdmissionSampler,
+);
+
 /// Registry handles for the monitor-level metric series.
 struct MonitorMetrics {
     registry: MetricsRegistry,
@@ -228,6 +235,10 @@ struct MonitorMetrics {
     queue_completed: Arc<Counter>,
     power_watts: Arc<Gauge>,
     failed_replicas: Arc<Gauge>,
+    admitted_total: Arc<Counter>,
+    shed_high_water_total: Arc<Counter>,
+    shed_deadline_total: Arc<Counter>,
+    admission_queue_delay: Arc<Gauge>,
 }
 
 impl MonitorMetrics {
@@ -260,6 +271,24 @@ impl MonitorMetrics {
             failed_replicas: registry.gauge(
                 names::TASK_FAILED_REPLICAS,
                 "Replicas currently dead in the running epoch",
+            ),
+            admitted_total: registry.counter(
+                names::ADMITTED_TOTAL,
+                "Offers the admission gate admitted into the work queue",
+            ),
+            shed_high_water_total: registry.counter_with_labels(
+                names::SHED_TOTAL,
+                "Offers the admission gate dropped, by reason",
+                &[("reason", "high_water")],
+            ),
+            shed_deadline_total: registry.counter_with_labels(
+                names::SHED_TOTAL,
+                "Offers the admission gate dropped, by reason",
+                &[("reason", "deadline")],
+            ),
+            admission_queue_delay: registry.gauge(
+                names::ADMISSION_QUEUE_DELAY,
+                "Mean queue delay (offer to dispatch) of admitted requests, seconds",
             ),
             registry,
         }
@@ -326,6 +355,10 @@ struct MonitorShared {
     paths: RankedMutex<HashMap<TaskPath, Arc<PathStats>>>,
     epoch: RankedMutex<EpochState>,
     queue_probe: RankedMutex<Option<Arc<dyn Fn() -> QueueStats + Send + Sync>>>,
+    /// Probe into the admission gate plus the window sampler that turns
+    /// its cumulative counters into `AdmissionDecision` trace events.
+    /// `None` until [`Monitor::set_admission_probe`] installs a gate.
+    admission_probe: RankedMutex<Option<AdmissionProbe>>,
     features: FeatureRegistry,
     completed_at_reconfig: AtomicU64,
     recorder: RankedMutex<Recorder>,
@@ -367,6 +400,7 @@ impl Monitor {
                     },
                 ),
                 queue_probe: RankedMutex::new(rank::QUEUE_PROBE, "queue_probe", None),
+                admission_probe: RankedMutex::new(rank::ADMISSION_PROBE, "admission_probe", None),
                 features,
                 completed_at_reconfig: AtomicU64::new(0),
                 recorder: RankedMutex::new(rank::RECORDER, "recorder", Recorder::disabled()),
@@ -518,6 +552,20 @@ impl Monitor {
         *self.shared.queue_probe.lock() = Some(Arc::new(probe));
     }
 
+    /// Installs the admission-gate probe feeding `snapshot().admission`.
+    ///
+    /// `policy` is the gate's stable lowercase tag (`"block"` / `"shed"`
+    /// / `"deadline"`); each snapshot with offered traffic also emits one
+    /// `AdmissionDecision` event into an attached recorder, stamped with
+    /// that tag.
+    pub fn set_admission_probe<F>(&self, policy: &str, probe: F)
+    where
+        F: Fn() -> AdmissionStats + Send + Sync + 'static,
+    {
+        *self.shared.admission_probe.lock() =
+            Some((Arc::new(probe), AdmissionSampler::new(policy)));
+    }
+
     /// The platform feature registry (paper Figure 9).
     #[must_use]
     pub fn features(&self) -> &FeatureRegistry {
@@ -639,6 +687,20 @@ impl Monitor {
             .saturating_sub(shared.completed_at_reconfig.load(Ordering::Relaxed));
         snap.power_watts = shared.features.value("SystemPower");
 
+        // Read the gate's cumulative counters and classify the window in
+        // one step: the sampler's previous-sample state lives with the
+        // probe, under the same rank-50 lock.
+        let admission_event = {
+            let mut probe = shared.admission_probe.lock();
+            match probe.as_mut() {
+                Some((probe, sampler)) => {
+                    snap.admission = probe();
+                    sampler.sample(&snap.admission)
+                }
+                None => None,
+            }
+        };
+
         let recorder = shared.recorder.lock().clone();
         if recorder.is_enabled() {
             for (path, stats) in &snap.tasks {
@@ -648,6 +710,9 @@ impl Monitor {
                 });
             }
             recorder.record(TraceEvent::QueueSample { queue: snap.queue });
+            if let Some(event) = admission_event {
+                recorder.record(event);
+            }
         }
 
         // Computed before acquiring `metrics`: monitoring_overhead_ratio
@@ -668,6 +733,18 @@ impl Monitor {
             }
             metrics.overhead_seconds.set(overhead_secs);
             metrics.overhead_ratio.set(overhead_ratio);
+            if snap.admission.offered > 0 {
+                metrics.admitted_total.set_at_least(snap.admission.admitted);
+                metrics
+                    .shed_high_water_total
+                    .set_at_least(snap.admission.shed_high_water);
+                metrics
+                    .shed_deadline_total
+                    .set_at_least(snap.admission.shed_deadline);
+                metrics
+                    .admission_queue_delay
+                    .set(snap.admission.mean_queue_delay_secs);
+            }
         }
         shared
             .overhead_nanos
@@ -783,6 +860,69 @@ mod tests {
         assert_eq!(snap.dispatches_since_reconfig, 3);
         m.mark_reconfig();
         assert_eq!(m.snapshot().dispatches_since_reconfig, 0);
+    }
+
+    #[test]
+    fn admission_probe_feeds_snapshot_recorder_and_metrics() {
+        let m = monitor();
+        m.set_admission_probe("shed", || AdmissionStats {
+            offered: 100,
+            admitted: 80,
+            shed_high_water: 20,
+            shed_deadline: 0,
+            mean_queue_delay_secs: 0.015,
+        });
+        let recorder = Recorder::bounded(16);
+        m.set_recorder(recorder.clone());
+        let registry = MetricsRegistry::new();
+        m.set_metrics(registry.clone());
+
+        let snap = m.snapshot();
+        assert_eq!(snap.admission.offered, 100);
+        assert_eq!(snap.admission.shed(), 20);
+
+        let records = recorder.records();
+        let TraceEvent::AdmissionDecision {
+            policy,
+            verdict,
+            reason,
+            ..
+        } = &records
+            .iter()
+            .find(|r| r.event.kind() == "AdmissionDecision")
+            .expect("snapshot must emit an admission sample")
+            .event
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!(policy, "shed");
+        assert_eq!(verdict, "shed");
+        assert_eq!(reason, "high_water");
+
+        let text = registry.render();
+        assert!(text.contains("dope_admitted_total 80"), "{text}");
+        assert!(
+            text.contains("dope_shed_total{reason=\"high_water\"} 20"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dope_shed_total{reason=\"deadline\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("dope_admission_queue_delay 0.015"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_without_admission_probe_reports_zero_stats() {
+        let m = monitor();
+        let recorder = Recorder::bounded(16);
+        m.set_recorder(recorder.clone());
+        let snap = m.snapshot();
+        assert_eq!(snap.admission, AdmissionStats::default());
+        assert!(recorder
+            .records()
+            .iter()
+            .all(|r| r.event.kind() != "AdmissionDecision"));
     }
 
     #[test]

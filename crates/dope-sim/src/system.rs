@@ -13,7 +13,8 @@ use crate::observer::{ProposalOutcome, SimObserver};
 use crate::profile::AmdahlProfile;
 use dope_core::nest::{self, TwoLevelNest};
 use dope_core::{
-    Config, Mechanism, MonitorSnapshot, ProgramShape, Resources, ShapeNode, TaskKind, TaskStats,
+    AdmissionPolicy, AdmissionStats, Config, Mechanism, MonitorSnapshot, ProgramShape, Resources,
+    ShapeNode, TaskKind, TaskStats,
 };
 use dope_workload::{ArrivalSchedule, ResponseStats, ThroughputMeter, TimeSeries};
 use std::cmp::Reverse;
@@ -155,6 +156,16 @@ pub struct SystemParams {
     pub throughput_window_secs: f64,
     /// Smoothing factor for the snapshot's execution-time average.
     pub ewma_alpha: f64,
+    /// How the front door treats offered requests (default
+    /// [`AdmissionPolicy::Open`]): `Shed` drops offers while queue
+    /// occupancy is at or above the high watermark, `Deadline` drops
+    /// admitted requests whose queue delay exceeds the budget at
+    /// dispatch, and `Block` holds offers in a blocked FIFO until
+    /// occupancy falls below capacity (closed-loop backpressure —
+    /// response times then include the blocking delay). The same
+    /// semantics as `dope_workload::admission::AdmissionQueue`, so
+    /// shed-vs-block frontiers swept here transfer to the live runtime.
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for SystemParams {
@@ -165,6 +176,7 @@ impl Default for SystemParams {
             reconfig_penalty_secs: 0.0,
             throughput_window_secs: 60.0,
             ewma_alpha: 0.25,
+            admission: AdmissionPolicy::Open,
         }
     }
 }
@@ -191,6 +203,10 @@ pub struct SystemOutcome {
     pub rejected_configs: u64,
     /// Configuration in force at the end of the run.
     pub final_config: Config,
+    /// Admission-gate counters at the end of the run (all zero when
+    /// [`SystemParams::admission`] was `Open` — every offer admitted,
+    /// nothing shed).
+    pub admission: AdmissionStats,
 }
 
 impl SystemOutcome {
@@ -207,6 +223,18 @@ impl SystemOutcome {
             self.completed as f64 / self.horizon_secs
         } else {
             0.0
+        }
+    }
+
+    /// Goodput: the fraction of *offered* requests that completed, in
+    /// `[0, 1]`. Equals `1.0` under `Open` or `Block` admission (no
+    /// request is lost) and drops by the shed fraction otherwise.
+    #[must_use]
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.admission.offered == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.admission.offered as f64
         }
     }
 }
@@ -262,6 +290,12 @@ pub fn run_system(
 /// The observer sees the launch configuration, each frozen snapshot, each
 /// proposal verdict, and each applied configuration — enough to build a
 /// replayable flight-recorder trace of the run.
+///
+/// # Panics
+///
+/// Panics if `params.admission` fails
+/// [`validate`](AdmissionPolicy::validate) — sweep drivers construct
+/// policies from validated inputs.
 pub fn run_system_observed(
     model: &TwoLevelModel,
     schedule: &ArrivalSchedule,
@@ -286,8 +320,17 @@ pub fn run_system_observed(
     let mut outer_cap = nest::outer_extent_of(&config, model.nest()).max(1);
     let mut exec = model.exec_time(width);
 
+    params
+        .admission
+        .validate()
+        .expect("admission policy must validate");
+
     let mut now = 0.0_f64;
     let mut queue: VecDeque<(u64, f64)> = VecDeque::new();
+    // Offers held back by `Block` admission, stamped with their offer
+    // time: they enter `queue` once occupancy falls below capacity, so
+    // their eventual response time includes the blocking delay.
+    let mut blocked: VecDeque<f64> = VecDeque::new();
     let mut in_flight: BinaryHeap<Reverse<InFlight>> = BinaryHeap::new();
     let mut free = budget;
     let mut active: u32 = 0;
@@ -301,6 +344,11 @@ pub fn run_system_observed(
     let mut dispatched: u64 = 0;
     let mut enqueued: u64 = 0;
     let mut completed: u64 = 0;
+    let mut offered: u64 = 0;
+    let mut admitted: u64 = 0;
+    let mut shed_high_water: u64 = 0;
+    let mut shed_deadline: u64 = 0;
+    let mut queue_delay_sum = 0.0_f64;
     let mut config_changes: u64 = 0;
     let mut rejected: u64 = 0;
     let mut dispatches_since_reconfig: u64 = 0;
@@ -331,11 +379,38 @@ pub fn run_system_observed(
 
         if is_arrival {
             next_arrival += 1;
-            enqueued += 1;
-            queue.push_back((enqueued, now));
+            offered += 1;
+            // The front door decides before the work queue sees the
+            // offer; a shed offer never enters the system.
+            match params.admission {
+                AdmissionPolicy::Shed { high_water } if queue.len() >= high_water as usize => {
+                    shed_high_water += 1;
+                }
+                AdmissionPolicy::Block { capacity } if queue.len() >= capacity as usize => {
+                    blocked.push_back(now);
+                }
+                _ => {
+                    admitted += 1;
+                    enqueued += 1;
+                    queue.push_back((enqueued, now));
+                }
+            }
 
-            // Consult the mechanism at task granularity.
+            // Consult the mechanism at task granularity — shed offers
+            // included: the pressure they create is exactly what a
+            // shed-aware mechanism needs to see.
             if now - last_reconfig_at >= params.reconfig_penalty_secs {
+                let admission = AdmissionStats {
+                    offered,
+                    admitted,
+                    shed_high_water,
+                    shed_deadline,
+                    mean_queue_delay_secs: if dispatched > 0 {
+                        queue_delay_sum / dispatched as f64
+                    } else {
+                        0.0
+                    },
+                };
                 let snap = build_snapshot(
                     now,
                     &queue,
@@ -348,6 +423,7 @@ pub fn run_system_observed(
                     budget,
                     free,
                     model,
+                    admission,
                 );
                 observer.snapshot_taken(&snap);
                 if let Some(proposal) = mechanism.reconfigure(&snap, &config, shape, &res) {
@@ -405,23 +481,52 @@ pub fn run_system_observed(
             }
         }
 
-        // Dispatch as many queued transactions as resources allow.
-        while !queue.is_empty() && active < outer_cap && free >= width {
-            let (_, submit) = queue.pop_front().expect("queue non-empty");
-            seq += 1;
-            let service = exec;
-            exec_sum += service;
-            dispatched += 1;
-            dispatches_since_reconfig += 1;
-            exec_ewma.update(service);
-            free -= width;
-            active += 1;
-            in_flight.push(Reverse(InFlight {
-                finish: OrdF64::new(now + service),
-                seq,
-                submit,
-                width,
-            }));
+        // Dispatch as many queued transactions as resources allow,
+        // admitting blocked offers as dispatches free queue slots —
+        // iterate to a fixpoint so a freed slot admits and a fresh
+        // admission dispatches within the same event.
+        loop {
+            let mut progressed = false;
+            if let AdmissionPolicy::Block { capacity } = params.admission {
+                while !blocked.is_empty() && queue.len() < capacity as usize {
+                    let offer_time = blocked.pop_front().expect("blocked non-empty");
+                    admitted += 1;
+                    enqueued += 1;
+                    queue.push_back((enqueued, offer_time));
+                    progressed = true;
+                }
+            }
+            while !queue.is_empty() && active < outer_cap && free >= width {
+                let (_, submit) = queue.pop_front().expect("queue non-empty");
+                progressed = true;
+                if let AdmissionPolicy::Deadline { budget_secs } = params.admission {
+                    // Deadline-aware shedding acts at dispatch: the
+                    // request's answer is already too late, so serving
+                    // it would only delay requests still in budget.
+                    if now - submit > budget_secs {
+                        shed_deadline += 1;
+                        continue;
+                    }
+                }
+                seq += 1;
+                let service = exec;
+                exec_sum += service;
+                dispatched += 1;
+                dispatches_since_reconfig += 1;
+                queue_delay_sum += (now - submit).max(0.0);
+                exec_ewma.update(service);
+                free -= width;
+                active += 1;
+                in_flight.push(Reverse(InFlight {
+                    finish: OrdF64::new(now + service),
+                    seq,
+                    submit,
+                    width,
+                }));
+            }
+            if !progressed {
+                break;
+            }
         }
     }
 
@@ -439,6 +544,17 @@ pub fn run_system_observed(
         config_changes,
         rejected_configs: rejected,
         final_config: config,
+        admission: AdmissionStats {
+            offered,
+            admitted,
+            shed_high_water,
+            shed_deadline,
+            mean_queue_delay_secs: if dispatched > 0 {
+                queue_delay_sum / dispatched as f64
+            } else {
+                0.0
+            },
+        },
     }
 }
 
@@ -455,8 +571,10 @@ fn build_snapshot(
     budget: u32,
     free: u32,
     model: &TwoLevelModel,
+    admission: AdmissionStats,
 ) -> MonitorSnapshot {
     let mut snap = MonitorSnapshot::at(now);
+    snap.admission = admission;
     snap.queue.occupancy = queue.len() as f64;
     snap.queue.enqueued = enqueued;
     snap.queue.completed = completed;
@@ -584,6 +702,99 @@ mod tests {
         );
         assert_eq!(out.completed, 10);
         assert!(out.rejected_configs > 0);
+    }
+
+    fn run_overloaded(admission: AdmissionPolicy, load: f64, n: usize) -> SystemOutcome {
+        let m = model();
+        let max_thr = m.max_throughput(24, 1);
+        let schedule = ArrivalSchedule::for_load_factor(load, max_thr, n, 7);
+        let mut mech = StaticMechanism::new(m.config_for_width(24, 1));
+        run_system(
+            &m,
+            &schedule,
+            &mut mech,
+            Resources::threads(24),
+            &SystemParams {
+                admission,
+                ..SystemParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn open_admission_admits_everything_and_counts() {
+        let out = run_overloaded(AdmissionPolicy::Open, 2.0, 300);
+        assert_eq!(out.admission.offered, 300);
+        assert_eq!(out.admission.admitted, 300);
+        assert_eq!(out.admission.shed(), 0);
+        assert_eq!(out.completed, 300);
+        assert!((out.goodput_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shed_bounds_queue_delay_at_the_cost_of_goodput() {
+        let open = run_overloaded(AdmissionPolicy::Open, 3.0, 400);
+        let shed = run_overloaded(AdmissionPolicy::Shed { high_water: 8 }, 3.0, 400);
+        // Conservation: every offer is admitted or shed, never both.
+        assert_eq!(shed.admission.offered, 400);
+        assert_eq!(
+            shed.admission.offered,
+            shed.admission.admitted + shed.admission.shed_high_water
+        );
+        assert!(shed.admission.shed_high_water > 0, "3x load must overflow");
+        assert_eq!(shed.completed, shed.admission.admitted);
+        // The point of shedding: admitted requests see bounded queueing
+        // while the open queue's delay grows with the backlog.
+        assert!(
+            shed.admission.mean_queue_delay_secs < open.admission.mean_queue_delay_secs / 4.0,
+            "shed {} vs open {}",
+            shed.admission.mean_queue_delay_secs,
+            open.admission.mean_queue_delay_secs
+        );
+        assert!(shed.goodput_fraction() < 1.0);
+    }
+
+    #[test]
+    fn block_loses_nothing_and_throttles_arrivals() {
+        let out = run_overloaded(AdmissionPolicy::Block { capacity: 4 }, 3.0, 300);
+        assert_eq!(out.admission.offered, 300);
+        assert_eq!(out.admission.admitted, 300);
+        assert_eq!(out.admission.shed(), 0);
+        assert_eq!(out.completed, 300);
+        // Blocking delay is real latency: responses include the wait at
+        // the front door, so the mean exceeds the bare service time.
+        assert!(out.mean_response() > model().exec_time(1));
+    }
+
+    #[test]
+    fn deadline_sheds_stale_requests_at_dispatch() {
+        let m = model();
+        let out = run_overloaded(
+            AdmissionPolicy::Deadline {
+                budget_secs: m.exec_time(1) * 4.0,
+            },
+            3.0,
+            400,
+        );
+        assert_eq!(out.admission.offered, 400);
+        assert_eq!(out.admission.admitted, 400);
+        assert!(out.admission.shed_deadline > 0, "3x load must miss budgets");
+        assert!(out.admission.shed_deadline <= out.admission.admitted);
+        assert_eq!(
+            out.completed,
+            out.admission.admitted - out.admission.shed_deadline
+        );
+        // Served requests were, by construction, within budget when
+        // dispatched.
+        assert!(out.admission.mean_queue_delay_secs <= m.exec_time(1) * 4.0);
+    }
+
+    #[test]
+    fn admission_outcomes_are_deterministic() {
+        let a = run_overloaded(AdmissionPolicy::Shed { high_water: 8 }, 2.0, 200);
+        let b = run_overloaded(AdmissionPolicy::Shed { high_water: 8 }, 2.0, 200);
+        assert_eq!(a.admission, b.admission);
+        assert_eq!(a.completed, b.completed);
     }
 
     #[test]

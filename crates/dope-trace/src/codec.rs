@@ -35,7 +35,8 @@ use dope_core::json::{
     config_from_value, config_to_value, parse, shape_from_value, shape_to_value, JsonError, Value,
 };
 use dope_core::{
-    DecisionCandidate, DiagCode, MonitorSnapshot, QueueStats, Rationale, TaskPath, TaskStats,
+    AdmissionStats, DecisionCandidate, DiagCode, MonitorSnapshot, QueueStats, Rationale, TaskPath,
+    TaskStats,
 };
 
 // ---------------------------------------------------------------------------
@@ -85,6 +86,25 @@ fn task_stats_fields(stats: &TaskStats) -> Vec<(String, Value)> {
     ]
 }
 
+fn admission_to_value(admission: &AdmissionStats) -> Value {
+    Value::Object(vec![
+        ("offered".to_string(), Value::Number(admission.offered)),
+        ("admitted".to_string(), Value::Number(admission.admitted)),
+        (
+            "shed_high_water".to_string(),
+            Value::Number(admission.shed_high_water),
+        ),
+        (
+            "shed_deadline".to_string(),
+            Value::Number(admission.shed_deadline),
+        ),
+        (
+            "mean_queue_delay_secs".to_string(),
+            Value::from_f64(admission.mean_queue_delay_secs),
+        ),
+    ])
+}
+
 fn snapshot_to_value(snap: &MonitorSnapshot) -> Value {
     let tasks = snap
         .tasks
@@ -107,6 +127,9 @@ fn snapshot_to_value(snap: &MonitorSnapshot) -> Value {
             "dispatches_since_reconfig".to_string(),
             Value::Number(snap.dispatches_since_reconfig),
         ),
+        // Additive since the admission gate landed; readers of older
+        // traces default the whole object to all-zero ("no gate").
+        ("admission".to_string(), admission_to_value(&snap.admission)),
     ])
 }
 
@@ -255,6 +278,26 @@ pub fn record_to_value(record: &TraceRecord) -> Value {
                 "prediction_error".to_string(),
                 prediction_error.map_or(Value::Null, Value::from_f64),
             ));
+        }
+        TraceEvent::AdmissionDecision {
+            policy,
+            verdict,
+            reason,
+            queue_delay_secs,
+            offered,
+            admitted,
+            shed,
+        } => {
+            fields.push(("policy".to_string(), Value::String(policy.clone())));
+            fields.push(("verdict".to_string(), Value::String(verdict.clone())));
+            fields.push(("reason".to_string(), Value::String(reason.clone())));
+            fields.push((
+                "queue_delay_secs".to_string(),
+                Value::from_f64(*queue_delay_secs),
+            ));
+            fields.push(("offered".to_string(), Value::Number(*offered)));
+            fields.push(("admitted".to_string(), Value::Number(*admitted)));
+            fields.push(("shed".to_string(), Value::Number(*shed)));
         }
         TraceEvent::Finished {
             completed,
@@ -412,6 +455,18 @@ fn snapshot_from_value(value: &Value) -> Result<MonitorSnapshot, JsonError> {
         ),
     };
     snap.dispatches_since_reconfig = req_u64(value, "dispatches_since_reconfig")?;
+    // Additive v1 object: absent or null (pre-admission traces) decodes
+    // as all-zero; present-but-mistyped is still an error.
+    snap.admission = match value.get("admission") {
+        None | Some(Value::Null) => AdmissionStats::default(),
+        Some(adm) => AdmissionStats {
+            offered: req_u64(adm, "offered")?,
+            admitted: req_u64(adm, "admitted")?,
+            shed_high_water: req_u64(adm, "shed_high_water")?,
+            shed_deadline: req_u64(adm, "shed_deadline")?,
+            mean_queue_delay_secs: req_f64(adm, "mean_queue_delay_secs")?,
+        },
+    };
     Ok(snap)
 }
 
@@ -528,6 +583,15 @@ pub fn record_from_value(value: &Value) -> Result<TraceRecord, JsonError> {
                 prediction_error: opt_f64_or_none(value, "prediction_error")?,
             }
         }
+        "AdmissionDecision" => TraceEvent::AdmissionDecision {
+            policy: req_str(value, "policy")?.to_string(),
+            verdict: req_str(value, "verdict")?.to_string(),
+            reason: req_str(value, "reason")?.to_string(),
+            queue_delay_secs: req_f64(value, "queue_delay_secs")?,
+            offered: req_u64(value, "offered")?,
+            admitted: req_u64(value, "admitted")?,
+            shed: req_u64(value, "shed")?,
+        },
         "Finished" => TraceEvent::Finished {
             completed: req_u64(value, "completed")?,
             reconfigurations: req_u64(value, "reconfigurations")?,
@@ -628,6 +692,13 @@ mod tests {
         };
         snap.power_watts = Some(612.5);
         snap.dispatches_since_reconfig = 9;
+        snap.admission = AdmissionStats {
+            offered: 64,
+            admitted: 50,
+            shed_high_water: 12,
+            shed_deadline: 2,
+            mean_queue_delay_secs: 0.035,
+        };
         snap
     }
 
@@ -740,6 +811,24 @@ mod tests {
                 realized_throughput: None,
                 prediction_error: None,
             },
+            TraceEvent::AdmissionDecision {
+                policy: "shed".to_string(),
+                verdict: "shed".to_string(),
+                reason: "high_water".to_string(),
+                queue_delay_secs: 0.035,
+                offered: 64,
+                admitted: 50,
+                shed: 14,
+            },
+            TraceEvent::AdmissionDecision {
+                policy: "block".to_string(),
+                verdict: "admitted".to_string(),
+                reason: "none".to_string(),
+                queue_delay_secs: 0.002,
+                offered: 10,
+                admitted: 10,
+                shed: 0,
+            },
             TraceEvent::Finished {
                 completed: 48,
                 reconfigurations: 2,
@@ -835,6 +924,30 @@ mod tests {
         let line = r#"{"v": 1, "seq": 7, "t": 0.5, "kind": "ReconfigureEpoch", "pause_secs": 0.004, "relaunch_secs": 0.001, "jobs": 4, "config": {"tasks": [{"name": "t", "extent": 1}]}, "scope": 3}"#;
         assert!(parse_line(line).is_err());
         let line = r#"{"v": 1, "seq": 8, "t": 0.5, "kind": "ReconfigureEpoch", "pause_secs": 0.004, "relaunch_secs": 0.001, "jobs": 4, "config": {"tasks": [{"name": "t", "extent": 1}]}, "paths_drained": "one"}"#;
+        assert!(parse_line(line).is_err());
+    }
+
+    #[test]
+    fn old_snapshots_without_admission_still_parse() {
+        // A pre-admission v1 snapshot: no `admission` object. It must
+        // decode as all-zero — exactly what "no gate installed" means.
+        let line = r#"{"v": 1, "seq": 1, "t": 0.5, "kind": "SnapshotTaken", "snapshot": {"time_secs": 0.5, "tasks": [], "queue": {"occupancy": 0.0, "arrival_rate": 0.0, "enqueued": 0, "completed": 0}, "power_watts": null, "dispatches_since_reconfig": 0}}"#;
+        let record = parse_line(line).unwrap();
+        let TraceEvent::SnapshotTaken { snapshot } = record.event else {
+            panic!("wrong kind");
+        };
+        assert_eq!(snapshot.admission, AdmissionStats::default());
+
+        // Explicit null is also accepted.
+        let line = r#"{"v": 1, "seq": 2, "t": 0.5, "kind": "SnapshotTaken", "snapshot": {"time_secs": 0.5, "tasks": [], "queue": {"occupancy": 0.0, "arrival_rate": 0.0, "enqueued": 0, "completed": 0}, "power_watts": null, "dispatches_since_reconfig": 0, "admission": null}}"#;
+        let record = parse_line(line).unwrap();
+        let TraceEvent::SnapshotTaken { snapshot } = record.event else {
+            panic!("wrong kind");
+        };
+        assert_eq!(snapshot.admission, AdmissionStats::default());
+
+        // Present-but-mistyped still errors: additive, not lax.
+        let line = r#"{"v": 1, "seq": 3, "t": 0.5, "kind": "SnapshotTaken", "snapshot": {"time_secs": 0.5, "tasks": [], "queue": {"occupancy": 0.0, "arrival_rate": 0.0, "enqueued": 0, "completed": 0}, "power_watts": null, "dispatches_since_reconfig": 0, "admission": "open"}}"#;
         assert!(parse_line(line).is_err());
     }
 

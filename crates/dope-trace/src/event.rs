@@ -189,6 +189,33 @@ pub enum TraceEvent {
         /// both prediction and realization are present.
         prediction_error: Option<f64>,
     },
+    /// A sampled summary of the admission gate, emitted once per control
+    /// period while an admission policy is installed and traffic has been
+    /// offered. Additive in schema v1 — readers of older traces never
+    /// see it. Counters are cumulative since launch; `verdict` and
+    /// `reason` describe the window since the *previous* sample
+    /// (`"shed"` when any offer was dropped in the window, with the
+    /// dominant drop reason).
+    AdmissionDecision {
+        /// The policy's stable lowercase tag
+        /// (`"open"` / `"block"` / `"shed"` / `"deadline"`).
+        policy: String,
+        /// `"admitted"` when every offer in the window was admitted,
+        /// `"shed"` when at least one was dropped.
+        verdict: String,
+        /// Dominant drop reason in the window
+        /// (`"high_water"` / `"deadline"`), or `"none"`.
+        reason: String,
+        /// Mean queue delay (offer to dispatch) of served requests so
+        /// far, in seconds.
+        queue_delay_secs: f64,
+        /// Requests offered to the gate since launch.
+        offered: u64,
+        /// Offers admitted since launch.
+        admitted: u64,
+        /// Offers dropped since launch, all reasons combined.
+        shed: u64,
+    },
     /// The run ended.
     Finished {
         /// Requests completed over the whole run.
@@ -214,13 +241,14 @@ impl TraceEvent {
             TraceEvent::QueueSample { .. } => "QueueSample",
             TraceEvent::TaskFailed { .. } => "TaskFailed",
             TraceEvent::DecisionTraced { .. } => "DecisionTraced",
+            TraceEvent::AdmissionDecision { .. } => "AdmissionDecision",
             TraceEvent::Finished { .. } => "Finished",
         }
     }
 
     /// All `"kind"` discriminators of schema version [`SCHEMA_VERSION`],
     /// in documentation order.
-    pub const KINDS: [&'static str; 10] = [
+    pub const KINDS: [&'static str; 11] = [
         "Launched",
         "SnapshotTaken",
         "TaskStatsSample",
@@ -230,6 +258,7 @@ impl TraceEvent {
         "QueueSample",
         "TaskFailed",
         "DecisionTraced",
+        "AdmissionDecision",
         "Finished",
     ];
 }

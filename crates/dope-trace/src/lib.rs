@@ -69,6 +69,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
 pub mod codec;
 pub mod event;
 pub mod explain;
@@ -78,6 +79,7 @@ pub mod replay;
 pub mod stats;
 pub mod timeline;
 
+pub use admission::AdmissionSampler;
 pub use codec::{parse_jsonl, parse_line, to_jsonl, to_jsonl_line};
 pub use event::{TraceEvent, TraceRecord, Verdict, SCHEMA_VERSION};
 pub use explain::{explain, ExplainReport};

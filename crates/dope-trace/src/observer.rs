@@ -36,6 +36,7 @@
 use dope_core::{realized_throughput, Config, DecisionTrace, MonitorSnapshot, ProgramShape};
 use dope_sim::{ProposalOutcome, SimObserver};
 
+use crate::admission::AdmissionSampler;
 use crate::event::{TraceEvent, Verdict};
 use crate::recorder::Recorder;
 
@@ -59,6 +60,9 @@ pub struct RecordingObserver {
     // reconfiguration with the same `Config::delta_paths` rule the live
     // executive uses — so sim and live traces stay comparable.
     last_config: Option<Config>,
+    // Present when the run declares an admission policy: each snapshot
+    // with offered traffic then yields one `AdmissionDecision` sample.
+    admission: Option<AdmissionSampler>,
 }
 
 impl RecordingObserver {
@@ -71,6 +75,7 @@ impl RecordingObserver {
             last_time_secs: 0.0,
             pending_decision: None,
             last_config: None,
+            admission: None,
         }
     }
 
@@ -110,6 +115,16 @@ impl RecordingObserver {
     #[must_use]
     pub fn with_goal(mut self, goal: impl Into<String>) -> Self {
         self.goal = goal.into();
+        self
+    }
+
+    /// Declares the admission policy of the recorded run (its stable
+    /// lowercase tag, e.g. `"shed"`). Each subsequent snapshot whose
+    /// admission counters show offered traffic emits one
+    /// `AdmissionDecision` sample stamped with this tag.
+    #[must_use]
+    pub fn with_admission_policy(mut self, policy: impl Into<String>) -> Self {
+        self.admission = Some(AdmissionSampler::new(policy));
         self
     }
 
@@ -189,6 +204,11 @@ impl SimObserver for RecordingObserver {
                     value: watts,
                 },
             );
+        }
+        if let Some(sampler) = &mut self.admission {
+            if let Some(event) = sampler.sample(&snapshot.admission) {
+                self.recorder.record_at(snapshot.time_secs, event);
+            }
         }
         self.recorder.record_at(
             snapshot.time_secs,
@@ -330,6 +350,57 @@ mod tests {
             epochs,
             vec![("partial".to_string(), 1), ("full".to_string(), 1)]
         );
+    }
+
+    #[test]
+    fn admission_samples_ride_along_with_snapshots() {
+        use dope_core::AdmissionStats;
+        let recorder = Recorder::bounded(64);
+        let mut obs = RecordingObserver::new(recorder.clone()).with_admission_policy("shed");
+        let shape = ProgramShape::new(vec![]);
+        obs.launched("WQ-Linear", 8, &shape, &Config::default());
+
+        // An idle gate records nothing.
+        obs.snapshot_taken(&MonitorSnapshot::at(1.0));
+        // A gate under pressure records one sample per snapshot.
+        let mut snap = MonitorSnapshot::at(2.0);
+        snap.admission = AdmissionStats {
+            offered: 30,
+            admitted: 25,
+            shed_high_water: 5,
+            shed_deadline: 0,
+            mean_queue_delay_secs: 0.02,
+        };
+        obs.snapshot_taken(&snap);
+
+        let records = recorder.records();
+        let admitted: Vec<_> = records
+            .iter()
+            .filter(|r| r.event.kind() == "AdmissionDecision")
+            .collect();
+        assert_eq!(admitted.len(), 1);
+        let TraceEvent::AdmissionDecision {
+            policy,
+            verdict,
+            reason,
+            offered,
+            ..
+        } = &admitted[0].event
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!(policy, "shed");
+        assert_eq!(verdict, "shed");
+        assert_eq!(reason, "high_water");
+        assert_eq!(*offered, 30);
+        // Without a declared policy nothing is emitted even under load.
+        let recorder2 = Recorder::bounded(64);
+        let mut plain = RecordingObserver::new(recorder2.clone());
+        plain.snapshot_taken(&snap);
+        assert!(recorder2
+            .records()
+            .iter()
+            .all(|r| r.event.kind() != "AdmissionDecision"));
     }
 
     #[test]

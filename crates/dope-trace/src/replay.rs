@@ -85,6 +85,7 @@ impl ReplayMechanism {
                 | TraceEvent::QueueSample { .. }
                 | TraceEvent::TaskFailed { .. }
                 | TraceEvent::DecisionTraced { .. }
+                | TraceEvent::AdmissionDecision { .. }
                 | TraceEvent::Finished { .. } => {}
             }
         }

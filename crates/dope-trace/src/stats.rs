@@ -80,6 +80,15 @@ pub struct TraceSummary {
     /// Reconfiguration epochs with `scope == "partial"` (delta
     /// reconfigurations; zero for traces predating the field).
     pub partial_reconfigs: u64,
+    /// `AdmissionDecision` samples per `policy/verdict` pair (empty for
+    /// traces predating the admission gate).
+    pub admission_verdicts: BTreeMap<String, u64>,
+    /// Sampled mean queue delay (offer to dispatch) across
+    /// `AdmissionDecision` events, in seconds.
+    pub admission_queue_delay_secs: LocalHistogram,
+    /// Final cumulative `(offered, admitted, shed)` counters from the
+    /// last `AdmissionDecision` sample (`None` when the trace has none).
+    pub admission_totals: Option<(u64, u64, u64)>,
     /// Requests completed, from the final `Finished` event (if any).
     pub completed: Option<u64>,
     /// Applied reconfigurations, from the final `Finished` event.
@@ -150,6 +159,25 @@ pub fn summarize(records: &[TraceRecord]) -> TraceSummary {
                     out.prediction_error_abs.record_secs(error.abs());
                 }
             }
+            TraceEvent::AdmissionDecision {
+                policy,
+                verdict,
+                queue_delay_secs,
+                offered,
+                admitted,
+                shed,
+                ..
+            } => {
+                *out.admission_verdicts
+                    .entry(format!("{policy}/{verdict}"))
+                    .or_insert(0) += 1;
+                if *queue_delay_secs > 0.0 {
+                    out.admission_queue_delay_secs
+                        .record_secs(*queue_delay_secs);
+                }
+                // Counters are cumulative; the last sample wins.
+                out.admission_totals = Some((*offered, *admitted, *shed));
+            }
             TraceEvent::Finished {
                 completed,
                 reconfigurations,
@@ -196,6 +224,12 @@ impl TraceSummary {
                 &self.prediction_error_abs,
             ));
         }
+        if self.admission_queue_delay_secs.count() > 0 {
+            rows.push((
+                "admission.queue_delay_secs".to_string(),
+                &self.admission_queue_delay_secs,
+            ));
+        }
         let width = rows.iter().map(|(name, _)| name.len()).max().unwrap_or(0);
         let _ = writeln!(
             out,
@@ -218,6 +252,18 @@ impl TraceSummary {
             let _ = writeln!(out, "\ndecisions:");
             for (key, n) in &self.decision_rationales {
                 let _ = writeln!(out, "  {key:<40} {n}");
+            }
+        }
+        if !self.admission_verdicts.is_empty() {
+            let _ = writeln!(out, "\nadmission:");
+            for (key, n) in &self.admission_verdicts {
+                let _ = writeln!(out, "  {key:<40} {n}");
+            }
+            if let Some((offered, admitted, shed)) = self.admission_totals {
+                let _ = writeln!(
+                    out,
+                    "  totals: {offered} offered, {admitted} admitted, {shed} shed"
+                );
             }
         }
         if !self.task_failures.is_empty() {
@@ -414,6 +460,53 @@ mod tests {
         assert!(text.contains("task[1]  2 failed replica(s)"), "{text}");
         // Traces without failures never print the section.
         assert!(!summarize(&[]).render().contains("failures:"));
+    }
+
+    #[test]
+    fn admission_samples_are_grouped_and_totalled() {
+        let records = vec![
+            record(
+                0,
+                TraceEvent::AdmissionDecision {
+                    policy: "shed".to_string(),
+                    verdict: "admitted".to_string(),
+                    reason: "none".to_string(),
+                    queue_delay_secs: 0.010,
+                    offered: 20,
+                    admitted: 20,
+                    shed: 0,
+                },
+            ),
+            record(
+                1,
+                TraceEvent::AdmissionDecision {
+                    policy: "shed".to_string(),
+                    verdict: "shed".to_string(),
+                    reason: "high_water".to_string(),
+                    queue_delay_secs: 0.045,
+                    offered: 64,
+                    admitted: 50,
+                    shed: 14,
+                },
+            ),
+        ];
+        let summary = summarize(&records);
+        assert_eq!(summary.events.get("AdmissionDecision"), Some(&2));
+        assert_eq!(summary.admission_verdicts["shed/admitted"], 1);
+        assert_eq!(summary.admission_verdicts["shed/shed"], 1);
+        assert_eq!(summary.admission_queue_delay_secs.count(), 2);
+        // Counters are cumulative since launch; the final sample wins.
+        assert_eq!(summary.admission_totals, Some((64, 50, 14)));
+        let text = summary.render();
+        assert!(text.contains("admission:"), "{text}");
+        assert!(text.contains("shed/shed"), "{text}");
+        assert!(text.contains("admission.queue_delay_secs"), "{text}");
+        assert!(
+            text.contains("totals: 64 offered, 50 admitted, 14 shed"),
+            "{text}"
+        );
+        // Traces without admission samples never print the section.
+        assert!(!summarize(&[]).render().contains("admission:"));
     }
 
     #[test]

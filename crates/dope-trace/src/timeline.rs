@@ -139,6 +139,25 @@ fn describe(event: &TraceEvent) -> String {
             }
             line
         }
+        TraceEvent::AdmissionDecision {
+            policy,
+            verdict,
+            reason,
+            queue_delay_secs,
+            offered,
+            admitted,
+            shed,
+        } => {
+            let mut line = format!(
+                "ADMIT    {policy} verdict={verdict} offered={offered} admitted={admitted} \
+                 shed={shed} delay={:.1}ms",
+                queue_delay_secs * 1e3
+            );
+            if reason != "none" {
+                let _ = write!(line, " reason={reason}");
+            }
+            line
+        }
         TraceEvent::Finished {
             completed,
             reconfigurations,
@@ -232,6 +251,44 @@ mod tests {
         assert!(lines.contains("0.1"), "{lines}");
         assert!(lines.contains("policy=degrade"), "{lines}");
         assert!(lines.contains("index out of bounds"), "{lines}");
+    }
+
+    #[test]
+    fn admission_decisions_render_counters_and_reason() {
+        let lines = render_timeline(&[
+            record(
+                0,
+                TraceEvent::AdmissionDecision {
+                    policy: "shed".to_string(),
+                    verdict: "shed".to_string(),
+                    reason: "high_water".to_string(),
+                    queue_delay_secs: 0.0425,
+                    offered: 64,
+                    admitted: 50,
+                    shed: 14,
+                },
+            ),
+            record(
+                1,
+                TraceEvent::AdmissionDecision {
+                    policy: "block".to_string(),
+                    verdict: "admitted".to_string(),
+                    reason: "none".to_string(),
+                    queue_delay_secs: 0.002,
+                    offered: 10,
+                    admitted: 10,
+                    shed: 0,
+                },
+            ),
+        ]);
+        assert!(lines.contains("ADMIT"), "{lines}");
+        assert!(lines.contains("shed verdict=shed"), "{lines}");
+        assert!(lines.contains("offered=64"), "{lines}");
+        assert!(lines.contains("reason=high_water"), "{lines}");
+        assert!(lines.contains("delay=42.5ms"), "{lines}");
+        // A fully-admitted window omits the reason field entirely.
+        assert!(lines.contains("block verdict=admitted"), "{lines}");
+        assert!(!lines.contains("reason=none"), "{lines}");
     }
 
     #[test]

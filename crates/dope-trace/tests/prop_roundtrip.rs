@@ -7,8 +7,8 @@
 //! NaN/infinity round-trips are covered by the codec's own unit tests.
 
 use dope_core::{
-    Config, DecisionCandidate, DiagCode, MonitorSnapshot, NestConfig, ProgramShape, QueueStats,
-    Rationale, ShapeNode, TaskConfig, TaskKind, TaskPath, TaskStats,
+    AdmissionStats, Config, DecisionCandidate, DiagCode, MonitorSnapshot, NestConfig, ProgramShape,
+    QueueStats, Rationale, ShapeNode, TaskConfig, TaskKind, TaskPath, TaskStats,
 };
 use dope_trace::{
     parse_jsonl, parse_line, to_jsonl, to_jsonl_line, TraceEvent, TraceRecord, Verdict,
@@ -136,6 +136,13 @@ fn build_event(
                 queue: queue_stats(f_small, f_big, n_small, n_big),
                 power_watts: power,
                 dispatches_since_reconfig: n_small,
+                admission: AdmissionStats {
+                    offered: n_big,
+                    admitted: n_small,
+                    shed_high_water: n_small % 5,
+                    shed_deadline: n_small % 3,
+                    mean_queue_delay_secs: f_small,
+                },
             };
             for (i, &part) in path_parts.iter().enumerate() {
                 snapshot.tasks.insert(
@@ -205,6 +212,20 @@ fn build_event(
             realized_throughput: power,
             prediction_error: power.map(|p| (f_big - p) / p.max(1.0)),
         },
+        9 => TraceEvent::AdmissionDecision {
+            policy: ["open", "block", "shed", "deadline"][verdict_sel % 4].to_string(),
+            verdict: if n_small.is_multiple_of(2) {
+                "admitted"
+            } else {
+                "shed"
+            }
+            .to_string(),
+            reason: ["none", "high_water", "deadline"][code_idx % 3].to_string(),
+            queue_delay_secs: f_small,
+            offered: n_big,
+            admitted: n_small,
+            shed: n_big.saturating_sub(n_small),
+        },
         _ => TraceEvent::Finished {
             completed: n_big,
             reconfigurations: n_small,
@@ -218,7 +239,7 @@ proptest! {
     /// JSONL line without loss.
     #[test]
     fn any_record_roundtrips_through_a_jsonl_line(
-        kind in 0usize..10,
+        kind in 0usize..11,
         idx in 0usize..16,
         seq in any::<u64>(),
         t in 0.0f64..1.0e9,
@@ -256,7 +277,7 @@ proptest! {
     /// document, preserving order, count, and every field.
     #[test]
     fn any_sequence_roundtrips_through_jsonl(
-        kinds in prop::collection::vec(0usize..10, 0..12),
+        kinds in prop::collection::vec(0usize..11, 0..12),
         extents in prop::collection::vec(1u32..12, 1..3),
         alt in 0usize..2,
         power in prop::option::of(1.0f64..400.0),

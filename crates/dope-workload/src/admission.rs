@@ -1,0 +1,500 @@
+//! The bounded front door: an admission-gated work queue.
+//!
+//! [`AdmissionQueue`] wraps the producer/consumer queue at the
+//! workload/runtime boundary with an
+//! [`AdmissionPolicy`]:
+//!
+//! * `Open` — every offer is admitted (the historical unbounded queue);
+//! * `Block` — offers block the producer while occupancy is at
+//!   capacity (closed-loop backpressure: the arrival process slows, no
+//!   request is lost);
+//! * `Shed` — offers made at or above the high watermark are dropped
+//!   immediately, **without taking the queue lock**: the shed verdict
+//!   reads an atomic occupancy mirror only, so overload cannot create
+//!   lock contention at the front door (the same discipline as the
+//!   monitor's lock-free record path);
+//! * `Deadline` — offers are stamped on admission and a request whose
+//!   queue delay exceeds the budget when a worker would pick it up is
+//!   dropped at dispatch instead of served.
+//!
+//! # Counter invariants
+//!
+//! For any interleaving: `offered == admitted + shed_high_water`, and
+//! `shed_deadline <= admitted` (deadline drops happen *after*
+//! admission, at the dispatch point). Offers rejected because the queue
+//! was already closed touch no counter — they are not traffic, the run
+//! is over.
+//!
+//! # Example
+//!
+//! ```
+//! use dope_core::AdmissionPolicy;
+//! use dope_workload::admission::{AdmissionQueue, OfferOutcome};
+//!
+//! let q = AdmissionQueue::new(AdmissionPolicy::Shed { high_water: 2 });
+//! assert_eq!(q.offer_at("a", 0.0), OfferOutcome::Admitted);
+//! assert_eq!(q.offer_at("b", 0.1), OfferOutcome::Admitted);
+//! // Occupancy is at the high watermark: the next offer is shed.
+//! assert_eq!(q.offer_at("c", 0.2), OfferOutcome::Shed("c"));
+//! let stats = q.stats();
+//! assert_eq!(stats.offered, 3);
+//! assert_eq!(stats.admitted, 2);
+//! assert_eq!(stats.shed_high_water, 1);
+//! ```
+
+use crate::queue::DequeueOutcome;
+use dope_core::{AdmissionPolicy, AdmissionStats};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What happened to one offered request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferOutcome<T> {
+    /// The request entered the queue (possibly after blocking).
+    Admitted,
+    /// The request was shed by the high-watermark policy; the item is
+    /// returned so the producer can account for it.
+    Shed(T),
+    /// The queue was closed; the item is returned. Not counted as
+    /// offered traffic.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    queue: std::collections::VecDeque<(T, f64)>,
+    closed: bool,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    /// Wakes consumers on enqueue and producers blocked by `Block`.
+    cvar: Condvar,
+    /// Lock-free mirror of `inner.queue.len()`, written only while the
+    /// lock is held but readable without it — the shed fast path.
+    occupancy: AtomicU64,
+    offered: AtomicU64,
+    admitted: AtomicU64,
+    shed_high_water: AtomicU64,
+    shed_deadline: AtomicU64,
+    /// Served dispatches and their cumulative queue delay (nanoseconds),
+    /// for the mean-delay stat.
+    dispatched: AtomicU64,
+    delay_nanos: AtomicU64,
+}
+
+/// An admission-gated FIFO work queue shared by cloning.
+///
+/// Methods come in two flavours: `offer`/`take` stamp time from an
+/// internal monotonic clock (what live producers and workers use), and
+/// `offer_at`/`take_at` accept explicit seconds (deterministic tests).
+pub struct AdmissionQueue<T> {
+    policy: AdmissionPolicy,
+    start: Instant,
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for AdmissionQueue<T> {
+    fn clone(&self) -> Self {
+        AdmissionQueue {
+            policy: self.policy,
+            start: self.start,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for AdmissionQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionQueue")
+            .field("policy", &self.policy)
+            .field("len", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty, open queue gated by `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy fails
+    /// [`validate`](AdmissionPolicy::validate) — construct from
+    /// validated policies (the runtime builder and the simulator both
+    /// validate first and surface `DV017` as an error).
+    #[must_use]
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        policy.validate().expect("admission policy must validate");
+        AdmissionQueue {
+            policy,
+            start: Instant::now(),
+            shared: Arc::new(Shared {
+                inner: Mutex::new(Inner {
+                    queue: std::collections::VecDeque::new(),
+                    closed: false,
+                }),
+                cvar: Condvar::new(),
+                occupancy: AtomicU64::new(0),
+                offered: AtomicU64::new(0),
+                admitted: AtomicU64::new(0),
+                shed_high_water: AtomicU64::new(0),
+                shed_deadline: AtomicU64::new(0),
+                dispatched: AtomicU64::new(0),
+                delay_nanos: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The policy this queue was built with.
+    #[must_use]
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Offers an item, stamping the current time from the internal clock.
+    pub fn offer(&self, item: T) -> OfferOutcome<T> {
+        self.offer_at(item, self.start.elapsed().as_secs_f64())
+    }
+
+    /// Offers an item at an explicit time (seconds on the caller's clock;
+    /// the same clock must be used for `take_at`).
+    ///
+    /// Under `Shed`, an offer made while occupancy is at or above the
+    /// high watermark returns [`OfferOutcome::Shed`] after touching only
+    /// atomics — it never contends on the queue lock. Under `Block`,
+    /// the call blocks while occupancy is at capacity and the queue is
+    /// open.
+    pub fn offer_at(&self, item: T, now_secs: f64) -> OfferOutcome<T> {
+        if let AdmissionPolicy::Shed { high_water } = self.policy {
+            // Lock-free shed verdict: the occupancy mirror is enough.
+            // A racing dispatch may admit one extra request right at the
+            // watermark; the bound is on occupancy, not a turnstile.
+            if self.shared.occupancy.load(Ordering::Acquire) >= u64::from(high_water) {
+                self.shared.offered.fetch_add(1, Ordering::Relaxed);
+                self.shared.shed_high_water.fetch_add(1, Ordering::Relaxed);
+                return OfferOutcome::Shed(item);
+            }
+        }
+        let mut inner = self.shared.inner.lock();
+        if inner.closed {
+            return OfferOutcome::Closed(item);
+        }
+        if let AdmissionPolicy::Block { capacity } = self.policy {
+            while inner.queue.len() >= capacity as usize {
+                self.shared.cvar.wait(&mut inner);
+                if inner.closed {
+                    return OfferOutcome::Closed(item);
+                }
+            }
+        }
+        inner.queue.push_back((item, now_secs));
+        self.shared
+            .occupancy
+            .store(inner.queue.len() as u64, Ordering::Release);
+        self.shared.offered.fetch_add(1, Ordering::Relaxed);
+        self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
+        self.shared.cvar.notify_all();
+        OfferOutcome::Admitted
+    }
+
+    /// Takes the next serviceable item, stamping dispatch time from the
+    /// internal clock.
+    pub fn take(&self, timeout: Duration) -> DequeueOutcome<T> {
+        self.take_at(self.start.elapsed().as_secs_f64(), timeout)
+    }
+
+    /// Takes the next serviceable item at an explicit dispatch time.
+    ///
+    /// Under `Deadline`, requests whose queue delay already exceeds the
+    /// budget are dropped (counted as `shed_deadline`) and the scan
+    /// continues — the caller only ever sees requests still worth
+    /// serving. Returns [`DequeueOutcome::Drained`] once the queue is
+    /// closed and empty.
+    pub fn take_at(&self, now_secs: f64, timeout: Duration) -> DequeueOutcome<T> {
+        let mut inner = self.shared.inner.lock();
+        loop {
+            while let Some((item, stamped)) = inner.queue.pop_front() {
+                self.shared
+                    .occupancy
+                    .store(inner.queue.len() as u64, Ordering::Release);
+                let delay = (now_secs - stamped).max(0.0);
+                if let AdmissionPolicy::Deadline { budget_secs } = self.policy {
+                    if delay > budget_secs {
+                        self.shared.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+                self.shared.dispatched.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .delay_nanos
+                    .fetch_add((delay * 1e9) as u64, Ordering::Relaxed);
+                drop(inner);
+                // A dispatch frees a slot: wake producers blocked by
+                // `Block` (and other consumers, harmlessly).
+                self.shared.cvar.notify_all();
+                return DequeueOutcome::Item(item);
+            }
+            if inner.closed {
+                return DequeueOutcome::Drained;
+            }
+            if self.shared.cvar.wait_for(&mut inner, timeout).timed_out() && inner.queue.is_empty()
+            {
+                return if inner.closed {
+                    DequeueOutcome::Drained
+                } else {
+                    DequeueOutcome::TimedOut
+                };
+            }
+        }
+    }
+
+    /// Closes the queue: offers are rejected, blocked producers wake
+    /// with [`OfferOutcome::Closed`], consumers drain then observe
+    /// [`DequeueOutcome::Drained`].
+    pub fn close(&self) {
+        self.shared.inner.lock().closed = true;
+        self.shared.cvar.notify_all();
+    }
+
+    /// `true` once [`AdmissionQueue::close`] has been called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.shared.inner.lock().closed
+    }
+
+    /// Current occupancy, from the lock-free mirror.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.occupancy.load(Ordering::Acquire) as usize
+    }
+
+    /// `true` if no items are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent snapshot of the gate's cumulative counters.
+    ///
+    /// Lock-free; individual counters are each exact, and the
+    /// documented invariants hold for any quiescent point.
+    #[must_use]
+    pub fn stats(&self) -> AdmissionStats {
+        let dispatched = self.shared.dispatched.load(Ordering::Relaxed);
+        let delay_nanos = self.shared.delay_nanos.load(Ordering::Relaxed);
+        AdmissionStats {
+            offered: self.shared.offered.load(Ordering::Relaxed),
+            admitted: self.shared.admitted.load(Ordering::Relaxed),
+            shed_high_water: self.shared.shed_high_water.load(Ordering::Relaxed),
+            shed_deadline: self.shared.shed_deadline.load(Ordering::Relaxed),
+            mean_queue_delay_secs: if dispatched == 0 {
+                0.0
+            } else {
+                delay_nanos as f64 / 1e9 / dispatched as f64
+            },
+        }
+    }
+
+    /// A probe closure the runtime's monitor can poll for
+    /// [`AdmissionStats`] without knowing the queue's item type.
+    pub fn stats_probe(&self) -> impl Fn() -> AdmissionStats + Send + Sync + 'static
+    where
+        T: Send + 'static,
+    {
+        let q = self.clone();
+        move || q.stats()
+    }
+
+    /// Test hook: holds the queue lock so tests can prove the shed
+    /// verdict path never touches it.
+    #[cfg(test)]
+    fn hold_lock_for_test(&self) -> parking_lot::MutexGuard<'_, Inner<T>> {
+        self.shared.inner.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn open_policy_admits_everything() {
+        let q = AdmissionQueue::new(AdmissionPolicy::Open);
+        for i in 0..100 {
+            assert_eq!(q.offer_at(i, 0.0), OfferOutcome::Admitted);
+        }
+        let stats = q.stats();
+        assert_eq!(stats.offered, 100);
+        assert_eq!(stats.admitted, 100);
+        assert_eq!(stats.shed(), 0);
+        assert_eq!(q.len(), 100);
+    }
+
+    #[test]
+    fn shed_drops_above_high_water_and_counts() {
+        let q = AdmissionQueue::new(AdmissionPolicy::Shed { high_water: 3 });
+        for i in 0..10 {
+            q.offer_at(i, 0.0);
+        }
+        let stats = q.stats();
+        assert_eq!(stats.offered, 10);
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.shed_high_water, 7);
+        assert_eq!(stats.offered, stats.admitted + stats.shed_high_water);
+        // Draining re-opens the gate.
+        assert!(matches!(
+            q.take_at(0.1, Duration::from_millis(1)),
+            DequeueOutcome::Item(0)
+        ));
+        assert_eq!(q.offer_at(99, 0.2), OfferOutcome::Admitted);
+    }
+
+    #[test]
+    fn shed_verdict_never_touches_the_queue_lock() {
+        let q = AdmissionQueue::new(AdmissionPolicy::Shed { high_water: 1 });
+        assert_eq!(q.offer_at(0, 0.0), OfferOutcome::Admitted);
+        // Hold the queue lock on this thread; a shed offer from another
+        // thread must still return promptly (atomics only).
+        let guard = q.hold_lock_for_test();
+        let q2 = q.clone();
+        let shedder = thread::spawn(move || q2.offer_at(1, 0.1));
+        assert_eq!(shedder.join().unwrap(), OfferOutcome::Shed(1));
+        drop(guard);
+    }
+
+    #[test]
+    fn block_policy_throttles_the_producer() {
+        let q = AdmissionQueue::new(AdmissionPolicy::Block { capacity: 2 });
+        assert_eq!(q.offer_at("a", 0.0), OfferOutcome::Admitted);
+        assert_eq!(q.offer_at("b", 0.0), OfferOutcome::Admitted);
+        let q2 = q.clone();
+        let producer = thread::spawn(move || q2.offer_at("c", 0.1));
+        // The producer is blocked at capacity; a dispatch releases it.
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 2);
+        assert!(matches!(
+            q.take_at(0.2, Duration::from_millis(1)),
+            DequeueOutcome::Item("a")
+        ));
+        assert_eq!(producer.join().unwrap(), OfferOutcome::Admitted);
+        let stats = q.stats();
+        assert_eq!(stats.offered, 3);
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.shed(), 0);
+    }
+
+    #[test]
+    fn block_producer_wakes_closed_on_close() {
+        let q = AdmissionQueue::new(AdmissionPolicy::Block { capacity: 1 });
+        assert_eq!(q.offer_at(1, 0.0), OfferOutcome::Admitted);
+        let q2 = q.clone();
+        let producer = thread::spawn(move || q2.offer_at(2, 0.1));
+        thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(producer.join().unwrap(), OfferOutcome::Closed(2));
+    }
+
+    #[test]
+    fn deadline_drops_stale_requests_at_dispatch() {
+        let q = AdmissionQueue::new(AdmissionPolicy::Deadline { budget_secs: 0.5 });
+        q.offer_at("stale", 0.0);
+        q.offer_at("fresh", 1.0);
+        // At t=1.2 the first request is 1.2s old (> 0.5 budget): dropped;
+        // the second is 0.2s old: served.
+        assert!(matches!(
+            q.take_at(1.2, Duration::from_millis(1)),
+            DequeueOutcome::Item("fresh")
+        ));
+        let stats = q.stats();
+        assert_eq!(stats.offered, 2);
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.shed_deadline, 1);
+        assert!((stats.mean_queue_delay_secs - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadline_drain_sheds_residual_stale_items() {
+        let q = AdmissionQueue::new(AdmissionPolicy::Deadline { budget_secs: 0.1 });
+        q.offer_at(1, 0.0);
+        q.offer_at(2, 0.0);
+        q.close();
+        assert_eq!(
+            q.take_at(5.0, Duration::from_millis(1)),
+            DequeueOutcome::Drained
+        );
+        assert_eq!(q.stats().shed_deadline, 2);
+    }
+
+    #[test]
+    fn closed_offers_touch_no_counters() {
+        let q = AdmissionQueue::new(AdmissionPolicy::Open);
+        q.close();
+        assert_eq!(q.offer_at(7, 0.0), OfferOutcome::Closed(7));
+        assert_eq!(q.stats().offered, 0);
+    }
+
+    #[test]
+    fn take_blocks_until_offer_and_drains_on_close() {
+        let q = AdmissionQueue::new(AdmissionPolicy::Open);
+        let q2 = q.clone();
+        let consumer = thread::spawn(move || q2.take(Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(10));
+        q.offer(42u32);
+        assert!(matches!(consumer.join().unwrap(), DequeueOutcome::Item(42)));
+        let q3 = q.clone();
+        let consumer = thread::spawn(move || q3.take(Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), DequeueOutcome::Drained);
+    }
+
+    #[test]
+    fn conservation_holds_under_concurrent_offer_storm() {
+        let q = AdmissionQueue::new(AdmissionPolicy::Shed { high_water: 8 });
+        let consumer = {
+            let q = q.clone();
+            thread::spawn(move || {
+                let mut served = 0u64;
+                loop {
+                    match q.take(Duration::from_millis(5)) {
+                        DequeueOutcome::Item(_) => served += 1,
+                        DequeueOutcome::Drained => return served,
+                        DequeueOutcome::TimedOut => {}
+                    }
+                }
+            })
+        };
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    for i in 0..500 {
+                        q.offer(p * 500 + i);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let served = consumer.join().unwrap();
+        let stats = q.stats();
+        assert_eq!(stats.offered, 2000);
+        assert_eq!(stats.offered, stats.admitted + stats.shed_high_water);
+        assert_eq!(stats.admitted, served);
+    }
+
+    #[test]
+    fn stats_probe_reflects_traffic() {
+        let q = AdmissionQueue::new(AdmissionPolicy::Open);
+        let probe = q.stats_probe();
+        q.offer_at(1, 0.0);
+        assert_eq!(probe().admitted, 1);
+    }
+}

@@ -10,6 +10,8 @@
 //!   open-workload arrival processes;
 //! * [`WorkQueue`] — a thread-safe, instrumented work queue with the
 //!   close-to-drain idiom the paper's `FiniCB` callbacks implement;
+//! * [`AdmissionQueue`] — the same queue behind an admission gate
+//!   (block / shed / deadline policies) for behaviour past saturation;
 //! * [`ResponseStats`], [`ThroughputMeter`], [`TimeSeries`] — the
 //!   measurements behind every figure in the evaluation.
 //!
@@ -32,10 +34,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
 pub mod arrivals;
 pub mod queue;
 pub mod stats;
 
+pub use admission::{AdmissionQueue, OfferOutcome};
 pub use arrivals::{ArrivalSchedule, PoissonProcess};
 pub use queue::{DequeueOutcome, WorkQueue};
 pub use stats::{ResponseStats, ThroughputMeter, TimeSeries};

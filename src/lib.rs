@@ -15,7 +15,7 @@
 //! * [`dope_apps`] — the six benchmark applications;
 //! * [`dope_trace`] — the flight recorder: structured executive events,
 //!   the JSONL codec, deterministic replay, and the timeline CLI;
-//! * [`dope_lint`] — the workspace static analyzer: six `DL0xx` passes
+//! * [`dope_lint`] — the workspace static analyzer: seven `DL0xx` passes
 //!   enforcing the cross-crate contracts the compiler cannot see;
 //! * [`dope_bench`] — the figure/table harness and the perf gate
 //!   (`BENCH_perf.json` microbench reports and baseline diffing).
@@ -42,6 +42,11 @@ pub use dope_workload as workload;
 /// runs every Rust code block in the book as a doctest, so the prose
 /// cannot drift from the implementation.
 pub mod docs {
+    /// `docs/README.md`: the book index — one line per chapter and
+    /// reading paths by task.
+    #[doc = include_str!("../docs/README.md")]
+    pub mod index {}
+
     /// `docs/architecture.md`: how the flight recorder is built.
     #[doc = include_str!("../docs/architecture.md")]
     pub mod architecture {}
@@ -53,6 +58,12 @@ pub mod docs {
     /// `docs/operator-guide.md`: capturing and reading traces.
     #[doc = include_str!("../docs/operator-guide.md")]
     pub mod operator_guide {}
+
+    /// `docs/overload.md`: admission control — the four policies, the
+    /// shedding gate, `ShedAware`, and the overload observability
+    /// surface.
+    #[doc = include_str!("../docs/overload.md")]
+    pub mod overload {}
 
     /// `docs/performance.md`: the sharded monitor record path, its
     /// memory-ordering argument, and the perf-gate workflow.

@@ -18,6 +18,8 @@ const EVENT_SCHEMA: &str = include_str!("../docs/event-schema.md");
 const ARCHITECTURE: &str = include_str!("../docs/architecture.md");
 const OPERATOR_GUIDE: &str = include_str!("../docs/operator-guide.md");
 const STATIC_ANALYSIS: &str = include_str!("../docs/static-analysis.md");
+const OVERLOAD: &str = include_str!("../docs/overload.md");
+const BOOK_INDEX: &str = include_str!("../docs/README.md");
 
 fn lint_workspace() -> Report {
     dope_lint::check(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("lint the workspace")
@@ -82,6 +84,53 @@ fn book_pages_cross_reference_each_other() {
         assert!(
             text.contains("event-schema.md"),
             "docs/{name} must point readers at the schema contract"
+        );
+    }
+}
+
+#[test]
+fn book_index_links_every_chapter_and_every_link_resolves() {
+    // The index must name each chapter file in docs/ exactly once as a
+    // link target...
+    let chapters =
+        std::fs::read_dir(Path::new(env!("CARGO_MANIFEST_DIR")).join("docs")).expect("read docs/");
+    for entry in chapters {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy();
+        if name == "README.md" || !name.ends_with(".md") {
+            continue;
+        }
+        assert!(
+            BOOK_INDEX.contains(&format!("]({name})")),
+            "docs/README.md does not link chapter {name}"
+        );
+    }
+    // ...and DL007 proves every relative link in the whole book (index
+    // included) resolves to a real file and a real heading.
+    assert_no_findings(&lint_workspace(), DlCode::DocsLink);
+}
+
+#[test]
+fn overload_chapter_covers_the_surface_it_owns() {
+    // The chapter other pages link to for "the wiring and the alerting
+    // guidance" must actually document every policy, every metric
+    // family, the trace event, and the mechanism wrapper.
+    for needle in [
+        "`Open`",
+        "`Block`",
+        "`Shed`",
+        "`Deadline`",
+        "dope_admitted_total",
+        "dope_shed_total",
+        "dope_admission_queue_delay",
+        "AdmissionDecision",
+        "ShedAware",
+        "DV017",
+        "offered == admitted + shed_high_water",
+    ] {
+        assert!(
+            OVERLOAD.contains(needle),
+            "docs/overload.md is missing {needle}"
         );
     }
 }
